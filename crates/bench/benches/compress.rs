@@ -1,0 +1,28 @@
+//! cblock compression/decompression throughput across content classes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use purity_wkld::ContentModel;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compress_32k");
+    for (name, model) in [
+        ("rdbms", ContentModel::Rdbms),
+        ("docstore", ContentModel::DocStore),
+        ("random", ContentModel::Random),
+        ("zeros", ContentModel::Zeros),
+    ] {
+        let block = model.buffer(5, 0, 64); // 32 KiB
+        g.throughput(Throughput::Bytes(block.len() as u64));
+        g.bench_with_input(BenchmarkId::new("compress", name), &block, |b, d| {
+            b.iter(|| purity_compress::compress(d))
+        });
+        let enc = purity_compress::compress(&block);
+        g.bench_with_input(BenchmarkId::new("decompress", name), &enc, |b, d| {
+            b.iter(|| purity_compress::decompress(d).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

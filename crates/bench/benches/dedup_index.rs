@@ -1,0 +1,29 @@
+//! Dedup hot path: block hashing and index lookup/record costs (§4.7).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use purity_dedup::hash::block_hash;
+use purity_dedup::index::DedupIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let block: Vec<u8> = (0..512).map(|_| rng.gen()).collect();
+    let mut g = c.benchmark_group("dedup");
+    g.throughput(Throughput::Bytes(512));
+    g.bench_function("hash_512B", |b| b.iter(|| block_hash(&block)));
+    g.finish();
+
+    c.bench_function("dedup/index_record+lookup", |b| {
+        let mut idx: DedupIndex<u64> = DedupIndex::new(65_536, 4096);
+        let mut h = 0u64;
+        b.iter(|| {
+            h = h.wrapping_add(0x9E3779B97F4A7C15);
+            idx.record_write(h, h);
+            idx.lookup(h.wrapping_mul(3))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

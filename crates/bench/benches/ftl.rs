@@ -1,0 +1,67 @@
+//! FTL behaviour: logical write cost, sequential vs random (device GC).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use purity_sim::Clock;
+use purity_ssd::flash::Flash;
+use purity_ssd::ftl::Ftl;
+use purity_ssd::geometry::SsdGeometry;
+use purity_ssd::latency::{EnduranceModel, LatencyModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn mk() -> Ftl {
+    Ftl::new(
+        Flash::new(
+            SsdGeometry::test_small(),
+            LatencyModel::consumer_mlc(),
+            EnduranceModel::consumer_mlc(),
+            Clock::new(),
+            3,
+        ),
+        0.25,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut c = c.benchmark_group("ftl");
+    c.sample_size(10);
+    let page = vec![0x5Au8; 4096];
+    c.bench_function("sequential_fill", |b| {
+        b.iter_batched(
+            mk,
+            |mut ftl| {
+                let n = ftl.logical_pages();
+                for lpn in 0..n {
+                    ftl.write(lpn, &page, 0).unwrap();
+                }
+                ftl
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("random_overwrite_with_gc", |b| {
+        b.iter_batched(
+            || {
+                let mut ftl = mk();
+                let n = ftl.logical_pages();
+                for lpn in 0..n {
+                    ftl.write(lpn, &page, 0).unwrap();
+                }
+                ftl
+            },
+            |mut ftl| {
+                let n = ftl.logical_pages();
+                let mut rng = StdRng::seed_from_u64(1);
+                for _ in 0..n / 2 {
+                    ftl.write(rng.gen_range(0..n), &page, 0).unwrap();
+                }
+                ftl
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    c.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

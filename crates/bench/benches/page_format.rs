@@ -1,0 +1,33 @@
+//! Metadata page encode/decode/scan throughput (§4.9).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use purity_format::Page;
+
+fn rows() -> Vec<Vec<u64>> {
+    (0..4096u64)
+        .map(|i| vec![7, 1_000_000 + i, 50_000 + i, 3 + i / 1024, (i % 1024) * 16384, 16384, i % 64, 0])
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let rows = rows();
+    let mut g = c.benchmark_group("page");
+    g.throughput(Throughput::Elements(rows.len() as u64));
+    g.bench_function("encode_4096x8", |b| b.iter(|| Page::encode(&rows)));
+    let page = Page::encode(&rows);
+    g.bench_function("scan_eq_compressed_domain", |b| {
+        b.iter(|| page.scan_col_eq(3, 4).unwrap())
+    });
+    g.bench_function("scan_eq_decode_compare", |b| {
+        b.iter(|| {
+            (0..page.n_rows())
+                .filter(|&r| page.get(r, 3).unwrap() == 4)
+                .count()
+        })
+    });
+    g.bench_function("decode_all", |b| b.iter(|| page.decode_all()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

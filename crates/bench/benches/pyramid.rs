@@ -1,0 +1,63 @@
+//! Pyramid (LSM) operation costs: inserts, point lookups across patch
+//! stacks, and merge/flatten — the paper's metadata hot path (§4.8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use purity_lsm::Pyramid;
+
+fn built(n: u64, flush_every: u64) -> Pyramid<u64, u64> {
+    let mut p = Pyramid::with_thresholds(usize::MAX >> 1, 64);
+    for i in 0..n {
+        p.insert(i * 7 % n, i, i + 1);
+        if i % flush_every == flush_every - 1 {
+            p.flush();
+        }
+    }
+    p
+}
+
+fn bench(c: &mut Criterion) {
+    {
+    let mut g = c.benchmark_group("pyramid_insert");
+    g.sample_size(10);
+    g.bench_function("insert_100k", |b| {
+        b.iter(|| {
+            let mut p: Pyramid<u64, u64> = Pyramid::with_thresholds(usize::MAX >> 1, 64);
+            for i in 0..100_000u64 {
+                p.insert(i, i, i + 1);
+            }
+            p
+        })
+    });
+    g.finish();
+}
+    let mut g = c.benchmark_group("pyramid/lookup");
+    for patches in [1u64, 4, 16] {
+        let p = built(100_000, 100_000 / patches);
+        g.bench_with_input(BenchmarkId::from_parameter(patches), &p, |b, p| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 7919) % 100_000;
+                p.get(&k)
+            })
+        });
+    }
+    g.finish();
+    {
+    let mut g = c.benchmark_group("pyramid_maint");
+    g.sample_size(10);
+    g.bench_function("flatten_100k_16patches", |b| {
+        b.iter_batched(
+            || built(100_000, 100_000 / 16),
+            |mut p| {
+                p.flatten();
+                p
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Reed-Solomon throughput: encode and single-shard reconstruction at
+//! Purity's 7+2 geometry (the hot loops of every segment flush and every
+//! degraded/around read).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use purity_ecc::ReedSolomon;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let rs = ReedSolomon::purity_default();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut g = c.benchmark_group("rs_7p2");
+    for shard_kib in [4usize, 32, 128] {
+        let shards: Vec<Vec<u8>> = (0..7)
+            .map(|_| (0..shard_kib * 1024).map(|_| rng.gen()).collect())
+            .collect();
+        let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+        g.throughput(Throughput::Bytes((7 * shard_kib * 1024) as u64));
+        g.bench_with_input(BenchmarkId::new("encode", shard_kib), &refs, |b, refs| {
+            b.iter(|| rs.encode(refs).unwrap())
+        });
+        let parity = rs.encode(&refs).unwrap();
+        let mut all: Vec<(usize, &[u8])> =
+            refs.iter().copied().enumerate().collect();
+        all.extend(parity.iter().enumerate().map(|(i, p)| (7 + i, p.as_slice())));
+        let available: Vec<(usize, &[u8])> =
+            all.iter().filter(|(i, _)| *i != 3).copied().collect();
+        g.throughput(Throughput::Bytes((shard_kib * 1024) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("reconstruct_one", shard_kib),
+            &available,
+            |b, avail| b.iter(|| rs.reconstruct_one(3, avail).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

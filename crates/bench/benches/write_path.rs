@@ -1,0 +1,46 @@
+//! End-to-end array write/read path cost in wall-clock terms (the whole
+//! stack: dedup, compression, NVRAM commit, map update; reads resolve
+//! medium chains, fetch and decompress cblocks).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use purity_core::{ArrayConfig, FlashArray};
+use purity_wkld::ContentModel;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("array");
+    g.sample_size(20);
+    let block = ContentModel::Rdbms.buffer(3, 0, 64); // 32 KiB
+
+    g.throughput(Throughput::Bytes(block.len() as u64));
+    g.bench_function("write_32k", |b| {
+        let mut a = FlashArray::new(ArrayConfig::test_small()).unwrap();
+        let vol = a.create_volume("w", 32 << 20).unwrap();
+        let mut at = 0u64;
+        b.iter(|| {
+            a.write(vol, at % (24 << 20), &block).unwrap();
+            at += block.len() as u64;
+            a.advance(100_000);
+        })
+    });
+
+    g.bench_function("read_32k_uncached", |b| {
+        let mut cfg = ArrayConfig::test_small();
+        cfg.cache_bytes = 0;
+        let mut a = FlashArray::new(cfg).unwrap();
+        let vol = a.create_volume("r", 32 << 20).unwrap();
+        for i in 0..256u64 {
+            a.write(vol, i * 32 * 1024, &ContentModel::Rdbms.buffer(i, i * 64, 64)).unwrap();
+            a.advance(100_000);
+        }
+        let mut at = 0u64;
+        b.iter(|| {
+            let (d, _) = a.read(vol, (at % 256) * 32 * 1024, 32 * 1024).unwrap();
+            at += 1;
+            d
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

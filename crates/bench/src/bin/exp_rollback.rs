@@ -1,0 +1,55 @@
+//! §5.2.1: transaction rollback rates. Gray et al. [25]: conflict (and
+//! hence rollback/deadlock) rates grow *non-linearly* with transaction
+//! duration — roughly with the square of the number of concurrently held
+//! locks. Cutting storage latency 10x cuts transaction hold times ~10x,
+//! which cuts rollback rates by *more* than 10x.
+
+use purity_bench::print_table;
+
+/// Approximate conflict model: N clients, each transaction holds L locks
+/// over a table of D items for duration T (dominated by storage waits).
+/// Expected conflicts per transaction ~ (N-1) * L^2 / D scaled by the
+/// overlap window (proportional to T) — Gray's "dangers of replication"
+/// scaling, simplified to show the latency dependence.
+fn rollback_rate(n_clients: f64, locks: f64, items: f64, latency_ms: f64, io_per_txn: f64) -> f64 {
+    let txn_duration = latency_ms * io_per_txn; // storage-bound
+    let concurrent = n_clients * txn_duration / 1000.0; // txns in flight
+    let raw = (concurrent * locks * locks / items).min(0.95);
+    // Rolled-back transactions retry and conflict again: the effective
+    // rate per *successful* commit amplifies super-linearly.
+    raw / (1.0 - raw)
+}
+
+fn main() {
+    let (clients, locks, items, ios) = (1600.0, 8.0, 100_000.0, 20.0);
+    let rows: Vec<Vec<String>> = [
+        ("Disk array", 5.0),
+        ("Hybrid", 2.5),
+        ("Purity", 0.5),
+    ]
+    .iter()
+    .map(|(name, lat)| {
+        let r = rollback_rate(clients, locks, items, *lat, ios);
+        vec![
+            name.to_string(),
+            format!("{:.1} ms", lat),
+            format!("{:.0} ms", lat * ios),
+            format!("{:.2}%", r * 100.0),
+        ]
+    })
+    .collect();
+    print_table(
+        "§5.2.1: storage latency vs transaction rollback rate (analytic, Gray et al. [25])",
+        &["Storage", "I/O latency", "Txn duration", "Rollback rate"],
+        &rows,
+    );
+    let disk = rollback_rate(clients, locks, items, 5.0, ios);
+    let purity = rollback_rate(clients, locks, items, 0.5, ios);
+    println!(
+        "\n10x lower latency -> {:.0}x lower rollback rate (super-linear in the contended regime)",
+        disk / purity
+    );
+    println!("paper: 'Purity decreases request latencies by an order of magnitude, potentially");
+    println!("reducing rollback rates by more than 10x' — which lets customers stay on simple");
+    println!("open-source databases instead of exotic distributed infrastructure (§5.2.1).");
+}

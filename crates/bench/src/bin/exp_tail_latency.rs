@@ -1,0 +1,58 @@
+//! E2 (§1, §4.4): 99.9th-percentile latency under 1 ms, and the
+//! read-around-writes scheduler ablation. The paper: "typical
+//! installations have 99.9% latencies under 1 ms" and the scheduler is
+//! what keeps reads from stalling behind SSD programs/erases.
+
+use purity_bench::drive;
+use purity_core::{ArrayConfig, FlashArray};
+use purity_sim::units::format_nanos;
+use purity_sim::MS;
+use purity_wkld::{AccessPattern, ContentModel, SizeMix, WorkloadGen};
+
+fn run(read_around: bool) -> purity_bench::DriveReport {
+    let mut cfg = ArrayConfig::bench_medium();
+    cfg.read_around_writes = read_around;
+    let mut a = FlashArray::new(cfg).unwrap();
+    let vol_bytes: u64 = 96 << 20;
+    let vol = a.create_volume("db", vol_bytes).unwrap();
+    let mut loader = WorkloadGen::new(
+        3,
+        vol_bytes,
+        AccessPattern::Sequential,
+        SizeMix::fixed(128 * 1024),
+        0,
+        ContentModel::Rdbms,
+        50_000,
+    );
+    drive(&mut a, vol, &mut loader, 500, 0);
+    a.advance(10 * purity_sim::SEC);
+
+    // Moderate mixed load: the regime the paper quotes customer p99.9 in.
+    let mut gen = WorkloadGen::new(
+        5,
+        vol_bytes,
+        AccessPattern::Zipfian(0.99),
+        SizeMix::enterprise(),
+        70,
+        ContentModel::Rdbms,
+        650_000, // ~1.5K offered IOPS: the mini array's 'typical installation' regime
+    );
+    drive(&mut a, vol, &mut gen, 6000, 0)
+}
+
+fn main() {
+    println!("=== E2: tail latency (mixed 70/30 enterprise workload) ===");
+    for (label, on) in [("scheduler ON (read around writes)", true), ("scheduler OFF", false)] {
+        let r = run(on);
+        println!("\n{}:", label);
+        println!("  reads:  {}", r.read_latency.summary());
+        println!("  writes: {}", r.write_latency.summary());
+        let p999 = r.read_latency.p999();
+        println!(
+            "  read p99.9 = {} -> {}",
+            format_nanos(p999),
+            if p999 < MS { "UNDER the paper's 1 ms bound" } else { "over 1 ms" }
+        );
+    }
+    println!("\npaper: 99.9% latencies under 1 ms; scheduler reconstructs instead of waiting (§4.4).");
+}

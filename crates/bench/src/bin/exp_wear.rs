@@ -1,0 +1,57 @@
+//! §5.1: "In the process of validating Purity, we built an array out of
+//! worn-out flash... We did not encounter any application-level hardware
+//! errors." Worn flash leaks charge faster than new flash; periodic
+//! scrubbing rewrites data before retention expires, letting arrays run
+//! past rated wear.
+//!
+//! We wear every block of every drive to its P/E rating, build an array
+//! on the worn shelf, write data, then age it in virtual years — with
+//! and without scrubbing.
+
+use purity_core::{ArrayConfig, FlashArray};
+use purity_ssd::flash::RETENTION_AT_RATING;
+use purity_wkld::ContentModel;
+
+fn run(scrub: bool) -> (bool, u64, u64, u64) {
+    let mut cfg = ArrayConfig::test_small();
+    // Every block is at its rated P/E count before the array is even
+    // formatted — the paper's exact procedure (§5.1).
+    cfg.ssd_endurance = purity_ssd::latency::EnduranceModel { rated_pe_cycles: 100 };
+    cfg.preage_cycles = 100;
+    let mut a = FlashArray::new(cfg).unwrap();
+    let vol = a.create_volume("wear", 8 << 20).unwrap();
+
+    // The data we care about, written on the worn flash.
+    let data = ContentModel::Rdbms.buffer(99, 0, 2048);
+    a.write(vol, 0, &data).unwrap();
+    a.checkpoint().unwrap();
+
+    // Age four virtual years; scrub quarterly if enabled.
+    let mut repairs = 0;
+    let mut refreshed = 0;
+    let mut unrecoverable = 0;
+    for _quarter in 0..16 {
+        a.advance(RETENTION_AT_RATING / 4);
+        if scrub {
+            let r = a.scrub().unwrap();
+            repairs += r.units_repaired;
+            refreshed += r.units_refreshed;
+            unrecoverable += r.unrecoverable;
+        }
+    }
+    let ok = matches!(a.read(vol, 0, data.len()), Ok((d, _)) if d == data);
+    (ok, repairs, refreshed, unrecoverable)
+}
+
+fn main() {
+    println!("=== §5.1: array built from worn-out flash, 4 virtual years of retention ===");
+    let (ok, repairs, refreshed, unrec) = run(true);
+    println!(
+        "with scrubbing:    data intact = {} ({} units repaired, {} refreshed, {} unrecoverable)",
+        ok, repairs, refreshed, unrec
+    );
+    let (ok2, _, _, _) = run(false);
+    println!("without scrubbing: data intact = {}", ok2);
+    println!("\npaper: worn flash leaks charge; periodic scrubbing rewrites data more often than");
+    println!("the P/E retention assumptions require, so arrays run well past rated wear out (§5.1).");
+}

@@ -1,0 +1,48 @@
+//! Figure 4: the monotonic write-ahead logging implementation — commits
+//! land in NVRAM (time order), indexes accumulate in DRAM (key order),
+//! the segio layer joins the two streams and trims NVRAM once patches
+//! are durable in segments.
+
+use purity_core::{ArrayConfig, FlashArray};
+use purity_sim::units::{format_bytes, format_nanos};
+
+fn main() {
+    let mut a = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    let vol = a.create_volume("wal", 8 << 20).unwrap();
+
+    println!("=== Figure 4: monotonic write-ahead logging ===");
+    println!("\nphase 1: commits flow into NVRAM (acknowledged at NVRAM persistence)");
+    let mut acks = Vec::new();
+    for i in 0..32u64 {
+        let data = vec![(i % 251) as u8; 32 * 1024];
+        let ack = a.write(vol, i * 32 * 1024, &data).unwrap();
+        acks.push(ack.latency);
+        a.advance(100_000);
+    }
+    let mean: u64 = acks.iter().sum::<u64>() / acks.len() as u64;
+    println!("  32 writes committed; mean ack latency {} (NVRAM, not segment, bound)", format_nanos(mean));
+    println!("  NVRAM holds {} of intents", format_bytes(a.nvram_used() as u64));
+
+    println!("\nphase 2: the segio writer joins commit stream with indexed patches");
+    a.checkpoint().unwrap();
+    println!("  checkpoint: memtable flushed to a patch, patch persisted as a segment log record");
+
+    println!("\nphase 3: NVRAM trimmed once facts are durable");
+    println!("  NVRAM after trim: {}", format_bytes(a.nvram_used() as u64));
+
+    // A few more commits after the trim, so NVRAM has replayable facts.
+    for i in 0..6u64 {
+        a.write(vol, (32 + i) * 32 * 1024, &vec![0xEE; 32 * 1024]).unwrap();
+    }
+    println!("\nmonotonicity in action: commits are immutable facts; replaying them is harmless.");
+    let before = a.stats().logical_bytes_written;
+    let report = a.fail_primary().unwrap();
+    println!(
+        "  failover replayed {} intents; logical state unchanged ({} written before and after)",
+        report.recovery.write_intents_replayed,
+        format_bytes(before)
+    );
+    let (d, _) = a.read(vol, 0, 32 * 1024).unwrap();
+    assert_eq!(d, vec![0u8; 32 * 1024]);
+    println!("  read-back verified.");
+}

@@ -1,0 +1,59 @@
+//! Figure 7: the relative cost of storing data in Purity arrays, disk
+//! arrays and main memory versus access frequency — the five-minute rule
+//! recomputed for 2015 flash economics, plus the paper's rules of thumb.
+
+use purity_bench::print_table;
+use purity_wkld::costmodel::{
+    cost_per_item, crossover_interval, figure7_devices, figure7_intervals,
+};
+
+fn main() {
+    const ITEM: u64 = 55 * 1024; // the paper's 55 KiB average I/O
+    let devices = figure7_devices();
+    let intervals = figure7_intervals();
+
+    // Normalize against the cheapest cell in the table (relative cost).
+    let mut min_cost = f64::MAX;
+    for (dev, _) in &devices {
+        for (_, t) in &intervals {
+            min_cost = min_cost.min(cost_per_item(dev, ITEM, *t));
+        }
+    }
+
+    let headers: Vec<&str> =
+        std::iter::once("Access interval").chain(devices.iter().map(|(d, _)| d.name)).collect();
+    let rows: Vec<Vec<String>> = intervals
+        .iter()
+        .map(|(label, t)| {
+            let mut row = vec![label.to_string()];
+            for (dev, _) in &devices {
+                row.push(format!("{:.1}", cost_per_item(dev, ITEM, *t) / min_cost));
+            }
+            row
+        })
+        .collect();
+    print_table("Figure 7: relative cost vs access frequency (55 KiB items)", &headers, &rows);
+
+    // Crossovers → the rules of thumb.
+    let dev = |name: &str| {
+        devices
+            .iter()
+            .map(|(d, _)| *d)
+            .find(|d| d.name.contains(name))
+            .expect("device")
+    };
+    let ram = dev("DIMM");
+    println!("\nCrossover intervals vs ECC DIMM (flash cheaper for colder data):");
+    for name in ["1x", "4x", "10x"] {
+        let d = dev(name);
+        match crossover_interval(&d, &ram, ITEM) {
+            Some(t) => println!("  {:<20} {:>8.1} s  (~{:.1} min)", d.name, t, t / 60.0),
+            None => println!("  {:<20} no crossover in range", d.name),
+        }
+    }
+    println!("\nRules of thumb (paper §5.2.2):");
+    println!("  1. Performance disk is dead (dominated at every interval above).");
+    println!("  2. Without data reduction, RAM wins for anything hot.");
+    println!("  3. With data reduction, never cache data accessed less often than ~every half hour.");
+    println!("  4. Important data follows a ten-minute rule (second cached copy vs storage access).");
+}

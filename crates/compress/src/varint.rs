@@ -1,0 +1,99 @@
+//! LEB128 variable-length unsigned integers, used by the compression
+//! framing and by `purity-core`'s on-flash record formats.
+
+/// Appends `v` to `out` in LEB128 (7 bits per byte, MSB = continue).
+pub fn encode(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes one varint from the front of `input`. Returns the value and
+/// the number of bytes consumed, or `None` on truncated/overlong input.
+pub fn decode(input: &[u8]) -> Option<(u64, usize)> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    for (i, &byte) in input.iter().enumerate() {
+        if shift >= 64 {
+            return None; // overlong
+        }
+        let bits = (byte & 0x7f) as u64;
+        // Reject bits that would be shifted out of range.
+        if shift == 63 && bits > 1 {
+            return None;
+        }
+        v |= bits << shift;
+        if byte & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+        shift += 7;
+    }
+    None // truncated
+}
+
+/// Number of bytes [`encode`] will use for `v`.
+pub fn encoded_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_edge_values() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            encode(v, &mut buf);
+            assert_eq!(buf.len(), encoded_len(v), "len for {}", v);
+            assert_eq!(decode(&buf), Some((v, buf.len())), "value {}", v);
+        }
+    }
+
+    #[test]
+    fn decode_reports_consumed_bytes_with_trailing_data() {
+        let mut buf = Vec::new();
+        encode(300, &mut buf);
+        let n = buf.len();
+        buf.extend_from_slice(b"tail");
+        assert_eq!(decode(&buf), Some((300, n)));
+    }
+
+    #[test]
+    fn truncated_input_is_none() {
+        let mut buf = Vec::new();
+        encode(u64::MAX, &mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(decode(&buf[..cut]), None, "cut at {}", cut);
+        }
+    }
+
+    #[test]
+    fn overlong_encoding_is_rejected() {
+        // 11 continuation bytes would shift past 64 bits.
+        let overlong = [0x80u8; 10];
+        assert_eq!(decode(&overlong), None);
+        let mut too_big = vec![0xffu8; 9];
+        too_big.push(0x7f); // would need >64 bits
+        assert_eq!(decode(&too_big), None);
+    }
+
+    #[test]
+    fn exhaustive_small_range() {
+        for v in 0..10_000u64 {
+            let mut buf = Vec::new();
+            encode(v, &mut buf);
+            assert_eq!(decode(&buf), Some((v, buf.len())));
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! The FlashArray facade (§4.1, Figure 2).
+//!
+//! Two controllers front a shared shelf of drives plus NVRAM. Clients
+//! treat both controllers' ports interchangeably (active-active), but
+//! only the primary serves traffic; the secondary forwards over the
+//! internal interconnect and keeps a warm cache. Controllers are
+//! stateless: killing the primary promotes the secondary, which rebuilds
+//! all state from the shelf via [`Controller::recover`] — the paper's
+//! sub-30-second failover, reproduced in virtual time.
+
+use crate::cache::CblockCache;
+use crate::config::ArrayConfig;
+use crate::controller::{Ack, Controller, Volume};
+use crate::error::Result;
+use crate::gc::GcReport;
+use crate::recovery::{RecoveryReport, ScanMode};
+use crate::scrub::ScrubReport;
+use crate::shelf::Shelf;
+use crate::stats::ArrayStats;
+use crate::types::{DriveId, SnapshotId, VolumeId};
+use purity_sim::{Clock, Nanos};
+use std::sync::Arc;
+
+/// Interconnect hop for requests arriving at the standby's ports
+/// (InfiniBand forward + return, §4.1).
+pub const FORWARD_NS: Nanos = 10_000;
+
+/// Secondary-cache warm interval, in write operations.
+const WARM_EVERY: u64 = 128;
+
+/// Which controller's ports a request arrives at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Port {
+    /// The controller currently serving I/O.
+    Primary,
+    /// The standby; requests are forwarded over the interconnect.
+    Secondary,
+}
+
+/// Outcome of a controller failover.
+#[derive(Debug, Clone)]
+pub struct FailoverReport {
+    /// Virtual time the array was unable to serve I/O.
+    pub downtime: Nanos,
+    /// Recovery details.
+    pub recovery: RecoveryReport,
+}
+
+/// Space accounting (thin provisioning vs physical reality, §1).
+#[derive(Debug, Clone, Copy)]
+pub struct SpaceReport {
+    /// Raw usable capacity (data columns only, after parity overhead).
+    pub usable_bytes: u64,
+    /// Bytes held by live segments (allocated capacity).
+    pub allocated_bytes: u64,
+    /// Sum of provisioned volume sizes.
+    pub provisioned_bytes: u64,
+    /// Provisioned / usable — the paper reports ~12× fleet-wide.
+    pub thin_provision_ratio: f64,
+}
+
+/// A simulated Purity appliance.
+pub struct FlashArray {
+    cfg: ArrayConfig,
+    clock: Arc<Clock>,
+    shelf: Shelf,
+    primary: Controller,
+    /// The standby's warm cache (its only interesting state — the rest
+    /// is rebuilt from the shelf on takeover).
+    secondary_cache: CblockCache,
+    writes_since_warm: u64,
+    /// Cumulative downtime across failovers.
+    pub downtime_total: Nanos,
+    /// Failovers performed.
+    pub failovers: u64,
+}
+
+impl FlashArray {
+    /// Creates and formats a new array.
+    pub fn new(cfg: ArrayConfig) -> Result<Self> {
+        let clock = Clock::new();
+        let mut shelf = Shelf::new(&cfg, clock.clone());
+        let primary = Controller::format(cfg.clone(), &mut shelf, clock.now())?;
+        let secondary_cache = CblockCache::new(cfg.cache_bytes);
+        Ok(Self {
+            cfg,
+            clock,
+            shelf,
+            primary,
+            secondary_cache,
+            writes_since_warm: 0,
+            downtime_total: 0,
+            failovers: 0,
+        })
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Arc<Clock> {
+        &self.clock
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.clock.now()
+    }
+
+    /// Advances the virtual clock (workload pacing).
+    pub fn advance(&mut self, delta: Nanos) -> Nanos {
+        self.clock.advance(delta)
+    }
+
+    /// Configuration accessor.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.cfg
+    }
+
+    // ---- Volume lifecycle. -------------------------------------------
+
+    /// Creates a thin-provisioned volume.
+    pub fn create_volume(&mut self, name: &str, size_bytes: u64) -> Result<VolumeId> {
+        let now = self.clock.now();
+        self.primary.create_volume(&mut self.shelf, name, size_bytes, now)
+    }
+
+    /// Snapshots a volume (O(1)).
+    pub fn snapshot(&mut self, volume: VolumeId, name: &str) -> Result<SnapshotId> {
+        let now = self.clock.now();
+        self.primary.snapshot(&mut self.shelf, volume, name, now)
+    }
+
+    /// Clones a snapshot into a new volume (O(1)).
+    pub fn clone_snapshot(&mut self, snapshot: SnapshotId, name: &str) -> Result<VolumeId> {
+        let now = self.clock.now();
+        self.primary.clone_snapshot(&mut self.shelf, snapshot, name, now)
+    }
+
+    /// Destroys a volume via elision.
+    pub fn destroy_volume(&mut self, volume: VolumeId) -> Result<()> {
+        let now = self.clock.now();
+        self.primary.destroy_volume(&mut self.shelf, volume, now)
+    }
+
+    /// Destroys a snapshot via elision.
+    pub fn destroy_snapshot(&mut self, snapshot: SnapshotId) -> Result<()> {
+        let now = self.clock.now();
+        self.primary.destroy_snapshot(&mut self.shelf, snapshot, now)
+    }
+
+    /// Volume metadata.
+    pub fn volume(&self, id: VolumeId) -> Option<&Volume> {
+        self.primary.volume(id)
+    }
+
+    // ---- Data path. ----------------------------------------------------
+
+    /// Writes through the primary's ports.
+    pub fn write(&mut self, volume: VolumeId, offset: u64, data: &[u8]) -> Result<Ack> {
+        self.write_via(Port::Primary, volume, offset, data)
+    }
+
+    /// Writes through a chosen port.
+    pub fn write_via(
+        &mut self,
+        port: Port,
+        volume: VolumeId,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<Ack> {
+        let now = self.clock.now();
+        let mut ack = self.primary.write(&mut self.shelf, volume, offset, data, now)?;
+        if port == Port::Secondary {
+            ack.latency += FORWARD_NS;
+        }
+        self.writes_since_warm += 1;
+        if self.writes_since_warm >= WARM_EVERY {
+            self.writes_since_warm = 0;
+            // Asynchronous cache warming (§4.3) — free of request-path
+            // virtual time.
+            self.primary.cache.warm_into(&mut self.secondary_cache);
+        }
+        Ok(ack)
+    }
+
+    /// Reads through the primary's ports.
+    pub fn read(&mut self, volume: VolumeId, offset: u64, len: usize) -> Result<(Vec<u8>, Ack)> {
+        self.read_via(Port::Primary, volume, offset, len)
+    }
+
+    /// Reads through a chosen port.
+    pub fn read_via(
+        &mut self,
+        port: Port,
+        volume: VolumeId,
+        offset: u64,
+        len: usize,
+    ) -> Result<(Vec<u8>, Ack)> {
+        let now = self.clock.now();
+        let (data, mut ack) = self.primary.read(&mut self.shelf, volume, offset, len, now)?;
+        if port == Port::Secondary {
+            ack.latency += FORWARD_NS;
+        }
+        Ok((data, ack))
+    }
+
+    /// Reads a snapshot's contents (sector-addressed).
+    pub fn read_snapshot(
+        &mut self,
+        snapshot: SnapshotId,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>> {
+        let now = self.clock.now();
+        let medium = self
+            .primary
+            .snapshot_info(snapshot)
+            .ok_or(crate::error::PurityError::NoSuchSnapshot)?
+            .medium;
+        let (data, _t) = self.primary.read_medium(
+            &mut self.shelf,
+            medium,
+            offset / crate::types::SECTOR as u64,
+            len / crate::types::SECTOR,
+            now,
+        )?;
+        Ok(data)
+    }
+
+    // ---- Maintenance. --------------------------------------------------
+
+    /// Runs a GC pass.
+    pub fn run_gc(&mut self) -> Result<GcReport> {
+        let now = self.clock.now();
+        self.primary.run_gc(&mut self.shelf, now)
+    }
+
+    /// Runs a scrub pass.
+    pub fn scrub(&mut self) -> Result<ScrubReport> {
+        let now = self.clock.now();
+        self.primary.scrub(&mut self.shelf, now)
+    }
+
+    /// Forces a checkpoint.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let now = self.clock.now();
+        self.primary.write_checkpoint(&mut self.shelf, now)?;
+        Ok(())
+    }
+
+    // ---- Fault injection (the "pull drives" demo, §1). -----------------
+
+    /// Pulls a drive from the shelf.
+    pub fn fail_drive(&mut self, d: DriveId) {
+        self.shelf.drive_mut(d).fail();
+    }
+
+    /// Re-inserts a pulled drive (contents intact) and rebuilds any
+    /// write units it missed while out — the standard rebuild-on-
+    /// reinsertion that keeps per-stripe degradation bounded by the
+    /// *concurrent* failure count.
+    pub fn revive_drive(&mut self, d: DriveId) -> crate::scrub::RebuildReport {
+        self.shelf.drive_mut(d).revive();
+        let now = self.clock.now();
+        self.primary
+            .rebuild_drive(&mut self.shelf, d, now)
+            .unwrap_or_default()
+    }
+
+    /// Currently failed drives.
+    pub fn failed_drives(&self) -> Vec<DriveId> {
+        self.shelf.failed_drives()
+    }
+
+    /// Corrupts the flash page backing a drive byte offset (bit rot).
+    pub fn corrupt_drive_at(&mut self, d: DriveId, offset: usize) -> bool {
+        self.shelf.drive_mut(d).corrupt_at(offset)
+    }
+
+    /// Kills the primary controller; the standby takes over by
+    /// re-deriving all state from the shelf. Returns the virtual
+    /// downtime (must stay under the paper's 30 s client timeout).
+    pub fn fail_primary(&mut self) -> Result<FailoverReport> {
+        self.fail_primary_with(ScanMode::Frontier)
+    }
+
+    /// Failover with an explicit scan mode (experiment E3 uses
+    /// [`ScanMode::FullScan`] as the pre-frontier-set baseline).
+    pub fn fail_primary_with(&mut self, mode: ScanMode) -> Result<FailoverReport> {
+        let start = self.clock.now();
+        let (mut ctrl, recovery) =
+            Controller::recover(self.cfg.clone(), &mut self.shelf, mode, start)?;
+        // The standby starts with the warm cache the old primary fed it,
+        // and the array's cumulative telemetry carries over (fleet
+        // history outlives any one controller).
+        ctrl.cache = std::mem::replace(
+            &mut self.secondary_cache,
+            CblockCache::new(self.cfg.cache_bytes),
+        );
+        ctrl.stats.absorb(&self.primary.stats);
+        self.primary = ctrl;
+        let downtime = recovery.total_time;
+        self.clock.advance_to(start + downtime);
+        self.downtime_total += downtime;
+        self.failovers += 1;
+        Ok(FailoverReport { downtime, recovery })
+    }
+
+    // ---- Telemetry. ------------------------------------------------------
+
+    /// Array statistics.
+    pub fn stats(&self) -> &ArrayStats {
+        &self.primary.stats
+    }
+
+    /// Space accounting.
+    pub fn space_report(&self) -> SpaceReport {
+        let capacity = (self.cfg.aus_per_drive() * self.cfg.n_drives / self.cfg.stripe_width()
+            * self.cfg.rs_data) as u64
+            * self.cfg.au_bytes as u64;
+        let seg_cap = (self.primary.layout.n_stripes
+            * self.primary.layout.stripe_data_bytes()) as u64;
+        let allocated = self.primary.segment_count() as u64 * seg_cap;
+        let provisioned: u64 = self
+            .primary
+            .volumes()
+            .map(|v| v.size_sectors * crate::types::SECTOR as u64)
+            .sum();
+        SpaceReport {
+            usable_bytes: capacity,
+            allocated_bytes: allocated,
+            provisioned_bytes: provisioned,
+            thin_provision_ratio: if capacity == 0 {
+                0.0
+            } else {
+                provisioned as f64 / capacity as f64
+            },
+        }
+    }
+
+    /// Availability over the array's virtual lifetime so far.
+    pub fn availability(&self) -> f64 {
+        let elapsed = self.clock.now().max(1);
+        1.0 - self.downtime_total as f64 / elapsed as f64
+    }
+
+    /// Direct controller access (experiments, tests).
+    pub fn controller(&self) -> &Controller {
+        &self.primary
+    }
+
+    /// Mutable controller + shelf access for advanced experiments.
+    pub fn controller_and_shelf(&mut self) -> (&mut Controller, &mut Shelf) {
+        (&mut self.primary, &mut self.shelf)
+    }
+
+    /// NVRAM occupancy (bytes used).
+    pub fn nvram_used(&self) -> usize {
+        self.shelf.nvram().used_bytes()
+    }
+}

@@ -1,0 +1,178 @@
+//! Controller DRAM cblock cache.
+//!
+//! The primary serves reads from DRAM when it can, and asynchronously
+//! warms the secondary's cache so failover does not start cold (§4.3:
+//! "the primary controller asynchronously warms the cache of the
+//! secondary, reducing the total amount of I/O required for failover").
+
+use crate::types::Pba;
+use std::collections::HashMap;
+
+/// A byte-capacity-bounded LRU of decompressed cblock payloads.
+#[derive(Debug)]
+pub struct CblockCache {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    entries: HashMap<Pba, (Vec<u8>, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CblockCache {
+    /// Creates a cache bounded to `capacity_bytes` of payload.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            capacity_bytes,
+            used_bytes: 0,
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up the uncompressed payload of a cblock.
+    pub fn get(&mut self, pba: &Pba) -> Option<Vec<u8>> {
+        self.tick += 1;
+        match self.entries.get_mut(pba) {
+            Some((data, stamp)) => {
+                *stamp = self.tick;
+                self.hits += 1;
+                Some(data.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a payload, evicting least-recently-used entries to fit.
+    pub fn put(&mut self, pba: Pba, payload: Vec<u8>) {
+        if payload.len() > self.capacity_bytes {
+            return;
+        }
+        self.tick += 1;
+        if let Some((old, _)) = self.entries.remove(&pba) {
+            self.used_bytes -= old.len();
+        }
+        while self.used_bytes + payload.len() > self.capacity_bytes {
+            let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, s))| *s) else {
+                break;
+            };
+            let (old, _) = self.entries.remove(&victim).expect("victim exists");
+            self.used_bytes -= old.len();
+        }
+        self.used_bytes += payload.len();
+        self.entries.insert(pba, (payload, self.tick));
+    }
+
+    /// Drops entries belonging to a segment (GC freed it).
+    pub fn invalidate_segment(&mut self, segment: crate::types::SegmentId) {
+        let victims: Vec<Pba> = self
+            .entries
+            .keys()
+            .filter(|p| p.segment == segment)
+            .copied()
+            .collect();
+        for v in victims {
+            if let Some((old, _)) = self.entries.remove(&v) {
+                self.used_bytes -= old.len();
+            }
+        }
+    }
+
+    /// Clones the hot set into another cache (secondary warming). Only
+    /// entries that fit are copied.
+    pub fn warm_into(&self, other: &mut CblockCache) {
+        let mut entries: Vec<(&Pba, &(Vec<u8>, u64))> = self.entries.iter().collect();
+        entries.sort_by_key(|(_, (_, stamp))| std::cmp::Reverse(*stamp));
+        for (pba, (data, _)) in entries {
+            if other.used_bytes + data.len() > other.capacity_bytes {
+                break;
+            }
+            other.put(*pba, data.clone());
+        }
+    }
+
+    /// Bytes cached.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// (hits, misses).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SegmentId;
+
+    fn pba(seg: u64, off: u64) -> Pba {
+        Pba { segment: SegmentId(seg), offset: off, stored_len: 0 }
+    }
+
+    #[test]
+    fn get_put_and_stats() {
+        let mut c = CblockCache::new(1024);
+        assert_eq!(c.get(&pba(1, 0)), None);
+        c.put(pba(1, 0), vec![1, 2, 3]);
+        assert_eq!(c.get(&pba(1, 0)), Some(vec![1, 2, 3]));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used() {
+        let mut c = CblockCache::new(1000);
+        c.put(pba(1, 0), vec![0; 400]);
+        c.put(pba(1, 1), vec![0; 400]);
+        c.get(&pba(1, 0)); // touch 0 so 1 is LRU
+        c.put(pba(1, 2), vec![0; 400]); // evicts (1,1)
+        assert!(c.get(&pba(1, 0)).is_some());
+        assert!(c.get(&pba(1, 1)).is_none());
+        assert!(c.get(&pba(1, 2)).is_some());
+        assert!(c.used_bytes() <= 1000);
+    }
+
+    #[test]
+    fn oversized_payloads_are_skipped() {
+        let mut c = CblockCache::new(10);
+        c.put(pba(1, 0), vec![0; 100]);
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn segment_invalidation() {
+        let mut c = CblockCache::new(1024);
+        c.put(pba(1, 0), vec![1]);
+        c.put(pba(2, 0), vec![2]);
+        c.invalidate_segment(SegmentId(1));
+        assert!(c.get(&pba(1, 0)).is_none());
+        assert!(c.get(&pba(2, 0)).is_some());
+    }
+
+    #[test]
+    fn warming_copies_hottest_first() {
+        let mut primary = CblockCache::new(1000);
+        primary.put(pba(1, 0), vec![0; 300]);
+        primary.put(pba(1, 1), vec![0; 300]);
+        primary.put(pba(1, 2), vec![0; 300]);
+        primary.get(&pba(1, 0)); // hottest
+        let mut secondary = CblockCache::new(500);
+        primary.warm_into(&mut secondary);
+        assert!(secondary.get(&pba(1, 0)).is_some(), "hottest entry warmed");
+        assert!(secondary.used_bytes() <= 500);
+    }
+
+    #[test]
+    fn replacing_an_entry_adjusts_usage() {
+        let mut c = CblockCache::new(100);
+        c.put(pba(1, 0), vec![0; 60]);
+        c.put(pba(1, 0), vec![0; 40]);
+        assert_eq!(c.used_bytes(), 40);
+    }
+}

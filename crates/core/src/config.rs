@@ -1,0 +1,215 @@
+//! Array configuration.
+
+use purity_ssd::geometry::SsdGeometry;
+use purity_ssd::latency::{EnduranceModel, LatencyModel};
+
+/// Shape and policy of a simulated Flash Array.
+#[derive(Debug, Clone)]
+pub struct ArrayConfig {
+    /// Drive slots in the shelf (the paper ships 11–24 per shelf).
+    pub n_drives: usize,
+    /// Drives per write group; each segment stripes across a subset
+    /// (§4.4: "each segment written across a (potentially different) set
+    /// of the 11 drives in a write group").
+    pub write_group: usize,
+    /// Reed-Solomon data shards (7 in production).
+    pub rs_data: usize,
+    /// Reed-Solomon parity shards (2 in production).
+    pub rs_parity: usize,
+    /// Allocation-unit size in bytes (8 MB in production arrays, §4.2).
+    pub au_bytes: usize,
+    /// Write-unit size in bytes (1 MB in production, §4.2).
+    pub write_unit_bytes: usize,
+    /// NVRAM log capacity.
+    pub nvram_bytes: usize,
+    /// Per-drive flash geometry.
+    pub ssd_geometry: SsdGeometry,
+    /// Per-drive timing.
+    pub ssd_latency: LatencyModel,
+    /// Per-drive endurance rating.
+    pub ssd_endurance: EnduranceModel,
+    /// Drive-internal over-provisioning.
+    pub ssd_over_provision: f64,
+    /// Inline deduplication on/off (ablation hook).
+    pub dedup_enabled: bool,
+    /// Inline compression on/off (ablation hook).
+    pub compression_enabled: bool,
+    /// Read-around-writes scheduling on/off (ablation hook, §4.4).
+    pub read_around_writes: bool,
+    /// Largest cblock payload (32 KiB, §4.6).
+    pub max_cblock_bytes: usize,
+    /// GC collects segments whose live fraction is below this.
+    pub gc_occupancy_threshold: f64,
+    /// AUs per drive listed in one persisted frontier set (§4.3).
+    pub frontier_aus_per_drive: usize,
+    /// Dedup index recent-window capacity (blocks).
+    pub dedup_recent_window: usize,
+    /// Dedup hot-cache capacity (entries).
+    pub dedup_hot_cache: usize,
+    /// Controller DRAM cblock cache capacity in bytes.
+    pub cache_bytes: usize,
+    /// Seed for all deterministic randomness.
+    pub seed: u64,
+    /// Pre-age every drive by this many P/E cycles at shelf construction
+    /// (the paper's worn-flash validation, §5.1).
+    pub preage_cycles: u64,
+}
+
+impl ArrayConfig {
+    /// A small array for fast tests: 11 drives of 32 MiB raw each,
+    /// 256 KiB AUs, 32 KiB write units.
+    pub fn test_small() -> Self {
+        Self {
+            n_drives: 11,
+            write_group: 11,
+            rs_data: 7,
+            rs_parity: 2,
+            // 7 stripes of 32 KiB write units + one 4 KiB header page.
+            au_bytes: 7 * 32 * 1024 + 4096,
+            write_unit_bytes: 32 * 1024,
+            nvram_bytes: 8 * 1024 * 1024,
+            ssd_geometry: SsdGeometry::test_small(),
+            ssd_latency: LatencyModel::consumer_mlc(),
+            ssd_endurance: EnduranceModel::consumer_mlc(),
+            ssd_over_provision: 0.08,
+            dedup_enabled: true,
+            compression_enabled: true,
+            read_around_writes: true,
+            max_cblock_bytes: 32 * 1024,
+            gc_occupancy_threshold: 0.55,
+            frontier_aus_per_drive: 8,
+            dedup_recent_window: 4096,
+            dedup_hot_cache: 1024,
+            cache_bytes: 4 * 1024 * 1024,
+            seed: 0x9E3779B9,
+            preage_cycles: 0,
+        }
+    }
+
+    /// A larger geometry (11 drives of 256 MiB raw) with production-like
+    /// ratios, for benchmark harnesses.
+    pub fn bench_medium() -> Self {
+        Self {
+            ssd_geometry: SsdGeometry::consumer_mlc_scaled(),
+            // 7 stripes of 128 KiB write units + one 4 KiB header page.
+            au_bytes: 7 * 128 * 1024 + 4096,
+            write_unit_bytes: 128 * 1024,
+            nvram_bytes: 32 * 1024 * 1024,
+            cache_bytes: 16 * 1024 * 1024,
+            dedup_recent_window: 16 * 1024,
+            ..Self::test_small()
+        }
+    }
+
+    /// Shards per stripe (data + parity).
+    pub fn stripe_width(&self) -> usize {
+        self.rs_data + self.rs_parity
+    }
+
+    /// Usable data bytes in one segment (stripes × data columns × WU),
+    /// excluding the per-AU header page.
+    pub fn segment_data_bytes(&self) -> usize {
+        self.stripes_per_segment() * self.rs_data * self.write_unit_bytes
+    }
+
+    /// Stripes (segios) per segment.
+    pub fn stripes_per_segment(&self) -> usize {
+        (self.au_bytes - self.au_header_bytes()) / self.write_unit_bytes
+    }
+
+    /// Bytes reserved at the front of each AU for the self-describing
+    /// segment header (§4.3).
+    pub fn au_header_bytes(&self) -> usize {
+        self.ssd_geometry.page_size
+    }
+
+    /// AUs per drive.
+    pub fn aus_per_drive(&self) -> usize {
+        // Leave one AU's worth of slack for the boot region on each drive.
+        let usable = self.drive_bytes() - self.boot_region_bytes();
+        usable / self.au_bytes
+    }
+
+    /// Logical bytes per drive.
+    pub fn drive_bytes(&self) -> usize {
+        let raw = self.ssd_geometry.raw_bytes();
+        ((raw as f64) * (1.0 - self.ssd_over_provision)) as usize
+    }
+
+    /// Bytes reserved per drive for the boot region ("a tiny percentage
+    /// of the total storage", §4.3).
+    pub fn boot_region_bytes(&self) -> usize {
+        self.au_bytes
+    }
+
+    /// Validates internal consistency; call once at array construction.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.write_group > self.n_drives {
+            return Err(format!(
+                "write group {} exceeds drive count {}",
+                self.write_group, self.n_drives
+            ));
+        }
+        if self.stripe_width() > self.write_group {
+            return Err(format!(
+                "stripe width {} exceeds write group {}",
+                self.stripe_width(),
+                self.write_group
+            ));
+        }
+        if self.au_bytes <= self.au_header_bytes()
+            || !(self.au_bytes - self.au_header_bytes()).is_multiple_of(self.write_unit_bytes)
+        {
+            return Err("AU size minus header must be a positive multiple of the write unit".into());
+        }
+        if !self.write_unit_bytes.is_multiple_of(self.ssd_geometry.page_size) {
+            return Err("write unit must be page-aligned".into());
+        }
+        if self.max_cblock_bytes > self.write_unit_bytes {
+            return Err("cblocks must fit in a write unit".into());
+        }
+        if self.aus_per_drive() < self.frontier_aus_per_drive * 2 {
+            return Err("too few AUs per drive for frontier management".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_config_is_valid() {
+        ArrayConfig::test_small().validate().unwrap();
+        ArrayConfig::bench_medium().validate().unwrap();
+    }
+
+    #[test]
+    fn segment_math_is_consistent() {
+        let c = ArrayConfig::test_small();
+        assert_eq!(c.stripe_width(), 9);
+        let stripes = c.stripes_per_segment();
+        assert!(stripes >= 1);
+        assert_eq!(c.segment_data_bytes(), stripes * 7 * c.write_unit_bytes);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = ArrayConfig::test_small();
+        c.write_group = 20;
+        assert!(c.validate().is_err());
+
+        let mut c = ArrayConfig::test_small();
+        c.rs_data = 12;
+        assert!(c.validate().is_err());
+
+        let mut c = ArrayConfig::test_small();
+        c.write_unit_bytes = 1000;
+        assert!(c.validate().is_err());
+
+        let mut c = ArrayConfig::test_small();
+        c.max_cblock_bytes = c.write_unit_bytes * 2;
+        assert!(c.validate().is_err());
+    }
+}

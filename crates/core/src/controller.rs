@@ -1,0 +1,1136 @@
+//! The controller: Purity's brain.
+//!
+//! Owns every table and policy — the global VBA map pyramid, the segment
+//! and medium tables, the allocator, the dedup engine, the DRAM cache,
+//! the segment writer — and implements the write path (§4.6–4.8), read
+//! path with read-around-writes scheduling (§4.4), patch persistence and
+//! checkpointing (§4.3). Controllers are deliberately stateless with
+//! respect to the shelf (§4.1): everything here is reconstructable from
+//! the boot region, segment log records and NVRAM, which is exactly what
+//! [`crate::controller::Controller::recover`] does on the standby.
+
+use crate::bootregion::{BootRegion, Checkpoint, PatchLoc, SnapMeta, VolumeMeta};
+use crate::cache::CblockCache;
+use crate::config::ArrayConfig;
+use crate::error::{PurityError, Result};
+use crate::medium::MediumTable;
+use crate::records::{
+    encode_intent, encode_log_record, encode_meta, LogRecord, MapFact, MediumFact, MetaIntent,
+    MetaOp, TableId, WriteIntent,
+};
+use crate::segment::{Append, Extent, SegmentInfo, SegmentLayout, SegmentWriter};
+use crate::shelf::Shelf;
+use crate::stats::ArrayStats;
+use crate::types::{BlockLoc, DriveId, MediumId, Pba, SegmentId, SnapshotId, VolumeId, SECTOR};
+use parking_lot::RwLock;
+use purity_dedup::engine::{BlockFetcher, DedupEngine, Outcome};
+use purity_dedup::hash::block_hash;
+use purity_dedup::index::DedupIndex;
+use purity_ecc::ReedSolomon;
+use purity_format::RangeTable;
+use crate::frontier::AuAllocator;
+use purity_lsm::{Pyramid, Seq, SeqAllocator};
+use purity_sim::Nanos;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Fixed controller CPU overhead charged per request (event-handler
+/// bound, §4.4).
+pub const CPU_OVERHEAD_NS: Nanos = 12_000;
+
+/// Map pyramid key: (medium id, sector).
+pub type MapKey = (u64, u64);
+
+/// Map pyramid value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapVal {
+    /// Where the sector's bytes live.
+    pub loc: BlockLoc,
+    /// Created by dedup (shares its cblock with other keys).
+    pub deduped: bool,
+}
+
+/// A user volume.
+#[derive(Debug, Clone)]
+pub struct Volume {
+    /// Id.
+    pub id: VolumeId,
+    /// Name.
+    pub name: String,
+    /// Provisioned size in sectors.
+    pub size_sectors: u64,
+    /// The writable anchor medium.
+    pub anchor: MediumId,
+    /// Observed write-size histogram, bucketed by power-of-two KiB
+    /// (§4.6: "Purity infers optimal transfer sizes by observing I/O
+    /// requests" — no tuning knobs).
+    pub write_size_buckets: [u64; 8],
+}
+
+impl Volume {
+    pub(crate) fn new(id: VolumeId, name: String, size_sectors: u64, anchor: MediumId) -> Self {
+        Self { id, name, size_sectors, anchor, write_size_buckets: [0; 8] }
+    }
+
+    fn bucket_of(bytes: usize) -> usize {
+        // Buckets: <=4K, 8K, 16K, 32K, 64K, 128K, 256K, larger.
+        let kib = (bytes / 1024).max(1);
+        (kib.next_power_of_two().trailing_zeros() as usize)
+            .saturating_sub(2)
+            .min(7)
+    }
+
+    /// Records one observed write.
+    pub fn observe_write(&mut self, bytes: usize) {
+        self.write_size_buckets[Self::bucket_of(bytes)] += 1;
+    }
+
+    /// The cblock granularity inferred from observed writes: the modal
+    /// write size, clamped to [4 KiB, max]. Small writes thus produce
+    /// small cblocks (reads retrieve exactly one), and large writes get
+    /// the compression benefit of bigger cblocks.
+    pub fn inferred_cblock_bytes(&self, max: usize) -> usize {
+        let total: u64 = self.write_size_buckets.iter().sum();
+        if total < 16 {
+            return max; // not enough signal yet
+        }
+        let modal = self
+            .write_size_buckets
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(7);
+        (4096usize << modal).clamp(4096, max)
+    }
+}
+
+/// A snapshot.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Id.
+    pub id: SnapshotId,
+    /// Volume it captures.
+    pub volume: VolumeId,
+    /// The frozen medium.
+    pub medium: MediumId,
+    /// Name.
+    pub name: String,
+}
+
+/// The controller state.
+pub struct Controller {
+    /// Configuration (immutable).
+    pub cfg: ArrayConfig,
+    pub(crate) layout: SegmentLayout,
+    pub(crate) rs: ReedSolomon,
+    pub(crate) seq: SeqAllocator,
+    /// The global VBA map (§4.5: "a single mapping structure for all
+    /// user data, regardless of the volume").
+    pub(crate) map: Pyramid<MapKey, MapVal>,
+    pub(crate) segments: BTreeMap<u64, SegmentInfo>,
+    pub(crate) mediums: MediumTable,
+    pub(crate) volumes: BTreeMap<u64, Volume>,
+    pub(crate) snapshots: BTreeMap<u64, Snapshot>,
+    pub(crate) allocator: AuAllocator,
+    pub(crate) boot: BootRegion,
+    pub(crate) writer: SegmentWriter,
+    pub(crate) dedup: DedupEngine<BlockLoc>,
+    pub(crate) cache: CblockCache,
+    /// Shared elide set backing the map pyramid's filter.
+    pub(crate) elided_mediums: Arc<RwLock<RangeTable>>,
+    pub(crate) next_segment: u64,
+    pub(crate) next_medium: u64,
+    pub(crate) next_volume: u64,
+    pub(crate) next_snapshot: u64,
+    pub(crate) checkpoint_version: u64,
+    /// Persisted map patches (checkpoint payload).
+    pub(crate) map_patches: Vec<PatchLoc>,
+    /// Index of the last NVRAM record appended (for trims).
+    pub(crate) last_nvram_index: Option<u64>,
+    /// Telemetry.
+    pub stats: ArrayStats,
+}
+
+/// Acknowledgement of a completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ack {
+    /// Request latency in virtual nanoseconds.
+    pub latency: Nanos,
+}
+
+fn encode_cblock(payload: &[u8], compression: bool) -> Vec<u8> {
+    if compression {
+        purity_compress::compress(payload)
+    } else {
+        purity_compress::store_raw(payload)
+    }
+}
+
+impl Controller {
+    /// Builds a fresh controller over an empty shelf and lays down the
+    /// first checkpoint.
+    pub fn format(cfg: ArrayConfig, shelf: &mut Shelf, now: Nanos) -> Result<Self> {
+        cfg.validate().map_err(PurityError::BadConfig)?;
+        let layout = SegmentLayout::from_config(&cfg);
+        let elided = Arc::new(RwLock::new(RangeTable::new()));
+        let mut map: Pyramid<MapKey, MapVal> = Pyramid::with_thresholds(1 << 30, 8);
+        let filter = elided.clone();
+        map.set_elide_filter(Arc::new(move |k: &MapKey, _s: Seq| filter.read().contains(k.0)));
+        let mut ctrl = Self {
+            rs: ReedSolomon::new(cfg.rs_data, cfg.rs_parity),
+            layout,
+            seq: SeqAllocator::new(),
+            map,
+            segments: BTreeMap::new(),
+            mediums: MediumTable::new(),
+            volumes: BTreeMap::new(),
+            snapshots: BTreeMap::new(),
+            allocator: AuAllocator::new(
+                cfg.n_drives,
+                cfg.aus_per_drive(),
+                cfg.frontier_aus_per_drive,
+            ),
+            boot: BootRegion::new(
+                cfg.boot_region_bytes(),
+                cfg.ssd_geometry.page_size,
+                cfg.stripe_width(),
+            ),
+            writer: SegmentWriter::new(layout, cfg.ssd_geometry.page_size),
+            dedup: DedupEngine::new(DedupIndex::new(cfg.dedup_recent_window, cfg.dedup_hot_cache)),
+            cache: CblockCache::new(cfg.cache_bytes),
+            elided_mediums: elided,
+            next_segment: 1,
+            next_medium: 1,
+            next_volume: 1,
+            next_snapshot: 1,
+            checkpoint_version: 0,
+            map_patches: Vec::new(),
+            last_nvram_index: None,
+            stats: ArrayStats::default(),
+            cfg,
+        };
+        ctrl.write_checkpoint(shelf, now)?;
+        Ok(ctrl)
+    }
+
+    // ------------------------------------------------------------------
+    // Volume lifecycle (metadata operations commit through NVRAM).
+    // ------------------------------------------------------------------
+
+    fn commit_meta(&mut self, shelf: &mut Shelf, op: MetaOp, now: Nanos) -> Result<(Seq, Nanos)> {
+        let seq = self.seq.next();
+        let bytes = encode_meta(&MetaIntent { seq, op });
+        let (idx, t) = self.nvram_append(shelf, &bytes, now)?;
+        self.last_nvram_index = Some(idx);
+        Ok((seq, t))
+    }
+
+    fn nvram_append(&mut self, shelf: &mut Shelf, bytes: &[u8], now: Nanos) -> Result<(u64, Nanos)> {
+        match shelf.nvram_mut().append(bytes, now) {
+            Ok(ok) => Ok(ok),
+            Err(purity_ssd::nvram::NvramError::Full) => {
+                // Trim by checkpointing, then retry once.
+                self.write_checkpoint(shelf, now)?;
+                Ok(shelf.nvram_mut().append(bytes, now)?)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Creates a volume of `size_bytes` (thin-provisioned).
+    pub fn create_volume(&mut self, shelf: &mut Shelf, name: &str, size_bytes: u64, now: Nanos) -> Result<VolumeId> {
+        if size_bytes == 0 || !size_bytes.is_multiple_of(SECTOR as u64) {
+            return Err(PurityError::BadRequest("volume size must be sector aligned".into()));
+        }
+        let volume = self.next_volume;
+        let medium = self.next_medium;
+        self.next_volume += 1;
+        self.next_medium += 1;
+        let op = MetaOp::CreateVolume {
+            volume,
+            medium,
+            size_sectors: size_bytes / SECTOR as u64,
+            name: name.to_owned(),
+        };
+        let (seq, _) = self.commit_meta(shelf, op.clone(), now)?;
+        self.apply_meta(&MetaIntent { seq, op });
+        Ok(VolumeId(volume))
+    }
+
+    /// Takes a snapshot of a volume (O(1): freeze + stack, §4.5).
+    pub fn snapshot(&mut self, shelf: &mut Shelf, volume: VolumeId, name: &str, now: Nanos) -> Result<SnapshotId> {
+        let vol = self.volumes.get(&volume.0).ok_or(PurityError::NoSuchVolume)?.clone();
+        let snapshot = self.next_snapshot;
+        let new_anchor = self.next_medium;
+        self.next_snapshot += 1;
+        self.next_medium += 1;
+        let op = MetaOp::SnapshotVolume {
+            snapshot,
+            volume: volume.0,
+            frozen_medium: vol.anchor.0,
+            new_anchor,
+            name: name.to_owned(),
+        };
+        let (seq, _) = self.commit_meta(shelf, op.clone(), now)?;
+        self.apply_meta(&MetaIntent { seq, op });
+        Ok(SnapshotId(snapshot))
+    }
+
+    /// Clones a snapshot into a new volume (O(1), §4.5).
+    pub fn clone_snapshot(
+        &mut self,
+        shelf: &mut Shelf,
+        snapshot: SnapshotId,
+        name: &str,
+        now: Nanos,
+    ) -> Result<VolumeId> {
+        let snap = self.snapshots.get(&snapshot.0).ok_or(PurityError::NoSuchSnapshot)?.clone();
+        let size = self.volumes.get(&snap.volume.0).map(|v| v.size_sectors).unwrap_or(0);
+        let volume = self.next_volume;
+        let new_anchor = self.next_medium;
+        self.next_volume += 1;
+        self.next_medium += 1;
+        let op = MetaOp::CloneToVolume {
+            volume,
+            source_medium: snap.medium.0,
+            new_anchor,
+            size_sectors: size,
+            name: name.to_owned(),
+        };
+        let (seq, _) = self.commit_meta(shelf, op.clone(), now)?;
+        self.apply_meta(&MetaIntent { seq, op });
+        Ok(VolumeId(volume))
+    }
+
+    /// Destroys a volume: a single elide-table insert retires all its
+    /// data (§4.10).
+    pub fn destroy_volume(&mut self, shelf: &mut Shelf, volume: VolumeId, now: Nanos) -> Result<()> {
+        let vol = self.volumes.get(&volume.0).ok_or(PurityError::NoSuchVolume)?.clone();
+        let op = MetaOp::DestroyVolume { volume: volume.0, medium: vol.anchor.0 };
+        let (seq, _) = self.commit_meta(shelf, op.clone(), now)?;
+        self.apply_meta(&MetaIntent { seq, op });
+        Ok(())
+    }
+
+    /// Destroys a snapshot.
+    pub fn destroy_snapshot(&mut self, shelf: &mut Shelf, snapshot: SnapshotId, now: Nanos) -> Result<()> {
+        let snap = self.snapshots.get(&snapshot.0).ok_or(PurityError::NoSuchSnapshot)?.clone();
+        let op = MetaOp::DestroySnapshot { snapshot: snapshot.0, medium: snap.medium.0 };
+        let (seq, _) = self.commit_meta(shelf, op.clone(), now)?;
+        self.apply_meta(&MetaIntent { seq, op });
+        Ok(())
+    }
+
+    /// Applies a metadata op to in-memory tables. Used by the foreground
+    /// path and by recovery replay; idempotent.
+    pub(crate) fn apply_meta(&mut self, intent: &MetaIntent) {
+        let seq = intent.seq;
+        match &intent.op {
+            MetaOp::CreateVolume { volume, medium, size_sectors, name } => {
+                self.mediums.create_root(MediumId(*medium), *size_sectors, seq);
+                self.volumes.insert(
+                    *volume,
+                    Volume::new(
+                        VolumeId(*volume),
+                        name.clone(),
+                        *size_sectors,
+                        MediumId(*medium),
+                    ),
+                );
+                self.next_volume = self.next_volume.max(volume + 1);
+                self.next_medium = self.next_medium.max(medium + 1);
+            }
+            MetaOp::SnapshotVolume { snapshot, volume, frozen_medium, new_anchor, name } => {
+                let size = self.volumes.get(volume).map(|v| v.size_sectors).unwrap_or(0);
+                self.mediums.freeze(MediumId(*frozen_medium), seq);
+                self.mediums.create_child(
+                    MediumId(*new_anchor),
+                    MediumId(*frozen_medium),
+                    size,
+                    seq,
+                );
+                if let Some(v) = self.volumes.get_mut(volume) {
+                    v.anchor = MediumId(*new_anchor);
+                }
+                self.snapshots.insert(
+                    *snapshot,
+                    Snapshot {
+                        id: SnapshotId(*snapshot),
+                        volume: VolumeId(*volume),
+                        medium: MediumId(*frozen_medium),
+                        name: name.clone(),
+                    },
+                );
+                self.next_snapshot = self.next_snapshot.max(snapshot + 1);
+                self.next_medium = self.next_medium.max(new_anchor + 1);
+            }
+            MetaOp::CloneToVolume { volume, source_medium, new_anchor, size_sectors, name } => {
+                self.mediums.create_child(
+                    MediumId(*new_anchor),
+                    MediumId(*source_medium),
+                    *size_sectors,
+                    seq,
+                );
+                self.volumes.insert(
+                    *volume,
+                    Volume::new(
+                        VolumeId(*volume),
+                        name.clone(),
+                        *size_sectors,
+                        MediumId(*new_anchor),
+                    ),
+                );
+                self.next_volume = self.next_volume.max(volume + 1);
+                self.next_medium = self.next_medium.max(new_anchor + 1);
+            }
+            MetaOp::DestroyVolume { volume, medium } => {
+                self.volumes.remove(volume);
+                self.elide_medium(MediumId(*medium));
+            }
+            MetaOp::DestroySnapshot { snapshot, medium } => {
+                self.snapshots.remove(snapshot);
+                // Only elide if no clone still layers on it: a medium
+                // referenced by live rows must survive.
+                let still_referenced = self
+                    .mediums
+                    .to_facts()
+                    .iter()
+                    .any(|f| f.target == Some(MediumId(*medium)));
+                if !still_referenced {
+                    self.elide_medium(MediumId(*medium));
+                }
+            }
+        }
+    }
+
+    pub(crate) fn elide_medium(&mut self, medium: MediumId) {
+        self.mediums.elide(medium);
+        self.elided_mediums.write().insert(medium.0);
+    }
+
+    /// Volume accessor.
+    pub fn volume(&self, id: VolumeId) -> Option<&Volume> {
+        self.volumes.get(&id.0)
+    }
+
+    /// Snapshot accessor.
+    pub fn snapshot_info(&self, id: SnapshotId) -> Option<&Snapshot> {
+        self.snapshots.get(&id.0)
+    }
+
+    /// All volumes.
+    pub fn volumes(&self) -> impl Iterator<Item = &Volume> {
+        self.volumes.values()
+    }
+
+    // ------------------------------------------------------------------
+    // Write path (§4.6–4.8).
+    // ------------------------------------------------------------------
+
+    /// Writes `data` at `offset` of `volume`. Acknowledged at NVRAM
+    /// persistence (Figure 4); segment flushes happen in the background
+    /// of virtual time.
+    pub fn write(
+        &mut self,
+        shelf: &mut Shelf,
+        volume: VolumeId,
+        offset: u64,
+        data: &[u8],
+        now: Nanos,
+    ) -> Result<Ack> {
+        let vol = self.volumes.get(&volume.0).ok_or(PurityError::NoSuchVolume)?;
+        if !offset.is_multiple_of(SECTOR as u64) || !data.len().is_multiple_of(SECTOR) || data.is_empty() {
+            return Err(PurityError::BadRequest("writes must be whole sectors".into()));
+        }
+        if offset + data.len() as u64 > vol.size_sectors * SECTOR as u64 {
+            return Err(PurityError::BadRequest("write beyond end of volume".into()));
+        }
+        let medium = vol.anchor;
+        // §4.6: size cblocks to match this volume's observed writes.
+        let cblock_bytes = vol.inferred_cblock_bytes(self.cfg.max_cblock_bytes);
+        if let Some(v) = self.volumes.get_mut(&volume.0) {
+            v.observe_write(data.len());
+        }
+        let mut start_sector = offset / SECTOR as u64;
+        let mut ack_at = now;
+        for chunk in data.chunks(cblock_bytes) {
+            let seq = self.seq.next();
+            let intent =
+                WriteIntent { seq, medium, start_sector, data: chunk.to_vec() };
+            let (idx, t) = self.nvram_append(shelf, &encode_intent(&intent), now)?;
+            self.last_nvram_index = Some(idx);
+            ack_at = ack_at.max(t);
+            self.apply_write(shelf, medium, start_sector, chunk, seq, now)?;
+            start_sector += (chunk.len() / SECTOR) as u64;
+        }
+        self.stats.logical_bytes_written += data.len() as u64;
+        let latency = ack_at.saturating_sub(now) + CPU_OVERHEAD_NS;
+        self.stats.write_latency.record(latency);
+        self.maybe_background(shelf, now)?;
+        Ok(Ack { latency })
+    }
+
+    /// The internal write pipeline: dedup → pack → compress → place →
+    /// map facts. Shared by the foreground path and recovery replay
+    /// (which is what makes replay idempotent at the fact level).
+    pub(crate) fn apply_write(
+        &mut self,
+        shelf: &mut Shelf,
+        medium: MediumId,
+        start_sector: u64,
+        chunk: &[u8],
+        seq: Seq,
+        now: Nanos,
+    ) -> Result<()> {
+        let n = chunk.len() / SECTOR;
+        let outcomes = if self.cfg.dedup_enabled {
+            let Self { dedup, cache, segments, writer, layout, rs, cfg, stats, .. } = self;
+            let mut fetcher = CtrlFetcher {
+                shelf,
+                cache,
+                segments,
+                writer,
+                layout,
+                rs,
+                read_around: cfg.read_around_writes,
+                stats,
+                now,
+            };
+            dedup.process(chunk, &mut fetcher)
+        } else {
+            vec![Outcome::Unique; n]
+        };
+
+        // Pack unique sectors into the cblock payload.
+        let mut payload = Vec::with_capacity(chunk.len());
+        let mut packed_index = vec![u16::MAX; n];
+        for (i, o) in outcomes.iter().enumerate() {
+            if matches!(o, Outcome::Unique) {
+                packed_index[i] = (payload.len() / SECTOR) as u16;
+                payload.extend_from_slice(&chunk[i * SECTOR..(i + 1) * SECTOR]);
+            }
+        }
+        let dup_sectors = n - payload.len() / SECTOR;
+        self.stats.dedup_bytes_saved += (dup_sectors * SECTOR) as u64;
+
+        let pba = if payload.is_empty() {
+            None
+        } else {
+            let encoded = encode_cblock(&payload, self.cfg.compression_enabled);
+            if encoded.len() < payload.len() {
+                self.stats.compress_bytes_saved += (payload.len() - encoded.len()) as u64;
+            }
+            self.stats.physical_bytes_stored += encoded.len() as u64;
+            Some(self.place_cblock(shelf, &encoded, now)?)
+        };
+
+        // Map facts + dedup index records.
+        for (i, o) in outcomes.iter().enumerate() {
+            let sector = start_sector + i as u64;
+            let (loc, deduped) = match o {
+                Outcome::Unique => {
+                    let pba = pba.expect("unique sectors imply a cblock");
+                    let loc = BlockLoc { pba, sector: packed_index[i] };
+                    let h = block_hash(&chunk[i * SECTOR..(i + 1) * SECTOR]);
+                    self.dedup.index_mut().record_write(h, loc);
+                    (loc, false)
+                }
+                Outcome::Dup { loc, .. } => (*loc, true),
+            };
+            self.map.insert((medium.0, sector), MapVal { loc, deduped }, seq);
+        }
+        Ok(())
+    }
+
+    /// Appends an encoded cblock into the open segment, handling
+    /// seal-and-reopen and frontier persistence. `use_reserve` lets
+    /// GC/metadata dig into the reserved AU headroom that user writes
+    /// may not touch — §4.10's guard against "running out of space
+    /// inside the garbage collector".
+    pub(crate) fn place_cblock_with(
+        &mut self,
+        shelf: &mut Shelf,
+        encoded: &[u8],
+        use_reserve: bool,
+        now: Nanos,
+    ) -> Result<Pba> {
+        for _ in 0..4 {
+            if self.writer.open_segment().is_none() {
+                self.open_new_segment(shelf, use_reserve, now)?;
+            }
+            let (result, _t) = self.writer.append_data(shelf, encoded, now)?;
+            // Keep the in-memory segment table in sync with the writer.
+            if let Some(info) = self.writer.open_segment() {
+                self.segments.insert(info.id.0, info.clone());
+            }
+            match result {
+                Append::Placed(pba) => return Ok(pba),
+                Append::Full => self.seal_open_segment(shelf, now)?,
+            }
+        }
+        Err(PurityError::Internal("could not place cblock after reopening".into()))
+    }
+
+    /// User-write placement: respects the reserved-AU headroom.
+    pub(crate) fn place_cblock(&mut self, shelf: &mut Shelf, encoded: &[u8], now: Nanos) -> Result<Pba> {
+        self.place_cblock_with(shelf, encoded, false, now)
+    }
+
+    pub(crate) fn seal_open_segment(&mut self, shelf: &mut Shelf, now: Nanos) -> Result<()> {
+        let seq = self.seq.next();
+        if let Some((info, _t)) = self.writer.seal(shelf, seq, now)? {
+            self.segments.insert(info.id.0, info);
+        }
+        Ok(())
+    }
+
+    /// AUs per drive held back for GC and metadata so a full array can
+    /// always delete and collect its way out (§4.10).
+    pub(crate) const RESERVE_AUS: usize = 3;
+
+    /// Opens a new segment: picks stripe-width drives (rotating across
+    /// the write group, skipping failed drives), allocating one AU each.
+    /// Without `use_reserve`, drives whose available AUs are at or below
+    /// the reserve are not eligible.
+    pub(crate) fn open_new_segment(
+        &mut self,
+        shelf: &mut Shelf,
+        use_reserve: bool,
+        now: Nanos,
+    ) -> Result<()> {
+        let width = self.cfg.stripe_width();
+        // Frontier discipline: persist a fresh frontier (boot-region
+        // write) if any drive's persisted set ran dry (§4.3). This never
+        // trims NVRAM — a map patch may be mid-persist right now.
+        if self.allocator.any_needs_persist() {
+            self.persist_frontier(shelf, now)?;
+        }
+        let start = (self.next_segment as usize) % self.cfg.n_drives;
+        let mut columns = Vec::with_capacity(width);
+        for i in 0..self.cfg.n_drives {
+            let d: DriveId = (start + i) % self.cfg.n_drives;
+            if shelf.drive(d).is_failed() {
+                continue;
+            }
+            if !use_reserve && self.allocator.available(d) <= Self::RESERVE_AUS {
+                continue; // leave headroom for GC/metadata
+            }
+            if let Some(au) = self.allocator.allocate(d) {
+                columns.push(au);
+                if columns.len() == width {
+                    break;
+                }
+            }
+        }
+        if columns.len() < width {
+            // Return whatever we took.
+            for au in columns {
+                self.allocator.release(au);
+            }
+            return Err(PurityError::OutOfSpace);
+        }
+        let id = SegmentId(self.next_segment);
+        self.next_segment += 1;
+        if std::env::var("PURITY_TRACE").is_ok() {
+            eprintln!("OPEN-SEG {:?} columns {:?} failed_drives {:?}", id, columns, shelf.failed_drives());
+        }
+        let seq_lo = self.seq.high_water() + 1;
+        self.writer.open_segment_on(shelf, id, columns, seq_lo, now)?;
+        let info = self.writer.open_segment().expect("just opened").clone();
+        self.segments.insert(id.0, info);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Read path (§4.4, §4.5).
+    // ------------------------------------------------------------------
+
+    /// Reads `len` bytes at `offset` of `volume`.
+    pub fn read(
+        &mut self,
+        shelf: &mut Shelf,
+        volume: VolumeId,
+        offset: u64,
+        len: usize,
+        now: Nanos,
+    ) -> Result<(Vec<u8>, Ack)> {
+        let vol = self.volumes.get(&volume.0).ok_or(PurityError::NoSuchVolume)?;
+        if !offset.is_multiple_of(SECTOR as u64) || !len.is_multiple_of(SECTOR) || len == 0 {
+            return Err(PurityError::BadRequest("reads must be whole sectors".into()));
+        }
+        if offset + len as u64 > vol.size_sectors * SECTOR as u64 {
+            return Err(PurityError::BadRequest("read beyond end of volume".into()));
+        }
+        let medium = vol.anchor;
+        let (out, done) = self.read_medium(shelf, medium, offset / SECTOR as u64, len / SECTOR, now)?;
+        self.stats.logical_bytes_read += len as u64;
+        let latency = done.saturating_sub(now) + CPU_OVERHEAD_NS;
+        self.stats.read_latency.record(latency);
+        Ok((out, Ack { latency }))
+    }
+
+    /// Reads `n_sectors` from a medium chain (also used to read
+    /// snapshots and by replication).
+    pub(crate) fn read_medium(
+        &mut self,
+        shelf: &mut Shelf,
+        medium: MediumId,
+        start_sector: u64,
+        n_sectors: usize,
+        now: Nanos,
+    ) -> Result<(Vec<u8>, Nanos)> {
+        let mut out = vec![0u8; n_sectors * SECTOR];
+        // Group sector fetches by cblock.
+        let mut plan: HashMap<Pba, Vec<(usize, u16)>> = HashMap::new();
+        for i in 0..n_sectors {
+            let sector = start_sector + i as u64;
+            match self.resolve_sector(medium, sector) {
+                Some(val) => plan.entry(val.loc.pba).or_default().push((i, val.loc.sector)),
+                None => self.stats.zero_reads += 1,
+            }
+        }
+        let mut done = now;
+        for (pba, uses) in plan {
+            let (payload, t) = self.fetch_cblock(shelf, &pba, now)?;
+            done = done.max(t);
+            for (i, cs) in uses {
+                let src = cs as usize * SECTOR;
+                if src + SECTOR > payload.len() {
+                    return Err(PurityError::DataLoss(format!(
+                        "cblock at {:?} shorter than mapped sector {}",
+                        pba, cs
+                    )));
+                }
+                out[i * SECTOR..(i + 1) * SECTOR].copy_from_slice(&payload[src..src + SECTOR]);
+            }
+        }
+        Ok((out, done))
+    }
+
+    /// Resolves one sector through the medium chain and the map.
+    pub(crate) fn resolve_sector(&self, medium: MediumId, sector: u64) -> Option<MapVal> {
+        self.resolve_sector_entry(medium, sector).map(|(_, v)| v)
+    }
+
+    /// Like [`Controller::resolve_sector`] but also returns the winning
+    /// map key — the chain step whose fact satisfied the lookup (GC's
+    /// reachability scan needs it).
+    pub(crate) fn resolve_sector_entry(
+        &self,
+        medium: MediumId,
+        sector: u64,
+    ) -> Option<(MapKey, MapVal)> {
+        for step in self.mediums.resolve(medium, sector) {
+            let key = (step.medium.0, step.sector);
+            if let Some((val, _seq)) = self.map.get(&key) {
+                return Some((key, val));
+            }
+        }
+        None
+    }
+
+    /// Fetches and decodes a cblock (cache → pending → flash).
+    pub(crate) fn fetch_cblock(
+        &mut self,
+        shelf: &mut Shelf,
+        pba: &Pba,
+        now: Nanos,
+    ) -> Result<(Vec<u8>, Nanos)> {
+        let Self { cache, segments, writer, layout, rs, cfg, stats, .. } = self;
+        fetch_cblock_raw(
+            shelf,
+            cache,
+            segments,
+            writer,
+            layout,
+            rs,
+            cfg.read_around_writes,
+            stats,
+            pba,
+            now,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence: patch flush + checkpoint (§4.3, Figure 4).
+    // ------------------------------------------------------------------
+
+    /// Flushes the map memtable into a patch and persists it as a log
+    /// record in the open segment.
+    pub fn flush_map_patch(&mut self, shelf: &mut Shelf, now: Nanos) -> Result<()> {
+        if self.map.memtable_facts() == 0 {
+            return Ok(());
+        }
+        // Data referenced by these facts must be durable first.
+        self.writer.pad_flush_data(shelf, now)?;
+        if let Some(info) = self.writer.open_segment() {
+            self.segments.insert(info.id.0, info.clone());
+        }
+        let patch = self.map.flush().expect("memtable non-empty");
+        let rows: Vec<Vec<u64>> = patch
+            .iter()
+            .map(|((medium, sector), seq, val)| {
+                MapFact {
+                    medium: MediumId(*medium),
+                    sector: *sector,
+                    loc: val.loc,
+                    deduped: val.deduped,
+                    seq: *seq,
+                }
+                .to_row()
+            })
+            .collect();
+        let mut bytes = Vec::new();
+        encode_log_record(&LogRecord { table: TableId::Map, rows }, &mut bytes);
+        let loc = self.append_log_record(shelf, &bytes, now)?;
+        self.map_patches.push(loc);
+        Ok(())
+    }
+
+    /// Appends a log record, sealing/reopening segments as needed.
+    pub(crate) fn append_log_record(
+        &mut self,
+        shelf: &mut Shelf,
+        bytes: &[u8],
+        now: Nanos,
+    ) -> Result<PatchLoc> {
+        for _ in 0..4 {
+            if self.writer.open_segment().is_none() {
+                // Metadata may dig into the reserve.
+                self.open_new_segment(shelf, true, now)?;
+            }
+            let (placed, full) = self.writer.append_log(shelf, bytes, now)?;
+            if let Some((offset, _t)) = placed {
+                self.writer.flush_log(shelf, now)?;
+                let info = self.writer.open_segment().expect("open").clone();
+                self.segments.insert(info.id.0, info.clone());
+                return Ok(PatchLoc { segment: info.id.0, log_offset: offset, len: bytes.len() as u64 });
+            }
+            if full {
+                self.seal_open_segment(shelf, now)?;
+            }
+        }
+        Err(PurityError::Internal("could not append log record".into()))
+    }
+
+    /// Writes a frontier-refresh checkpoint *without* trimming NVRAM.
+    /// Used mid-operation (e.g. while a map patch is in flight inside a
+    /// segment open) where trimming would orphan un-persisted facts.
+    pub(crate) fn persist_frontier(&mut self, shelf: &mut Shelf, now: Nanos) -> Result<Nanos> {
+        self.checkpoint_version += 1;
+        let frontier = self.allocator.build_persist_set();
+        let cp = self.build_checkpoint(frontier);
+        if std::env::var("PURITY_TRACE").is_ok() {
+            let segs: Vec<u64> = self.segments.keys().copied().collect();
+            eprintln!("CKPT-FRONTIER v{} segs {:?}", cp.version, segs);
+        }
+        self.boot.write(shelf, &cp, now)
+    }
+
+    /// Builds and writes a full checkpoint; trims NVRAM (Figure 4's join
+    /// of the commit stream with durable indexes). Safe because the map
+    /// memtable is flushed to a persisted patch first and metadata state
+    /// is serialized into the checkpoint itself.
+    pub fn write_checkpoint(&mut self, shelf: &mut Shelf, now: Nanos) -> Result<Nanos> {
+        // Capture the trim point before flushing: nothing newer than this
+        // is covered by the flush below.
+        let trim_to = self.last_nvram_index;
+        self.flush_map_patch(shelf, now)?;
+        self.checkpoint_version += 1;
+        let frontier = if self.allocator.any_needs_persist() {
+            self.allocator.build_persist_set()
+        } else {
+            self.allocator.snapshot_persisted()
+        };
+        let cp = self.build_checkpoint(frontier);
+        if std::env::var("PURITY_TRACE").is_ok() {
+            let segs: Vec<u64> = self.segments.keys().copied().collect();
+            eprintln!("CKPT v{} segs {:?}", cp.version, segs);
+        }
+        let t = self.boot.write(shelf, &cp, now)?;
+        if let Some(idx) = trim_to {
+            shelf.nvram_mut().trim_through(idx);
+        }
+        self.stats.checkpoints += 1;
+        Ok(t)
+    }
+
+    fn build_checkpoint(&self, frontier: Vec<u64>) -> Checkpoint {
+        Checkpoint {
+            version: self.checkpoint_version,
+            watermark: self.seq.high_water(),
+            high_seq: self.seq.high_water(),
+            next_segment: self.next_segment,
+            next_medium: self.next_medium,
+            next_volume: self.next_volume,
+            next_snapshot: self.next_snapshot,
+            frontier,
+            segment_rows: self
+                .segments
+                .values()
+                .map(|s| s.to_fact().to_row())
+                .collect(),
+            medium_rows: self.mediums.to_facts().iter().map(MediumFact::to_row).collect(),
+            volumes: self
+                .volumes
+                .values()
+                .map(|v| VolumeMeta {
+                    id: v.id.0,
+                    anchor_medium: v.anchor.0,
+                    size_sectors: v.size_sectors,
+                    name: v.name.clone(),
+                })
+                .collect(),
+            snapshots: self
+                .snapshots
+                .values()
+                .map(|s| SnapMeta {
+                    id: s.id.0,
+                    volume: s.volume.0,
+                    medium: s.medium.0,
+                    name: s.name.clone(),
+                })
+                .collect(),
+            elided_mediums: self.mediums.elided_set().to_pairs(),
+            map_patches: self.map_patches.clone(),
+        }
+    }
+
+    /// Background maintenance triggers, run after writes.
+    fn maybe_background(&mut self, shelf: &mut Shelf, now: Nanos) -> Result<()> {
+        let nv = shelf.nvram();
+        if nv.used_bytes() * 10 > nv.capacity_bytes() * 6 {
+            self.write_checkpoint(shelf, now)?;
+        }
+        if self.map.memtable_facts() > 50_000 {
+            self.flush_map_patch(shelf, now)?;
+        }
+        Ok(())
+    }
+
+    /// Seq high-water accessor (tests, experiments).
+    pub fn high_seq(&self) -> Seq {
+        self.seq.high_water()
+    }
+
+    /// Live segment count.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The medium table (read-only view).
+    pub fn mediums(&self) -> &MediumTable {
+        &self.mediums
+    }
+}
+
+/// Reads one extent of a segment, taking the §4.4 scheduling decision:
+/// a failed drive — or one the array is currently writing to, when
+/// read-around is enabled — is treated as failed and its data rebuilt
+/// from the other columns via Reed-Solomon.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn read_extent(
+    shelf: &mut Shelf,
+    info: &SegmentInfo,
+    layout: &SegmentLayout,
+    rs: &ReedSolomon,
+    read_around: bool,
+    stats: &mut ArrayStats,
+    ext: &Extent,
+    now: Nanos,
+) -> Result<(Vec<u8>, Nanos)> {
+    let au = info.columns[ext.column];
+    let failed = shelf.drive(au.drive).is_failed();
+    let busy = shelf.is_writing(au.drive, now);
+    let mut media_error = false;
+    if !(failed || (busy && read_around)) {
+        let off = layout.wu_byte_offset(au.index, ext.stripe, ext.within);
+        match shelf.read_drive(au.drive, off, ext.len, now) {
+            Ok((bytes, t)) => {
+                stats.direct_reads += 1;
+                if std::env::var("PURITY_TRACE").is_ok() && t.saturating_sub(now) > 10_000_000 {
+                    eprintln!("SLOW-DIRECT drive {} ext {:?} lat {}us", au.drive, ext, (t - now) / 1000);
+                }
+                return Ok((bytes, t));
+            }
+            Err(_) => media_error = true, // corrupt page: rebuild below
+        }
+    }
+
+    // Reconstruct from k other columns, preferring idle drives.
+    let k = layout.k;
+    let mut order: Vec<usize> = (0..info.columns.len()).filter(|&c| c != ext.column).collect();
+    order.sort_by_key(|&c| {
+        let d = info.columns[c].drive;
+        (shelf.drive(d).is_failed(), shelf.is_writing(d, now))
+    });
+    let mut available: Vec<(usize, Vec<u8>)> = Vec::with_capacity(k);
+    let mut done = now;
+    for c in order {
+        if available.len() == k {
+            break;
+        }
+        let cau = info.columns[c];
+        if shelf.drive(cau.drive).is_failed() {
+            continue;
+        }
+        let off = layout.wu_byte_offset(cau.index, ext.stripe, ext.within);
+        match shelf.read_drive(cau.drive, off, ext.len, now) {
+            Ok((bytes, t)) => {
+                done = done.max(t);
+                available.push((c, bytes));
+            }
+            Err(_) => continue,
+        }
+    }
+    if available.len() >= k {
+        let refs: Vec<(usize, &[u8])> =
+            available.iter().map(|(c, b)| (*c, b.as_slice())).collect();
+        let rebuilt = rs
+            .reconstruct_one(ext.column, &refs)
+            .map_err(|e| PurityError::DataLoss(format!("reconstruction failed: {}", e)))?;
+        stats.reconstructed_reads += 1;
+        stats.reconstruction_extra_reads += (k - 1) as u64;
+        if std::env::var("PURITY_TRACE").is_ok() && done.saturating_sub(now) > 10_000_000 {
+            let cols: Vec<String> = available.iter().map(|(c, _)| format!("c{}", c)).collect();
+            eprintln!("SLOW-RECON target d{} ext {:?} lat {}us via {:?}", au.drive, ext, (done - now) / 1000, cols);
+        }
+        return Ok((rebuilt, done));
+    }
+
+    // Not enough healthy columns to rebuild. If we only came here to
+    // dodge a *busy* drive, fall back to queueing behind it — slower, but
+    // available (the scheduler is an optimization, not a requirement).
+    let mut fallback_err = String::new();
+    if !failed && !media_error {
+        let off = layout.wu_byte_offset(au.index, ext.stripe, ext.within);
+        match shelf.read_drive(au.drive, off, ext.len, now) {
+            Ok((bytes, t)) => {
+                stats.direct_reads += 1;
+                return Ok((bytes, t));
+            }
+            Err(e) => fallback_err = format!("; fallback: {}", e),
+        }
+    }
+    Err(PurityError::Unavailable(format!(
+        "only {} of {} columns readable for segment {:?} (target column {}, drive {}{}{})",
+        available.len(),
+        k,
+        info.id,
+        ext.column,
+        au.drive,
+        if failed {
+            ", failed"
+        } else if media_error {
+            ", media error"
+        } else {
+            ", busy"
+        },
+        fallback_err
+    )))
+}
+
+/// Cache → open-segment pending buffer → flash, then decode.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fetch_cblock_raw(
+    shelf: &mut Shelf,
+    cache: &mut CblockCache,
+    segments: &BTreeMap<u64, SegmentInfo>,
+    writer: &SegmentWriter,
+    layout: &SegmentLayout,
+    rs: &ReedSolomon,
+    read_around: bool,
+    stats: &mut ArrayStats,
+    pba: &Pba,
+    now: Nanos,
+) -> Result<(Vec<u8>, Nanos)> {
+    if let Some(payload) = cache.get(pba) {
+        stats.cache_reads += 1;
+        return Ok((payload, now));
+    }
+    // A cblock in the open segment may straddle the flush boundary:
+    // head bytes already on flash, tail still in the pending DRAM buffer.
+    let len = pba.stored_len as usize;
+    let flash_len = match writer.flushed_boundary(pba.segment) {
+        Some(boundary) => (boundary.saturating_sub(pba.offset) as usize).min(len),
+        None => len,
+    };
+    let raw = if flash_len == 0 {
+        let bytes = writer
+            .read_pending(pba.segment, pba.offset, len)
+            .ok_or_else(|| PurityError::Internal(format!("pending read miss at {:?}", pba)))?;
+        (bytes, now)
+    } else {
+        let info = segments
+            .get(&pba.segment.0)
+            .ok_or_else(|| PurityError::Internal(format!("unknown segment {:?}", pba.segment)))?;
+        let mut buf = Vec::with_capacity(len);
+        let mut done = now;
+        for ext in layout.data_extents(pba.offset, flash_len) {
+            let (bytes, t) =
+                read_extent(shelf, info, layout, rs, read_around, stats, &ext, now)?;
+            done = done.max(t);
+            buf.extend_from_slice(&bytes);
+        }
+        if flash_len < len {
+            let tail = writer
+                .read_pending(pba.segment, pba.offset + flash_len as u64, len - flash_len)
+                .ok_or_else(|| {
+                    PurityError::Internal(format!("pending tail miss at {:?}", pba))
+                })?;
+            buf.extend_from_slice(&tail);
+        }
+        (buf, done)
+    };
+    let payload = purity_compress::decompress(&raw.0)
+        .map_err(|e| PurityError::DataLoss(format!("cblock decode at {:?}: {}", pba, e)))?;
+    cache.put(*pba, payload.clone());
+    Ok((payload, raw.1))
+}
+
+/// The dedup engine's view of stored blocks.
+pub(crate) struct CtrlFetcher<'a> {
+    pub shelf: &'a mut Shelf,
+    pub cache: &'a mut CblockCache,
+    pub segments: &'a BTreeMap<u64, SegmentInfo>,
+    pub writer: &'a SegmentWriter,
+    pub layout: &'a SegmentLayout,
+    pub rs: &'a ReedSolomon,
+    pub read_around: bool,
+    pub stats: &'a mut ArrayStats,
+    pub now: Nanos,
+}
+
+impl BlockFetcher<BlockLoc> for CtrlFetcher<'_> {
+    fn fetch(&mut self, loc: &BlockLoc, delta: i64) -> Option<Vec<u8>> {
+        let sector = (loc.sector as i64).checked_add(delta)?;
+        if sector < 0 {
+            return None;
+        }
+        let (payload, _t) = fetch_cblock_raw(
+            self.shelf,
+            self.cache,
+            self.segments,
+            self.writer,
+            self.layout,
+            self.rs,
+            self.read_around,
+            self.stats,
+            &loc.pba,
+            self.now,
+        )
+        .ok()?;
+        let start = sector as usize * SECTOR;
+        (start + SECTOR <= payload.len()).then(|| payload[start..start + SECTOR].to_vec())
+    }
+
+    fn displace(&self, loc: &BlockLoc, delta: i64) -> Option<BlockLoc> {
+        let sector = (loc.sector as i64).checked_add(delta)?;
+        // Bounded by the cblock's payload; fetch() enforces the upper
+        // bound against actual payload length.
+        (0..=u16::MAX as i64)
+            .contains(&sector)
+            .then_some(BlockLoc { pba: loc.pba, sector: sector as u16 })
+    }
+}

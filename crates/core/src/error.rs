@@ -1,0 +1,62 @@
+//! Array-level error type.
+
+use purity_ssd::device::DeviceError;
+use purity_ssd::nvram::NvramError;
+
+/// Errors surfaced by the Purity array API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PurityError {
+    /// Unknown volume id.
+    NoSuchVolume,
+    /// Unknown snapshot id.
+    NoSuchSnapshot,
+    /// I/O not sector-aligned or beyond the volume end.
+    BadRequest(String),
+    /// Too many drives are down for the stripe geometry; data is
+    /// unavailable (more than m failures in a write group).
+    Unavailable(String),
+    /// Data loss detected (checksum/parity verification failed beyond
+    /// repair).
+    DataLoss(String),
+    /// Out of physical space.
+    OutOfSpace,
+    /// The configuration is inconsistent.
+    BadConfig(String),
+    /// An underlying device rejected an operation unexpectedly.
+    Device(String),
+    /// Internal invariant violation — a bug, surfaced loudly.
+    Internal(String),
+}
+
+impl std::fmt::Display for PurityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PurityError::NoSuchVolume => write!(f, "no such volume"),
+            PurityError::NoSuchSnapshot => write!(f, "no such snapshot"),
+            PurityError::BadRequest(s) => write!(f, "bad request: {}", s),
+            PurityError::Unavailable(s) => write!(f, "unavailable: {}", s),
+            PurityError::DataLoss(s) => write!(f, "data loss: {}", s),
+            PurityError::OutOfSpace => write!(f, "out of space"),
+            PurityError::BadConfig(s) => write!(f, "bad config: {}", s),
+            PurityError::Device(s) => write!(f, "device error: {}", s),
+            PurityError::Internal(s) => write!(f, "internal error: {}", s),
+        }
+    }
+}
+
+impl std::error::Error for PurityError {}
+
+impl From<DeviceError> for PurityError {
+    fn from(e: DeviceError) -> Self {
+        PurityError::Device(e.to_string())
+    }
+}
+
+impl From<NvramError> for PurityError {
+    fn from(e: NvramError) -> Self {
+        PurityError::Device(e.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, PurityError>;

@@ -1,0 +1,201 @@
+//! The shelf: the drives and NVRAM both controllers can reach (§4.1).
+//!
+//! SAS interposers connect every drive to both controllers, and the NVRAM
+//! lives in the shelf precisely so controllers stay stateless. The shelf
+//! is therefore the unit that *survives* a controller failover. It also
+//! tracks, per drive, until when the array is writing to it — the signal
+//! the I/O scheduler uses to read around busy drives (§4.4).
+
+use crate::config::ArrayConfig;
+use crate::error::{PurityError, Result};
+use crate::types::DriveId;
+use purity_sim::{Clock, Nanos};
+use purity_ssd::{Nvram, Ssd};
+use std::sync::Arc;
+
+/// The shared drive shelf.
+pub struct Shelf {
+    /// The virtual clock every component shares.
+    pub clock: Arc<Clock>,
+    drives: Vec<Ssd>,
+    nvram: Nvram,
+    /// Per-drive intervals during which array-issued bulk writes occupy
+    /// the drive. Windows start at the paced device-issue time, not the
+    /// request arrival — a drive queued behind the pacer is still idle.
+    writing_windows: Vec<std::collections::VecDeque<(Nanos, Nanos)>>,
+    /// Global write pacer (§4.4: at most two drives per ECC group busy
+    /// writing at once): bulk write-unit flushes chain through this.
+    write_pacer_until: Nanos,
+}
+
+impl Shelf {
+    /// Builds the shelf from a config.
+    pub fn new(config: &ArrayConfig, clock: Arc<Clock>) -> Self {
+        let drives = (0..config.n_drives)
+            .map(|i| {
+                let mut ssd = Ssd::new(
+                    config.ssd_geometry,
+                    config.ssd_latency,
+                    config.ssd_endurance,
+                    clock.clone(),
+                    config.seed.wrapping_add(i as u64 * 0x9E37),
+                    config.ssd_over_provision,
+                );
+                if config.preage_cycles > 0 {
+                    ssd.preage(config.preage_cycles);
+                }
+                ssd
+            })
+            .collect();
+        Self {
+            clock,
+            drives,
+            nvram: Nvram::new(config.nvram_bytes),
+            writing_windows: vec![std::collections::VecDeque::new(); config.n_drives],
+            write_pacer_until: 0,
+        }
+    }
+
+    /// Number of drive slots.
+    pub fn n_drives(&self) -> usize {
+        self.drives.len()
+    }
+
+    /// Immutable drive access.
+    pub fn drive(&self, d: DriveId) -> &Ssd {
+        &self.drives[d]
+    }
+
+    /// Mutable drive access (fault injection, direct I/O).
+    pub fn drive_mut(&mut self, d: DriveId) -> &mut Ssd {
+        &mut self.drives[d]
+    }
+
+    /// The NVRAM log device.
+    pub fn nvram(&self) -> &Nvram {
+        &self.nvram
+    }
+
+    /// Mutable NVRAM access.
+    pub fn nvram_mut(&mut self) -> &mut Nvram {
+        &mut self.nvram
+    }
+
+    /// Drives currently failed.
+    pub fn failed_drives(&self) -> Vec<DriveId> {
+        (0..self.drives.len()).filter(|&d| self.drives[d].is_failed()).collect()
+    }
+
+    /// Earliest time a new bulk write pair may start (global §4.4 pacing).
+    pub fn write_slot_start(&self, now: Nanos) -> Nanos {
+        self.write_pacer_until.max(now)
+    }
+
+    /// Records that a bulk write pair occupies the pacer until `end`.
+    pub fn commit_write_slot(&mut self, end: Nanos) {
+        self.write_pacer_until = self.write_pacer_until.max(end);
+    }
+
+    /// Marks a drive as servicing array writes over `[from, until)` (set
+    /// by the segment writer when it flushes a write unit).
+    pub fn mark_writing(&mut self, d: DriveId, from: Nanos, until: Nanos) {
+        let w = &mut self.writing_windows[d];
+        // Coalesce with the last window when contiguous.
+        if let Some(last) = w.back_mut() {
+            if from <= last.1 {
+                last.1 = last.1.max(until);
+                return;
+            }
+        }
+        if w.len() >= 64 {
+            w.pop_front();
+        }
+        w.push_back((from, until));
+    }
+
+    /// True if the array is writing to drive `d` at time `now` — the
+    /// §4.4 condition for treating the drive as failed for reads.
+    pub fn is_writing(&self, d: DriveId, now: Nanos) -> bool {
+        self.writing_windows[d].iter().any(|&(s, e)| s <= now && now < e)
+    }
+
+    /// Writes page-aligned bytes to a drive, updating the writing window.
+    pub fn write_drive(
+        &mut self,
+        d: DriveId,
+        offset: usize,
+        data: &[u8],
+        now: Nanos,
+    ) -> Result<Nanos> {
+        let done = self.drives[d]
+            .write(offset, data, now)
+            .map_err(|e| PurityError::Device(format!("drive {}: {}", d, e)))?;
+        self.mark_writing(d, now, done);
+        Ok(done)
+    }
+
+    /// Reads from a drive.
+    pub fn read_drive(
+        &mut self,
+        d: DriveId,
+        offset: usize,
+        len: usize,
+        now: Nanos,
+    ) -> Result<(Vec<u8>, Nanos)> {
+        self.drives[d]
+            .read(offset, len, now)
+            .map_err(|e| PurityError::Device(format!("drive {}: {}", d, e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shelf() -> Shelf {
+        let cfg = ArrayConfig::test_small();
+        Shelf::new(&cfg, Clock::new())
+    }
+
+    #[test]
+    fn shelf_has_configured_drives() {
+        let s = shelf();
+        assert_eq!(s.n_drives(), 11);
+        assert!(s.failed_drives().is_empty());
+    }
+
+    #[test]
+    fn writing_window_tracks_flushes() {
+        let mut s = shelf();
+        assert!(!s.is_writing(3, 0));
+        s.mark_writing(3, 0, 1_000_000);
+        assert!(s.is_writing(3, 999_999));
+        assert!(!s.is_writing(3, 1_000_000));
+        // A future window does not mark the drive busy now.
+        s.mark_writing(3, 5_000_000, 6_000_000);
+        assert!(!s.is_writing(3, 2_000_000));
+        assert!(s.is_writing(3, 5_500_000));
+        // Contiguous windows coalesce.
+        s.mark_writing(3, 6_000_000, 7_000_000);
+        assert!(s.is_writing(3, 6_500_000));
+    }
+
+    #[test]
+    fn drive_io_round_trips_through_shelf() {
+        let mut s = shelf();
+        let data = vec![0x5a; 8192];
+        let done = s.write_drive(2, 4096, &data, 0).unwrap();
+        assert!(done > 0);
+        assert!(s.is_writing(2, 0), "write marks the drive busy");
+        let (read, _) = s.read_drive(2, 4096, 8192, done).unwrap();
+        assert_eq!(read, data);
+    }
+
+    #[test]
+    fn failed_drive_surfaces_device_error() {
+        let mut s = shelf();
+        s.drive_mut(1).fail();
+        assert_eq!(s.failed_drives(), vec![1]);
+        assert!(s.write_drive(1, 0, &[0; 4096], 0).is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! Array-wide telemetry — the numbers the paper's operations team
+//! watches (§5.1): latencies, data reduction, space, scheduler behaviour.
+
+use purity_sim::units::format_bytes;
+use purity_sim::LatencyHistogram;
+
+/// Cumulative counters and distributions for one array.
+#[derive(Debug, Clone)]
+pub struct ArrayStats {
+    /// Application bytes written (pre-reduction).
+    pub logical_bytes_written: u64,
+    /// cblock bytes stored on flash (post dedup+compression, pre-parity).
+    pub physical_bytes_stored: u64,
+    /// Bytes avoided by deduplication.
+    pub dedup_bytes_saved: u64,
+    /// Bytes avoided by compression.
+    pub compress_bytes_saved: u64,
+    /// Application bytes read.
+    pub logical_bytes_read: u64,
+    /// Write-commit latency distribution.
+    pub write_latency: LatencyHistogram,
+    /// Read latency distribution.
+    pub read_latency: LatencyHistogram,
+    /// Reads served straight from the addressed drive.
+    pub direct_reads: u64,
+    /// Reads served via parity reconstruction (busy or failed drive).
+    pub reconstructed_reads: u64,
+    /// Extra drive reads performed for reconstructions.
+    pub reconstruction_extra_reads: u64,
+    /// Reads served from DRAM cache.
+    pub cache_reads: u64,
+    /// Reads of unwritten space (served as zeros).
+    pub zero_reads: u64,
+    /// GC passes completed.
+    pub gc_passes: u64,
+    /// Segments reclaimed by GC.
+    pub gc_segments_freed: u64,
+    /// cblock bytes relocated by GC.
+    pub gc_bytes_relocated: u64,
+    /// Scrub passes completed.
+    pub scrub_passes: u64,
+    /// Pages repaired by scrub (corruption or retention loss).
+    pub scrub_repairs: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+}
+
+impl Default for ArrayStats {
+    fn default() -> Self {
+        Self {
+            logical_bytes_written: 0,
+            physical_bytes_stored: 0,
+            dedup_bytes_saved: 0,
+            compress_bytes_saved: 0,
+            logical_bytes_read: 0,
+            write_latency: LatencyHistogram::new(),
+            read_latency: LatencyHistogram::new(),
+            direct_reads: 0,
+            reconstructed_reads: 0,
+            reconstruction_extra_reads: 0,
+            cache_reads: 0,
+            zero_reads: 0,
+            gc_passes: 0,
+            gc_segments_freed: 0,
+            gc_bytes_relocated: 0,
+            scrub_passes: 0,
+            scrub_repairs: 0,
+            checkpoints: 0,
+        }
+    }
+}
+
+impl ArrayStats {
+    /// Overall data-reduction ratio over everything ever written
+    /// (logical / physical), the paper's headline 5.4× metric. Excludes
+    /// thin-provisioning gains, as the paper does.
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.physical_bytes_stored == 0 || self.logical_bytes_written == 0 {
+            1.0
+        } else {
+            self.logical_bytes_written as f64 / self.physical_bytes_stored as f64
+        }
+    }
+
+    /// Folds another stats record into this one (used to carry telemetry
+    /// across controller failovers — the fleet history outlives any one
+    /// controller).
+    pub fn absorb(&mut self, other: &ArrayStats) {
+        self.logical_bytes_written += other.logical_bytes_written;
+        self.physical_bytes_stored += other.physical_bytes_stored;
+        self.dedup_bytes_saved += other.dedup_bytes_saved;
+        self.compress_bytes_saved += other.compress_bytes_saved;
+        self.logical_bytes_read += other.logical_bytes_read;
+        self.write_latency.merge(&other.write_latency);
+        self.read_latency.merge(&other.read_latency);
+        self.direct_reads += other.direct_reads;
+        self.reconstructed_reads += other.reconstructed_reads;
+        self.reconstruction_extra_reads += other.reconstruction_extra_reads;
+        self.cache_reads += other.cache_reads;
+        self.zero_reads += other.zero_reads;
+        self.gc_passes += other.gc_passes;
+        self.gc_segments_freed += other.gc_segments_freed;
+        self.gc_bytes_relocated += other.gc_bytes_relocated;
+        self.scrub_passes += other.scrub_passes;
+        self.scrub_repairs += other.scrub_repairs;
+        self.checkpoints += other.checkpoints;
+    }
+
+    /// Fraction of reads that took the reconstruction path.
+    pub fn reconstruction_fraction(&self) -> f64 {
+        let total = self.direct_reads + self.reconstructed_reads;
+        if total == 0 {
+            0.0
+        } else {
+            self.reconstructed_reads as f64 / total as f64
+        }
+    }
+
+    /// Drive-read amplification of the scheduling policy:
+    /// (direct + reconstruction reads) / (reads if all were direct).
+    pub fn read_amplification(&self) -> f64 {
+        let ideal = self.direct_reads + self.reconstructed_reads;
+        if ideal == 0 {
+            1.0
+        } else {
+            (self.direct_reads + self.reconstruction_extra_reads) as f64 / ideal as f64
+        }
+    }
+
+    /// Multi-line human-readable report.
+    pub fn report(&self) -> String {
+        format!(
+            "logical written {} | physical stored {} | reduction {:.2}x \
+             (dedup saved {}, compression saved {})\n\
+             writes: {}\nreads:  {}\n\
+             read paths: direct {} reconstructed {} cached {} zero {} (amplification {:.3}x)\n\
+             gc: {} passes, {} segments freed, {} relocated | scrub: {} passes, {} repairs | checkpoints {}",
+            format_bytes(self.logical_bytes_written),
+            format_bytes(self.physical_bytes_stored),
+            self.reduction_ratio(),
+            format_bytes(self.dedup_bytes_saved),
+            format_bytes(self.compress_bytes_saved),
+            self.write_latency.summary(),
+            self.read_latency.summary(),
+            self.direct_reads,
+            self.reconstructed_reads,
+            self.cache_reads,
+            self.zero_reads,
+            self.read_amplification(),
+            self.gc_passes,
+            self.gc_segments_freed,
+            format_bytes(self.gc_bytes_relocated),
+            self.scrub_passes,
+            self.scrub_repairs,
+            self.checkpoints,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_ratio_math() {
+        let mut s = ArrayStats::default();
+        assert_eq!(s.reduction_ratio(), 1.0);
+        s.logical_bytes_written = 1000;
+        s.physical_bytes_stored = 200;
+        assert!((s.reduction_ratio() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_amplification_math() {
+        let mut s = ArrayStats::default();
+        assert_eq!(s.read_amplification(), 1.0);
+        // 10 direct + 2 reconstructed, each reconstruction costing 7 reads.
+        s.direct_reads = 10;
+        s.reconstructed_reads = 2;
+        s.reconstruction_extra_reads = 14;
+        assert!((s.read_amplification() - 2.0).abs() < 1e-9);
+        assert!((s.reconstruction_fraction() - 2.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_formats() {
+        let s = ArrayStats::default();
+        let r = s.report();
+        assert!(r.contains("reduction"));
+        assert!(r.contains("gc:"));
+    }
+}

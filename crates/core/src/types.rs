@@ -1,0 +1,87 @@
+//! Core identifier and address types.
+
+/// Index of a drive slot in the shelf.
+pub type DriveId = usize;
+
+/// Identifies a segment. Segment ids are never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId(pub u64);
+
+/// Identifies a medium (§4.5). Medium ids are never reused, which is what
+/// makes medium-keyed elide tables collapse into ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MediumId(pub u64);
+
+/// Identifies a user-visible volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VolumeId(pub u64);
+
+/// Identifies a snapshot of a volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SnapshotId(pub u64);
+
+/// The 512 B sector: unit of addressing, deduplication and compression
+/// granularity floor (§4.6).
+pub const SECTOR: usize = 512;
+
+/// Physical block address of a stored cblock: a byte extent within a
+/// segment's data space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pba {
+    /// Owning segment.
+    pub segment: SegmentId,
+    /// Byte offset within the segment's logical data space.
+    pub offset: u64,
+    /// Stored (possibly compressed) length in bytes.
+    pub stored_len: u32,
+}
+
+/// Canonical location of one 512 B logical block: sector `sector` of the
+/// *uncompressed payload* of the cblock stored at `pba`. This is the `L`
+/// the dedup index records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockLoc {
+    /// The cblock holding the data.
+    pub pba: Pba,
+    /// Sector index within the cblock's uncompressed payload.
+    pub sector: u16,
+}
+
+/// An allocation unit: a fixed-size extent on one drive (§4.2). AUs are
+/// the minimum allocation granularity; a segment takes one AU from each
+/// drive it is striped across.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AuId {
+    /// Owning drive.
+    pub drive: DriveId,
+    /// AU index within the drive.
+    pub index: u32,
+}
+
+impl AuId {
+    /// Packs into a u64 for range tables / page rows.
+    pub fn pack(&self) -> u64 {
+        ((self.drive as u64) << 32) | self.index as u64
+    }
+
+    /// Inverse of [`AuId::pack`].
+    pub fn unpack(v: u64) -> Self {
+        Self { drive: (v >> 32) as usize, index: v as u32 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn au_id_packs_round_trip() {
+        for au in [
+            AuId { drive: 0, index: 0 },
+            AuId { drive: 10, index: 12345 },
+            AuId { drive: usize::from(u16::MAX), index: u32::MAX },
+        ] {
+            assert_eq!(AuId::unpack(au.pack()), au);
+        }
+    }
+}

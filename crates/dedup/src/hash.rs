@@ -1,0 +1,155 @@
+//! 64-bit block hashing.
+//!
+//! The XXH64 construction: four parallel 64-bit lanes over 32-byte
+//! stripes, merged and avalanched. Implemented from the public algorithm
+//! specification; chosen for the same reasons Purity needs — full 64-bit
+//! output, excellent distribution, and several bytes/cycle on the 512 B
+//! blocks the dedup path hashes. Collisions (≈10⁻⁶ per lookup at fleet
+//! scale) are acceptable because every hit is verified by byte compare.
+
+const PRIME1: u64 = 0x9E3779B185EBCA87;
+const PRIME2: u64 = 0xC2B2AE3D27D4EB4F;
+const PRIME3: u64 = 0x165667B19E3779F9;
+const PRIME4: u64 = 0x85EBCA77C2B2AE63;
+const PRIME5: u64 = 0x27D4EB2F165667C5;
+
+#[inline]
+fn read_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().expect("8 bytes"))
+}
+
+#[inline]
+fn read_u32(b: &[u8]) -> u64 {
+    u32::from_le_bytes(b[..4].try_into().expect("4 bytes")) as u64
+}
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(PRIME2))
+        .rotate_left(31)
+        .wrapping_mul(PRIME1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val)).wrapping_mul(PRIME1).wrapping_add(PRIME4)
+}
+
+/// Hashes a block with the given seed.
+pub fn hash_with_seed(data: &[u8], seed: u64) -> u64 {
+    let len = data.len() as u64;
+    let mut rest = data;
+    let mut h: u64;
+
+    if data.len() >= 32 {
+        let mut v1 = seed.wrapping_add(PRIME1).wrapping_add(PRIME2);
+        let mut v2 = seed.wrapping_add(PRIME2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(PRIME1);
+        while rest.len() >= 32 {
+            v1 = round(v1, read_u64(&rest[0..]));
+            v2 = round(v2, read_u64(&rest[8..]));
+            v3 = round(v3, read_u64(&rest[16..]));
+            v4 = round(v4, read_u64(&rest[24..]));
+            rest = &rest[32..];
+        }
+        h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        h = merge_round(h, v4);
+    } else {
+        h = seed.wrapping_add(PRIME5);
+    }
+
+    h = h.wrapping_add(len);
+
+    while rest.len() >= 8 {
+        h = (h ^ round(0, read_u64(rest))).rotate_left(27).wrapping_mul(PRIME1).wrapping_add(PRIME4);
+        rest = &rest[8..];
+    }
+    if rest.len() >= 4 {
+        h = (h ^ read_u32(rest).wrapping_mul(PRIME1))
+            .rotate_left(23)
+            .wrapping_mul(PRIME2)
+            .wrapping_add(PRIME3);
+        rest = &rest[4..];
+    }
+    for &b in rest {
+        h = (h ^ (b as u64).wrapping_mul(PRIME5)).rotate_left(11).wrapping_mul(PRIME1);
+    }
+
+    h ^= h >> 33;
+    h = h.wrapping_mul(PRIME2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(PRIME3);
+    h ^= h >> 32;
+    h
+}
+
+/// Hashes a dedup block with Purity's fixed seed.
+pub fn block_hash(data: &[u8]) -> u64 {
+    hash_with_seed(data, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashSet;
+
+    #[test]
+    fn known_vectors() {
+        // Reference values from the canonical XXH64 implementation.
+        assert_eq!(block_hash(b""), 0xEF46DB3751D8E999);
+        assert_eq!(block_hash(b"a"), 0xD24EC4F1A98C6E5B);
+        assert_eq!(block_hash(b"abc"), 0x44BC2CF5AD770999);
+        assert_ne!(hash_with_seed(b"abc", 1), block_hash(b"abc"), "seed must matter");
+    }
+
+    #[test]
+    fn equal_blocks_hash_equal() {
+        let a = vec![7u8; 512];
+        let b = vec![7u8; 512];
+        assert_eq!(block_hash(&a), block_hash(&b));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_hash() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let base: Vec<u8> = (0..512).map(|_| rng.gen()).collect();
+        let h0 = block_hash(&base);
+        for byte in (0..512).step_by(37) {
+            let mut flipped = base.clone();
+            flipped[byte] ^= 1;
+            assert_ne!(block_hash(&flipped), h0, "flip at {}", byte);
+        }
+    }
+
+    #[test]
+    fn distribution_has_no_collisions_at_test_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = HashSet::new();
+        for _ in 0..100_000 {
+            let block: [u8; 16] = rng.gen();
+            seen.insert(block_hash(&block));
+        }
+        // Collisions among 1e5 64-bit hashes are ~3e-10 likely.
+        assert_eq!(seen.len(), 100_000);
+    }
+
+    #[test]
+    fn all_lengths_hash_without_panic() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut distinct = HashSet::new();
+        for len in 0..=255 {
+            distinct.insert(block_hash(&data[..len]));
+        }
+        assert_eq!(distinct.len(), 256, "length must influence the hash");
+    }
+}

@@ -1,0 +1,248 @@
+//! Arithmetic over GF(2^8) with the AES/Rijndael-compatible reduction
+//! polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the polynomial used by
+//! essentially every storage Reed-Solomon implementation.
+//!
+//! Log/exp tables are built at compile time; multiplication is two table
+//! lookups plus an add mod 255, the classic software formulation from
+//! Plank's tutorials. A full 64 KiB multiplication table is also exposed
+//! for the inner encode loops.
+
+/// The reduction polynomial (without the x^8 term).
+pub const POLY: u16 = 0x11d;
+
+/// exp table: EXP[i] = g^i for generator g = 2, doubled to 512 entries so
+/// `EXP[log a + log b]` never needs a mod.
+pub static EXP: [u8; 512] = build_exp();
+
+/// log table: LOG[g^i] = i; LOG[0] is a sentinel (unused — callers must
+/// special-case zero).
+pub static LOG: [u8; 256] = build_log();
+
+const fn build_exp() -> [u8; 512] {
+    let mut table = [0u8; 512];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        table[i] = x as u8;
+        table[i + 255] = x as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    // Positions 510/511 are never reached (log a + log b <= 508) but keep
+    // them consistent.
+    table[510] = table[0];
+    table[511] = table[1];
+    table
+}
+
+const fn build_log() -> [u8; 256] {
+    let exp = build_exp();
+    let mut table = [0u8; 256];
+    let mut i = 0;
+    while i < 255 {
+        table[exp[i] as usize] = i as u8;
+        i += 1;
+    }
+    table
+}
+
+/// Addition in GF(2^8) is XOR.
+#[inline(always)]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplication via log/exp tables.
+#[inline(always)]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Division: a / b. Panics on division by zero.
+#[inline(always)]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "GF(256) division by zero");
+    if a == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + 255 - LOG[b as usize] as usize]
+    }
+}
+
+/// Multiplicative inverse. Panics on zero.
+#[inline(always)]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "GF(256) zero has no inverse");
+    EXP[255 - LOG[a as usize] as usize]
+}
+
+/// Exponentiation: a^n.
+pub fn pow(a: u8, n: u32) -> u8 {
+    if n == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let log = LOG[a as usize] as u64 * n as u64 % 255;
+    EXP[log as usize]
+}
+
+/// Multiplies every byte of `src` by `c` and XORs the products into `dst`:
+/// `dst[i] ^= c * src[i]`. This is the inner loop of RS encoding; it runs
+/// off a per-coefficient 256-byte slice of the multiplication table so the
+/// hot path is a single lookup per byte.
+pub fn mul_slice_xor(c: u8, src: &[u8], dst: &mut [u8]) {
+    debug_assert_eq!(src.len(), dst.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let row = mul_row(c);
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= row[*s as usize];
+    }
+}
+
+/// Multiplies every byte of `src` by `c`, writing into `dst`.
+pub fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    debug_assert_eq!(src.len(), dst.len());
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    if c == 1 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let row = mul_row(c);
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = row[*s as usize];
+    }
+}
+
+/// The 256-entry multiplication row for a fixed coefficient.
+fn mul_row(c: u8) -> [u8; 256] {
+    let mut row = [0u8; 256];
+    let log_c = LOG[c as usize] as usize;
+    for (x, out) in row.iter_mut().enumerate().skip(1) {
+        *out = EXP[log_c + LOG[x] as usize];
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_log_are_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(EXP[LOG[a as usize] as usize], a);
+        }
+    }
+
+    #[test]
+    fn mul_matches_carryless_reference() {
+        // Slow bit-by-bit reference multiply.
+        fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+            let mut p = 0u8;
+            while b != 0 {
+                if b & 1 != 0 {
+                    p ^= a;
+                }
+                let hi = a & 0x80 != 0;
+                a <<= 1;
+                if hi {
+                    a ^= (POLY & 0xff) as u8;
+                }
+                b >>= 1;
+            }
+            p
+        }
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), slow_mul(a, b), "{} * {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn field_axioms_hold() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), mul(b, a));
+                if b != 0 {
+                    assert_eq!(div(mul(a, b), b), a);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributivity_spot_check() {
+        for a in [3u8, 17, 99, 200, 255] {
+            for b in [1u8, 5, 77, 128] {
+                for c in [2u8, 60, 191] {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1);
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for a in [0u8, 1, 2, 3, 97, 255] {
+            let mut acc = 1u8;
+            for n in 0..20u32 {
+                assert_eq!(pow(a, n), acc, "a={} n={}", a, n);
+                acc = mul(acc, a);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_slice_xor_accumulates() {
+        let src = [1u8, 2, 3, 255];
+        let mut dst = [9u8, 9, 9, 9];
+        mul_slice_xor(7, &src, &mut dst);
+        for i in 0..4 {
+            assert_eq!(dst[i], 9 ^ mul(7, src[i]));
+        }
+        // c=0 leaves dst untouched.
+        let before = dst;
+        mul_slice_xor(0, &src, &mut dst);
+        assert_eq!(dst, before);
+    }
+
+    #[test]
+    fn mul_slice_handles_identity_and_zero() {
+        let src = [5u8, 6, 7];
+        let mut dst = [0u8; 3];
+        mul_slice(1, &src, &mut dst);
+        assert_eq!(dst, src);
+        mul_slice(0, &src, &mut dst);
+        assert_eq!(dst, [0, 0, 0]);
+    }
+}

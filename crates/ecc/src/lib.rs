@@ -1,0 +1,24 @@
+//! Reed-Solomon erasure coding for Purity (§4.2).
+//!
+//! Purity stripes each segment across a write group of 11 drives using a
+//! 7 data + 2 parity Reed-Solomon code, tolerating the loss of any two
+//! SSDs. The paper cites Plank et al.'s fast Galois-field arithmetic
+//! [FAST'13]; this crate provides the same primitives from scratch:
+//!
+//! * [`gf256`] — arithmetic over GF(2^8) with compile-time log/exp tables.
+//! * [`matrix`] — small dense matrices over GF(2^8) with inversion.
+//! * [`ReedSolomon`] — a systematic k+m code built from an extended
+//!   Vandermonde matrix: encode, verify, reconstruct any ≤ m erasures,
+//!   and incremental parity update (used when a single write unit in a
+//!   segio changes before flush).
+//! * [`vertical`] — per-drive XOR page parity, mirroring the FTL-internal
+//!   parity pages the paper says Purity leverages so a drive can repair a
+//!   single corrupt page without touching the rest of the write group.
+
+pub mod gf256;
+pub mod matrix;
+pub mod rs;
+pub mod vertical;
+
+pub use matrix::Matrix;
+pub use rs::{ReedSolomon, RsError};

@@ -1,0 +1,217 @@
+//! Small dense matrices over GF(2^8), used to build and invert
+//! Reed-Solomon coding matrices.
+
+use crate::gf256;
+
+/// A row-major matrix of GF(2^8) elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    /// Creates an identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Builds a Vandermonde matrix: `m[r][c] = r^c`. Any square submatrix
+    /// formed from distinct rows is invertible, which is what makes it a
+    /// valid erasure-coding generator.
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        let mut m = Self::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, gf256::pow(r as u8, c as u32));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: u8) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A full row as a slice.
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix multiplication.
+    pub fn mul(&self, other: &Self) -> Self {
+        assert_eq!(self.cols, other.rows, "dimension mismatch");
+        let mut out = Self::zero(self.rows, other.cols);
+        for r in 0..self.rows {
+            for c in 0..other.cols {
+                let mut acc = 0u8;
+                for k in 0..self.cols {
+                    acc ^= gf256::mul(self.get(r, k), other.get(k, c));
+                }
+                out.set(r, c, acc);
+            }
+        }
+        out
+    }
+
+    /// Returns a new matrix containing the selected rows, in order.
+    pub fn select_rows(&self, rows: &[usize]) -> Self {
+        let mut out = Self::zero(rows.len(), self.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            out.data[i * self.cols..(i + 1) * self.cols].copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Inverts a square matrix by Gauss-Jordan elimination.
+    /// Returns `None` if singular.
+    pub fn inverted(&self) -> Option<Self> {
+        assert_eq!(self.rows, self.cols, "only square matrices invert");
+        let n = self.rows;
+        let mut work = self.clone();
+        let mut out = Self::identity(n);
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n).find(|&r| work.get(r, col) != 0)?;
+            if pivot != col {
+                work.swap_rows(pivot, col);
+                out.swap_rows(pivot, col);
+            }
+            // Normalize the pivot row.
+            let inv = gf256::inv(work.get(col, col));
+            work.scale_row(col, inv);
+            out.scale_row(col, inv);
+            // Eliminate the column from every other row.
+            for r in 0..n {
+                if r != col {
+                    let factor = work.get(r, col);
+                    if factor != 0 {
+                        work.add_scaled_row(col, r, factor);
+                        out.add_scaled_row(col, r, factor);
+                    }
+                }
+            }
+        }
+        Some(out)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let (top, bottom) = self.data.split_at_mut(b * self.cols);
+        top[a * self.cols..(a + 1) * self.cols].swap_with_slice(&mut bottom[..self.cols]);
+    }
+
+    fn scale_row(&mut self, r: usize, factor: u8) {
+        for c in 0..self.cols {
+            let v = gf256::mul(self.get(r, c), factor);
+            self.set(r, c, v);
+        }
+    }
+
+    /// row[dst] ^= factor * row[src]
+    fn add_scaled_row(&mut self, src: usize, dst: usize, factor: u8) {
+        for c in 0..self.cols {
+            let v = self.get(dst, c) ^ gf256::mul(self.get(src, c), factor);
+            self.set(dst, c, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_multiplication_is_noop() {
+        let v = Matrix::vandermonde(4, 4);
+        let i = Matrix::identity(4);
+        assert_eq!(v.mul(&i), v);
+        assert_eq!(i.mul(&v), v);
+    }
+
+    #[test]
+    fn vandermonde_rows_are_powers() {
+        let v = Matrix::vandermonde(5, 3);
+        assert_eq!(v.row(0), &[1, 0, 0]); // 0^0 = 1 by convention
+        assert_eq!(v.row(1), &[1, 1, 1]);
+        assert_eq!(v.row(2), &[1, 2, 4]);
+        assert_eq!(v.row(3), &[1, 3, 5]); // 3*3 in GF(256) = 5
+    }
+
+    #[test]
+    fn inversion_round_trips() {
+        let m = Matrix::vandermonde(6, 6);
+        let inv = m.inverted().expect("vandermonde is invertible");
+        assert_eq!(m.mul(&inv), Matrix::identity(6));
+        assert_eq!(inv.mul(&m), Matrix::identity(6));
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let mut m = Matrix::zero(3, 3);
+        // Two identical rows.
+        for c in 0..3 {
+            m.set(0, c, c as u8 + 1);
+            m.set(1, c, c as u8 + 1);
+            m.set(2, c, 7);
+        }
+        assert!(m.inverted().is_none());
+    }
+
+    #[test]
+    fn select_rows_extracts_in_order() {
+        let v = Matrix::vandermonde(5, 2);
+        let s = v.select_rows(&[4, 0]);
+        assert_eq!(s.row(0), v.row(4));
+        assert_eq!(s.row(1), v.row(0));
+    }
+
+    #[test]
+    fn any_square_vandermonde_row_subset_is_invertible() {
+        // The property Reed-Solomon depends on: data is recoverable from
+        // ANY k of the k+m shards.
+        let v = Matrix::vandermonde(9, 7);
+        // Check a spread of 7-row subsets of the 9 rows.
+        let subsets: [[usize; 7]; 5] = [
+            [0, 1, 2, 3, 4, 5, 6],
+            [2, 3, 4, 5, 6, 7, 8],
+            [0, 2, 4, 6, 7, 8, 1],
+            [8, 7, 6, 5, 4, 3, 2],
+            [0, 1, 3, 5, 7, 8, 6],
+        ];
+        for rows in subsets {
+            assert!(v.select_rows(&rows).inverted().is_some(), "{:?}", rows);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests: Reed-Solomon correctness over random geometries,
+//! data, and erasure patterns.
+
+use proptest::prelude::*;
+use purity_ecc::ReedSolomon;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any m-subset of shards can be lost and recovered exactly.
+    #[test]
+    fn reconstruct_recovers_any_m_erasures(
+        k in 2usize..10,
+        m in 1usize..4,
+        len in 1usize..512,
+        seed in any::<u64>(),
+        lost_seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rs = ReedSolomon::new(k, m);
+        let data: Vec<Vec<u8>> = (0..k).map(|_| (0..len).map(|_| rng.gen()).collect()).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+
+        // Choose up to m distinct shards to lose.
+        let mut lost_rng = rand::rngs::StdRng::seed_from_u64(lost_seed);
+        let mut lost: Vec<usize> = (0..k + m).collect();
+        for i in (1..lost.len()).rev() {
+            let j = lost_rng.gen_range(0..=i);
+            lost.swap(i, j);
+        }
+        lost.truncate(m);
+
+        let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        for &l in &lost {
+            shards[l] = None;
+        }
+        rs.reconstruct(&mut shards).unwrap();
+        for (i, s) in shards.iter().enumerate() {
+            prop_assert_eq!(s.as_ref().unwrap(), &full[i]);
+        }
+    }
+
+    /// Parity verification detects any single-byte corruption.
+    #[test]
+    fn verify_detects_corruption(
+        len in 1usize..256,
+        seed in any::<u64>(),
+        which in any::<u16>(),
+        flip in 1u8..=255,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rs = ReedSolomon::new(5, 2);
+        let data: Vec<Vec<u8>> = (0..5).map(|_| (0..len).map(|_| rng.gen()).collect()).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        let mut full: Vec<Vec<u8>> = data.into_iter().chain(parity).collect();
+        let all: Vec<&[u8]> = full.iter().map(|s| s.as_slice()).collect();
+        prop_assert!(rs.verify(&all).unwrap());
+
+        let shard = (which as usize) % 7;
+        let byte = (which as usize / 7) % len;
+        full[shard][byte] ^= flip;
+        let all: Vec<&[u8]> = full.iter().map(|s| s.as_slice()).collect();
+        prop_assert!(!rs.verify(&all).unwrap());
+    }
+}

@@ -1,0 +1,166 @@
+//! LSB-first bit packing with random-access reads.
+//!
+//! Pages store fixed-stride tuples, so readers seek straight to
+//! `row * stride + field_offset` and pull an arbitrary-width field without
+//! touching neighbouring bits.
+
+/// Append-only bit writer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `n` bits of `v` (LSB first). `n` may be 0..=64.
+    pub fn write_bits(&mut self, v: u64, n: usize) {
+        debug_assert!(n <= 64);
+        debug_assert!(n == 64 || v < (1u64 << n).max(1), "value wider than field");
+        let mut remaining = n;
+        let mut value = v;
+        while remaining > 0 {
+            let byte_pos = self.bit_len / 8;
+            let bit_pos = self.bit_len % 8;
+            if byte_pos == self.buf.len() {
+                self.buf.push(0);
+            }
+            let take = (8 - bit_pos).min(remaining);
+            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            self.buf[byte_pos] |= ((value & mask) as u8) << bit_pos;
+            value >>= take;
+            self.bit_len += take;
+            remaining -= take;
+        }
+    }
+
+    /// Total bits written.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Finishes and returns the byte buffer (final partial byte zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Random-access bit reader over a byte slice.
+#[derive(Debug, Clone, Copy)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data }
+    }
+
+    /// Reads `n` bits starting at absolute bit offset `at` (LSB first).
+    /// Bits beyond the end of the slice read as zero.
+    pub fn read_bits(&self, at: usize, n: usize) -> u64 {
+        debug_assert!(n <= 64);
+        let mut out = 0u64;
+        let mut got = 0;
+        let mut pos = at;
+        while got < n {
+            let byte_pos = pos / 8;
+            if byte_pos >= self.data.len() {
+                break;
+            }
+            let bit_pos = pos % 8;
+            let take = (8 - bit_pos).min(n - got);
+            let mask = ((1u16 << take) - 1) as u8;
+            let bits = (self.data[byte_pos] >> bit_pos) & mask;
+            out |= (bits as u64) << got;
+            got += take;
+            pos += take;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn single_field_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        let bytes = w.into_bytes();
+        assert_eq!(BitReader::new(&bytes).read_bits(0, 4), 0b1011);
+    }
+
+    #[test]
+    fn fields_pack_back_to_back() {
+        let mut w = BitWriter::new();
+        w.write_bits(5, 3); // bits 0..3
+        w.write_bits(0, 0); // nothing
+        w.write_bits(0x1ff, 9); // bits 3..12
+        w.write_bits(1, 1); // bit 12
+        assert_eq!(w.bit_len(), 13);
+        let bytes = w.into_bytes();
+        let r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(0, 3), 5);
+        assert_eq!(r.read_bits(3, 9), 0x1ff);
+        assert_eq!(r.read_bits(12, 1), 1);
+    }
+
+    #[test]
+    fn sixty_four_bit_fields_work() {
+        let mut w = BitWriter::new();
+        w.write_bits(3, 2);
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(1, 1);
+        let bytes = w.into_bytes();
+        let r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(2, 64), u64::MAX);
+        assert_eq!(r.read_bits(66, 1), 1);
+    }
+
+    #[test]
+    fn reads_past_end_are_zero() {
+        let r = BitReader::new(&[0xff]);
+        assert_eq!(r.read_bits(0, 16), 0xff);
+        assert_eq!(r.read_bits(100, 8), 0);
+    }
+
+    #[test]
+    fn randomized_pack_unpack() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let fields: Vec<(u64, usize)> = (0..rng.gen_range(1..50))
+                .map(|_| {
+                    let n = rng.gen_range(0..=64usize);
+                    let v = if n == 0 {
+                        0
+                    } else if n == 64 {
+                        rng.gen()
+                    } else {
+                        rng.gen::<u64>() & ((1u64 << n) - 1)
+                    };
+                    (v, n)
+                })
+                .collect();
+            let mut w = BitWriter::new();
+            for &(v, n) in &fields {
+                w.write_bits(v, n);
+            }
+            let bytes = w.into_bytes();
+            let r = BitReader::new(&bytes);
+            let mut at = 0;
+            for &(v, n) in &fields {
+                assert_eq!(r.read_bits(at, n), v, "field at bit {}", at);
+                at += n;
+            }
+        }
+    }
+}

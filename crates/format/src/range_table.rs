@@ -1,0 +1,228 @@
+//! Range-encoded u64 sets (§4.10).
+//!
+//! Elide records are keyed by dense, monotonically-increasing numbers, so
+//! Purity "encode[s] elide records as ranges, and merge[s] contiguous
+//! ranges" — the table can never hold more ranges than live tuples, and
+//! in the common case collapses to a handful of entries. This is the
+//! structure that keeps elide tables from leaking space forever.
+
+use std::collections::BTreeMap;
+
+/// A set of u64s stored as coalesced inclusive ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeTable {
+    /// start -> end (inclusive), non-overlapping, non-adjacent.
+    ranges: BTreeMap<u64, u64>,
+}
+
+impl RangeTable {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a single value.
+    pub fn insert(&mut self, v: u64) {
+        self.insert_range(v, v);
+    }
+
+    /// Inserts the inclusive range `[start, end]`, coalescing with any
+    /// overlapping or adjacent existing ranges.
+    pub fn insert_range(&mut self, start: u64, end: u64) {
+        assert!(start <= end, "inverted range");
+        let mut new_start = start;
+        let mut new_end = end;
+
+        // A predecessor range may overlap or touch us.
+        if let Some((&s, &e)) = self.ranges.range(..=start).next_back() {
+            if e >= start.saturating_sub(1) {
+                new_start = s;
+                new_end = new_end.max(e);
+                self.ranges.remove(&s);
+            }
+        }
+        // Successor ranges that start within (or adjacent to) the new span.
+        loop {
+            let next = self
+                .ranges
+                .range(new_start..)
+                .next()
+                .map(|(&s, &e)| (s, e));
+            match next {
+                Some((s, e)) if s <= new_end.saturating_add(1) => {
+                    new_end = new_end.max(e);
+                    self.ranges.remove(&s);
+                }
+                _ => break,
+            }
+        }
+        self.ranges.insert(new_start, new_end);
+    }
+
+    /// Whether `v` is in the set.
+    pub fn contains(&self, v: u64) -> bool {
+        self.ranges
+            .range(..=v)
+            .next_back()
+            .map(|(_, &e)| v <= e)
+            .unwrap_or(false)
+    }
+
+    /// Number of stored ranges — the size bound the paper argues about.
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Number of distinct values covered.
+    pub fn cardinality(&self) -> u128 {
+        self.ranges.iter().map(|(&s, &e)| (e - s) as u128 + 1).sum()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Iterates the coalesced ranges in order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.ranges.iter().map(|(&s, &e)| (s, e))
+    }
+
+    /// Serializes to flat (start, end) pairs for persistence.
+    pub fn to_pairs(&self) -> Vec<(u64, u64)> {
+        self.iter().collect()
+    }
+
+    /// Rebuilds from serialized pairs.
+    pub fn from_pairs(pairs: &[(u64, u64)]) -> Self {
+        let mut t = Self::new();
+        for &(s, e) in pairs {
+            t.insert_range(s, e);
+        }
+        t
+    }
+
+    /// Folds another table into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (s, e) in other.iter() {
+            self.insert_range(s, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn single_values_coalesce_when_dense() {
+        // The paper's core argument: dense monotone keys collapse the
+        // elide table to one range no matter the arrival order.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut keys: Vec<u64> = (0..10_000).collect();
+        keys.shuffle(&mut rng);
+        let mut t = RangeTable::new();
+        for k in keys {
+            t.insert(k);
+        }
+        assert_eq!(t.range_count(), 1);
+        assert_eq!(t.cardinality(), 10_000);
+        assert!(t.contains(0) && t.contains(9_999) && !t.contains(10_000));
+    }
+
+    #[test]
+    fn disjoint_ranges_stay_separate() {
+        let mut t = RangeTable::new();
+        t.insert_range(0, 10);
+        t.insert_range(20, 30);
+        assert_eq!(t.range_count(), 2);
+        assert!(t.contains(10) && !t.contains(15) && t.contains(20));
+    }
+
+    #[test]
+    fn adjacent_ranges_merge() {
+        let mut t = RangeTable::new();
+        t.insert_range(0, 10);
+        t.insert_range(11, 20);
+        assert_eq!(t.range_count(), 1);
+        assert_eq!(t.to_pairs(), vec![(0, 20)]);
+    }
+
+    #[test]
+    fn overlapping_insert_swallows_existing() {
+        let mut t = RangeTable::new();
+        t.insert_range(10, 20);
+        t.insert_range(30, 40);
+        t.insert_range(50, 60);
+        t.insert_range(15, 55); // bridges all three
+        assert_eq!(t.to_pairs(), vec![(10, 60)]);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut t = RangeTable::new();
+        t.insert(u64::MAX);
+        t.insert(u64::MAX - 1);
+        t.insert(0);
+        assert_eq!(t.range_count(), 2);
+        assert!(t.contains(u64::MAX));
+        t.insert_range(1, u64::MAX - 2);
+        assert_eq!(t.range_count(), 1);
+        assert_eq!(t.cardinality(), u64::MAX as u128 + 1);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let mut t = RangeTable::new();
+        t.insert_range(5, 9);
+        t.insert_range(100, 200);
+        t.insert(u64::MAX);
+        let back = RangeTable::from_pairs(&t.to_pairs());
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn merge_combines_tables() {
+        let mut a = RangeTable::new();
+        a.insert_range(0, 5);
+        let mut b = RangeTable::new();
+        b.insert_range(6, 10);
+        a.merge(&b);
+        assert_eq!(a.to_pairs(), vec![(0, 10)]);
+    }
+
+    #[test]
+    fn randomized_against_btreeset_reference() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let mut t = RangeTable::new();
+            let mut reference = BTreeSet::new();
+            for _ in 0..500 {
+                let s = rng.gen_range(0..1000u64);
+                let e = s + rng.gen_range(0..20);
+                t.insert_range(s, e);
+                for v in s..=e {
+                    reference.insert(v);
+                }
+            }
+            for v in 0..1100u64 {
+                assert_eq!(t.contains(v), reference.contains(&v), "value {}", v);
+            }
+            assert_eq!(t.cardinality(), reference.len() as u128);
+            // Ranges must be minimal: count the reference's gaps.
+            let mut expected_ranges = 0;
+            let mut prev: Option<u64> = None;
+            for &v in &reference {
+                if prev.map(|p| v != p + 1).unwrap_or(true) {
+                    expected_ranges += 1;
+                }
+                prev = Some(v);
+            }
+            assert_eq!(t.range_count(), expected_ranges);
+        }
+    }
+}

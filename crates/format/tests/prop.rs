@@ -1,0 +1,58 @@
+//! Property tests: page codec fidelity, compressed-domain scan
+//! equivalence, range-table vs reference-set semantics.
+
+use proptest::prelude::*;
+use purity_format::{Page, RangeTable};
+use std::collections::BTreeSet;
+
+fn row_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..16,                       // tiny enums
+            1_000_000u64..1_001_000,        // clustered ids
+            any::<u64>(),                   // raw values
+        ],
+        3,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn page_round_trips(rows in proptest::collection::vec(row_strategy(), 0..200)) {
+        let page = Page::encode(&rows);
+        prop_assert_eq!(page.decode_all(), rows);
+    }
+
+    #[test]
+    fn scan_matches_decode(rows in proptest::collection::vec(row_strategy(), 1..200), col in 0usize..3, pick in any::<prop::sample::Index>()) {
+        let page = Page::encode(&rows);
+        let probe = rows[pick.index(rows.len())][col];
+        let expect: Vec<usize> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r[col] == probe)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(page.scan_col_eq(col, probe).unwrap(), expect);
+    }
+
+    #[test]
+    fn range_table_matches_reference(ops in proptest::collection::vec((0u64..500, 0u64..30), 0..200)) {
+        let mut table = RangeTable::new();
+        let mut reference = BTreeSet::new();
+        for (start, span) in ops {
+            table.insert_range(start, start + span);
+            for v in start..=start + span {
+                reference.insert(v);
+            }
+        }
+        for v in 0..560u64 {
+            prop_assert_eq!(table.contains(v), reference.contains(&v));
+        }
+        prop_assert_eq!(table.cardinality(), reference.len() as u128);
+        let back = RangeTable::from_pairs(&table.to_pairs());
+        prop_assert_eq!(back, table);
+    }
+}

@@ -1,0 +1,442 @@
+//! The pyramid proper: memtable + patch stack + merge policy + elision.
+
+use crate::patch::Patch;
+use crate::seq::Seq;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// Deletion predicates consulted by readers and by merge (§4.10).
+///
+/// Implementations are typically backed by an elide table — a
+/// `purity_format::RangeTable` over medium ids or sequence numbers.
+pub trait ElideFilter<K>: Send + Sync {
+    /// True if the fact `(key, seq)` has been deleted by predicate.
+    fn is_elided(&self, key: &K, seq: Seq) -> bool;
+}
+
+impl<K, F> ElideFilter<K> for F
+where
+    F: Fn(&K, Seq) -> bool + Send + Sync,
+{
+    fn is_elided(&self, key: &K, seq: Seq) -> bool {
+        self(key, seq)
+    }
+}
+
+/// Counters describing pyramid shape and maintenance work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PyramidStats {
+    /// Facts inserted over the lifetime.
+    pub inserts: u64,
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Merge operations performed.
+    pub merges: u64,
+    /// Facts dropped by merges as superseded (older duplicate keys).
+    pub superseded_dropped: u64,
+    /// Facts dropped by merges as elided.
+    pub elided_dropped: u64,
+}
+
+/// A log-structured merge index over immutable facts.
+///
+/// Readers see the union of the memtable and all patches, newest sequence
+/// number winning per key, with elided facts filtered out — except via
+/// [`Pyramid::get_relaxed`], the paper's relaxed consistency mode that
+/// skips elide checks (§3.2: readers "may observe tuples that no longer
+/// exist" with no ill effect).
+pub struct Pyramid<K: Ord + Clone, V: Clone> {
+    /// Key -> seq-ascending facts.
+    memtable: BTreeMap<K, Vec<(Seq, V)>>,
+    mem_facts: usize,
+    /// Newest-first immutable patches.
+    patches: Vec<Arc<Patch<K, V>>>,
+    elide: Option<Arc<dyn ElideFilter<K>>>,
+    /// Flush when the memtable holds this many facts.
+    flush_threshold: usize,
+    /// Merge adjacent patches when the stack grows past this depth.
+    max_patches: usize,
+    stats: PyramidStats,
+}
+
+impl<K: Ord + Clone, V: Clone> Pyramid<K, V> {
+    /// Creates an empty pyramid with default maintenance thresholds.
+    pub fn new() -> Self {
+        Self::with_thresholds(4096, 8)
+    }
+
+    /// Creates a pyramid with explicit flush/merge thresholds.
+    pub fn with_thresholds(flush_threshold: usize, max_patches: usize) -> Self {
+        assert!(flush_threshold >= 1 && max_patches >= 2);
+        Self {
+            memtable: BTreeMap::new(),
+            mem_facts: 0,
+            patches: Vec::new(),
+            elide: None,
+            flush_threshold,
+            max_patches,
+            stats: PyramidStats::default(),
+        }
+    }
+
+    /// Attaches the elide filter (the table's deletion policy).
+    pub fn set_elide_filter(&mut self, filter: Arc<dyn ElideFilter<K>>) {
+        self.elide = Some(filter);
+    }
+
+    /// Inserts one immutable fact. Duplicate or stale facts are harmless;
+    /// this is what makes recovery a plain set union (§4.3).
+    pub fn insert(&mut self, key: K, value: V, seq: Seq) {
+        self.memtable.entry(key).or_default().push((seq, value));
+        self.mem_facts += 1;
+        self.stats.inserts += 1;
+        if self.mem_facts >= self.flush_threshold {
+            self.flush();
+        }
+    }
+
+    fn is_elided(&self, key: &K, seq: Seq) -> bool {
+        self.elide.as_ref().map(|e| e.is_elided(key, seq)).unwrap_or(false)
+    }
+
+    /// Newest non-elided fact for `key`.
+    pub fn get(&self, key: &K) -> Option<(V, Seq)> {
+        let newest = self.newest_fact(key)?;
+        if self.is_elided(key, newest.1) {
+            None
+        } else {
+            Some(newest)
+        }
+    }
+
+    /// Relaxed-consistency read: ignores retraction/elide state entirely,
+    /// so it may return a fact that has been deleted (§3.2).
+    pub fn get_relaxed(&self, key: &K) -> Option<(V, Seq)> {
+        self.newest_fact(key)
+    }
+
+    fn newest_fact(&self, key: &K) -> Option<(V, Seq)> {
+        let mut best: Option<(V, Seq)> = None;
+        if let Some(versions) = self.memtable.get(key) {
+            if let Some((seq, v)) = versions.iter().max_by_key(|(s, _)| *s) {
+                best = Some((v.clone(), *seq));
+            }
+        }
+        for patch in &self.patches {
+            if let Some((v, seq)) = patch.lookup(key) {
+                if best.as_ref().map(|(_, bs)| seq > *bs).unwrap_or(true) {
+                    best = Some((v.clone(), seq));
+                }
+            }
+        }
+        best
+    }
+
+    /// Newest non-elided fact per key in `[lo, hi]`, in key order.
+    pub fn range(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V, Seq)> {
+        let mut newest: BTreeMap<K, (V, Seq)> = BTreeMap::new();
+        let in_bounds = |k: &K| {
+            (match lo {
+                Bound::Included(b) => k >= b,
+                Bound::Excluded(b) => k > b,
+                Bound::Unbounded => true,
+            }) && (match hi {
+                Bound::Included(b) => k <= b,
+                Bound::Excluded(b) => k < b,
+                Bound::Unbounded => true,
+            })
+        };
+        for (k, versions) in self.memtable.range((lo.cloned(), hi.cloned())) {
+            if let Some((seq, v)) = versions.iter().max_by_key(|(s, _)| *s) {
+                newest.insert(k.clone(), (v.clone(), *seq));
+            }
+        }
+        for patch in &self.patches {
+            for (k, seq, v) in patch.range(lo, hi) {
+                debug_assert!(in_bounds(k));
+                match newest.get(k) {
+                    Some((_, existing)) if *existing >= *seq => {}
+                    _ => {
+                        newest.insert(k.clone(), (v.clone(), *seq));
+                    }
+                }
+            }
+        }
+        newest
+            .into_iter()
+            .filter(|(k, (_, seq))| !self.is_elided(k, *seq))
+            .map(|(k, (v, seq))| (k, v, seq))
+            .collect()
+    }
+
+    /// Every live (non-elided, newest-per-key) fact.
+    pub fn iter_live(&self) -> Vec<(K, V, Seq)> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// Freezes the memtable into a patch. Returns it (also kept in the
+    /// pyramid) so the owner can persist its facts into segments.
+    pub fn flush(&mut self) -> Option<Arc<Patch<K, V>>> {
+        if self.memtable.is_empty() {
+            return None;
+        }
+        let entries: Vec<(K, Seq, V)> = std::mem::take(&mut self.memtable)
+            .into_iter()
+            .flat_map(|(k, versions)| {
+                versions.into_iter().map(move |(s, v)| (k.clone(), s, v))
+            })
+            .collect();
+        self.mem_facts = 0;
+        let patch = Arc::new(Patch::from_entries(entries));
+        self.patches.insert(0, patch.clone());
+        self.stats.flushes += 1;
+        if self.patches.len() > self.max_patches {
+            self.merge_oldest_pair();
+        }
+        Some(patch)
+    }
+
+    /// Merges the two oldest patches (contiguous sequence ranges) into
+    /// one, dropping superseded and elided facts.
+    pub fn merge_oldest_pair(&mut self) {
+        let n = self.patches.len();
+        if n < 2 {
+            return;
+        }
+        let pair = [self.patches[n - 2].clone(), self.patches[n - 1].clone()];
+        let before = pair[0].len() + pair[1].len();
+        let merged = self.run_merge(&pair);
+        let after = merged.len();
+        self.patches.truncate(n - 2);
+        self.patches.push(Arc::new(merged));
+        self.record_merge(before, after);
+    }
+
+    /// Full flatten: collapses every patch (not the memtable) into one.
+    /// GC uses this to bound read fan-out and reclaim elided space.
+    pub fn flatten(&mut self) {
+        if self.patches.len() < 2 {
+            // Still worth re-running a single-patch merge to drop newly
+            // elided facts.
+            if let Some(only) = self.patches.first().cloned() {
+                let before = only.len();
+                let merged = self.run_merge(&[only]);
+                let after = merged.len();
+                self.patches[0] = Arc::new(merged);
+                self.record_merge(before, after);
+            }
+            return;
+        }
+        let all: Vec<_> = self.patches.clone();
+        let before: usize = all.iter().map(|p| p.len()).sum();
+        let merged = self.run_merge(&all);
+        let after = merged.len();
+        self.patches.clear();
+        self.patches.push(Arc::new(merged));
+        self.record_merge(before, after);
+    }
+
+    fn run_merge(&self, patches: &[Arc<Patch<K, V>>]) -> Patch<K, V> {
+        let elide = self.elide.clone();
+        Patch::merge(patches, move |k, s| {
+            elide.as_ref().map(|e| e.is_elided(k, s)).unwrap_or(false)
+        })
+    }
+
+    fn record_merge(&mut self, before: usize, after: usize) {
+        self.stats.merges += 1;
+        // Attribution between superseded and elided is approximate at
+        // this level; exact elided counts come from the filter itself.
+        self.stats.superseded_dropped += (before - after) as u64;
+    }
+
+    /// Number of immutable patches (the read fan-out bound).
+    pub fn patch_count(&self) -> usize {
+        self.patches.len()
+    }
+
+    /// Facts currently buffered in the memtable.
+    pub fn memtable_facts(&self) -> usize {
+        self.mem_facts
+    }
+
+    /// Total facts across memtable and patches (including superseded).
+    pub fn total_facts(&self) -> usize {
+        self.mem_facts + self.patches.iter().map(|p| p.len()).sum::<usize>()
+    }
+
+    /// Highest sequence number stored anywhere in the pyramid.
+    pub fn max_seq(&self) -> Seq {
+        let mem = self
+            .memtable
+            .values()
+            .flat_map(|v| v.iter().map(|(s, _)| *s))
+            .max()
+            .unwrap_or(0);
+        let patch = self.patches.iter().map(|p| p.max_seq()).max().unwrap_or(0);
+        mem.max(patch)
+    }
+
+    /// Maintenance counters.
+    pub fn stats(&self) -> PyramidStats {
+        self.stats
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> Default for Pyramid<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pyramid() -> Pyramid<u64, u64> {
+        Pyramid::with_thresholds(8, 4)
+    }
+
+    #[test]
+    fn newest_fact_wins_across_memtable_and_patches() {
+        let mut p = pyramid();
+        p.insert(1, 100, 1);
+        p.flush();
+        p.insert(1, 200, 2);
+        assert_eq!(p.get(&1), Some((200, 2)));
+        p.flush();
+        p.insert(1, 300, 3);
+        assert_eq!(p.get(&1), Some((300, 3)));
+    }
+
+    #[test]
+    fn out_of_order_inserts_converge() {
+        // §3.2: confused or lagging writers may reorder inserts safely.
+        let mut a = pyramid();
+        let mut b = pyramid();
+        let facts = [(1u64, 10u64, 5u64), (1, 20, 3), (2, 30, 4), (1, 40, 6)];
+        for (k, v, s) in facts {
+            a.insert(k, v, s);
+        }
+        for (k, v, s) in facts.iter().rev() {
+            b.insert(*k, *v, *s);
+        }
+        assert_eq!(a.get(&1), b.get(&1));
+        assert_eq!(a.get(&1), Some((40, 6)));
+        assert_eq!(a.get(&2), b.get(&2));
+    }
+
+    #[test]
+    fn duplicate_reinsertion_is_harmless() {
+        // Recovery replays facts that may already be present (§4.3).
+        let mut p = pyramid();
+        for (k, v, s) in [(1u64, 10u64, 1u64), (2, 20, 2), (3, 30, 3)] {
+            p.insert(k, v, s);
+        }
+        p.flush();
+        for (k, v, s) in [(1u64, 10u64, 1u64), (2, 20, 2), (3, 30, 3)] {
+            p.insert(k, v, s);
+        }
+        assert_eq!(p.get(&1), Some((10, 1)));
+        assert_eq!(p.get(&2), Some((20, 2)));
+        assert_eq!(p.iter_live().len(), 3);
+    }
+
+    #[test]
+    fn automatic_flush_and_merge_bound_patch_count() {
+        let mut p = Pyramid::with_thresholds(4, 3);
+        for i in 0..200u64 {
+            p.insert(i, i, i + 1);
+        }
+        assert!(p.patch_count() <= 3, "patch count {}", p.patch_count());
+        for i in (0..200u64).step_by(17) {
+            assert_eq!(p.get(&i), Some((i, i + 1)));
+        }
+        assert!(p.stats().merges > 0);
+    }
+
+    #[test]
+    fn elide_filter_hides_and_merge_reclaims() {
+        let mut p = pyramid();
+        for i in 0..20u64 {
+            p.insert(i, i * 10, i + 1);
+        }
+        p.flush();
+        assert_eq!(p.total_facts(), 20);
+        // Elide keys 0..10 (e.g. "drop medium 0").
+        p.set_elide_filter(Arc::new(|k: &u64, _s: Seq| *k < 10));
+        assert_eq!(p.get(&5), None);
+        assert_eq!(p.get(&15), Some((150, 16)));
+        // Relaxed readers still see the elided fact — allowed by §3.2.
+        assert_eq!(p.get_relaxed(&5), Some((50, 6)));
+        // Flatten reclaims elided facts immediately.
+        p.flatten();
+        assert_eq!(p.total_facts(), 10);
+        assert_eq!(p.iter_live().len(), 10);
+    }
+
+    #[test]
+    fn flatten_is_idempotent() {
+        let mut p = pyramid();
+        for i in 0..50u64 {
+            p.insert(i % 10, i, i + 1);
+        }
+        p.flush();
+        p.flatten();
+        let first: Vec<_> = p.iter_live();
+        let facts_first = p.total_facts();
+        p.flatten();
+        assert_eq!(p.iter_live(), first);
+        assert_eq!(p.total_facts(), facts_first);
+    }
+
+    #[test]
+    fn range_scans_respect_bounds_and_elision() {
+        let mut p = pyramid();
+        for i in 0..30u64 {
+            p.insert(i, i, i + 1);
+        }
+        p.flush();
+        p.insert(5, 500, 100); // overwrite in memtable
+        p.set_elide_filter(Arc::new(|k: &u64, _| *k == 7));
+        let got = p.range(Bound::Included(&5), Bound::Excluded(&10));
+        let keys: Vec<u64> = got.iter().map(|(k, _, _)| *k).collect();
+        assert_eq!(keys, vec![5, 6, 8, 9]);
+        let five = got.iter().find(|(k, _, _)| *k == 5).unwrap();
+        assert_eq!((five.1, five.2), (500, 100));
+    }
+
+    #[test]
+    fn empty_pyramid_behaves() {
+        let mut p = pyramid();
+        assert_eq!(p.get(&1), None);
+        assert!(p.iter_live().is_empty());
+        assert_eq!(p.flush().map(|f| f.len()), None);
+        p.flatten();
+        assert_eq!(p.max_seq(), 0);
+    }
+
+    #[test]
+    fn max_seq_tracks_all_layers() {
+        let mut p = pyramid();
+        p.insert(1, 1, 5);
+        p.flush();
+        p.insert(2, 2, 9);
+        assert_eq!(p.max_seq(), 9);
+    }
+
+    #[test]
+    fn superseded_facts_are_dropped_by_merge_not_reads() {
+        let mut p = Pyramid::with_thresholds(100, 8);
+        for s in 1..=50u64 {
+            p.insert(42, s, s);
+        }
+        p.flush();
+        assert_eq!(p.total_facts(), 50);
+        assert_eq!(p.get(&42), Some((50, 50)));
+        p.flatten();
+        assert_eq!(p.total_facts(), 1);
+        assert_eq!(p.get(&42), Some((50, 50)));
+    }
+}

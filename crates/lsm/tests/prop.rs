@@ -1,0 +1,117 @@
+//! Property tests: pyramids vs a reference map, under arbitrary
+//! interleavings of inserts, flushes, merges and flattens — and the
+//! §3.2 invariants (insert-order independence, duplicate harmlessness).
+
+use proptest::prelude::*;
+use purity_lsm::{Pyramid, Seq};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8, u16, Seq),
+    Flush,
+    Merge,
+    Flatten,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<u8>(), any::<u16>(), 1u64..1000).prop_map(|(k, v, s)| Op::Insert(k, v, s)),
+        2 => Just(Op::Flush),
+        1 => Just(Op::Merge),
+        1 => Just(Op::Flatten),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pyramid_matches_reference(ops in proptest::collection::vec(op_strategy(), 0..300)) {
+        let mut p: Pyramid<u8, u16> = Pyramid::with_thresholds(32, 4);
+        let mut reference: HashMap<u8, (u16, Seq)> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v, s) => {
+                    p.insert(k, v, s);
+                    // Reference: newest seq wins; ties keep the later
+                    // arrival unresolved — avoid ties by skipping equal
+                    // seq updates in the reference the same way lookup
+                    // does (max_by_key returns the last max).
+                    match reference.get(&k) {
+                        Some((_, rs)) if *rs > s => {}
+                        _ => {
+                            reference.insert(k, (v, s));
+                        }
+                    }
+                }
+                Op::Flush => {
+                    p.flush();
+                }
+                Op::Merge => p.merge_oldest_pair(),
+                Op::Flatten => p.flatten(),
+            }
+            // Spot-check a few keys every step is too slow; check after.
+        }
+        for k in 0..=255u8 {
+            let got = p.get(&k).map(|(v, s)| (v, s));
+            let want = reference.get(&k).copied();
+            // Equal-seq duplicates make the value ambiguous; the seq must
+            // still match.
+            match (got, want) {
+                (None, None) => {}
+                (Some((_, gs)), Some((_, ws))) => prop_assert_eq!(gs, ws),
+                other => prop_assert!(false, "mismatch for {}: {:?}", k, other),
+            }
+        }
+    }
+
+    /// §3.2: inserts commute — any permutation converges to the same state.
+    #[test]
+    fn insertion_order_is_irrelevant(
+        mut facts in proptest::collection::vec((any::<u8>(), any::<u16>(), 1u64..1000), 1..100),
+        seed in any::<u64>(),
+    ) {
+        // Make seqs unique so the outcome is fully determined.
+        for (i, f) in facts.iter_mut().enumerate() {
+            f.2 = f.2 * 1000 + i as u64;
+        }
+        let mut a: Pyramid<u8, u16> = Pyramid::with_thresholds(16, 3);
+        for &(k, v, s) in &facts {
+            a.insert(k, v, s);
+        }
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut shuffled = facts.clone();
+        shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let mut b: Pyramid<u8, u16> = Pyramid::with_thresholds(16, 3);
+        for &(k, v, s) in &shuffled {
+            b.insert(k, v, s);
+        }
+        b.flatten();
+        for k in 0..=255u8 {
+            prop_assert_eq!(a.get(&k), b.get(&k), "key {}", k);
+        }
+    }
+
+    /// Elided facts never surface from get/range, and flatten drops them.
+    #[test]
+    fn elision_is_complete(
+        facts in proptest::collection::vec((any::<u8>(), any::<u16>()), 1..100),
+        cutoff in any::<u8>(),
+    ) {
+        let mut p: Pyramid<u8, u16> = Pyramid::with_thresholds(16, 3);
+        for (i, &(k, v)) in facts.iter().enumerate() {
+            p.insert(k, v, i as u64 + 1);
+        }
+        p.set_elide_filter(Arc::new(move |k: &u8, _s: Seq| *k < cutoff));
+        p.flatten();
+        for k in 0..cutoff {
+            prop_assert_eq!(p.get(&k), None);
+        }
+        for (k, _, _) in p.iter_live() {
+            prop_assert!(k >= cutoff);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The shared virtual clock.
+
+use crate::units::Nanos;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonic virtual clock, shared by every simulated component of an
+/// array via `Arc<Clock>`.
+///
+/// The clock never moves backwards: [`Clock::advance_to`] with a timestamp
+/// in the past is a no-op. Workload drivers advance the clock to model
+/// request arrival times; devices never advance it themselves — they only
+/// *reserve* time on their own [`crate::Timeline`]s, which is what lets
+/// independent drives overlap their work the way real hardware does.
+#[derive(Debug, Default)]
+pub struct Clock {
+    now: AtomicU64,
+}
+
+impl Clock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self { now: AtomicU64::new(0) })
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now.load(Ordering::Acquire)
+    }
+
+    /// Moves the clock forward to `t` if `t` is in the future.
+    /// Returns the resulting current time.
+    pub fn advance_to(&self, t: Nanos) -> Nanos {
+        self.now.fetch_max(t, Ordering::AcqRel).max(t)
+    }
+
+    /// Moves the clock forward by `delta`. Returns the new current time.
+    pub fn advance(&self, delta: Nanos) -> Nanos {
+        self.now.fetch_add(delta, Ordering::AcqRel) + delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let clock = Clock::new();
+        assert_eq!(clock.now(), 0);
+        assert_eq!(clock.advance(100), 100);
+        assert_eq!(clock.now(), 100);
+    }
+
+    #[test]
+    fn advance_to_never_moves_backwards() {
+        let clock = Clock::new();
+        clock.advance_to(500);
+        assert_eq!(clock.now(), 500);
+        assert_eq!(clock.advance_to(300), 500);
+        assert_eq!(clock.now(), 500);
+    }
+
+    #[test]
+    fn concurrent_advances_accumulate() {
+        let clock = Clock::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        clock.advance(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(clock.now(), 4000);
+    }
+}

@@ -1,0 +1,240 @@
+//! Log-bucketed latency histograms.
+
+use crate::units::{format_nanos, Nanos};
+
+/// Number of sub-buckets per power of two; yields <= ~6% quantile error.
+const SUB_BUCKETS: usize = 16;
+/// Covers values up to 2^40 ns (~18 virtual minutes per request).
+const MAX_POW: usize = 40;
+const BUCKETS: usize = MAX_POW * SUB_BUCKETS;
+
+/// A fixed-memory, log-bucketed histogram of latencies.
+///
+/// Quantile error is bounded by the sub-bucket resolution (~6%), which is
+/// plenty for reproducing the paper's p99.9-under-1ms style claims.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: Nanos,
+    max: Nanos,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_for(v: Nanos) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let pow = 63 - v.leading_zeros() as usize; // floor(log2 v) >= 4
+    let sub = ((v >> (pow - 4)) & 0xf) as usize; // top 4 bits below the MSB
+    ((pow - 3) * SUB_BUCKETS + sub).min(BUCKETS - 1)
+}
+
+/// Upper bound (inclusive representative value) of a bucket.
+fn bucket_value(idx: usize) -> Nanos {
+    if idx < SUB_BUCKETS {
+        return idx as u64;
+    }
+    let pow = idx / SUB_BUCKETS + 3;
+    let sub = (idx % SUB_BUCKETS) as u64;
+    (1u64 << pow) + (sub + 1) * (1u64 << (pow - 4)) - 1
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self { counts: vec![0; BUCKETS], total: 0, sum: 0, min: Nanos::MAX, max: 0 }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, v: Nanos) {
+        self.counts[bucket_for(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded samples, 0 if empty.
+    pub fn mean(&self) -> Nanos {
+        if self.total == 0 {
+            0
+        } else {
+            (self.sum / self.total as u128) as Nanos
+        }
+    }
+
+    /// Smallest recorded sample, 0 if empty.
+    pub fn min(&self) -> Nanos {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Nanos {
+        self.max
+    }
+
+    /// The latency at quantile `q` in \[0,1\]. Exact for the min/max ends,
+    /// bucket-resolution approximate in between.
+    pub fn quantile(&self, q: f64) -> Nanos {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_value(idx).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> Nanos {
+        self.quantile(0.50)
+    }
+    /// 95th percentile.
+    pub fn p95(&self) -> Nanos {
+        self.quantile(0.95)
+    }
+    /// 99th percentile.
+    pub fn p99(&self) -> Nanos {
+        self.quantile(0.99)
+    }
+    /// 99.9th percentile — the paper's headline tail metric.
+    pub fn p999(&self) -> Nanos {
+        self.quantile(0.999)
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={} p50={} p95={} p99={} p99.9={} max={}",
+            self.total,
+            format_nanos(self.mean()),
+            format_nanos(self.p50()),
+            format_nanos(self.p95()),
+            format_nanos(self.p99()),
+            format_nanos(self.p999()),
+            format_nanos(self.max())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{MS, US};
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.p999(), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..10 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 9);
+        assert_eq!(h.quantile(1.0), 9);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_error() {
+        let mut h = LatencyHistogram::new();
+        // Uniform 1..=1000 us.
+        for v in 1..=1000u64 {
+            h.record(v * US);
+        }
+        let p50 = h.p50();
+        assert!(
+            (450 * US..=560 * US).contains(&p50),
+            "p50 {} outside tolerance",
+            p50
+        );
+        let p99 = h.p99();
+        assert!((930 * US..=1060 * US).contains(&p99), "p99 {}", p99);
+    }
+
+    #[test]
+    fn tail_detects_outliers() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..9980 {
+            h.record(100 * US);
+        }
+        for _ in 0..20 {
+            h.record(20 * MS); // 0.2% slow requests
+        }
+        assert!(h.p99() < MS);
+        assert!(h.p999() >= 15 * MS, "p999 {} should capture the outliers", h.p999());
+    }
+
+    #[test]
+    fn merge_combines_populations() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotonic() {
+        let mut prev = 0;
+        for v in (0..1_000_000u64).step_by(997) {
+            let b = bucket_for(v);
+            assert!(b >= prev, "bucket regressed at {}", v);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn bucket_value_bounds_its_members() {
+        for v in [0u64, 5, 17, 100, 1023, 4096, 1_000_000, u32::MAX as u64] {
+            let idx = bucket_for(v);
+            assert!(
+                bucket_value(idx) >= v,
+                "bucket upper bound {} < member {}",
+                bucket_value(idx),
+                v
+            );
+        }
+    }
+}

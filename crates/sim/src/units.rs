@@ -1,0 +1,84 @@
+//! Size and time units plus human-readable formatting helpers.
+
+/// Virtual time in nanoseconds.
+pub type Nanos = u64;
+
+/// One kibibyte.
+pub const KIB: usize = 1024;
+/// One mebibyte.
+pub const MIB: usize = 1024 * KIB;
+/// One gibibyte.
+pub const GIB: usize = 1024 * MIB;
+
+/// One microsecond in [`Nanos`].
+pub const US: Nanos = 1_000;
+/// One millisecond in [`Nanos`].
+pub const MS: Nanos = 1_000_000;
+/// One second in [`Nanos`].
+pub const SEC: Nanos = 1_000_000_000;
+
+/// Formats a byte count with a binary-prefix unit, e.g. `1.50 MiB`.
+pub fn format_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{} {}", bytes, UNITS[unit])
+    } else {
+        format!("{:.2} {}", value, UNITS[unit])
+    }
+}
+
+/// Formats virtual nanoseconds with an adaptive unit, e.g. `1.25 ms`.
+pub fn format_nanos(ns: Nanos) -> String {
+    if ns >= SEC {
+        format!("{:.2} s", ns as f64 / SEC as f64)
+    } else if ns >= MS {
+        format!("{:.2} ms", ns as f64 / MS as f64)
+    } else if ns >= US {
+        format!("{:.2} us", ns as f64 / US as f64)
+    } else {
+        format!("{} ns", ns)
+    }
+}
+
+/// Formats a throughput figure (bytes over a virtual duration) as `X MiB/s`.
+pub fn format_throughput(bytes: u64, elapsed: Nanos) -> String {
+    if elapsed == 0 {
+        return "inf".to_owned();
+    }
+    let per_sec = bytes as f64 * SEC as f64 / elapsed as f64;
+    format!("{}/s", format_bytes(per_sec as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_formatting_picks_unit() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.00 KiB");
+        assert_eq!(format_bytes((3 * MIB) as u64), "3.00 MiB");
+        assert_eq!(format_bytes((5 * GIB) as u64 + GIB as u64 / 2), "5.50 GiB");
+    }
+
+    #[test]
+    fn nanos_formatting_picks_unit() {
+        assert_eq!(format_nanos(42), "42 ns");
+        assert_eq!(format_nanos(1_500), "1.50 us");
+        assert_eq!(format_nanos(2 * MS), "2.00 ms");
+        assert_eq!(format_nanos(3 * SEC), "3.00 s");
+    }
+
+    #[test]
+    fn throughput_is_bytes_per_virtual_second() {
+        // 1 MiB over 0.5s of virtual time = 2 MiB/s.
+        assert_eq!(format_throughput(MIB as u64, SEC / 2), "2.00 MiB/s");
+        assert_eq!(format_throughput(1, 0), "inf");
+    }
+}

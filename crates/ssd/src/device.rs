@@ -1,0 +1,304 @@
+//! The SSD as a Purity shelf slot sees it: a byte-addressed logical
+//! device with trim, plus the fault-injection hooks the paper's
+//! "pull drives while evaluating" stance (§1) demands.
+
+use crate::flash::Flash;
+use crate::ftl::{Ftl, FtlError, FtlStats};
+use crate::geometry::{Ppa, SsdGeometry};
+use crate::latency::{EnduranceModel, LatencyModel};
+use purity_sim::{Clock, Nanos};
+use std::sync::Arc;
+
+/// Device-level errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The drive has failed (pulled, died); all I/O is rejected.
+    Failed,
+    /// Misaligned write or trim.
+    Misaligned,
+    /// Translation-layer error (unmapped read, device full, flash fault).
+    Ftl(FtlError),
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::Failed => write!(f, "drive failed"),
+            DeviceError::Misaligned => write!(f, "I/O not page-aligned"),
+            DeviceError::Ftl(e) => write!(f, "{}", e),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+impl From<FtlError> for DeviceError {
+    fn from(e: FtlError) -> Self {
+        DeviceError::Ftl(e)
+    }
+}
+
+/// One simulated SSD.
+pub struct Ssd {
+    ftl: Ftl,
+    page_size: usize,
+    failed: bool,
+}
+
+impl Ssd {
+    /// Builds a drive with the given shape and timing; `seed` fixes the
+    /// per-block endurance draw.
+    pub fn new(
+        geo: SsdGeometry,
+        latency: LatencyModel,
+        endurance: EnduranceModel,
+        clock: Arc<Clock>,
+        seed: u64,
+        over_provision: f64,
+    ) -> Self {
+        let flash = Flash::new(geo, latency, endurance, clock, seed);
+        let page_size = geo.page_size;
+        Self { ftl: Ftl::new(flash, over_provision), page_size, failed: false }
+    }
+
+    /// A consumer-MLC drive at the scaled test geometry.
+    pub fn consumer_mlc(clock: Arc<Clock>, seed: u64) -> Self {
+        Self::new(
+            SsdGeometry::consumer_mlc_scaled(),
+            LatencyModel::consumer_mlc(),
+            EnduranceModel::consumer_mlc(),
+            clock,
+            seed,
+            0.125,
+        )
+    }
+
+    /// Usable (logical) capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.ftl.logical_bytes()
+    }
+
+    /// Logical page size (the write/trim alignment unit).
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// FTL traffic statistics.
+    pub fn stats(&self) -> FtlStats {
+        self.ftl.stats()
+    }
+
+    /// Total flash-level counters (reads/programs/erases/bad blocks).
+    pub fn flash_counters(&self) -> crate::flash::FlashCounters {
+        self.ftl.flash().counters()
+    }
+
+    /// Marks the drive failed (simulates pulling it from the shelf).
+    pub fn fail(&mut self) {
+        self.failed = true;
+    }
+
+    /// Returns a failed drive to service. Its contents survive: pulling a
+    /// drive does not wipe it.
+    pub fn revive(&mut self) {
+        self.failed = false;
+    }
+
+    /// Whether the drive is currently failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// True if any die is busy at `now` — a read issued now may stall.
+    /// Purity's scheduler uses the coarser signal "this drive is
+    /// servicing a segment write" which the array tracks itself; this is
+    /// the device-internal view.
+    pub fn busy_at(&self, now: Nanos) -> bool {
+        let geo = *self.ftl.flash().geometry();
+        (0..geo.dies).any(|d| self.ftl.flash().die_busy_at(d, now))
+    }
+
+    /// Earliest time every die is free.
+    pub fn free_at(&self) -> Nanos {
+        let geo = *self.ftl.flash().geometry();
+        (0..geo.dies).map(|d| self.ftl.flash().die_free_at(d)).max().unwrap_or(0)
+    }
+
+    /// Writes page-aligned bytes at a page-aligned byte offset.
+    /// Returns the completion timestamp of the last page program.
+    pub fn write(&mut self, offset: usize, data: &[u8], now: Nanos) -> Result<Nanos, DeviceError> {
+        if self.failed {
+            return Err(DeviceError::Failed);
+        }
+        if !offset.is_multiple_of(self.page_size) || !data.len().is_multiple_of(self.page_size) {
+            return Err(DeviceError::Misaligned);
+        }
+        let mut done = now;
+        for (i, chunk) in data.chunks(self.page_size).enumerate() {
+            let lpn = offset / self.page_size + i;
+            done = done.max(self.ftl.write(lpn, chunk, now)?);
+        }
+        Ok(done)
+    }
+
+    /// Reads `len` bytes at any byte offset. Returns data + the
+    /// completion timestamp of the slowest constituent page read.
+    pub fn read(&mut self, offset: usize, len: usize, now: Nanos) -> Result<(Vec<u8>, Nanos), DeviceError> {
+        if self.failed {
+            return Err(DeviceError::Failed);
+        }
+        if len == 0 {
+            return Ok((Vec::new(), now));
+        }
+        let first = offset / self.page_size;
+        let last = (offset + len - 1) / self.page_size;
+        let mut buf = Vec::with_capacity((last - first + 1) * self.page_size);
+        let mut done = now;
+        for lpn in first..=last {
+            let (page, t) = self.ftl.read(lpn, now)?;
+            buf.extend_from_slice(&page);
+            done = done.max(t);
+        }
+        let start = offset - first * self.page_size;
+        Ok((buf[start..start + len].to_vec(), done))
+    }
+
+    /// Trims a page-aligned byte range, releasing it inside the FTL.
+    pub fn trim(&mut self, offset: usize, len: usize) -> Result<(), DeviceError> {
+        if self.failed {
+            return Err(DeviceError::Failed);
+        }
+        if !offset.is_multiple_of(self.page_size) || !len.is_multiple_of(self.page_size) {
+            return Err(DeviceError::Misaligned);
+        }
+        for lpn in offset / self.page_size..(offset + len) / self.page_size {
+            self.ftl.trim(lpn)?;
+        }
+        Ok(())
+    }
+
+    /// Pre-ages the device by erasing every block `cycles` times —
+    /// §5.1's "we first used synthetic data to overwrite drives until
+    /// they reached their rated number of P/E cycles". Only meaningful on
+    /// a device with no live data (erases wipe everything).
+    pub fn preage(&mut self, cycles: u64) {
+        let geo = *self.ftl.flash().geometry();
+        for die in 0..geo.dies {
+            for block in 0..geo.blocks_per_die {
+                for _ in 0..cycles {
+                    if self.ftl.flash_mut().erase_block(die, block, 0).is_err() {
+                        break; // block wore out entirely
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fault injection: corrupts the physical page currently backing the
+    /// given logical byte offset (silent bit rot, detected at read).
+    pub fn corrupt_at(&mut self, offset: usize) -> bool {
+        let lpn = offset / self.page_size;
+        if !self.ftl.is_mapped(lpn) {
+            return false;
+        }
+        let geo = *self.ftl.flash().geometry();
+        // Reach through the FTL: read the mapping by re-deriving it is
+        // private, so walk physical pages via a trial read would charge
+        // time. Instead expose corruption through the FTL mapping.
+        if let Some(flat) = self.ftl.physical_of(lpn) {
+            self.ftl.flash_mut().corrupt_page(Ppa::unflatten(flat, &geo));
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use purity_sim::Clock;
+
+    fn mk() -> Ssd {
+        Ssd::new(
+            SsdGeometry::test_small(),
+            LatencyModel::consumer_mlc(),
+            EnduranceModel::consumer_mlc(),
+            Clock::new(),
+            11,
+            0.2,
+        )
+    }
+
+    #[test]
+    fn byte_level_round_trip() {
+        let mut ssd = mk();
+        let data: Vec<u8> = (0..8192).map(|i| (i % 255) as u8).collect();
+        ssd.write(4096, &data, 0).unwrap();
+        let (read, _) = ssd.read(4096, 8192, 0).unwrap();
+        assert_eq!(read, data);
+        // Sub-page read within the written range.
+        let (part, _) = ssd.read(5000, 100, 0).unwrap();
+        assert_eq!(part, data[904..1004]);
+    }
+
+    #[test]
+    fn misaligned_writes_are_rejected() {
+        let mut ssd = mk();
+        assert_eq!(ssd.write(100, &[0u8; 4096], 0).unwrap_err(), DeviceError::Misaligned);
+        assert_eq!(ssd.write(0, &[0u8; 100], 0).unwrap_err(), DeviceError::Misaligned);
+    }
+
+    #[test]
+    fn failed_drive_rejects_everything_and_revives_with_data() {
+        let mut ssd = mk();
+        ssd.write(0, &[7u8; 4096], 0).unwrap();
+        ssd.fail();
+        assert!(ssd.is_failed());
+        assert_eq!(ssd.read(0, 10, 0).unwrap_err(), DeviceError::Failed);
+        assert_eq!(ssd.write(0, &[0u8; 4096], 0).unwrap_err(), DeviceError::Failed);
+        assert_eq!(ssd.trim(0, 4096).unwrap_err(), DeviceError::Failed);
+        ssd.revive();
+        assert_eq!(ssd.read(0, 4096, 0).unwrap().0, [7u8; 4096]);
+    }
+
+    #[test]
+    fn trim_then_read_fails() {
+        let mut ssd = mk();
+        ssd.write(0, &[1u8; 4096], 0).unwrap();
+        ssd.trim(0, 4096).unwrap();
+        assert!(matches!(ssd.read(0, 1, 0), Err(DeviceError::Ftl(FtlError::Unmapped))));
+    }
+
+    #[test]
+    fn corruption_is_detected_on_read() {
+        let mut ssd = mk();
+        ssd.write(0, &[3u8; 4096], 0).unwrap();
+        assert!(ssd.corrupt_at(0));
+        assert!(matches!(
+            ssd.read(0, 4096, 0),
+            Err(DeviceError::Ftl(FtlError::Flash(crate::flash::FlashError::Corrupt)))
+        ));
+        // Corrupting an unmapped page reports false.
+        assert!(!ssd.corrupt_at(1024 * 1024));
+    }
+
+    #[test]
+    fn reads_report_queueing_latency() {
+        let mut ssd = mk();
+        let big = vec![5u8; 64 * 1024];
+        let done = ssd.write(0, &big, 0).unwrap();
+        assert!(done > 0);
+        // Immediately-issued read completes after pending programs on its die.
+        let (_, t) = ssd.read(0, 4096, 0).unwrap();
+        assert!(t > LatencyModel::consumer_mlc().read_ns);
+    }
+
+    #[test]
+    fn capacity_reflects_over_provisioning() {
+        let ssd = mk();
+        let raw = SsdGeometry::test_small().raw_bytes();
+        assert!(ssd.capacity_bytes() < raw);
+        assert!(ssd.capacity_bytes() >= (raw as f64 * 0.75) as usize);
+    }
+}

@@ -1,0 +1,442 @@
+//! Raw NAND flash: real bytes, real constraints.
+//!
+//! Enforced device rules (§2.1):
+//! * pages must be erased before they are programmed, and are programmed
+//!   in order within an erase block;
+//! * erases operate on whole blocks and block reads on the same die;
+//! * blocks wear out with program/erase cycles — each block gets a true
+//!   endurance drawn above its rating (§5.1: "P/E ratings significantly
+//!   underestimate real-world endurance");
+//! * worn blocks leak charge faster: a page programmed long ago on a
+//!   high-wear block reads back as corrupt unless it has been rewritten
+//!   (the reason Purity scrubs, §5.1).
+
+use crate::geometry::{Ppa, SsdGeometry};
+use crate::latency::{EnduranceModel, LatencyModel};
+use purity_sim::{Clock, Nanos, Timeline};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// One virtual year — the retention horizon a block at exactly its rated
+/// wear is specified to hold data for (§5.1).
+pub const RETENTION_AT_RATING: Nanos = 365 * 24 * 3600 * purity_sim::SEC;
+
+/// Raw flash operation errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlashError {
+    /// Read of a page that was never programmed since the last erase.
+    NotProgrammed,
+    /// Program of a page that is already programmed (no overwrite in NAND).
+    AlreadyProgrammed,
+    /// Pages within a block must be programmed sequentially.
+    OutOfOrderProgram,
+    /// The erase block has worn out.
+    BadBlock,
+    /// The page's charge has leaked (retention failure) or it was
+    /// explicitly corrupted by fault injection.
+    Corrupt,
+}
+
+impl std::fmt::Display for FlashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FlashError::NotProgrammed => "page not programmed",
+            FlashError::AlreadyProgrammed => "page already programmed",
+            FlashError::OutOfOrderProgram => "out-of-order program within erase block",
+            FlashError::BadBlock => "erase block worn out",
+            FlashError::Corrupt => "page corrupt (retention failure or injected)",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+struct Block {
+    /// Page payloads; allocated lazily on first program after erase.
+    data: Vec<Option<Box<[u8]>>>,
+    /// Virtual program timestamp per page, for retention modelling.
+    programmed_at: Vec<Nanos>,
+    /// Injected / leaked corruption flags.
+    corrupt: Vec<bool>,
+    /// Next page that may be programmed (NAND sequential-program rule).
+    write_cursor: usize,
+    erase_count: u64,
+    /// True endurance limit for this block (>= rating).
+    true_endurance: u64,
+    bad: bool,
+}
+
+impl Block {
+    fn new(pages: usize, true_endurance: u64) -> Self {
+        Self {
+            data: (0..pages).map(|_| None).collect(),
+            programmed_at: vec![0; pages],
+            corrupt: vec![false; pages],
+            write_cursor: 0,
+            erase_count: 0,
+            true_endurance,
+            bad: false,
+        }
+    }
+}
+
+struct Die {
+    timeline: Timeline,
+    blocks: Vec<Block>,
+}
+
+/// Wear / traffic counters (SMART-style).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlashCounters {
+    /// Pages read.
+    pub reads: u64,
+    /// Pages programmed.
+    pub programs: u64,
+    /// Blocks erased.
+    pub erases: u64,
+    /// Blocks retired as bad.
+    pub bad_blocks: u64,
+}
+
+/// A raw NAND device: dies operating in parallel, each with its own
+/// timeline.
+pub struct Flash {
+    geo: SsdGeometry,
+    latency: LatencyModel,
+    endurance: EnduranceModel,
+    clock: Arc<Clock>,
+    dies: Vec<Die>,
+    counters: FlashCounters,
+}
+
+impl Flash {
+    /// Creates a fresh (fully erased) device. `seed` fixes the endurance
+    /// draw so simulations are reproducible.
+    pub fn new(
+        geo: SsdGeometry,
+        latency: LatencyModel,
+        endurance: EnduranceModel,
+        clock: Arc<Clock>,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dies = (0..geo.dies)
+            .map(|_| Die {
+                timeline: Timeline::new(),
+                blocks: (0..geo.blocks_per_die)
+                    .map(|_| {
+                        // Real endurance lands 1.5-4x above the rating.
+                        let factor = rng.gen_range(1.5..4.0);
+                        let limit = (endurance.rated_pe_cycles as f64 * factor) as u64;
+                        Block::new(geo.pages_per_block, limit)
+                    })
+                    .collect(),
+            })
+            .collect();
+        Self { geo, latency, endurance, clock, dies, counters: FlashCounters::default() }
+    }
+
+    /// Device geometry.
+    pub fn geometry(&self) -> &SsdGeometry {
+        &self.geo
+    }
+
+    /// Timing model in force.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Endurance rating in force.
+    pub fn endurance_model(&self) -> &EnduranceModel {
+        &self.endurance
+    }
+
+    /// Traffic counters.
+    pub fn counters(&self) -> FlashCounters {
+        self.counters
+    }
+
+    /// True if the die owning `ppa` is busy at `now` (would delay a read).
+    pub fn die_busy_at(&self, die: usize, now: Nanos) -> bool {
+        self.dies[die].timeline.busy_at(now)
+    }
+
+    /// When the die next becomes free.
+    pub fn die_free_at(&self, die: usize) -> Nanos {
+        self.dies[die].timeline.free_at()
+    }
+
+    /// Reads one page. Returns the data and the completion timestamp
+    /// (includes any queueing behind programs/erases on the die).
+    pub fn read_page(&mut self, ppa: Ppa, now: Nanos) -> Result<(Vec<u8>, Nanos), FlashError> {
+        let retention = self.retention_limit(ppa);
+        let virtual_now = self.clock.now();
+        // Determine service time first; charge it before looking at
+        // corruption — the device works just as hard to read a bad page.
+        let service = {
+            let block = &self.dies[ppa.die].blocks[ppa.block];
+            if block.bad {
+                return Err(FlashError::BadBlock);
+            }
+            let data = block.data[ppa.page].as_ref().ok_or(FlashError::NotProgrammed)?;
+            self.latency.page_read(data.len())
+        };
+        let res = self.dies[ppa.die].timeline.reserve(now, service);
+        self.counters.reads += 1;
+        let block = &mut self.dies[ppa.die].blocks[ppa.block];
+        if block.corrupt[ppa.page] {
+            return Err(FlashError::Corrupt);
+        }
+        // Retention: worn blocks leak; data older than the limit is gone.
+        if virtual_now.saturating_sub(block.programmed_at[ppa.page]) > retention {
+            block.corrupt[ppa.page] = true;
+            return Err(FlashError::Corrupt);
+        }
+        Ok((block.data[ppa.page].as_ref().unwrap().to_vec(), res.end))
+    }
+
+    /// Programs one page. Pages must be erased and programmed in order.
+    /// Returns the completion timestamp.
+    pub fn program_page(
+        &mut self,
+        ppa: Ppa,
+        data: &[u8],
+        now: Nanos,
+    ) -> Result<Nanos, FlashError> {
+        assert_eq!(data.len(), self.geo.page_size, "programs are whole pages");
+        let virtual_now = self.clock.now().max(now);
+        {
+            let block = &self.dies[ppa.die].blocks[ppa.block];
+            if block.bad {
+                return Err(FlashError::BadBlock);
+            }
+            if block.data[ppa.page].is_some() {
+                return Err(FlashError::AlreadyProgrammed);
+            }
+            if ppa.page != block.write_cursor {
+                return Err(FlashError::OutOfOrderProgram);
+            }
+        }
+        let service = self.latency.page_program(data.len());
+        let res = self.dies[ppa.die].timeline.reserve(now, service);
+        let block = &mut self.dies[ppa.die].blocks[ppa.block];
+        block.data[ppa.page] = Some(data.to_vec().into_boxed_slice());
+        block.programmed_at[ppa.page] = virtual_now;
+        block.corrupt[ppa.page] = false;
+        block.write_cursor += 1;
+        self.counters.programs += 1;
+        Ok(res.end)
+    }
+
+    /// Erases a whole block. Wears the block; past its true endurance the
+    /// block goes bad. Returns the completion timestamp.
+    pub fn erase_block(&mut self, die: usize, block: usize, now: Nanos) -> Result<Nanos, FlashError> {
+        let pages = self.geo.pages_per_block;
+        if self.dies[die].blocks[block].bad {
+            return Err(FlashError::BadBlock);
+        }
+        let res = self.dies[die].timeline.reserve(now, self.latency.erase_ns);
+        let b = &mut self.dies[die].blocks[block];
+        let (prior_erases, true_endurance) = (b.erase_count, b.true_endurance);
+        *b = Block::new(pages, true_endurance);
+        b.erase_count = prior_erases + 1;
+        self.counters.erases += 1;
+        if b.erase_count >= b.true_endurance {
+            b.bad = true;
+            self.counters.bad_blocks += 1;
+            return Err(FlashError::BadBlock);
+        }
+        Ok(res.end)
+    }
+
+    /// Erase count of a block (for wear-aware allocation).
+    pub fn erase_count(&self, die: usize, block: usize) -> u64 {
+        self.dies[die].blocks[block].erase_count
+    }
+
+    /// Whether a block has been retired.
+    pub fn is_bad(&self, die: usize, block: usize) -> bool {
+        self.dies[die].blocks[block].bad
+    }
+
+    /// Fault injection: marks a single page corrupt (bit rot / UBER event).
+    pub fn corrupt_page(&mut self, ppa: Ppa) {
+        self.dies[ppa.die].blocks[ppa.block].corrupt[ppa.page] = true;
+    }
+
+    /// Retention horizon for the block owning `ppa`: a fresh block holds
+    /// data for many virtual years; a block at its *rating* holds it for
+    /// roughly [`RETENTION_AT_RATING`]; beyond that it decays inversely
+    /// with wear. The horizon scales with the block's true (randomly
+    /// drawn) endurance, so equally-worn blocks fail at *different*
+    /// times — the variance real arrays rely on to scrub-repair ahead of
+    /// correlated loss (§5.1).
+    fn retention_limit(&self, ppa: Ppa) -> Nanos {
+        let b = &self.dies[ppa.die].blocks[ppa.block];
+        let wear = b.erase_count.max(1);
+        ((RETENTION_AT_RATING as u128 * b.true_endurance as u128)
+            / (wear as u128 * 2))
+            .min(Nanos::MAX as u128) as Nanos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> (Flash, Arc<Clock>) {
+        let clock = Clock::new();
+        let f = Flash::new(
+            SsdGeometry::test_small(),
+            LatencyModel::consumer_mlc(),
+            EnduranceModel::consumer_mlc(),
+            clock.clone(),
+            42,
+        );
+        (f, clock)
+    }
+
+    fn page(fill: u8, size: usize) -> Vec<u8> {
+        vec![fill; size]
+    }
+
+    #[test]
+    fn program_then_read_round_trips() {
+        let (mut f, _) = mk();
+        let ppa = Ppa { die: 0, block: 0, page: 0 };
+        let data = page(0xab, 4096);
+        f.program_page(ppa, &data, 0).unwrap();
+        let (read, _) = f.read_page(ppa, 0).unwrap();
+        assert_eq!(read, data);
+    }
+
+    #[test]
+    fn unprogrammed_read_fails() {
+        let (mut f, _) = mk();
+        let ppa = Ppa { die: 1, block: 2, page: 3 };
+        assert_eq!(f.read_page(ppa, 0).unwrap_err(), FlashError::NotProgrammed);
+    }
+
+    #[test]
+    fn no_overwrite_without_erase() {
+        let (mut f, _) = mk();
+        let ppa = Ppa { die: 0, block: 0, page: 0 };
+        f.program_page(ppa, &page(1, 4096), 0).unwrap();
+        assert_eq!(
+            f.program_page(ppa, &page(2, 4096), 0).unwrap_err(),
+            FlashError::AlreadyProgrammed
+        );
+        f.erase_block(0, 0, 0).unwrap();
+        f.program_page(ppa, &page(2, 4096), 0).unwrap();
+        assert_eq!(f.read_page(ppa, 0).unwrap().0, page(2, 4096));
+    }
+
+    #[test]
+    fn pages_program_in_order() {
+        let (mut f, _) = mk();
+        let p1 = Ppa { die: 0, block: 0, page: 1 };
+        assert_eq!(
+            f.program_page(p1, &page(1, 4096), 0).unwrap_err(),
+            FlashError::OutOfOrderProgram
+        );
+        f.program_page(Ppa { die: 0, block: 0, page: 0 }, &page(0, 4096), 0).unwrap();
+        f.program_page(p1, &page(1, 4096), 0).unwrap();
+    }
+
+    #[test]
+    fn erase_wipes_all_pages() {
+        let (mut f, _) = mk();
+        for p in 0..4 {
+            f.program_page(Ppa { die: 0, block: 5, page: p }, &page(p as u8, 4096), 0).unwrap();
+        }
+        f.erase_block(0, 5, 0).unwrap();
+        for p in 0..4 {
+            assert_eq!(
+                f.read_page(Ppa { die: 0, block: 5, page: p }, 0).unwrap_err(),
+                FlashError::NotProgrammed
+            );
+        }
+    }
+
+    #[test]
+    fn reads_queue_behind_programs_on_same_die() {
+        let (mut f, _) = mk();
+        let w = Ppa { die: 0, block: 0, page: 0 };
+        let done = f.program_page(w, &page(7, 4096), 0).unwrap();
+        assert!(done >= LatencyModel::consumer_mlc().program_ns);
+        // Read on the same die waits for the program.
+        let (_, read_done) = f.read_page(w, 1000).unwrap();
+        assert!(read_done > done, "read should queue behind the program");
+        // Read on another die proceeds immediately.
+        f.program_page(Ppa { die: 1, block: 0, page: 0 }, &page(8, 4096), 0).unwrap();
+        let free = f.die_free_at(1);
+        assert!(f.die_busy_at(1, 0));
+        assert!(!f.die_busy_at(1, free));
+    }
+
+    #[test]
+    fn blocks_wear_out_past_true_endurance() {
+        let clock = Clock::new();
+        let mut f = Flash::new(
+            SsdGeometry { dies: 1, blocks_per_die: 1, pages_per_block: 4, page_size: 512 },
+            LatencyModel::consumer_mlc(),
+            EnduranceModel { rated_pe_cycles: 10 },
+            clock,
+            1,
+        );
+        let mut erases = 0u64;
+        loop {
+            match f.erase_block(0, 0, 0) {
+                Ok(_) => erases += 1,
+                Err(FlashError::BadBlock) => break,
+                Err(e) => panic!("unexpected erase error {e:?}"),
+            }
+        }
+        // True endurance is 1.5-4x rating.
+        assert!((14..40).contains(&erases), "erases = {}", erases);
+        assert_eq!(f.counters().bad_blocks, 1);
+    }
+
+    #[test]
+    fn injected_corruption_is_detected() {
+        let (mut f, _) = mk();
+        let ppa = Ppa { die: 2, block: 1, page: 0 };
+        f.program_page(ppa, &page(9, 4096), 0).unwrap();
+        f.corrupt_page(ppa);
+        assert_eq!(f.read_page(ppa, 0).unwrap_err(), FlashError::Corrupt);
+    }
+
+    #[test]
+    fn worn_blocks_leak_charge_over_virtual_time() {
+        let clock = Clock::new();
+        let geo = SsdGeometry { dies: 1, blocks_per_die: 2, pages_per_block: 2, page_size: 512 };
+        let mut f = Flash::new(
+            geo,
+            LatencyModel::consumer_mlc(),
+            EnduranceModel { rated_pe_cycles: 4 },
+            clock.clone(),
+            2,
+        );
+        // Wear block 0 to its rating.
+        for _ in 0..4 {
+            f.erase_block(0, 0, clock.now()).unwrap();
+        }
+        let ppa = Ppa { die: 0, block: 0, page: 0 };
+        f.program_page(ppa, &page(1, 512), clock.now()).unwrap();
+        // Data still fine shortly after.
+        assert!(f.read_page(ppa, clock.now()).is_ok());
+        // Two virtual years later the worn block has leaked...
+        clock.advance(2 * RETENTION_AT_RATING);
+        assert_eq!(f.read_page(ppa, clock.now()).unwrap_err(), FlashError::Corrupt);
+        // ...but a freshly written page on a fresh block survives.
+        let fresh = Ppa { die: 0, block: 1, page: 0 };
+        f.program_page(fresh, &page(2, 512), clock.now()).unwrap();
+        clock.advance(2 * RETENTION_AT_RATING);
+        assert!(
+            f.read_page(fresh, clock.now()).is_ok(),
+            "fresh block retention should exceed 2 years"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! A solid-state-disk simulator reproducing the device behaviours the
+//! Purity paper's design responds to (§2.1, §3.3, §5.1).
+//!
+//! The simulator keeps **real bytes** — every page programmed is stored
+//! and read back verbatim — while charging **virtual time** to per-die
+//! [`purity_sim::Timeline`]s, which reproduces the two hardware quirks the
+//! paper's design is built around:
+//!
+//! 1. *Erase/program blocking*: a read issued to a die that is busy
+//!    programming or erasing waits, producing the read-latency spikes that
+//!    motivate Purity's read-around-writes scheduling (§4.4).
+//! 2. *Random-write penalty*: the page-mapping [`ftl::Ftl`] must
+//!    garbage-collect erase blocks; random writes fragment blocks and
+//!    drive up write amplification and tail latency, while Purity-style
+//!    large sequential writes keep the FTL nearly free (§3.3).
+//!
+//! Layers:
+//! * [`geometry`]/[`latency`] — device shape and timing parameters.
+//! * [`flash`] — raw NAND: dies → erase blocks → pages, erase-before-
+//!   program enforcement, P/E wear accounting, corruption injection.
+//! * [`ftl`] — logical-page translation layer with greedy GC and
+//!   wear-aware block selection.
+//! * [`device`] — the [`device::Ssd`] a Purity shelf slots in: byte-
+//!   addressed logical space, trim, failure injection, SMART counters.
+//! * [`nvram`] — the low-latency SLC log device Purity commits to.
+
+pub mod device;
+pub mod flash;
+pub mod ftl;
+pub mod geometry;
+pub mod latency;
+pub mod nvram;
+
+pub use device::{DeviceError, Ssd};
+pub use geometry::SsdGeometry;
+pub use latency::LatencyModel;
+pub use nvram::Nvram;

@@ -1,0 +1,232 @@
+//! The shelf "NVRAM" device (§4.1).
+//!
+//! When Purity launched, NVRAM parts were not widely available, so the
+//! shelves carry an extremely high-performance SLC flash device with
+//! bounded latency and a large P/E budget; the paper calls it NVRAM
+//! because that is how it behaves. We model it as an append-only record
+//! log with SLC timing: commits append; the segio writer trims records
+//! once their facts are durable in segments (Figure 4).
+
+use crate::latency::LatencyModel;
+use purity_sim::{Nanos, Timeline};
+
+/// NVRAM errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NvramError {
+    /// The log is out of space (commits must stall until a trim).
+    Full,
+    /// The device has failed.
+    Failed,
+}
+
+impl std::fmt::Display for NvramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NvramError::Full => write!(f, "nvram log full"),
+            NvramError::Failed => write!(f, "nvram device failed"),
+        }
+    }
+}
+
+impl std::error::Error for NvramError {}
+
+/// A record durably stored in NVRAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NvramRecord {
+    /// Monotonic index assigned at append time.
+    pub index: u64,
+    /// Record payload.
+    pub payload: Vec<u8>,
+}
+
+/// The append-only SLC log device.
+///
+/// Real shelves carry several NVRAM parts; `channels` models their
+/// parallelism (appends round-robin across channels; each channel
+/// serializes its own programs).
+pub struct Nvram {
+    latency: LatencyModel,
+    timelines: Vec<Timeline>,
+    next_channel: usize,
+    capacity_bytes: usize,
+    used_bytes: usize,
+    next_index: u64,
+    records: Vec<NvramRecord>,
+    failed: bool,
+    appends: u64,
+}
+
+impl Nvram {
+    /// Creates an NVRAM log with the given capacity, using SLC timing
+    /// and 8 channels (a shelf's worth of SLC parts).
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self::with_channels(capacity_bytes, 8)
+    }
+
+    /// Creates an NVRAM log with an explicit channel count.
+    pub fn with_channels(capacity_bytes: usize, channels: usize) -> Self {
+        assert!(channels >= 1);
+        Self {
+            latency: LatencyModel::slc_nvram(),
+            timelines: (0..channels).map(|_| Timeline::new()).collect(),
+            next_channel: 0,
+            capacity_bytes,
+            used_bytes: 0,
+            next_index: 0,
+            records: Vec::new(),
+            failed: false,
+            appends: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently held (not yet trimmed).
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Total appends over the device lifetime.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Durably appends a record. Returns its index and the completion
+    /// timestamp (the commit becomes acknowledgeable at that time).
+    pub fn append(&mut self, payload: &[u8], now: Nanos) -> Result<(u64, Nanos), NvramError> {
+        if self.failed {
+            return Err(NvramError::Failed);
+        }
+        if self.used_bytes + payload.len() > self.capacity_bytes {
+            return Err(NvramError::Full);
+        }
+        let service = self.latency.page_program(payload.len());
+        let channel = self.next_channel;
+        self.next_channel = (self.next_channel + 1) % self.timelines.len();
+        let res = self.timelines[channel].reserve(now, service);
+        let index = self.next_index;
+        self.next_index += 1;
+        self.used_bytes += payload.len();
+        self.records.push(NvramRecord { index, payload: payload.to_vec() });
+        self.appends += 1;
+        Ok((index, res.end))
+    }
+
+    /// Scans all live records (recovery path). Returns records and the
+    /// completion timestamp of the scan.
+    pub fn scan(&self, now: Nanos) -> Result<(Vec<NvramRecord>, Nanos), NvramError> {
+        if self.failed {
+            return Err(NvramError::Failed);
+        }
+        // Scans stream from all channels in parallel.
+        let per_channel = self.used_bytes.div_ceil(self.timelines.len()).max(1);
+        let service = self.latency.page_read(per_channel);
+        let end = self
+            .timelines
+            .iter()
+            .map(|t| t.reserve(now, service).end)
+            .max()
+            .unwrap_or(now);
+        Ok((self.records.clone(), end))
+    }
+
+    /// Releases every record with `index <= through`, freeing space.
+    /// Called once the segio writer has made those facts durable in
+    /// segments (Figure 4's "trims the DRAM and NVRAM").
+    pub fn trim_through(&mut self, through: u64) {
+        let mut freed = 0;
+        self.records.retain(|r| {
+            if r.index <= through {
+                freed += r.payload.len();
+                false
+            } else {
+                true
+            }
+        });
+        self.used_bytes -= freed;
+    }
+
+    /// Fails the device.
+    pub fn fail(&mut self) {
+        self.failed = true;
+    }
+
+    /// Restores the device (contents intact — it is non-volatile).
+    pub fn revive(&mut self) {
+        self.failed = false;
+    }
+
+    /// Whether the device is failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_assigns_monotonic_indexes() {
+        let mut nv = Nvram::new(1024);
+        let (i0, t0) = nv.append(b"alpha", 0).unwrap();
+        let (i1, t1) = nv.append(b"beta", 0).unwrap();
+        assert_eq!((i0, i1), (0, 1));
+        // Different channels: both complete at the single-program time.
+        assert_eq!(t1, t0, "parallel channels absorb concurrent appends");
+        // A single-channel device serializes.
+        let mut nv1 = Nvram::with_channels(1024, 1);
+        let (_, a) = nv1.append(b"x", 0).unwrap();
+        let (_, b) = nv1.append(b"y", 0).unwrap();
+        assert!(b > a, "single channel serializes");
+    }
+
+    #[test]
+    fn scan_returns_live_records_in_order() {
+        let mut nv = Nvram::new(1024);
+        for i in 0..5u8 {
+            nv.append(&[i], 0).unwrap();
+        }
+        let (records, _) = nv.scan(0).unwrap();
+        assert_eq!(records.len(), 5);
+        assert!(records.windows(2).all(|w| w[0].index < w[1].index));
+    }
+
+    #[test]
+    fn trim_frees_space_and_hides_records() {
+        let mut nv = Nvram::new(64);
+        for _ in 0..4 {
+            nv.append(&[0u8; 16], 0).unwrap();
+        }
+        assert_eq!(nv.append(&[0u8; 16], 0).unwrap_err(), NvramError::Full);
+        nv.trim_through(1);
+        assert_eq!(nv.used_bytes(), 32);
+        nv.append(&[0u8; 16], 0).unwrap();
+        let (records, _) = nv.scan(0).unwrap();
+        let indexes: Vec<u64> = records.iter().map(|r| r.index).collect();
+        assert_eq!(indexes, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn commit_latency_is_bounded_and_low() {
+        let mut nv = Nvram::new(1024 * 1024);
+        let (_, t) = nv.append(&[0u8; 512], 0).unwrap();
+        // SLC program + transfer: well under the MLC program time.
+        assert!(t < LatencyModel::consumer_mlc().program_ns / 2, "commit {}", t);
+    }
+
+    #[test]
+    fn failure_blocks_io_but_preserves_content() {
+        let mut nv = Nvram::new(1024);
+        nv.append(b"persisted", 0).unwrap();
+        nv.fail();
+        assert_eq!(nv.append(b"x", 0).unwrap_err(), NvramError::Failed);
+        assert_eq!(nv.scan(0).unwrap_err(), NvramError::Failed);
+        nv.revive();
+        let (records, _) = nv.scan(0).unwrap();
+        assert_eq!(records[0].payload, b"persisted");
+    }
+}

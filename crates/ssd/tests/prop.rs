@@ -1,0 +1,87 @@
+//! Property tests: the FTL against a reference map under random
+//! write/trim/overwrite interleavings.
+
+use proptest::prelude::*;
+use purity_sim::Clock;
+use purity_ssd::flash::Flash;
+use purity_ssd::ftl::{Ftl, FtlError};
+use purity_ssd::geometry::SsdGeometry;
+use purity_ssd::latency::{EnduranceModel, LatencyModel};
+use std::collections::HashMap;
+
+fn mk() -> Ftl {
+    Ftl::new(
+        Flash::new(
+            SsdGeometry { dies: 2, blocks_per_die: 32, pages_per_block: 16, page_size: 512 },
+            LatencyModel::consumer_mlc(),
+            EnduranceModel::consumer_mlc(),
+            Clock::new(),
+            9,
+        ),
+        0.25,
+    )
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u16, u8),
+    Trim(u16),
+    Read(u16),
+}
+
+fn ops() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<u16>(), any::<u8>()).prop_map(|(l, v)| Op::Write(l, v)),
+        1 => any::<u16>().prop_map(Op::Trim),
+        2 => any::<u16>().prop_map(Op::Read),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ftl_matches_reference(script in proptest::collection::vec(ops(), 0..400)) {
+        let mut ftl = mk();
+        let n = ftl.logical_pages();
+        let mut reference: HashMap<usize, u8> = HashMap::new();
+        let mut t = 0;
+        for op in script {
+            match op {
+                Op::Write(l, v) => {
+                    let lpn = l as usize % n;
+                    let done = ftl.write(lpn, &vec![v; 512], t).unwrap();
+                    reference.insert(lpn, v);
+                    t = done;
+                }
+                Op::Trim(l) => {
+                    let lpn = l as usize % n;
+                    ftl.trim(lpn).unwrap();
+                    reference.remove(&lpn);
+                }
+                Op::Read(l) => {
+                    let lpn = l as usize % n;
+                    match (ftl.read(lpn, t), reference.get(&lpn)) {
+                        (Ok((data, _)), Some(&v)) => prop_assert_eq!(data, vec![v; 512]),
+                        (Err(FtlError::Unmapped), None) => {}
+                        (got, want) => prop_assert!(
+                            false,
+                            "lpn {} divergence: {:?} vs {:?}",
+                            lpn,
+                            got.map(|_| "data"),
+                            want
+                        ),
+                    }
+                }
+            }
+        }
+        // Full final verification.
+        for lpn in 0..n {
+            match (ftl.read(lpn, t), reference.get(&lpn)) {
+                (Ok((data, _)), Some(&v)) => prop_assert_eq!(data, vec![v; 512]),
+                (Err(FtlError::Unmapped), None) => {}
+                (got, want) => prop_assert!(false, "final lpn {}: {:?} vs {:?}", lpn, got.map(|_| "data"), want),
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The five-minute rule, 2015 flash edition (Figure 7, §5.2.2).
+//!
+//! Gray & Graefe's framing: the cost of keeping a data item on a device
+//! is the price of the capacity it occupies plus the price of the device
+//! *time* its accesses consume. Small fast devices (RAM) win for hot
+//! data; big cheap devices win for cold data; the crossover frequency is
+//! the "five minute rule". Purity's data reduction shifts the flash
+//! capacity price down 1×/4×/10×, which is what Figure 7 plots and what
+//! yields the paper's rules of thumb (cache nothing colder than ~30 min;
+//! a ten-minute rule for the second copy of important data).
+
+/// A storage device's economics.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceEconomics {
+    /// Display name.
+    pub name: &'static str,
+    /// Dollars per byte of capacity.
+    pub usd_per_byte: f64,
+    /// Random accesses per second the device sustains.
+    pub accesses_per_sec: f64,
+    /// Dollars per device (to price device-time); derived price per
+    /// access-per-second of capability.
+    pub usd_per_aps: f64,
+}
+
+/// The paper's Figure 7 device set, priced from Table 1 and the stated
+/// assumptions ($1000 per 64 GiB ECC LR-DIMM; 55 KiB I/Os).
+pub fn figure7_devices() -> Vec<(DeviceEconomics, f64)> {
+    // Purity: $5/GB usable; one array does 200K IOPS for ~$200K ⇒ ~$1
+    // per IOPS. Reduction scales the capacity term only.
+    let purity = |reduction: f64, name: &'static str| DeviceEconomics {
+        name,
+        usd_per_byte: 5.0 / 1e9 / reduction,
+        accesses_per_sec: 1.0, // folded into usd_per_aps
+        usd_per_aps: 1.0,
+    };
+    let disk = DeviceEconomics {
+        name: "Hard disk",
+        usd_per_byte: 18.0 / 1e9,
+        accesses_per_sec: 1.0,
+        usd_per_aps: 450_000.0 / 65_000.0, // array price / array IOPS
+    };
+    let ram = DeviceEconomics {
+        name: "ECC DIMM",
+        usd_per_byte: 1000.0 / (64.0 * 1_073_741_824.0),
+        accesses_per_sec: 1.0,
+        usd_per_aps: 1e-7, // effectively free accesses
+    };
+    vec![
+        (purity(1.0, "1x - No reduction"), 1.0),
+        (purity(4.0, "4x - RDBMS"), 4.0),
+        (purity(10.0, "10x - MongoDB"), 10.0),
+        (disk, 1.0),
+        (ram, 1.0),
+    ]
+}
+
+/// Cost (USD) of holding one `item_bytes` object on `dev` when it is
+/// accessed once every `interval_sec`.
+pub fn cost_per_item(dev: &DeviceEconomics, item_bytes: u64, interval_sec: f64) -> f64 {
+    let capacity = dev.usd_per_byte * item_bytes as f64;
+    let access_rate = 1.0 / interval_sec;
+    let device_time = dev.usd_per_aps * access_rate;
+    capacity + device_time
+}
+
+/// The Figure 7 x-axis: access intervals from 1 s to 1 year.
+pub fn figure7_intervals() -> Vec<(&'static str, f64)> {
+    vec![
+        ("1s", 1.0),
+        ("10s", 10.0),
+        ("30s", 30.0),
+        ("1m", 60.0),
+        ("5m", 300.0),
+        ("10m", 600.0),
+        ("30m", 1800.0),
+        ("1h", 3600.0),
+        ("1d", 86_400.0),
+        ("1w", 604_800.0),
+        ("4w", 2_419_200.0),
+        ("1yr", 31_536_000.0),
+    ]
+}
+
+/// The interval at which `a` becomes cheaper than `b` (binary search over
+/// seconds; `None` if no crossover in [1s, 10yr]).
+pub fn crossover_interval(a: &DeviceEconomics, b: &DeviceEconomics, item_bytes: u64) -> Option<f64> {
+    let cheaper = |t: f64| cost_per_item(a, item_bytes, t) < cost_per_item(b, item_bytes, t);
+    let (mut lo, mut hi) = (1.0f64, 315_360_000.0);
+    if cheaper(lo) == cheaper(hi) {
+        return None;
+    }
+    for _ in 0..64 {
+        let mid = (lo * hi).sqrt();
+        if cheaper(mid) == cheaper(lo) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some((lo * hi).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ITEM: u64 = 55 * 1024; // the paper's 55 KiB average I/O
+
+    fn dev(name: &str) -> DeviceEconomics {
+        figure7_devices()
+            .into_iter()
+            .map(|(d, _)| d)
+            .find(|d| d.name.contains(name))
+            .expect("device exists")
+    }
+
+    #[test]
+    fn ram_wins_for_hot_data() {
+        let ram = dev("DIMM");
+        let flash10 = dev("10x");
+        assert!(cost_per_item(&ram, ITEM, 1.0) < cost_per_item(&flash10, ITEM, 1.0));
+    }
+
+    #[test]
+    fn reduced_flash_wins_for_data_colder_than_about_half_an_hour() {
+        // Rule of thumb 3: with data reduction, never cache data accessed
+        // less often than every half hour.
+        let ram = dev("DIMM");
+        let flash10 = dev("10x");
+        let cross = crossover_interval(&flash10, &ram, ITEM).expect("crossover exists");
+        assert!(
+            (60.0..3600.0).contains(&cross),
+            "flash/RAM crossover should land at minutes-scale, got {:.0}s",
+            cross
+        );
+        assert!(
+            cost_per_item(&flash10, ITEM, 1800.0) < cost_per_item(&ram, ITEM, 1800.0),
+            "at 30 min flash must be cheaper than RAM"
+        );
+    }
+
+    #[test]
+    fn performance_disk_is_dead() {
+        // Rule of thumb 1: the disk curve is dominated everywhere that
+        // matters — flash-with-reduction beats disk at every interval in
+        // the figure.
+        let disk = dev("Hard disk");
+        let flash4 = dev("4x");
+        for (_, t) in figure7_intervals() {
+            assert!(
+                cost_per_item(&flash4, ITEM, t) <= cost_per_item(&disk, ITEM, t) * 1.05,
+                "4x flash should match/beat disk at {}s",
+                t
+            );
+        }
+    }
+
+    #[test]
+    fn unreduced_flash_crossover_is_later_than_reduced() {
+        let ram = dev("DIMM");
+        let f1 = dev("1x");
+        let f10 = dev("10x");
+        let c1 = crossover_interval(&f1, &ram, ITEM).unwrap();
+        let c10 = crossover_interval(&f10, &ram, ITEM).unwrap();
+        assert!(
+            c1 > c10,
+            "more reduction moves the crossover hotter: 1x {:.0}s vs 10x {:.0}s",
+            c1,
+            c10
+        );
+    }
+
+    #[test]
+    fn costs_decrease_monotonically_with_interval() {
+        let flash = dev("4x");
+        let costs: Vec<f64> = figure7_intervals()
+            .iter()
+            .map(|(_, t)| cost_per_item(&flash, ITEM, *t))
+            .collect();
+        assert!(costs.windows(2).all(|w| w[0] >= w[1]));
+    }
+}

@@ -1,0 +1,137 @@
+//! Table 2's dataset: published key-value-store deployment figures, used
+//! to estimate how many deployments one FA-450-class array consolidates.
+//!
+//! The paper's arithmetic: take each system's published throughput or
+//! capacity, divide by one array's capability, and report the
+//! consolidation ratio. The figures below are the paper's own citations
+//! ([15, 16, 18, 31, 32]).
+
+/// What a deployment's scale figure measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleKind {
+    /// Operations per second.
+    OpsPerSec(u64),
+    /// Stored bytes (petabyte-scale design targets).
+    Capacity {
+        /// Lower bound, bytes.
+        lo: u64,
+        /// Upper bound, bytes.
+        hi: u64,
+    },
+}
+
+/// One published deployment (a Table 2 row).
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// System name.
+    pub service: &'static str,
+    /// Scale figure and provenance year.
+    pub scale: ScaleKind,
+    /// Publication year.
+    pub year: u32,
+    /// Scope description from the table.
+    pub scope: &'static str,
+    /// Applications served, as printed.
+    pub apps: &'static str,
+    /// Node count, as printed (None where the table leaves it blank).
+    pub nodes: Option<&'static str>,
+}
+
+/// The paper's Table 2 rows.
+pub fn table2_rows() -> Vec<Deployment> {
+    vec![
+        Deployment {
+            service: "PNUTS",
+            scale: ScaleKind::OpsPerSec(1_600_000),
+            year: 2010,
+            scope: "Data center",
+            apps: "1000",
+            nodes: Some("8"),
+        },
+        Deployment {
+            service: "Spanner",
+            scale: ScaleKind::Capacity { lo: 10u64.pow(15), hi: 10 * 10u64.pow(15) },
+            year: 2010,
+            scope: "Data center",
+            apps: "300",
+            nodes: Some("10^3-10^4"),
+        },
+        Deployment {
+            service: "S3",
+            scale: ScaleKind::OpsPerSec(1_500_000),
+            year: 2013,
+            scope: "Global",
+            apps: "*",
+            nodes: None,
+        },
+        Deployment {
+            service: "DynamoDB",
+            scale: ScaleKind::OpsPerSec(2_600_000),
+            year: 2014,
+            scope: "Region",
+            apps: "*",
+            nodes: None,
+        },
+    ]
+}
+
+/// Capabilities of one consolidation target (FA-450 class, §2.3).
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayCapability {
+    /// Peak operations per second at the paper's pessimistic 32 KiB
+    /// object size.
+    pub ops_per_sec: u64,
+    /// Effective capacity in bytes (post data reduction).
+    pub effective_bytes: u64,
+}
+
+impl ArrayCapability {
+    /// The paper's FA-450 figures: 200K 32 KiB IOPS, 250 TB effective.
+    pub fn fa450_paper() -> Self {
+        Self { ops_per_sec: 200_000, effective_bytes: 250 * 10u64.pow(12) }
+    }
+
+    /// How many arrays one deployment needs — Table 2's "≈FA-450's".
+    pub fn arrays_needed(&self, d: &Deployment) -> (f64, f64) {
+        match d.scale {
+            ScaleKind::OpsPerSec(ops) => {
+                let n = ops as f64 / self.ops_per_sec as f64;
+                (n, n)
+            }
+            ScaleKind::Capacity { lo, hi } => (
+                lo as f64 / self.effective_bytes as f64,
+                hi as f64 / self.effective_bytes as f64,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_arithmetic_matches_the_paper() {
+        let fa450 = ArrayCapability::fa450_paper();
+        let rows = table2_rows();
+        // PNUTS: 1.6M op/s ÷ 200K = 8 arrays (the paper prints 8).
+        let (lo, hi) = fa450.arrays_needed(&rows[0]);
+        assert_eq!((lo.round() as u64, hi.round() as u64), (8, 8));
+        // Spanner: 1-10 PB ÷ 250 TB = 4-40 arrays (paper prints 4-40).
+        let (lo, hi) = fa450.arrays_needed(&rows[1]);
+        assert_eq!((lo.round() as u64, hi.round() as u64), (4, 40));
+        // S3: 1.5M ÷ 200K = 7.5 (paper prints 7.5).
+        let (lo, _) = fa450.arrays_needed(&rows[2]);
+        assert!((lo - 7.5).abs() < 1e-9);
+        // DynamoDB: 2.6M ÷ 200K = 13 (paper prints 13).
+        let (lo, _) = fa450.arrays_needed(&rows[3]);
+        assert!((lo - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rows_carry_table_metadata() {
+        let rows = table2_rows();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().any(|r| r.service == "Spanner" && r.year == 2010));
+    }
+}

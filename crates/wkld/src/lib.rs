@@ -1,0 +1,29 @@
+//! Workloads, baselines and cost models for the Purity reproduction.
+//!
+//! The paper's evaluation leans on customer telemetry (I/O sizes around
+//! 55 KiB, deduplication ratios per application class, §5), on published
+//! spec sheets for the disk-array comparison (Table 1), on published
+//! key-value-store deployment figures (Table 2), and on the five-minute-
+//! rule cost arithmetic (Figure 7). This crate supplies each of those as
+//! code:
+//!
+//! * [`content`] — deterministic data generators reproducing the
+//!   *content redundancy structure* of the paper's application classes
+//!   (RDBMS pages 3–8×, document stores ~10×, VDI clone images >20×).
+//! * [`access`] — request generators: size mixes averaging ≈55 KiB,
+//!   zipfian/sequential/random offsets, read/write mixes.
+//! * [`diskarray`] — a first-principles performance/cost model of the
+//!   EMC-VNX-class disk array Table 1 compares against.
+//! * [`deployments`] — Table 2's published deployment dataset.
+//! * [`costmodel`] — Figure 7's relative storage-cost curves and the
+//!   rules of thumb they imply.
+
+pub mod access;
+pub mod content;
+pub mod costmodel;
+pub mod deployments;
+pub mod diskarray;
+
+pub use access::{AccessPattern, Op, SizeMix, WorkloadGen};
+pub use content::ContentModel;
+pub use diskarray::DiskArrayModel;

@@ -1,0 +1,140 @@
+//! Operational-pressure integration tests: tiny NVRAM forcing constant
+//! checkpoints, boot-region mirror corruption, worn-flash arrays, and
+//! capacity exhaustion behaviour.
+
+use purity_core::{ArrayConfig, FlashArray, PurityError, SECTOR};
+use purity_ssd::latency::EnduranceModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sectors(tag: u64, n: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(tag);
+    let mut out = vec![0u8; n * SECTOR];
+    rng.fill(&mut out[..]);
+    out
+}
+
+#[test]
+fn tiny_nvram_forces_constant_checkpoints() {
+    let mut cfg = ArrayConfig::test_small();
+    cfg.nvram_bytes = 256 * 1024; // fits only a few 32 KiB intents
+    let mut a = FlashArray::new(cfg).unwrap();
+    let vol = a.create_volume("v", 8 << 20).unwrap();
+    let mut shadow: std::collections::HashMap<u64, Vec<u8>> = std::collections::HashMap::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    for i in 0..120u64 {
+        let s = rng.gen_range(0..10_000u64);
+        let data = sectors(i, 32);
+        a.write(vol, s * SECTOR as u64, &data).unwrap();
+        for k in 0..32usize {
+            shadow.insert(s + k as u64, data[k * SECTOR..(k + 1) * SECTOR].to_vec());
+        }
+        a.advance(200_000);
+    }
+    assert!(a.stats().checkpoints > 3, "NVRAM pressure should checkpoint: {}", a.stats().checkpoints);
+    for (&s, data) in &shadow {
+        let (read, _) = a.read(vol, s * SECTOR as u64, SECTOR).unwrap();
+        assert_eq!(&read, data, "sector {}", s);
+    }
+    // And a failover right after heavy checkpointing.
+    a.fail_primary().unwrap();
+    for (&s, data) in shadow.iter().take(20) {
+        let (read, _) = a.read(vol, s * SECTOR as u64, SECTOR).unwrap();
+        assert_eq!(&read, data);
+    }
+}
+
+#[test]
+fn boot_region_survives_mirror_corruption() {
+    let mut a = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    let vol = a.create_volume("v", 2 << 20).unwrap();
+    let data = sectors(7, 128);
+    a.write(vol, 0, &data).unwrap();
+    a.checkpoint().unwrap();
+    // Corrupt the checkpoint pages on two of the three mirror drives.
+    for d in 0..2 {
+        for page in 0..8 {
+            a.corrupt_drive_at(d, page * 4096);
+        }
+    }
+    a.fail_primary().unwrap();
+    let (read, _) = a.read(vol, 0, data.len()).unwrap();
+    assert_eq!(read, data, "third mirror carries recovery");
+}
+
+#[test]
+fn array_on_worn_flash_still_serves() {
+    // §5.1's validation exercise as a regression test.
+    let mut cfg = ArrayConfig::test_small();
+    cfg.ssd_endurance = EnduranceModel { rated_pe_cycles: 50 };
+    cfg.preage_cycles = 50;
+    let mut a = FlashArray::new(cfg).unwrap();
+    let vol = a.create_volume("worn", 4 << 20).unwrap();
+    let data = sectors(3, 1024);
+    a.write(vol, 0, &data).unwrap();
+    let (read, _) = a.read(vol, 0, data.len()).unwrap();
+    assert_eq!(read, data);
+    // Scrub refresh keeps it alive across a virtual year.
+    a.advance(purity_ssd::flash::RETENTION_AT_RATING / 2);
+    a.scrub().unwrap();
+    a.advance(purity_ssd::flash::RETENTION_AT_RATING / 2);
+    a.scrub().unwrap();
+    let (read, _) = a.read(vol, 0, data.len()).unwrap();
+    assert_eq!(read, data);
+}
+
+#[test]
+fn filling_the_array_runs_out_of_space_cleanly() {
+    let mut a = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    // Provision far more than physical and write incompressible data
+    // until the allocator gives up.
+    let vol = a.create_volume("big", 1 << 30).unwrap();
+    let mut wrote = 0u64;
+    let mut out_of_space = false;
+    for i in 0..4000u64 {
+        let data = sectors(1000 + i, 256); // 128 KiB, incompressible
+        match a.write(vol, i * 128 * 1024, &data) {
+            Ok(_) => wrote += data.len() as u64,
+            Err(PurityError::OutOfSpace) => {
+                out_of_space = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error class: {}", e),
+        }
+        a.advance(100_000);
+    }
+    assert!(out_of_space, "a 1 GiB volume cannot fit in a ~200 MiB array");
+    // Everything acknowledged before the error is still readable.
+    let usable = wrote.min(16 << 20);
+    let (read, _) = a.read(vol, 0, usable.min(128 * 1024) as usize).unwrap();
+    assert_eq!(read, sectors(1000, 256)[..read.len()]);
+    // Destroying the volume and collecting restores service.
+    a.destroy_volume(vol).unwrap();
+    a.run_gc().unwrap();
+    let v2 = a.create_volume("after", 4 << 20).unwrap();
+    let data = sectors(5000, 64);
+    a.write(v2, 0, &data).unwrap();
+    let (read, _) = a.read(v2, 0, data.len()).unwrap();
+    assert_eq!(read, data);
+}
+
+#[test]
+fn snapshot_of_snapshot_chains_deeply_then_flattens() {
+    let mut a = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    let vol = a.create_volume("v", 2 << 20).unwrap();
+    let mut expect = vec![0u8; 64 * SECTOR];
+    for gen in 0..12u64 {
+        let patch = sectors(100 + gen, 4);
+        let at = (gen % 16) * 4 * SECTOR as u64;
+        a.write(vol, at, &patch).unwrap();
+        expect[at as usize..at as usize + patch.len()].copy_from_slice(&patch);
+        a.snapshot(vol, &format!("s{}", gen)).unwrap();
+    }
+    let (read, _) = a.read(vol, 0, expect.len()).unwrap();
+    assert_eq!(read, expect);
+    a.run_gc().unwrap();
+    let depth = a.controller().max_root_chain_depth();
+    assert!(depth <= 3, "GC must bound chains, got {}", depth);
+    let (read, _) = a.read(vol, 0, expect.len()).unwrap();
+    assert_eq!(read, expect);
+}

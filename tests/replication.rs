@@ -1,0 +1,154 @@
+//! Asynchronous off-site replication between two arrays.
+
+use purity_core::replication::{
+    replicate_snapshot_full, replicate_snapshot_incremental, ReplicaLink,
+};
+use purity_core::{ArrayConfig, FlashArray, SECTOR};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+#[test]
+fn full_replication_copies_a_snapshot() {
+    let mut src = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    let mut dst = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    let vol = src.create_volume("prod", 2 << 20).unwrap();
+    let data = random_bytes(1, 512 * 1024);
+    src.write(vol, 0, &data).unwrap();
+    let snap = src.snapshot(vol, "rep-base").unwrap();
+    // Keep writing after the snapshot: replication must ship the frozen
+    // image, not the live volume.
+    src.write(vol, 0, &random_bytes(2, 64 * 1024)).unwrap();
+
+    let mut link = ReplicaLink::new(1 << 30); // 1 GiB/s
+    let (dst_vol, report) =
+        replicate_snapshot_full(&mut src, snap, &mut dst, "replica", &mut link).unwrap();
+    assert!(report.sectors_shipped >= (512 * 1024 / SECTOR) as u64);
+    assert!(report.bytes_shipped > 0);
+    assert!(report.link_time > 0);
+
+    let (replica, _) = dst.read(dst_vol, 0, data.len()).unwrap();
+    assert_eq!(replica, data);
+}
+
+#[test]
+fn replication_skips_unwritten_space() {
+    let mut src = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    let mut dst = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    // Large thin volume, tiny written region.
+    let vol = src.create_volume("thin", 16 << 20).unwrap();
+    let data = random_bytes(3, 64 * 1024);
+    src.write(vol, (8 << 20) as u64, &data).unwrap();
+    let snap = src.snapshot(vol, "s").unwrap();
+    let mut link = ReplicaLink::new(1 << 30);
+    let (dst_vol, report) =
+        replicate_snapshot_full(&mut src, snap, &mut dst, "replica", &mut link).unwrap();
+    let written_sectors = (64 * 1024 / SECTOR) as u64;
+    assert!(
+        report.sectors_shipped < written_sectors * 3,
+        "thin replication should skip holes: shipped {}",
+        report.sectors_shipped
+    );
+    let (replica, _) = dst.read(dst_vol, (8 << 20) as u64, data.len()).unwrap();
+    assert_eq!(replica, data);
+}
+
+#[test]
+fn incremental_replication_ships_only_the_diff() {
+    let mut src = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    let mut dst = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    let vol = src.create_volume("prod", 4 << 20).unwrap();
+    let base = random_bytes(4, 1 << 20);
+    src.write(vol, 0, &base).unwrap();
+    let snap1 = src.snapshot(vol, "t1").unwrap();
+
+    let mut link = ReplicaLink::new(1 << 30);
+    let (dst_vol, full) =
+        replicate_snapshot_full(&mut src, snap1, &mut dst, "replica", &mut link).unwrap();
+
+    // Mutate a small region, snapshot again.
+    let delta = random_bytes(5, 64 * 1024);
+    src.write(vol, 128 * 1024, &delta).unwrap();
+    let snap2 = src.snapshot(vol, "t2").unwrap();
+
+    let inc =
+        replicate_snapshot_incremental(&mut src, snap1, snap2, &mut dst, dst_vol, &mut link)
+            .unwrap();
+    assert!(
+        inc.bytes_shipped < full.bytes_shipped / 4,
+        "incremental ({}) should ship far less than full ({})",
+        inc.bytes_shipped,
+        full.bytes_shipped
+    );
+    assert!(inc.sectors_shipped >= (64 * 1024 / SECTOR) as u64);
+
+    // The replica equals the second snapshot's contents.
+    let mut expect = base.clone();
+    expect[128 * 1024..128 * 1024 + delta.len()].copy_from_slice(&delta);
+    let (replica, _) = dst.read(dst_vol, 0, expect.len()).unwrap();
+    assert_eq!(replica, expect);
+}
+
+#[test]
+fn incremental_with_no_changes_ships_nothing() {
+    let mut src = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    let mut dst = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    let vol = src.create_volume("prod", 1 << 20).unwrap();
+    src.write(vol, 0, &random_bytes(6, 128 * 1024)).unwrap();
+    let s1 = src.snapshot(vol, "a").unwrap();
+    let s2 = src.snapshot(vol, "b").unwrap();
+    let mut link = ReplicaLink::new(1 << 30);
+    let (dst_vol, _) =
+        replicate_snapshot_full(&mut src, s1, &mut dst, "replica", &mut link).unwrap();
+    let inc =
+        replicate_snapshot_incremental(&mut src, s1, s2, &mut dst, dst_vol, &mut link).unwrap();
+    assert_eq!(inc.sectors_shipped, 0, "{:?}", inc);
+    assert_eq!(inc.bytes_shipped, 0);
+}
+
+#[test]
+fn replication_is_bandwidth_limited() {
+    let mut src = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    let mut dst = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    let vol = src.create_volume("prod", 2 << 20).unwrap();
+    let data = random_bytes(7, 1 << 20);
+    src.write(vol, 0, &data).unwrap();
+    let snap = src.snapshot(vol, "s").unwrap();
+    // A slow 10 MB/s WAN link: 1 MiB should take ~0.1 s of link time.
+    let mut link = ReplicaLink::new(10_000_000);
+    let (_, report) =
+        replicate_snapshot_full(&mut src, snap, &mut dst, "replica", &mut link).unwrap();
+    let expect_ns = report.bytes_shipped * 100; // 10 MB/s = 100 ns/byte
+    assert!(
+        report.link_time >= expect_ns / 2,
+        "link time {} vs expected {}",
+        report.link_time,
+        expect_ns
+    );
+}
+
+#[test]
+fn destination_dedups_shipped_data() {
+    let mut src = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    let mut dst = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    // Two source volumes with identical content, replicated separately:
+    // the destination should store one copy.
+    let image = random_bytes(8, 256 * 1024);
+    let mut link = ReplicaLink::new(1 << 30);
+    for i in 0..2 {
+        let vol = src.create_volume(&format!("v{}", i), 1 << 20).unwrap();
+        src.write(vol, 0, &image).unwrap();
+        let snap = src.snapshot(vol, "s").unwrap();
+        replicate_snapshot_full(&mut src, snap, &mut dst, &format!("r{}", i), &mut link)
+            .unwrap();
+    }
+    assert!(
+        dst.stats().dedup_bytes_saved > image.len() as u64 / 2,
+        "destination should dedup the second copy: saved {}",
+        dst.stats().dedup_bytes_saved
+    );
+}
