@@ -5,7 +5,18 @@ use purity_format::Page;
 
 fn rows() -> Vec<Vec<u64>> {
     (0..4096u64)
-        .map(|i| vec![7, 1_000_000 + i, 50_000 + i, 3 + i / 1024, (i % 1024) * 16384, 16384, i % 64, 0])
+        .map(|i| {
+            vec![
+                7,
+                1_000_000 + i,
+                50_000 + i,
+                3 + i / 1024,
+                (i % 1024) * 16384,
+                16384,
+                i % 64,
+                0,
+            ]
+        })
         .collect()
 }
 

@@ -17,19 +17,19 @@ fn built(n: u64, flush_every: u64) -> Pyramid<u64, u64> {
 
 fn bench(c: &mut Criterion) {
     {
-    let mut g = c.benchmark_group("pyramid_insert");
-    g.sample_size(10);
-    g.bench_function("insert_100k", |b| {
-        b.iter(|| {
-            let mut p: Pyramid<u64, u64> = Pyramid::with_thresholds(usize::MAX >> 1, 64);
-            for i in 0..100_000u64 {
-                p.insert(i, i, i + 1);
-            }
-            p
-        })
-    });
-    g.finish();
-}
+        let mut g = c.benchmark_group("pyramid_insert");
+        g.sample_size(10);
+        g.bench_function("insert_100k", |b| {
+            b.iter(|| {
+                let mut p: Pyramid<u64, u64> = Pyramid::with_thresholds(usize::MAX >> 1, 64);
+                for i in 0..100_000u64 {
+                    p.insert(i, i, i + 1);
+                }
+                p
+            })
+        });
+        g.finish();
+    }
     let mut g = c.benchmark_group("pyramid/lookup");
     for patches in [1u64, 4, 16] {
         let p = built(100_000, 100_000 / patches);
@@ -43,20 +43,20 @@ fn bench(c: &mut Criterion) {
     }
     g.finish();
     {
-    let mut g = c.benchmark_group("pyramid_maint");
-    g.sample_size(10);
-    g.bench_function("flatten_100k_16patches", |b| {
-        b.iter_batched(
-            || built(100_000, 100_000 / 16),
-            |mut p| {
-                p.flatten();
-                p
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    g.finish();
-}
+        let mut g = c.benchmark_group("pyramid_maint");
+        g.sample_size(10);
+        g.bench_function("flatten_100k_16patches", |b| {
+            b.iter_batched(
+                || built(100_000, 100_000 / 16),
+                |mut p| {
+                    p.flatten();
+                    p
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.finish();
+    }
 }
 
 criterion_group!(benches, bench);

@@ -21,11 +21,14 @@ fn bench(c: &mut Criterion) {
             b.iter(|| rs.encode(refs).unwrap())
         });
         let parity = rs.encode(&refs).unwrap();
-        let mut all: Vec<(usize, &[u8])> =
-            refs.iter().copied().enumerate().collect();
-        all.extend(parity.iter().enumerate().map(|(i, p)| (7 + i, p.as_slice())));
-        let available: Vec<(usize, &[u8])> =
-            all.iter().filter(|(i, _)| *i != 3).copied().collect();
+        let mut all: Vec<(usize, &[u8])> = refs.iter().copied().enumerate().collect();
+        all.extend(
+            parity
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (7 + i, p.as_slice())),
+        );
+        let available: Vec<(usize, &[u8])> = all.iter().filter(|(i, _)| *i != 3).copied().collect();
         g.throughput(Throughput::Bytes((shard_kib * 1024) as u64));
         g.bench_with_input(
             BenchmarkId::new("reconstruct_one", shard_kib),

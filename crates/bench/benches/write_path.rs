@@ -29,7 +29,12 @@ fn bench(c: &mut Criterion) {
         let mut a = FlashArray::new(cfg).unwrap();
         let vol = a.create_volume("r", 32 << 20).unwrap();
         for i in 0..256u64 {
-            a.write(vol, i * 32 * 1024, &ContentModel::Rdbms.buffer(i, i * 64, 64)).unwrap();
+            a.write(
+                vol,
+                i * 32 * 1024,
+                &ContentModel::Rdbms.buffer(i, i * 64, 64),
+            )
+            .unwrap();
             a.advance(100_000);
         }
         let mut at = 0u64;

@@ -46,8 +46,7 @@ fn main() {
                 eng.index_mut().record_write(block_hash(b), i as u64);
             }
             // A new stream embedding a duplicate run at `align` blocks in.
-            let mut stream: Vec<u8> =
-                (0..align * DEDUP_BLOCK).map(|_| rng.gen()).collect();
+            let mut stream: Vec<u8> = (0..align * DEDUP_BLOCK).map(|_| rng.gen()).collect();
             // Vary the source position so short runs sample the 1-in-8
             // hit probability rather than one fixed outcome.
             let src = ((17 + align * 31) % 150) * DEDUP_BLOCK;
@@ -60,7 +59,11 @@ fn main() {
             total_detect += dups as f64 / run_blocks as f64;
         }
         rows.push(vec![
-            format!("{} blocks ({} KiB)", run_blocks, run_blocks * DEDUP_BLOCK / 1024),
+            format!(
+                "{} blocks ({} KiB)",
+                run_blocks,
+                run_blocks * DEDUP_BLOCK / 1024
+            ),
             format!("{:.0}%", 100.0 * total_detect / 8.0),
         ]);
     }

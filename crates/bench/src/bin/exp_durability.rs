@@ -30,7 +30,10 @@ fn main() {
             pass += 1;
         }
     }
-    println!("two-drive combinations verified: {}/{} (all {} C(11,2) pairs return exact data)", pass, combos, combos);
+    println!(
+        "two-drive combinations verified: {}/{} (all {} C(11,2) pairs return exact data)",
+        pass, combos, combos
+    );
 
     // Three failures: must be an explicit error or exact data, never junk.
     let mut unavailable = 0;
@@ -49,6 +52,9 @@ fn main() {
             Err(e) => panic!("unexpected error class: {}", e),
         }
     }
-    println!("three-drive trios: {} unavailable (explicit), {} survived (stripes dodged the trio)", unavailable, still_ok);
+    println!(
+        "three-drive trios: {} unavailable (explicit), {} survived (stripes dodged the trio)",
+        unavailable, still_ok
+    );
     println!("\npaper: Reed-Solomon 7+2 tolerates the loss of two SSDs without losing availability (§4.2).");
 }

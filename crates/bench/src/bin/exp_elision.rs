@@ -24,8 +24,8 @@ fn tombstone_reclaim(n_keys: u64, merges_between: usize) -> (u64, usize) {
     }
     p.flush();
     let writes = n_keys; // one tombstone per key
-    // Merges gradually drop superseded values, but tombstones themselves
-    // remain until the final full flatten.
+                         // Merges gradually drop superseded values, but tombstones themselves
+                         // remain until the final full flatten.
     for _ in 0..merges_between {
         p.merge_oldest_pair();
     }
@@ -70,7 +70,12 @@ fn main() {
     ];
     print_table(
         &format!("E7: deleting {} keys — tombstones vs elision", n),
-        &["Mechanism", "Delete writes", "Facts left after merges", "Notes"],
+        &[
+            "Mechanism",
+            "Delete writes",
+            "Facts left after merges",
+            "Notes",
+        ],
         &rows,
     );
 

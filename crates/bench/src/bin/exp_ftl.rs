@@ -28,7 +28,10 @@ fn main() {
     let page = vec![0xABu8; 4096];
     let mut rows = Vec::new();
 
-    for (label, random) in [("sequential overwrite x2", false), ("random overwrite x2", true)] {
+    for (label, random) in [
+        ("sequential overwrite x2", false),
+        ("random overwrite x2", true),
+    ] {
         let mut ftl = mk();
         let n = ftl.logical_pages();
         // Fill once sequentially.
@@ -60,10 +63,20 @@ fn main() {
     }
     print_table(
         "E9: raw FTL behaviour, sequential vs random writes (same device, same volume of data)",
-        &["Workload", "Write amplification", "Device GC runs", "Mean write", "p99 write (GC stall)"],
+        &[
+            "Workload",
+            "Write amplification",
+            "Device GC runs",
+            "Mean write",
+            "p99 write (GC stall)",
+        ],
         &rows,
     );
-    println!("\npaper: 'SSDs pay a large penalty for random writes' [55]; FTLs 'behave erratically");
-    println!("when exposed to random writes' [43]. Purity therefore presents only large sequential");
+    println!(
+        "\npaper: 'SSDs pay a large penalty for random writes' [55]; FTLs 'behave erratically"
+    );
+    println!(
+        "when exposed to random writes' [43]. Purity therefore presents only large sequential"
+    );
     println!("writes (log-structured segments) and whole-AU trims to its drives (§3.3, §4.4).");
 }

@@ -12,14 +12,14 @@ fn main() {
     let rows: Vec<Vec<u64>> = (0..4096u64)
         .map(|i| {
             vec![
-                7,                        // medium id (constant)
-                1_000_000 + i,            // sector (dense sequence)
-                50_000 + i,               // seq (dense sequence)
-                3 + (i / 1024),           // segment (4 distinct values)
-                (i % 1024) * 16_384,      // offset (regular stride)
-                16_384,                   // stored_len (constant)
-                (i % 64),                 // sector-in-cblock (small range)
-                0,                        // flags (constant)
+                7,                   // medium id (constant)
+                1_000_000 + i,       // sector (dense sequence)
+                50_000 + i,          // seq (dense sequence)
+                3 + (i / 1024),      // segment (4 distinct values)
+                (i % 1024) * 16_384, // offset (regular stride)
+                16_384,              // stored_len (constant)
+                (i % 64),            // sector-in-cblock (small range)
+                0,                   // flags (constant)
             ]
         })
         .collect();

@@ -14,16 +14,26 @@ fn main() {
     let vol_bytes: u64 = 64 << 20;
     let vol = a.create_volume("prod", vol_bytes).unwrap();
     let mut loader = WorkloadGen::new(
-        3, vol_bytes, AccessPattern::Sequential, SizeMix::fixed(128 * 1024),
-        0, ContentModel::Rdbms, 50_000,
+        3,
+        vol_bytes,
+        AccessPattern::Sequential,
+        SizeMix::fixed(128 * 1024),
+        0,
+        ContentModel::Rdbms,
+        50_000,
     );
     drive(&mut a, vol, &mut loader, 350, 0);
     a.advance(10 * purity_sim::SEC);
 
     let phase = |a: &mut FlashArray, label: &str| {
         let mut gen = WorkloadGen::new(
-            5, vol_bytes, AccessPattern::Uniform, SizeMix::fixed(32 * 1024),
-            70, ContentModel::Rdbms, 500_000,
+            5,
+            vol_bytes,
+            AccessPattern::Uniform,
+            SizeMix::fixed(32 * 1024),
+            70,
+            ContentModel::Rdbms,
+            500_000,
         );
         let r = drive(a, vol, &mut gen, 1500, 0);
         println!(
@@ -41,7 +51,10 @@ fn main() {
     a.fail_drive(9);
     phase(&mut a, "2 drives pulled");
     let fo = a.fail_primary().unwrap();
-    println!("controller unplugged -> failover downtime {}", format_nanos(fo.downtime));
+    println!(
+        "controller unplugged -> failover downtime {}",
+        format_nanos(fo.downtime)
+    );
     phase(&mut a, "2 drives out + standby serving");
     a.revive_drive(4);
     a.revive_drive(9);

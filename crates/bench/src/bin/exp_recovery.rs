@@ -13,7 +13,12 @@ fn run(cfg: ArrayConfig, label: &str) {
     let mut a = FlashArray::new(cfg).unwrap();
     let vol = a.create_volume("db", 48 << 20).unwrap();
     for i in 0..256u64 {
-        a.write(vol, (i * 128 * 1024) % (48 << 20), &vec![(i % 251) as u8; 128 * 1024]).unwrap();
+        a.write(
+            vol,
+            (i * 128 * 1024) % (48 << 20),
+            &vec![(i % 251) as u8; 128 * 1024],
+        )
+        .unwrap();
         a.advance(100_000);
     }
     a.checkpoint().unwrap();

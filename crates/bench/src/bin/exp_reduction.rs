@@ -10,7 +10,9 @@ fn run_class(label: &str, paper_band: &str, volumes: Vec<ContentModel>) -> Vec<S
     let mut a = FlashArray::new(ArrayConfig::bench_medium()).unwrap();
     let vol_sectors: u64 = (24 << 20) / SECTOR as u64;
     for (i, model) in volumes.iter().enumerate() {
-        let vol = a.create_volume(&format!("v{}", i), vol_sectors * SECTOR as u64).unwrap();
+        let vol = a
+            .create_volume(&format!("v{}", i), vol_sectors * SECTOR as u64)
+            .unwrap();
         // Write in 32 KiB chunks.
         let chunk = 64usize;
         let mut s = 0u64;
@@ -40,17 +42,33 @@ fn main() {
     let rows = vec![
         run_class("Random (worst case)", "~1x", vec![ContentModel::Random]),
         run_class("RDBMS", "3-8x", vec![ContentModel::Rdbms]),
-        run_class("Document store (MongoDB)", "~10x", vec![ContentModel::DocStore]),
+        run_class(
+            "Document store (MongoDB)",
+            "~10x",
+            vec![ContentModel::DocStore],
+        ),
         run_class(
             "VDI (8 clones, 5% mutated)",
             ">20x",
-            (0..8).map(|i| ContentModel::VdiClone { clone_id: i, mutation_pct: 5 }).collect(),
+            (0..8)
+                .map(|i| ContentModel::VdiClone {
+                    clone_id: i,
+                    mutation_pct: 5,
+                })
+                .collect(),
         ),
     ];
     print_table(
         "E5: data reduction by application class",
-        &["Workload", "Measured", "Paper", "Breakdown (of logical bytes)"],
+        &[
+            "Workload",
+            "Measured",
+            "Paper",
+            "Breakdown (of logical bytes)",
+        ],
         &rows,
     );
-    println!("\npaper fleet average: 5.4x (excluding thin provisioning); bands above from §5.2-5.3.");
+    println!(
+        "\npaper fleet average: 5.4x (excluding thin provisioning); bands above from §5.2-5.3."
+    );
 }

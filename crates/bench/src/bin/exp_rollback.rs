@@ -22,22 +22,18 @@ fn rollback_rate(n_clients: f64, locks: f64, items: f64, latency_ms: f64, io_per
 
 fn main() {
     let (clients, locks, items, ios) = (1600.0, 8.0, 100_000.0, 20.0);
-    let rows: Vec<Vec<String>> = [
-        ("Disk array", 5.0),
-        ("Hybrid", 2.5),
-        ("Purity", 0.5),
-    ]
-    .iter()
-    .map(|(name, lat)| {
-        let r = rollback_rate(clients, locks, items, *lat, ios);
-        vec![
-            name.to_string(),
-            format!("{:.1} ms", lat),
-            format!("{:.0} ms", lat * ios),
-            format!("{:.2}%", r * 100.0),
-        ]
-    })
-    .collect();
+    let rows: Vec<Vec<String>> = [("Disk array", 5.0), ("Hybrid", 2.5), ("Purity", 0.5)]
+        .iter()
+        .map(|(name, lat)| {
+            let r = rollback_rate(clients, locks, items, *lat, ios);
+            vec![
+                name.to_string(),
+                format!("{:.1} ms", lat),
+                format!("{:.0} ms", lat * ios),
+                format!("{:.2}%", r * 100.0),
+            ]
+        })
+        .collect();
     print_table(
         "§5.2.1: storage latency vs transaction rollback rate (analytic, Gray et al. [25])",
         &["Storage", "I/O latency", "Txn duration", "Rollback rate"],

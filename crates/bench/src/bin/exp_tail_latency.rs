@@ -2,14 +2,26 @@
 //! read-around-writes scheduler ablation. The paper: "typical
 //! installations have 99.9% latencies under 1 ms" and the scheduler is
 //! what keeps reads from stalling behind SSD programs/erases.
+//!
+//! Besides the stdout tables, the run leaves a machine-readable metrics
+//! snapshot in `results/exp_tail_latency.json`: per-variant latency
+//! quantiles, per-path read counters, reconstruction fraction, offered
+//! load, and the slowest captured op's stage-by-stage attribution.
 
-use purity_bench::drive;
+use purity_bench::{drive, write_results};
 use purity_core::{ArrayConfig, FlashArray};
+use purity_obs::json::JsonWriter;
 use purity_sim::units::format_nanos;
 use purity_sim::MS;
 use purity_wkld::{AccessPattern, ContentModel, SizeMix, WorkloadGen};
 
-fn run(read_around: bool) -> purity_bench::DriveReport {
+fn run(
+    read_around: bool,
+) -> (
+    purity_bench::DriveReport,
+    FlashArray,
+    purity_wkld::OfferedLoad,
+) {
     let mut cfg = ArrayConfig::bench_medium();
     cfg.read_around_writes = read_around;
     let mut a = FlashArray::new(cfg).unwrap();
@@ -37,13 +49,56 @@ fn run(read_around: bool) -> purity_bench::DriveReport {
         ContentModel::Rdbms,
         650_000, // ~1.5K offered IOPS: the mini array's 'typical installation' regime
     );
-    drive(&mut a, vol, &mut gen, 6000, 0)
+    let report = drive(&mut a, vol, &mut gen, 6000, 0);
+    (report, a, gen.offered())
+}
+
+/// One variant's JSON: the drive report, per-path counters from the
+/// metrics snapshot, and the tracer's tail evidence.
+fn variant_json(
+    report: &purity_bench::DriveReport,
+    a: &FlashArray,
+    offered: &purity_wkld::OfferedLoad,
+    scheduler_on: bool,
+) -> String {
+    offered.publish(&a.obs().registry, "mixed_enterprise");
+    let snap = a.metrics_snapshot();
+    let mut reads = JsonWriter::object();
+    for path in ["direct", "reconstructed", "cache", "zero"] {
+        reads.u64_field(path, snap.counter("array_reads", &[("path", path)]));
+    }
+    let mut w = JsonWriter::object();
+    w.bool_field("read_around_writes", scheduler_on)
+        .raw_field("drive_report", &report.to_json())
+        .raw_field("reads_by_path", &reads.finish())
+        .f64_field(
+            "reconstruction_fraction",
+            a.stats().reconstruction_fraction(),
+        )
+        .f64_field("read_amplification", a.stats().read_amplification())
+        .u64_field("wkld_ops_issued", offered.ops)
+        .u64_field("slow_ops_captured", a.obs().tracer.captured_count());
+    if let Some(q) = snap.histogram("array_read_queueing", &[("path", "direct")]) {
+        w.raw_field("read_queueing", &q.to_json());
+    }
+    if let Some(s) = snap.histogram("array_read_service", &[("path", "direct")]) {
+        w.raw_field("read_service", &s.to_json());
+    }
+    if let Some(op) = a.obs().tracer.slowest() {
+        w.raw_field("slowest_op", &op.to_json());
+        w.str_field("slowest_op_describe", &op.describe());
+    }
+    w.finish()
 }
 
 fn main() {
     println!("=== E2: tail latency (mixed 70/30 enterprise workload) ===");
-    for (label, on) in [("scheduler ON (read around writes)", true), ("scheduler OFF", false)] {
-        let r = run(on);
+    let mut variants = JsonWriter::array();
+    for (label, on) in [
+        ("scheduler ON (read around writes)", true),
+        ("scheduler OFF", false),
+    ] {
+        let (r, a, offered) = run(on);
         println!("\n{}:", label);
         println!("  reads:  {}", r.read_latency.summary());
         println!("  writes: {}", r.write_latency.summary());
@@ -51,8 +106,23 @@ fn main() {
         println!(
             "  read p99.9 = {} -> {}",
             format_nanos(p999),
-            if p999 < MS { "UNDER the paper's 1 ms bound" } else { "over 1 ms" }
+            if p999 < MS {
+                "UNDER the paper's 1 ms bound"
+            } else {
+                "over 1 ms"
+            }
         );
+        if let Some(op) = a.obs().tracer.slowest() {
+            println!("  slowest captured op: {}", op.describe());
+        }
+        variants.raw_element(&variant_json(&r, &a, &offered, on));
     }
-    println!("\npaper: 99.9% latencies under 1 ms; scheduler reconstructs instead of waiting (§4.4).");
+    let mut root = JsonWriter::object();
+    root.str_field("experiment", "exp_tail_latency")
+        .u64_field("tail_budget_ns", MS)
+        .raw_field("variants", &variants.finish());
+    write_results("exp_tail_latency", &root.finish());
+    println!(
+        "\npaper: 99.9% latencies under 1 ms; scheduler reconstructs instead of waiting (§4.4)."
+    );
 }

@@ -16,7 +16,9 @@ fn run(scrub: bool) -> (bool, u64, u64, u64) {
     let mut cfg = ArrayConfig::test_small();
     // Every block is at its rated P/E count before the array is even
     // formatted — the paper's exact procedure (§5.1).
-    cfg.ssd_endurance = purity_ssd::latency::EnduranceModel { rated_pe_cycles: 100 };
+    cfg.ssd_endurance = purity_ssd::latency::EnduranceModel {
+        rated_pe_cycles: 100,
+    };
     cfg.preage_cycles = 100;
     let mut a = FlashArray::new(cfg).unwrap();
     let vol = a.create_volume("wear", 8 << 20).unwrap();
@@ -53,5 +55,7 @@ fn main() {
     let (ok2, _, _, _) = run(false);
     println!("without scrubbing: data intact = {}", ok2);
     println!("\npaper: worn flash leaks charge; periodic scrubbing rewrites data more often than");
-    println!("the P/E retention assumptions require, so arrays run well past rated wear out (§5.1).");
+    println!(
+        "the P/E retention assumptions require, so arrays run well past rated wear out (§5.1)."
+    );
 }

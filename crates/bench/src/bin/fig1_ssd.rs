@@ -20,26 +20,60 @@ fn main() {
     println!("raw capacity:      {} MiB", geo.raw_bytes() >> 20);
 
     let lat = LatencyModel::consumer_mlc();
-    println!("\ntiming: read {} | program {} | erase {}",
-        format_nanos(lat.read_ns), format_nanos(lat.program_ns), format_nanos(lat.erase_ns));
+    println!(
+        "\ntiming: read {} | program {} | erase {}",
+        format_nanos(lat.read_ns),
+        format_nanos(lat.program_ns),
+        format_nanos(lat.erase_ns)
+    );
 
     let clock = Clock::new();
     let mut flash = Flash::new(geo, lat, EnduranceModel::consumer_mlc(), clock, 1);
     let page = vec![0xAAu8; geo.page_size];
 
     // Erase-before-program and sequential programming are enforced.
-    let p0 = Ppa { die: 0, block: 0, page: 0 };
+    let p0 = Ppa {
+        die: 0,
+        block: 0,
+        page: 0,
+    };
     flash.program_page(p0, &page, 0).unwrap();
     let again = flash.program_page(p0, &page, 0);
     println!("\nprogram same page twice -> {:?}", again.unwrap_err());
-    let out_of_order = flash.program_page(Ppa { die: 0, block: 0, page: 3 }, &page, 0);
-    println!("program page 3 before 1-2 -> {:?}", out_of_order.unwrap_err());
+    let out_of_order = flash.program_page(
+        Ppa {
+            die: 0,
+            block: 0,
+            page: 3,
+        },
+        &page,
+        0,
+    );
+    println!(
+        "program page 3 before 1-2 -> {:?}",
+        out_of_order.unwrap_err()
+    );
 
     // Reads queue behind an erase on the same die but not other dies.
     let t_erase = flash.erase_block(0, 1, 0).unwrap();
     let (_, t_same) = flash.read_page(p0, 0).unwrap();
-    flash.program_page(Ppa { die: 1, block: 0, page: 0 }, &page, 0).unwrap();
-    println!("\nerase busy until {}; read on SAME die completes {} (stalled)",
-        format_nanos(t_erase), format_nanos(t_same));
-    println!("-> this per-die blocking is the latency spike Purity's I/O scheduler works around (§4.4)");
+    flash
+        .program_page(
+            Ppa {
+                die: 1,
+                block: 0,
+                page: 0,
+            },
+            &page,
+            0,
+        )
+        .unwrap();
+    println!(
+        "\nerase busy until {}; read on SAME die completes {} (stalled)",
+        format_nanos(t_erase),
+        format_nanos(t_same)
+    );
+    println!(
+        "-> this per-die blocking is the latency spike Purity's I/O scheduler works around (§4.4)"
+    );
 }

@@ -9,10 +9,18 @@ fn main() {
     let cfg = ArrayConfig::test_small();
     println!("=== Figure 2: Flash Array hardware (simulated) ===");
     println!("controllers: 2 (stateless; standby keeps a warm cache)");
-    println!("drives:      {} consumer-MLC SSDs, dual-ported via interposers", cfg.n_drives);
-    println!("NVRAM:       {} MiB shelf-resident SLC log", cfg.nvram_bytes >> 20);
-    println!("stripe:      {}+{} Reed-Solomon over a {}-drive write group",
-        cfg.rs_data, cfg.rs_parity, cfg.write_group);
+    println!(
+        "drives:      {} consumer-MLC SSDs, dual-ported via interposers",
+        cfg.n_drives
+    );
+    println!(
+        "NVRAM:       {} MiB shelf-resident SLC log",
+        cfg.nvram_bytes >> 20
+    );
+    println!(
+        "stripe:      {}+{} Reed-Solomon over a {}-drive write group",
+        cfg.rs_data, cfg.rs_parity, cfg.write_group
+    );
 
     let mut a = FlashArray::new(cfg).unwrap();
     let vol = a.create_volume("demo", 4 << 20).unwrap();
@@ -23,15 +31,20 @@ fn main() {
     let (_, ack_p) = a.read_via(Port::Primary, vol, 0, 32 * 1024).unwrap();
     let (_, ack_s) = a.read_via(Port::Secondary, vol, 0, 32 * 1024).unwrap();
     println!("\nread via primary port:   {}", format_nanos(ack_p.latency));
-    println!("read via secondary port: {} (interconnect forward)", format_nanos(ack_s.latency));
+    println!(
+        "read via secondary port: {} (interconnect forward)",
+        format_nanos(ack_s.latency)
+    );
 
     // Interposer takeover: kill the primary; the standby re-derives all
     // state from the shelf.
     let report = a.fail_primary().unwrap();
-    println!("\ncontroller failover: downtime {} ({} AUs scanned, {} intents replayed)",
+    println!(
+        "\ncontroller failover: downtime {} ({} AUs scanned, {} intents replayed)",
         format_nanos(report.downtime),
         report.recovery.aus_scanned,
-        report.recovery.write_intents_replayed);
+        report.recovery.write_intents_replayed
+    );
     let (read, _) = a.read(vol, 0, 64 * 1024).unwrap();
     assert_eq!(read, data);
     println!("data intact after takeover: yes");

@@ -15,12 +15,19 @@ fn main() {
     let mut w = SegmentWriter::new(layout, cfg.ssd_geometry.page_size);
 
     println!("=== Figure 3: segment layout ===");
-    println!("write unit: {} KiB | stripe (segio): {} data + {} parity columns | {} stripes/segment",
-        layout.wu >> 10, layout.k, layout.m, layout.n_stripes);
+    println!(
+        "write unit: {} KiB | stripe (segio): {} data + {} parity columns | {} stripes/segment",
+        layout.wu >> 10,
+        layout.k,
+        layout.m,
+        layout.n_stripes
+    );
 
-    let columns: Vec<AuId> =
-        (0..cfg.stripe_width()).map(|d| AuId { drive: d, index: 0 }).collect();
-    w.open_segment_on(&mut shelf, SegmentId(1), columns.clone(), 1, 0).unwrap();
+    let columns: Vec<AuId> = (0..cfg.stripe_width())
+        .map(|d| AuId { drive: d, index: 0 })
+        .collect();
+    w.open_segment_on(&mut shelf, SegmentId(1), columns.clone(), 1, 0)
+        .unwrap();
 
     // Data from the front (varied content so parity differs visibly)...
     let data: Vec<u8> = (0..2 * layout.stripe_data_bytes())
@@ -28,14 +35,25 @@ fn main() {
         .collect();
     w.append_data(&mut shelf, &data, 0).unwrap();
     // ...log records from the back.
-    w.append_log(&mut shelf, b"patch: map facts 100..200", 0).unwrap();
+    w.append_log(&mut shelf, b"patch: map facts 100..200", 0)
+        .unwrap();
     w.flush_log(&mut shelf, 0).unwrap();
     let info = w.open_segment().unwrap().clone();
 
-    println!("\nafter writing {} KiB of data and one log record:", data.len() >> 10);
-    println!("  data stripes (from front): {:?}", (0..info.data_stripes).collect::<Vec<_>>());
-    println!("  log stripes (from back):   {:?}",
-        (0..info.log_stripes).map(|l| layout.n_stripes as u64 - 1 - l).collect::<Vec<_>>());
+    println!(
+        "\nafter writing {} KiB of data and one log record:",
+        data.len() >> 10
+    );
+    println!(
+        "  data stripes (from front): {:?}",
+        (0..info.data_stripes).collect::<Vec<_>>()
+    );
+    println!(
+        "  log stripes (from back):   {:?}",
+        (0..info.log_stripes)
+            .map(|l| layout.n_stripes as u64 - 1 - l)
+            .collect::<Vec<_>>()
+    );
 
     // Show parity columns really carry parity: first data stripe, dump a
     // byte from each column.
@@ -44,7 +62,10 @@ fn main() {
         let off = layout.wu_byte_offset(au.index, 0, 0);
         let (b, _) = shelf.read_drive(au.drive, off, 1, 0).unwrap();
         let role = if c < layout.k { "D" } else { "P/Q" };
-        println!("  column {} (drive {}) [{}]: {:#04x}", c, au.drive, role, b[0]);
+        println!(
+            "  column {} (drive {}) [{}]: {:#04x}",
+            c, au.drive, role, b[0]
+        );
     }
 
     // The last stripe starts with the log-stripe frame magic.

@@ -20,19 +20,29 @@ fn main() {
         a.advance(100_000);
     }
     let mean: u64 = acks.iter().sum::<u64>() / acks.len() as u64;
-    println!("  32 writes committed; mean ack latency {} (NVRAM, not segment, bound)", format_nanos(mean));
-    println!("  NVRAM holds {} of intents", format_bytes(a.nvram_used() as u64));
+    println!(
+        "  32 writes committed; mean ack latency {} (NVRAM, not segment, bound)",
+        format_nanos(mean)
+    );
+    println!(
+        "  NVRAM holds {} of intents",
+        format_bytes(a.nvram_used() as u64)
+    );
 
     println!("\nphase 2: the segio writer joins commit stream with indexed patches");
     a.checkpoint().unwrap();
     println!("  checkpoint: memtable flushed to a patch, patch persisted as a segment log record");
 
     println!("\nphase 3: NVRAM trimmed once facts are durable");
-    println!("  NVRAM after trim: {}", format_bytes(a.nvram_used() as u64));
+    println!(
+        "  NVRAM after trim: {}",
+        format_bytes(a.nvram_used() as u64)
+    );
 
     // A few more commits after the trim, so NVRAM has replayable facts.
     for i in 0..6u64 {
-        a.write(vol, (32 + i) * 32 * 1024, &vec![0xEE; 32 * 1024]).unwrap();
+        a.write(vol, (32 + i) * 32 * 1024, &vec![0xEE; 32 * 1024])
+            .unwrap();
     }
     println!("\nmonotonicity in action: commits are immutable facts; replaying them is harmless.");
     let before = a.stats().logical_bytes_written;

@@ -10,22 +10,43 @@ fn main() {
     let cfg = ArrayConfig::test_small();
     let aus_total = cfg.aus_per_drive() * cfg.n_drives;
     println!("=== Figure 5: boot region + frontier set ===");
-    println!("main region: {} AUs across {} drives", aus_total, cfg.n_drives);
-    println!("boot region: {} KiB x 3 mirror drives (A/B slots)", cfg.boot_region_bytes() / 1024 / 2);
-    println!("frontier:    {} AUs/drive persisted (+ speculative set of the same size)", cfg.frontier_aus_per_drive);
+    println!(
+        "main region: {} AUs across {} drives",
+        aus_total, cfg.n_drives
+    );
+    println!(
+        "boot region: {} KiB x 3 mirror drives (A/B slots)",
+        cfg.boot_region_bytes() / 1024 / 2
+    );
+    println!(
+        "frontier:    {} AUs/drive persisted (+ speculative set of the same size)",
+        cfg.frontier_aus_per_drive
+    );
 
     let mut a = FlashArray::new(cfg).unwrap();
     let vol = a.create_volume("v", 24 << 20).unwrap();
     for i in 0..160u64 {
-        a.write(vol, i * 128 * 1024, &vec![(i % 250) as u8; 128 * 1024]).unwrap();
+        a.write(vol, i * 128 * 1024, &vec![(i % 250) as u8; 128 * 1024])
+            .unwrap();
         a.advance(200_000);
     }
     a.checkpoint().unwrap();
 
     let frontier = a.fail_primary_with(ScanMode::Frontier).unwrap();
     let full = a.fail_primary_with(ScanMode::FullScan).unwrap();
-    println!("\nrecovery scan with frontier set:  {:>6} AUs, {}", frontier.recovery.aus_scanned, format_nanos(frontier.recovery.scan_time));
-    println!("recovery scan without (baseline): {:>6} AUs, {}", full.recovery.aus_scanned, format_nanos(full.recovery.scan_time));
-    println!("scan reduction: {:.1}x fewer AUs", full.recovery.aus_scanned as f64 / frontier.recovery.aus_scanned.max(1) as f64);
+    println!(
+        "\nrecovery scan with frontier set:  {:>6} AUs, {}",
+        frontier.recovery.aus_scanned,
+        format_nanos(frontier.recovery.scan_time)
+    );
+    println!(
+        "recovery scan without (baseline): {:>6} AUs, {}",
+        full.recovery.aus_scanned,
+        format_nanos(full.recovery.scan_time)
+    );
+    println!(
+        "scan reduction: {:.1}x fewer AUs",
+        full.recovery.aus_scanned as f64 / frontier.recovery.aus_scanned.max(1) as f64
+    );
     println!("(paper: frontier sets cut the startup scan from 12 s to 0.1 s, §4.3)");
 }

@@ -37,23 +37,37 @@ fn main() {
             vec![
                 format!("{}", m),
                 format!("{}:{}", start, r.end - 1),
-                r.target.map(|t| t.0.to_string()).unwrap_or_else(|| "none".into()),
-                if r.target.is_some() { r.target_offset.to_string() } else { "-".into() },
+                r.target
+                    .map(|t| t.0.to_string())
+                    .unwrap_or_else(|| "none".into()),
+                if r.target.is_some() {
+                    r.target_offset.to_string()
+                } else {
+                    "-".into()
+                },
                 if r.writable { "RW".into() } else { "RO".into() },
             ]
         })
         .collect();
     print_table(
         "Figure 6: medium table (paper's example)",
-        &["Source Medium", "Start:End", "Target Medium", "Offset", "Status"],
+        &[
+            "Source Medium",
+            "Start:End",
+            "Target Medium",
+            "Offset",
+            "Status",
+        ],
         &rows,
     );
 
     println!("\nlookup resolution chains:");
     for (m, s) in [(14u64, 100u64), (15, 10), (22, 42), (22, 600), (22, 1500)] {
         let chain = t.resolve(MediumId(m), s);
-        let path: Vec<String> =
-            chain.iter().map(|c| format!("<{},{}>", c.medium.0, c.sector)).collect();
+        let path: Vec<String> = chain
+            .iter()
+            .map(|c| format!("<{},{}>", c.medium.0, c.sector))
+            .collect();
         println!("  <{},{}> -> {}", m, s, path.join(" -> "));
     }
     println!("\nnote medium 22's 500:999 range shortcuts directly to 12 (fewer lookups, §4.5),");

@@ -2,7 +2,8 @@
 //! arrays and main memory versus access frequency — the five-minute rule
 //! recomputed for 2015 flash economics, plus the paper's rules of thumb.
 
-use purity_bench::print_table;
+use purity_bench::{print_table, write_results};
+use purity_obs::json::JsonWriter;
 use purity_wkld::costmodel::{
     cost_per_item, crossover_interval, figure7_devices, figure7_intervals,
 };
@@ -20,8 +21,9 @@ fn main() {
         }
     }
 
-    let headers: Vec<&str> =
-        std::iter::once("Access interval").chain(devices.iter().map(|(d, _)| d.name)).collect();
+    let headers: Vec<&str> = std::iter::once("Access interval")
+        .chain(devices.iter().map(|(d, _)| d.name))
+        .collect();
     let rows: Vec<Vec<String>> = intervals
         .iter()
         .map(|(label, t)| {
@@ -32,7 +34,11 @@ fn main() {
             row
         })
         .collect();
-    print_table("Figure 7: relative cost vs access frequency (55 KiB items)", &headers, &rows);
+    print_table(
+        "Figure 7: relative cost vs access frequency (55 KiB items)",
+        &headers,
+        &rows,
+    );
 
     // Crossovers → the rules of thumb.
     let dev = |name: &str| {
@@ -54,6 +60,37 @@ fn main() {
     println!("\nRules of thumb (paper §5.2.2):");
     println!("  1. Performance disk is dead (dominated at every interval above).");
     println!("  2. Without data reduction, RAM wins for anything hot.");
-    println!("  3. With data reduction, never cache data accessed less often than ~every half hour.");
-    println!("  4. Important data follows a ten-minute rule (second cached copy vs storage access).");
+    println!(
+        "  3. With data reduction, never cache data accessed less often than ~every half hour."
+    );
+    println!(
+        "  4. Important data follows a ten-minute rule (second cached copy vs storage access)."
+    );
+
+    // Machine-readable form of the same table + crossovers.
+    let mut cells = JsonWriter::array();
+    for (label, t) in &intervals {
+        let mut row = JsonWriter::object();
+        row.str_field("access_interval", label)
+            .f64_field("interval_sec", *t);
+        let mut costs = JsonWriter::object();
+        for (dev, _) in &devices {
+            costs.f64_field(dev.name, cost_per_item(dev, ITEM, *t) / min_cost);
+        }
+        row.raw_field("relative_cost", &costs.finish());
+        cells.raw_element(&row.finish());
+    }
+    let mut crossovers = JsonWriter::object();
+    for name in ["1x", "4x", "10x"] {
+        let d = dev(name);
+        if let Some(t) = crossover_interval(&d, &ram, ITEM) {
+            crossovers.f64_field(d.name, t);
+        }
+    }
+    let mut root = JsonWriter::object();
+    root.str_field("experiment", "fig7_fiveminute")
+        .u64_field("item_bytes", ITEM)
+        .raw_field("relative_cost_table", &cells.finish())
+        .raw_field("crossover_vs_ram_sec", &crossovers.finish());
+    write_results("fig7_fiveminute", &root.finish());
 }

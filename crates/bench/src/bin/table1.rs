@@ -58,11 +58,15 @@ fn run_at(interarrival: Nanos, ops: u64) -> (DriveReport, FlashArray) {
 
 fn main() {
     // ---- Rate sweep to saturation. -------------------------------------
-    let ladder: Vec<Nanos> =
-        vec![1_000_000, 500_000, 250_000, 125_000, 62_500, 31_250, 15_625, 8_000, 4_000];
+    let ladder: Vec<Nanos> = vec![
+        1_000_000, 500_000, 250_000, 125_000, 62_500, 31_250, 15_625, 8_000, 4_000,
+    ];
     let mut peak_iops = 0.0f64;
     let mut peak_inter = ladder[0];
-    println!("rate sweep (32 KiB random, 70/30 read/write, SLO p95 < {}):", format_nanos(SLO_NS));
+    println!(
+        "rate sweep (32 KiB random, 70/30 read/write, SLO p95 < {}):",
+        format_nanos(SLO_NS)
+    );
     for &inter in &ladder {
         let (report, _) = run_at(inter, 2500);
         let ok = report.read_latency.p95() < SLO_NS && report.write_latency.p95() < SLO_NS;
@@ -160,9 +164,24 @@ fn main() {
             format!("{:.0}", d_usable_tb),
             times(purity_usable_tb / d_usable_tb),
         ],
-        vec!["Rack Units (RUs)".into(), "8".into(), "28".into(), times(28.0 / 8.0)],
-        vec!["Installation (hours)".into(), "4".into(), "40".into(), times(10.0)],
-        vec!["Power (W)".into(), "1240".into(), "3500".into(), times(3500.0 / 1240.0)],
+        vec![
+            "Rack Units (RUs)".into(),
+            "8".into(),
+            "28".into(),
+            times(28.0 / 8.0),
+        ],
+        vec![
+            "Installation (hours)".into(),
+            "4".into(),
+            "40".into(),
+            times(10.0),
+        ],
+        vec![
+            "Power (W)".into(),
+            "1240".into(),
+            "3500".into(),
+            times(3500.0 / 1240.0),
+        ],
         vec![
             "Annual Power Cost ($)".into(),
             format!("{:.0}", p_power_usd),

@@ -18,7 +18,11 @@ fn main() {
             };
             let (lo, hi) = fa450.arrays_needed(d);
             let needed = if (lo - hi).abs() < 1e-9 {
-                if lo.fract() == 0.0 { format!("{:.0}", lo) } else { format!("{:.1}", lo) }
+                if lo.fract() == 0.0 {
+                    format!("{:.0}", lo)
+                } else {
+                    format!("{:.1}", lo)
+                }
             } else {
                 format!("{:.0}-{:.0}", lo, hi)
             };
@@ -35,7 +39,15 @@ fn main() {
         .collect();
     print_table(
         "Table 2: deployments vs FA-450 consolidation",
-        &["Service", "Scale", "Year", "Scope", "Apps", "Nodes", "≈FA-450s"],
+        &[
+            "Service",
+            "Scale",
+            "Year",
+            "Scope",
+            "Apps",
+            "Nodes",
+            "≈FA-450s",
+        ],
         &rows,
     );
     println!(
@@ -44,5 +56,7 @@ fn main() {
         fa450.effective_bytes / 10u64.pow(12)
     );
     println!("paper prints: PNUTS 8, Spanner 4-40, S3 7.5, DynamoDB 13 — matching rows above.");
-    println!("conclusion (paper §2.3): 100-250:1 node consolidation ratios for disk-era KV clusters.");
+    println!(
+        "conclusion (paper §2.3): 100-250:1 node consolidation ratios for disk-era KV clusters."
+    );
 }

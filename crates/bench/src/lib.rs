@@ -7,9 +7,12 @@
 //! and small table-printing helpers.
 
 use purity_core::{Ack, FlashArray, VolumeId};
+use purity_obs::json::JsonWriter;
+use purity_obs::HistogramSummary;
 use purity_sim::units::{format_bytes, format_nanos};
 use purity_sim::{LatencyHistogram, Nanos, SEC};
 use purity_wkld::{Op, WorkloadGen};
+use std::path::PathBuf;
 
 /// Results of driving a workload.
 #[derive(Debug, Clone)]
@@ -45,6 +48,27 @@ impl DriveReport {
             return 0.0;
         }
         self.bytes as f64 * SEC as f64 / self.elapsed as f64
+    }
+
+    /// Machine-readable form: throughput plus full latency summaries.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::object();
+        w.u64_field("ops", self.ops)
+            .u64_field("reads", self.reads)
+            .u64_field("writes", self.writes)
+            .u64_field("bytes", self.bytes)
+            .u64_field("elapsed_ns", self.elapsed)
+            .f64_field("iops", self.iops())
+            .f64_field("throughput_bytes_per_sec", self.throughput_bps())
+            .raw_field(
+                "read_latency",
+                &HistogramSummary::of(&self.read_latency).to_json(),
+            )
+            .raw_field(
+                "write_latency",
+                &HistogramSummary::of(&self.write_latency).to_json(),
+            );
+        w.finish()
     }
 
     /// Pretty one-liner.
@@ -106,6 +130,24 @@ pub fn drive(
     report
 }
 
+/// The repo-level `results/` directory the harness binaries emit
+/// machine-readable snapshots into (created on first use).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results/");
+    dir
+}
+
+/// Writes one JSON document under `results/<name>.json` and reports
+/// where it went. Every exhibit binary ends with one of these so runs
+/// leave a metrics trail that scripts can diff, not just stdout.
+pub fn write_results(name: &str, json: &str) -> PathBuf {
+    let path = results_dir().join(format!("{name}.json"));
+    std::fs::write(&path, json).expect("write results json");
+    println!("\nwrote {}", path.display());
+    path
+}
+
 /// Prints a header row followed by aligned rows.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n=== {} ===", title);
@@ -125,7 +167,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&headers));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

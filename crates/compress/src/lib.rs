@@ -128,7 +128,11 @@ fn emit_token(out: &mut Vec<u8>, literals: &[u8], m: Option<(usize, usize)>) {
     let (offset, match_len) = m.unwrap_or((0, 0));
     debug_assert!(m.is_none() || match_len >= MIN_MATCH);
     // Bias match length so nibble 1 = MIN_MATCH (0 = no match).
-    let match_code = if match_len == 0 { 0 } else { match_len - MIN_MATCH + 1 };
+    let match_code = if match_len == 0 {
+        0
+    } else {
+        match_len - MIN_MATCH + 1
+    };
 
     let lit_nibble = lit_len.min(15) as u8;
     let match_nibble = match_code.min(15) as u8;
@@ -252,7 +256,11 @@ mod tests {
     fn highly_redundant_input_compresses_hard() {
         let data = vec![0u8; 32 * 1024];
         let clen = round_trip(&data);
-        assert!(clen < data.len() / 50, "zeros should compress >50x, got {}", clen);
+        assert!(
+            clen < data.len() / 50,
+            "zeros should compress >50x, got {}",
+            clen
+        );
     }
 
     #[test]
@@ -263,7 +271,11 @@ mod tests {
             data.extend_from_slice(pattern);
         }
         let clen = round_trip(&data);
-        assert!(clen < data.len() / 8, "pattern should compress >8x, got {}", clen);
+        assert!(
+            clen < data.len() / 8,
+            "pattern should compress >8x, got {}",
+            clen
+        );
     }
 
     #[test]
@@ -271,7 +283,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let data: Vec<u8> = (0..8192).map(|_| rng.gen()).collect();
         let clen = round_trip(&data);
-        assert!(clen <= data.len() + 4, "raw fallback overhead too big: {}", clen);
+        assert!(
+            clen <= data.len() + 4,
+            "raw fallback overhead too big: {}",
+            clen
+        );
     }
 
     #[test]
@@ -286,7 +302,11 @@ mod tests {
             data.extend_from_slice(b"|status:active|balance:000123.45|");
         }
         let clen = round_trip(&data);
-        assert!(clen < data.len() / 2, "structured rows should halve: {}", clen);
+        assert!(
+            clen < data.len() / 2,
+            "structured rows should halve: {}",
+            clen
+        );
     }
 
     #[test]
@@ -295,7 +315,9 @@ mod tests {
         let data = vec![b'a'; 1000];
         round_trip(&data);
         // RLE-ish two-byte period.
-        let data: Vec<u8> = (0..1000).map(|i| if i % 2 == 0 { b'x' } else { b'y' }).collect();
+        let data: Vec<u8> = (0..1000)
+            .map(|i| if i % 2 == 0 { b'x' } else { b'y' })
+            .collect();
         round_trip(&data);
     }
 

@@ -18,6 +18,7 @@ use crate::scrub::ScrubReport;
 use crate::shelf::Shelf;
 use crate::stats::ArrayStats;
 use crate::types::{DriveId, SnapshotId, VolumeId};
+use purity_obs::{MetricsSnapshot, Obs};
 use purity_sim::{Clock, Nanos};
 use std::sync::Arc;
 
@@ -119,7 +120,8 @@ impl FlashArray {
     /// Creates a thin-provisioned volume.
     pub fn create_volume(&mut self, name: &str, size_bytes: u64) -> Result<VolumeId> {
         let now = self.clock.now();
-        self.primary.create_volume(&mut self.shelf, name, size_bytes, now)
+        self.primary
+            .create_volume(&mut self.shelf, name, size_bytes, now)
     }
 
     /// Snapshots a volume (O(1)).
@@ -131,7 +133,8 @@ impl FlashArray {
     /// Clones a snapshot into a new volume (O(1)).
     pub fn clone_snapshot(&mut self, snapshot: SnapshotId, name: &str) -> Result<VolumeId> {
         let now = self.clock.now();
-        self.primary.clone_snapshot(&mut self.shelf, snapshot, name, now)
+        self.primary
+            .clone_snapshot(&mut self.shelf, snapshot, name, now)
     }
 
     /// Destroys a volume via elision.
@@ -143,7 +146,8 @@ impl FlashArray {
     /// Destroys a snapshot via elision.
     pub fn destroy_snapshot(&mut self, snapshot: SnapshotId) -> Result<()> {
         let now = self.clock.now();
-        self.primary.destroy_snapshot(&mut self.shelf, snapshot, now)
+        self.primary
+            .destroy_snapshot(&mut self.shelf, snapshot, now)
     }
 
     /// Volume metadata.
@@ -167,7 +171,9 @@ impl FlashArray {
         data: &[u8],
     ) -> Result<Ack> {
         let now = self.clock.now();
-        let mut ack = self.primary.write(&mut self.shelf, volume, offset, data, now)?;
+        let mut ack = self
+            .primary
+            .write(&mut self.shelf, volume, offset, data, now)?;
         if port == Port::Secondary {
             ack.latency += FORWARD_NS;
         }
@@ -195,7 +201,9 @@ impl FlashArray {
         len: usize,
     ) -> Result<(Vec<u8>, Ack)> {
         let now = self.clock.now();
-        let (data, mut ack) = self.primary.read(&mut self.shelf, volume, offset, len, now)?;
+        let (data, mut ack) = self
+            .primary
+            .read(&mut self.shelf, volume, offset, len, now)?;
         if port == Port::Secondary {
             ack.latency += FORWARD_NS;
         }
@@ -296,6 +304,9 @@ impl FlashArray {
             CblockCache::new(self.cfg.cache_bytes),
         );
         ctrl.stats.absorb(&self.primary.stats);
+        // The metric registry and slow-op ring likewise outlive the
+        // controller: the standby inherits them wholesale.
+        ctrl.obs = Arc::clone(&self.primary.obs);
         self.primary = ctrl;
         let downtime = recovery.total_time;
         self.clock.advance_to(start + downtime);
@@ -311,13 +322,98 @@ impl FlashArray {
         &self.primary.stats
     }
 
+    /// The observability layer: metrics registry + slow-op tracer.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.primary.obs
+    }
+
+    /// Mirrors every subsystem's cumulative telemetry into the metric
+    /// registry (pull-style collection; idempotent, so call freely).
+    /// Metric names and labels are documented in OBSERVABILITY.md.
+    pub fn publish_metrics(&self) {
+        let reg = &self.primary.obs.registry;
+        // Per-drive device internals (FTL traffic, stall blame, wear).
+        for d in 0..self.shelf.n_drives() {
+            self.shelf.drive(d).publish_metrics(reg, &d.to_string());
+        }
+        // Array data path.
+        let s = &self.primary.stats;
+        reg.counter("array_logical_bytes_written", &[])
+            .set(s.logical_bytes_written);
+        reg.counter("array_logical_bytes_read", &[])
+            .set(s.logical_bytes_read);
+        reg.counter("array_physical_bytes_stored", &[])
+            .set(s.physical_bytes_stored);
+        reg.counter("array_dedup_bytes_saved", &[])
+            .set(s.dedup_bytes_saved);
+        reg.counter("array_compress_bytes_saved", &[])
+            .set(s.compress_bytes_saved);
+        for (path, v) in [
+            ("direct", s.direct_reads),
+            ("reconstructed", s.reconstructed_reads),
+            ("cache", s.cache_reads),
+            ("zero", s.zero_reads),
+        ] {
+            reg.counter("array_reads", &[("path", path)]).set(v);
+        }
+        reg.counter("array_reconstruction_extra_reads", &[])
+            .set(s.reconstruction_extra_reads);
+        reg.counter("array_gc_passes", &[]).set(s.gc_passes);
+        reg.counter("array_gc_segments_freed", &[])
+            .set(s.gc_segments_freed);
+        reg.counter("array_gc_bytes_relocated", &[])
+            .set(s.gc_bytes_relocated);
+        reg.counter("array_scrub_passes", &[]).set(s.scrub_passes);
+        reg.counter("array_scrub_repairs", &[]).set(s.scrub_repairs);
+        reg.counter("array_checkpoints", &[]).set(s.checkpoints);
+        reg.histogram("array_write_latency", &[])
+            .set_from(&s.write_latency);
+        reg.histogram("array_read_latency", &[])
+            .set_from(&s.read_latency);
+        reg.histogram("array_read_queueing", &[("path", "direct")])
+            .set_from(&s.read_queueing);
+        reg.histogram("array_read_service", &[("path", "direct")])
+            .set_from(&s.read_service);
+        reg.histogram("array_drive_read_latency", &[("path", "direct")])
+            .set_from(&s.direct_read_latency);
+        reg.histogram("array_drive_read_latency", &[("path", "reconstructed")])
+            .set_from(&s.reconstructed_read_latency);
+        // Map pyramid (LSM) maintenance.
+        self.primary.map.stats().publish(reg, "map");
+        // Shelf/NVRAM + availability.
+        reg.gauge("nvram_used_bytes", &[])
+            .set(self.shelf.nvram().used_bytes() as i64);
+        reg.counter("array_failovers", &[]).set(self.failovers);
+        reg.counter("array_downtime_ns", &[])
+            .set(self.downtime_total);
+        let space = self.space_report();
+        reg.gauge("array_allocated_bytes", &[])
+            .set(space.allocated_bytes as i64);
+        reg.gauge("array_provisioned_bytes", &[])
+            .set(space.provisioned_bytes as i64);
+    }
+
+    /// Publishes and freezes every metric.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.publish_metrics();
+        self.primary.obs.registry.snapshot()
+    }
+
+    /// Publishes, then renders the full observability export (metrics +
+    /// captured slow ops) as JSON — what the bench binaries write into
+    /// `results/`.
+    pub fn export_observability_json(&self) -> String {
+        self.publish_metrics();
+        self.primary.obs.export_json()
+    }
+
     /// Space accounting.
     pub fn space_report(&self) -> SpaceReport {
         let capacity = (self.cfg.aus_per_drive() * self.cfg.n_drives / self.cfg.stripe_width()
             * self.cfg.rs_data) as u64
             * self.cfg.au_bytes as u64;
-        let seg_cap = (self.primary.layout.n_stripes
-            * self.primary.layout.stripe_data_bytes()) as u64;
+        let seg_cap =
+            (self.primary.layout.n_stripes * self.primary.layout.stripe_data_bytes()) as u64;
         let allocated = self.primary.segment_count() as u64 * seg_cap;
         let provisioned: u64 = self
             .primary

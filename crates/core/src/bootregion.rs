@@ -146,7 +146,11 @@ impl Checkpoint {
         for &f in &self.frontier {
             varint::encode(f, &mut body);
         }
-        encode_rows(&self.segment_rows, SegmentFact::cols(stripe_width), &mut body);
+        encode_rows(
+            &self.segment_rows,
+            SegmentFact::cols(stripe_width),
+            &mut body,
+        );
         encode_rows(&self.medium_rows, MediumFact::COLS, &mut body);
         varint::encode(self.volumes.len() as u64, &mut body);
         for v in &self.volumes {
@@ -229,7 +233,12 @@ impl Checkpoint {
             let anchor_medium = next(&mut at)?;
             let size_sectors = next(&mut at)?;
             let name = decode_string(body, &mut at)?;
-            volumes.push(VolumeMeta { id, anchor_medium, size_sectors, name });
+            volumes.push(VolumeMeta {
+                id,
+                anchor_medium,
+                size_sectors,
+                name,
+            });
         }
         let n_snaps = next(&mut at)?;
         let mut snapshots = Vec::with_capacity(n_snaps as usize);
@@ -238,7 +247,12 @@ impl Checkpoint {
             let volume = next(&mut at)?;
             let medium = next(&mut at)?;
             let name = decode_string(body, &mut at)?;
-            snapshots.push(SnapMeta { id, volume, medium, name });
+            snapshots.push(SnapMeta {
+                id,
+                volume,
+                medium,
+                name,
+            });
         }
         let n_elided = next(&mut at)?;
         let mut elided_mediums = Vec::with_capacity(n_elided as usize);
@@ -289,7 +303,12 @@ impl BootRegion {
     /// Creates the accessor. `region_bytes` is reserved at offset 0 of
     /// each mirror drive.
     pub fn new(region_bytes: usize, page_size: usize, stripe_width: usize) -> Self {
-        Self { region_bytes, page_size, stripe_width, writes: 0 }
+        Self {
+            region_bytes,
+            page_size,
+            stripe_width,
+            writes: 0,
+        }
     }
 
     fn slot_bytes(&self) -> usize {
@@ -345,7 +364,9 @@ impl BootRegion {
             done = done.max(pair_end);
         }
         if !wrote_any {
-            return Err(PurityError::Unavailable("all boot-region mirrors failed".into()));
+            return Err(PurityError::Unavailable(
+                "all boot-region mirrors failed".into(),
+            ));
         }
         self.writes += 1;
         Ok(done)
@@ -369,7 +390,9 @@ impl BootRegion {
                     }
                     Err(_) => continue, // slot never written / unreadable
                 };
-                let Some(total) = Self::total_len(&first) else { continue };
+                let Some(total) = Self::total_len(&first) else {
+                    continue;
+                };
                 let bytes = if total <= first.len() {
                     first
                 } else {
@@ -383,15 +406,18 @@ impl BootRegion {
                     }
                 };
                 if let Some((cp, _)) = Checkpoint::decode(&bytes) {
-                    if best.as_ref().map(|b| cp.version > b.version).unwrap_or(true) {
+                    if best
+                        .as_ref()
+                        .map(|b| cp.version > b.version)
+                        .unwrap_or(true)
+                    {
                         best = Some(cp);
                     }
                 }
             }
         }
-        best.map(|cp| (cp, done)).ok_or_else(|| {
-            PurityError::Unavailable("no valid boot-region checkpoint found".into())
-        })
+        best.map(|cp| (cp, done))
+            .ok_or_else(|| PurityError::Unavailable("no valid boot-region checkpoint found".into()))
     }
 }
 
@@ -423,9 +449,18 @@ mod tests {
                 size_sectors: 2048,
                 name: "oracle-data".into(),
             }],
-            snapshots: vec![SnapMeta { id: 1, volume: 1, medium: 2, name: "nightly".into() }],
+            snapshots: vec![SnapMeta {
+                id: 1,
+                volume: 1,
+                medium: 2,
+                name: "nightly".into(),
+            }],
             elided_mediums: vec![(0, 3), (10, 10)],
-            map_patches: vec![PatchLoc { segment: 2, log_offset: 0, len: 888 }],
+            map_patches: vec![PatchLoc {
+                segment: 2,
+                log_offset: 0,
+                len: 888,
+            }],
         }
     }
 
@@ -446,15 +481,17 @@ mod tests {
             bad[i] ^= 0x40;
             assert!(Checkpoint::decode(&bad).is_none(), "flip at {}", i);
         }
-        assert!(Checkpoint::decode(&bytes[..bytes.len() - 2]).is_none(), "truncated");
+        assert!(
+            Checkpoint::decode(&bytes[..bytes.len() - 2]).is_none(),
+            "truncated"
+        );
     }
 
     #[test]
     fn boot_region_survives_two_mirror_failures() {
         let cfg = ArrayConfig::test_small();
         let mut shelf = Shelf::new(&cfg, Clock::new());
-        let mut boot =
-            BootRegion::new(cfg.boot_region_bytes(), cfg.ssd_geometry.page_size, 9);
+        let mut boot = BootRegion::new(cfg.boot_region_bytes(), cfg.ssd_geometry.page_size, 9);
         boot.write(&mut shelf, &sample_checkpoint(1), 0).unwrap();
         shelf.drive_mut(0).fail();
         shelf.drive_mut(2).fail();
@@ -466,8 +503,7 @@ mod tests {
     fn newest_version_wins_across_slots() {
         let cfg = ArrayConfig::test_small();
         let mut shelf = Shelf::new(&cfg, Clock::new());
-        let mut boot =
-            BootRegion::new(cfg.boot_region_bytes(), cfg.ssd_geometry.page_size, 9);
+        let mut boot = BootRegion::new(cfg.boot_region_bytes(), cfg.ssd_geometry.page_size, 9);
         boot.write(&mut shelf, &sample_checkpoint(1), 0).unwrap();
         boot.write(&mut shelf, &sample_checkpoint(2), 0).unwrap();
         boot.write(&mut shelf, &sample_checkpoint(3), 0).unwrap();
@@ -480,12 +516,14 @@ mod tests {
     fn all_mirrors_failed_is_unavailable() {
         let cfg = ArrayConfig::test_small();
         let mut shelf = Shelf::new(&cfg, Clock::new());
-        let mut boot =
-            BootRegion::new(cfg.boot_region_bytes(), cfg.ssd_geometry.page_size, 9);
+        let mut boot = BootRegion::new(cfg.boot_region_bytes(), cfg.ssd_geometry.page_size, 9);
         boot.write(&mut shelf, &sample_checkpoint(1), 0).unwrap();
         for d in 0..3 {
             shelf.drive_mut(d).fail();
         }
-        assert!(matches!(boot.read(&mut shelf, 0), Err(PurityError::Unavailable(_))));
+        assert!(matches!(
+            boot.read(&mut shelf, 0),
+            Err(PurityError::Unavailable(_))
+        ));
     }
 }

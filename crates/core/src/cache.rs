@@ -113,7 +113,11 @@ mod tests {
     use crate::types::SegmentId;
 
     fn pba(seg: u64, off: u64) -> Pba {
-        Pba { segment: SegmentId(seg), offset: off, stored_len: 0 }
+        Pba {
+            segment: SegmentId(seg),
+            offset: off,
+            stored_len: 0,
+        }
     }
 
     #[test]

@@ -53,6 +53,11 @@ pub struct ArrayConfig {
     /// Pre-age every drive by this many P/E cycles at shelf construction
     /// (the paper's worn-flash validation, §5.1).
     pub preage_cycles: u64,
+    /// Ops slower than this (virtual ns) are captured with their full
+    /// per-stage trace in the observability ring (see OBSERVABILITY.md).
+    /// The default is the paper's 1 ms headline p99.9 bound — anything
+    /// over it is exactly the tail worth explaining.
+    pub slow_op_capture_ns: u64,
 }
 
 impl ArrayConfig {
@@ -83,6 +88,7 @@ impl ArrayConfig {
             cache_bytes: 4 * 1024 * 1024,
             seed: 0x9E3779B9,
             preage_cycles: 0,
+            slow_op_capture_ns: 1_000_000,
         }
     }
 
@@ -160,9 +166,14 @@ impl ArrayConfig {
         if self.au_bytes <= self.au_header_bytes()
             || !(self.au_bytes - self.au_header_bytes()).is_multiple_of(self.write_unit_bytes)
         {
-            return Err("AU size minus header must be a positive multiple of the write unit".into());
+            return Err(
+                "AU size minus header must be a positive multiple of the write unit".into(),
+            );
         }
-        if !self.write_unit_bytes.is_multiple_of(self.ssd_geometry.page_size) {
+        if !self
+            .write_unit_bytes
+            .is_multiple_of(self.ssd_geometry.page_size)
+        {
             return Err("write unit must be page-aligned".into());
         }
         if self.max_cblock_bytes > self.write_unit_bytes {

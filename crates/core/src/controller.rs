@@ -13,6 +13,7 @@ use crate::bootregion::{BootRegion, Checkpoint, PatchLoc, SnapMeta, VolumeMeta};
 use crate::cache::CblockCache;
 use crate::config::ArrayConfig;
 use crate::error::{PurityError, Result};
+use crate::frontier::AuAllocator;
 use crate::medium::MediumTable;
 use crate::records::{
     encode_intent, encode_log_record, encode_meta, LogRecord, MapFact, MediumFact, MetaIntent,
@@ -28,8 +29,9 @@ use purity_dedup::hash::block_hash;
 use purity_dedup::index::DedupIndex;
 use purity_ecc::ReedSolomon;
 use purity_format::RangeTable;
-use crate::frontier::AuAllocator;
 use purity_lsm::{Pyramid, Seq, SeqAllocator};
+use purity_obs::{Obs, OpTrace};
+use purity_sim::units::format_nanos;
 use purity_sim::Nanos;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -69,7 +71,13 @@ pub struct Volume {
 
 impl Volume {
     pub(crate) fn new(id: VolumeId, name: String, size_sectors: u64, anchor: MediumId) -> Self {
-        Self { id, name, size_sectors, anchor, write_size_buckets: [0; 8] }
+        Self {
+            id,
+            name,
+            size_sectors,
+            anchor,
+            write_size_buckets: [0; 8],
+        }
     }
 
     fn bucket_of(bytes: usize) -> usize {
@@ -150,6 +158,10 @@ pub struct Controller {
     pub(crate) last_nvram_index: Option<u64>,
     /// Telemetry.
     pub stats: ArrayStats,
+    /// Observability: metrics registry + slow-op tracer. Shared with the
+    /// array facade (and across failovers — telemetry outlives any one
+    /// controller, like [`ArrayStats`]).
+    pub obs: Arc<Obs>,
 }
 
 /// Acknowledgement of a completed request.
@@ -176,7 +188,9 @@ impl Controller {
         let elided = Arc::new(RwLock::new(RangeTable::new()));
         let mut map: Pyramid<MapKey, MapVal> = Pyramid::with_thresholds(1 << 30, 8);
         let filter = elided.clone();
-        map.set_elide_filter(Arc::new(move |k: &MapKey, _s: Seq| filter.read().contains(k.0)));
+        map.set_elide_filter(Arc::new(move |k: &MapKey, _s: Seq| {
+            filter.read().contains(k.0)
+        }));
         let mut ctrl = Self {
             rs: ReedSolomon::new(cfg.rs_data, cfg.rs_parity),
             layout,
@@ -197,7 +211,10 @@ impl Controller {
                 cfg.stripe_width(),
             ),
             writer: SegmentWriter::new(layout, cfg.ssd_geometry.page_size),
-            dedup: DedupEngine::new(DedupIndex::new(cfg.dedup_recent_window, cfg.dedup_hot_cache)),
+            dedup: DedupEngine::new(DedupIndex::new(
+                cfg.dedup_recent_window,
+                cfg.dedup_hot_cache,
+            )),
             cache: CblockCache::new(cfg.cache_bytes),
             elided_mediums: elided,
             next_segment: 1,
@@ -208,6 +225,7 @@ impl Controller {
             map_patches: Vec::new(),
             last_nvram_index: None,
             stats: ArrayStats::default(),
+            obs: Obs::new(cfg.slow_op_capture_ns),
             cfg,
         };
         ctrl.write_checkpoint(shelf, now)?;
@@ -226,7 +244,12 @@ impl Controller {
         Ok((seq, t))
     }
 
-    fn nvram_append(&mut self, shelf: &mut Shelf, bytes: &[u8], now: Nanos) -> Result<(u64, Nanos)> {
+    fn nvram_append(
+        &mut self,
+        shelf: &mut Shelf,
+        bytes: &[u8],
+        now: Nanos,
+    ) -> Result<(u64, Nanos)> {
         match shelf.nvram_mut().append(bytes, now) {
             Ok(ok) => Ok(ok),
             Err(purity_ssd::nvram::NvramError::Full) => {
@@ -239,9 +262,17 @@ impl Controller {
     }
 
     /// Creates a volume of `size_bytes` (thin-provisioned).
-    pub fn create_volume(&mut self, shelf: &mut Shelf, name: &str, size_bytes: u64, now: Nanos) -> Result<VolumeId> {
+    pub fn create_volume(
+        &mut self,
+        shelf: &mut Shelf,
+        name: &str,
+        size_bytes: u64,
+        now: Nanos,
+    ) -> Result<VolumeId> {
         if size_bytes == 0 || !size_bytes.is_multiple_of(SECTOR as u64) {
-            return Err(PurityError::BadRequest("volume size must be sector aligned".into()));
+            return Err(PurityError::BadRequest(
+                "volume size must be sector aligned".into(),
+            ));
         }
         let volume = self.next_volume;
         let medium = self.next_medium;
@@ -259,8 +290,18 @@ impl Controller {
     }
 
     /// Takes a snapshot of a volume (O(1): freeze + stack, §4.5).
-    pub fn snapshot(&mut self, shelf: &mut Shelf, volume: VolumeId, name: &str, now: Nanos) -> Result<SnapshotId> {
-        let vol = self.volumes.get(&volume.0).ok_or(PurityError::NoSuchVolume)?.clone();
+    pub fn snapshot(
+        &mut self,
+        shelf: &mut Shelf,
+        volume: VolumeId,
+        name: &str,
+        now: Nanos,
+    ) -> Result<SnapshotId> {
+        let vol = self
+            .volumes
+            .get(&volume.0)
+            .ok_or(PurityError::NoSuchVolume)?
+            .clone();
         let snapshot = self.next_snapshot;
         let new_anchor = self.next_medium;
         self.next_snapshot += 1;
@@ -285,8 +326,16 @@ impl Controller {
         name: &str,
         now: Nanos,
     ) -> Result<VolumeId> {
-        let snap = self.snapshots.get(&snapshot.0).ok_or(PurityError::NoSuchSnapshot)?.clone();
-        let size = self.volumes.get(&snap.volume.0).map(|v| v.size_sectors).unwrap_or(0);
+        let snap = self
+            .snapshots
+            .get(&snapshot.0)
+            .ok_or(PurityError::NoSuchSnapshot)?
+            .clone();
+        let size = self
+            .volumes
+            .get(&snap.volume.0)
+            .map(|v| v.size_sectors)
+            .unwrap_or(0);
         let volume = self.next_volume;
         let new_anchor = self.next_medium;
         self.next_volume += 1;
@@ -305,18 +354,42 @@ impl Controller {
 
     /// Destroys a volume: a single elide-table insert retires all its
     /// data (§4.10).
-    pub fn destroy_volume(&mut self, shelf: &mut Shelf, volume: VolumeId, now: Nanos) -> Result<()> {
-        let vol = self.volumes.get(&volume.0).ok_or(PurityError::NoSuchVolume)?.clone();
-        let op = MetaOp::DestroyVolume { volume: volume.0, medium: vol.anchor.0 };
+    pub fn destroy_volume(
+        &mut self,
+        shelf: &mut Shelf,
+        volume: VolumeId,
+        now: Nanos,
+    ) -> Result<()> {
+        let vol = self
+            .volumes
+            .get(&volume.0)
+            .ok_or(PurityError::NoSuchVolume)?
+            .clone();
+        let op = MetaOp::DestroyVolume {
+            volume: volume.0,
+            medium: vol.anchor.0,
+        };
         let (seq, _) = self.commit_meta(shelf, op.clone(), now)?;
         self.apply_meta(&MetaIntent { seq, op });
         Ok(())
     }
 
     /// Destroys a snapshot.
-    pub fn destroy_snapshot(&mut self, shelf: &mut Shelf, snapshot: SnapshotId, now: Nanos) -> Result<()> {
-        let snap = self.snapshots.get(&snapshot.0).ok_or(PurityError::NoSuchSnapshot)?.clone();
-        let op = MetaOp::DestroySnapshot { snapshot: snapshot.0, medium: snap.medium.0 };
+    pub fn destroy_snapshot(
+        &mut self,
+        shelf: &mut Shelf,
+        snapshot: SnapshotId,
+        now: Nanos,
+    ) -> Result<()> {
+        let snap = self
+            .snapshots
+            .get(&snapshot.0)
+            .ok_or(PurityError::NoSuchSnapshot)?
+            .clone();
+        let op = MetaOp::DestroySnapshot {
+            snapshot: snapshot.0,
+            medium: snap.medium.0,
+        };
         let (seq, _) = self.commit_meta(shelf, op.clone(), now)?;
         self.apply_meta(&MetaIntent { seq, op });
         Ok(())
@@ -327,8 +400,14 @@ impl Controller {
     pub(crate) fn apply_meta(&mut self, intent: &MetaIntent) {
         let seq = intent.seq;
         match &intent.op {
-            MetaOp::CreateVolume { volume, medium, size_sectors, name } => {
-                self.mediums.create_root(MediumId(*medium), *size_sectors, seq);
+            MetaOp::CreateVolume {
+                volume,
+                medium,
+                size_sectors,
+                name,
+            } => {
+                self.mediums
+                    .create_root(MediumId(*medium), *size_sectors, seq);
                 self.volumes.insert(
                     *volume,
                     Volume::new(
@@ -341,8 +420,18 @@ impl Controller {
                 self.next_volume = self.next_volume.max(volume + 1);
                 self.next_medium = self.next_medium.max(medium + 1);
             }
-            MetaOp::SnapshotVolume { snapshot, volume, frozen_medium, new_anchor, name } => {
-                let size = self.volumes.get(volume).map(|v| v.size_sectors).unwrap_or(0);
+            MetaOp::SnapshotVolume {
+                snapshot,
+                volume,
+                frozen_medium,
+                new_anchor,
+                name,
+            } => {
+                let size = self
+                    .volumes
+                    .get(volume)
+                    .map(|v| v.size_sectors)
+                    .unwrap_or(0);
                 self.mediums.freeze(MediumId(*frozen_medium), seq);
                 self.mediums.create_child(
                     MediumId(*new_anchor),
@@ -365,7 +454,13 @@ impl Controller {
                 self.next_snapshot = self.next_snapshot.max(snapshot + 1);
                 self.next_medium = self.next_medium.max(new_anchor + 1);
             }
-            MetaOp::CloneToVolume { volume, source_medium, new_anchor, size_sectors, name } => {
+            MetaOp::CloneToVolume {
+                volume,
+                source_medium,
+                new_anchor,
+                size_sectors,
+                name,
+            } => {
                 self.mediums.create_child(
                     MediumId(*new_anchor),
                     MediumId(*source_medium),
@@ -439,9 +534,17 @@ impl Controller {
         data: &[u8],
         now: Nanos,
     ) -> Result<Ack> {
-        let vol = self.volumes.get(&volume.0).ok_or(PurityError::NoSuchVolume)?;
-        if !offset.is_multiple_of(SECTOR as u64) || !data.len().is_multiple_of(SECTOR) || data.is_empty() {
-            return Err(PurityError::BadRequest("writes must be whole sectors".into()));
+        let vol = self
+            .volumes
+            .get(&volume.0)
+            .ok_or(PurityError::NoSuchVolume)?;
+        if !offset.is_multiple_of(SECTOR as u64)
+            || !data.len().is_multiple_of(SECTOR)
+            || data.is_empty()
+        {
+            return Err(PurityError::BadRequest(
+                "writes must be whole sectors".into(),
+            ));
         }
         if offset + data.len() as u64 > vol.size_sectors * SECTOR as u64 {
             return Err(PurityError::BadRequest("write beyond end of volume".into()));
@@ -452,12 +555,20 @@ impl Controller {
         if let Some(v) = self.volumes.get_mut(&volume.0) {
             v.observe_write(data.len());
         }
+        let mut trace = OpTrace::new("write", now);
+        let dedup_before = self.stats.dedup_bytes_saved;
+        let compress_before = self.stats.compress_bytes_saved;
+        let stored_before = self.stats.physical_bytes_stored;
         let mut start_sector = offset / SECTOR as u64;
         let mut ack_at = now;
         for chunk in data.chunks(cblock_bytes) {
             let seq = self.seq.next();
-            let intent =
-                WriteIntent { seq, medium, start_sector, data: chunk.to_vec() };
+            let intent = WriteIntent {
+                seq,
+                medium,
+                start_sector,
+                data: chunk.to_vec(),
+            };
             let (idx, t) = self.nvram_append(shelf, &encode_intent(&intent), now)?;
             self.last_nvram_index = Some(idx);
             ack_at = ack_at.max(t);
@@ -467,6 +578,37 @@ impl Controller {
         self.stats.logical_bytes_written += data.len() as u64;
         let latency = ack_at.saturating_sub(now) + CPU_OVERHEAD_NS;
         self.stats.write_latency.record(latency);
+        // Span breakdown: the ack is bound by NVRAM persistence; the
+        // reduction pipeline runs in zero virtual time (CPU stages), and
+        // segment flushes happen behind the ack. Zero-duration spans
+        // carry the pipeline's attribution for slow-op captures.
+        trace.stage("nvram_commit", now, ack_at);
+        trace.stage_note(
+            "dedup",
+            ack_at,
+            ack_at,
+            format!("saved {} B", self.stats.dedup_bytes_saved - dedup_before),
+        );
+        trace.stage_note(
+            "compress",
+            ack_at,
+            ack_at,
+            format!(
+                "saved {} B",
+                self.stats.compress_bytes_saved - compress_before
+            ),
+        );
+        trace.stage_note(
+            "segment_fill",
+            ack_at,
+            ack_at,
+            format!(
+                "placed {} B",
+                self.stats.physical_bytes_stored - stored_before
+            ),
+        );
+        trace.stage("cpu", ack_at, ack_at + CPU_OVERHEAD_NS);
+        self.obs.tracer.finish(trace, now + latency);
         self.maybe_background(shelf, now)?;
         Ok(Ack { latency })
     }
@@ -485,7 +627,17 @@ impl Controller {
     ) -> Result<()> {
         let n = chunk.len() / SECTOR;
         let outcomes = if self.cfg.dedup_enabled {
-            let Self { dedup, cache, segments, writer, layout, rs, cfg, stats, .. } = self;
+            let Self {
+                dedup,
+                cache,
+                segments,
+                writer,
+                layout,
+                rs,
+                cfg,
+                stats,
+                ..
+            } = self;
             let mut fetcher = CtrlFetcher {
                 shelf,
                 cache,
@@ -531,14 +683,18 @@ impl Controller {
             let (loc, deduped) = match o {
                 Outcome::Unique => {
                     let pba = pba.expect("unique sectors imply a cblock");
-                    let loc = BlockLoc { pba, sector: packed_index[i] };
+                    let loc = BlockLoc {
+                        pba,
+                        sector: packed_index[i],
+                    };
                     let h = block_hash(&chunk[i * SECTOR..(i + 1) * SECTOR]);
                     self.dedup.index_mut().record_write(h, loc);
                     (loc, false)
                 }
                 Outcome::Dup { loc, .. } => (*loc, true),
             };
-            self.map.insert((medium.0, sector), MapVal { loc, deduped }, seq);
+            self.map
+                .insert((medium.0, sector), MapVal { loc, deduped }, seq);
         }
         Ok(())
     }
@@ -569,11 +725,18 @@ impl Controller {
                 Append::Full => self.seal_open_segment(shelf, now)?,
             }
         }
-        Err(PurityError::Internal("could not place cblock after reopening".into()))
+        Err(PurityError::Internal(
+            "could not place cblock after reopening".into(),
+        ))
     }
 
     /// User-write placement: respects the reserved-AU headroom.
-    pub(crate) fn place_cblock(&mut self, shelf: &mut Shelf, encoded: &[u8], now: Nanos) -> Result<Pba> {
+    pub(crate) fn place_cblock(
+        &mut self,
+        shelf: &mut Shelf,
+        encoded: &[u8],
+        now: Nanos,
+    ) -> Result<Pba> {
         self.place_cblock_with(shelf, encoded, false, now)
     }
 
@@ -633,10 +796,16 @@ impl Controller {
         let id = SegmentId(self.next_segment);
         self.next_segment += 1;
         if std::env::var("PURITY_TRACE").is_ok() {
-            eprintln!("OPEN-SEG {:?} columns {:?} failed_drives {:?}", id, columns, shelf.failed_drives());
+            eprintln!(
+                "OPEN-SEG {:?} columns {:?} failed_drives {:?}",
+                id,
+                columns,
+                shelf.failed_drives()
+            );
         }
         let seq_lo = self.seq.high_water() + 1;
-        self.writer.open_segment_on(shelf, id, columns, seq_lo, now)?;
+        self.writer
+            .open_segment_on(shelf, id, columns, seq_lo, now)?;
         let info = self.writer.open_segment().expect("just opened").clone();
         self.segments.insert(id.0, info);
         Ok(())
@@ -655,18 +824,33 @@ impl Controller {
         len: usize,
         now: Nanos,
     ) -> Result<(Vec<u8>, Ack)> {
-        let vol = self.volumes.get(&volume.0).ok_or(PurityError::NoSuchVolume)?;
+        let vol = self
+            .volumes
+            .get(&volume.0)
+            .ok_or(PurityError::NoSuchVolume)?;
         if !offset.is_multiple_of(SECTOR as u64) || !len.is_multiple_of(SECTOR) || len == 0 {
-            return Err(PurityError::BadRequest("reads must be whole sectors".into()));
+            return Err(PurityError::BadRequest(
+                "reads must be whole sectors".into(),
+            ));
         }
         if offset + len as u64 > vol.size_sectors * SECTOR as u64 {
             return Err(PurityError::BadRequest("read beyond end of volume".into()));
         }
         let medium = vol.anchor;
-        let (out, done) = self.read_medium(shelf, medium, offset / SECTOR as u64, len / SECTOR, now)?;
+        let mut trace = OpTrace::new("read", now);
+        let (out, done) = self.read_medium_traced(
+            shelf,
+            medium,
+            offset / SECTOR as u64,
+            len / SECTOR,
+            now,
+            Some(&mut trace),
+        )?;
         self.stats.logical_bytes_read += len as u64;
         let latency = done.saturating_sub(now) + CPU_OVERHEAD_NS;
         self.stats.read_latency.record(latency);
+        trace.stage("cpu", done, done + CPU_OVERHEAD_NS);
+        self.obs.tracer.finish(trace, now + latency);
         Ok((out, Ack { latency }))
     }
 
@@ -680,19 +864,50 @@ impl Controller {
         n_sectors: usize,
         now: Nanos,
     ) -> Result<(Vec<u8>, Nanos)> {
+        self.read_medium_traced(shelf, medium, start_sector, n_sectors, now, None)
+    }
+
+    /// [`Controller::read_medium`] with an optional trace context to
+    /// stamp per-stage spans into.
+    pub(crate) fn read_medium_traced(
+        &mut self,
+        shelf: &mut Shelf,
+        medium: MediumId,
+        start_sector: u64,
+        n_sectors: usize,
+        now: Nanos,
+        mut trace: Option<&mut OpTrace>,
+    ) -> Result<(Vec<u8>, Nanos)> {
         let mut out = vec![0u8; n_sectors * SECTOR];
         // Group sector fetches by cblock.
         let mut plan: HashMap<Pba, Vec<(usize, u16)>> = HashMap::new();
+        let mut zero_sectors = 0u64;
         for i in 0..n_sectors {
             let sector = start_sector + i as u64;
             match self.resolve_sector(medium, sector) {
-                Some(val) => plan.entry(val.loc.pba).or_default().push((i, val.loc.sector)),
-                None => self.stats.zero_reads += 1,
+                Some(val) => plan
+                    .entry(val.loc.pba)
+                    .or_default()
+                    .push((i, val.loc.sector)),
+                None => {
+                    self.stats.zero_reads += 1;
+                    zero_sectors += 1;
+                }
+            }
+        }
+        if zero_sectors > 0 {
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.stage_note(
+                    "zero_fill",
+                    now,
+                    now,
+                    format!("{zero_sectors} unwritten sectors"),
+                );
             }
         }
         let mut done = now;
         for (pba, uses) in plan {
-            let (payload, t) = self.fetch_cblock(shelf, &pba, now)?;
+            let (payload, t) = self.fetch_cblock_traced(shelf, &pba, now, trace.as_deref_mut())?;
             done = done.max(t);
             for (i, cs) in uses {
                 let src = cs as usize * SECTOR;
@@ -737,7 +952,27 @@ impl Controller {
         pba: &Pba,
         now: Nanos,
     ) -> Result<(Vec<u8>, Nanos)> {
-        let Self { cache, segments, writer, layout, rs, cfg, stats, .. } = self;
+        self.fetch_cblock_traced(shelf, pba, now, None)
+    }
+
+    /// [`Controller::fetch_cblock`] with an optional trace context.
+    pub(crate) fn fetch_cblock_traced(
+        &mut self,
+        shelf: &mut Shelf,
+        pba: &Pba,
+        now: Nanos,
+        trace: Option<&mut OpTrace>,
+    ) -> Result<(Vec<u8>, Nanos)> {
+        let Self {
+            cache,
+            segments,
+            writer,
+            layout,
+            rs,
+            cfg,
+            stats,
+            ..
+        } = self;
         fetch_cblock_raw(
             shelf,
             cache,
@@ -749,6 +984,7 @@ impl Controller {
             stats,
             pba,
             now,
+            trace,
         )
     }
 
@@ -782,7 +1018,13 @@ impl Controller {
             })
             .collect();
         let mut bytes = Vec::new();
-        encode_log_record(&LogRecord { table: TableId::Map, rows }, &mut bytes);
+        encode_log_record(
+            &LogRecord {
+                table: TableId::Map,
+                rows,
+            },
+            &mut bytes,
+        );
         let loc = self.append_log_record(shelf, &bytes, now)?;
         self.map_patches.push(loc);
         Ok(())
@@ -805,7 +1047,11 @@ impl Controller {
                 self.writer.flush_log(shelf, now)?;
                 let info = self.writer.open_segment().expect("open").clone();
                 self.segments.insert(info.id.0, info.clone());
-                return Ok(PatchLoc { segment: info.id.0, log_offset: offset, len: bytes.len() as u64 });
+                return Ok(PatchLoc {
+                    segment: info.id.0,
+                    log_offset: offset,
+                    len: bytes.len() as u64,
+                });
             }
             if full {
                 self.seal_open_segment(shelf, now)?;
@@ -871,7 +1117,12 @@ impl Controller {
                 .values()
                 .map(|s| s.to_fact().to_row())
                 .collect(),
-            medium_rows: self.mediums.to_facts().iter().map(MediumFact::to_row).collect(),
+            medium_rows: self
+                .mediums
+                .to_facts()
+                .iter()
+                .map(MediumFact::to_row)
+                .collect(),
             volumes: self
                 .volumes
                 .values()
@@ -939,6 +1190,7 @@ pub(crate) fn read_extent(
     stats: &mut ArrayStats,
     ext: &Extent,
     now: Nanos,
+    mut trace: Option<&mut OpTrace>,
 ) -> Result<(Vec<u8>, Nanos)> {
     let au = info.columns[ext.column];
     let failed = shelf.drive(au.drive).is_failed();
@@ -946,13 +1198,46 @@ pub(crate) fn read_extent(
     let mut media_error = false;
     if !(failed || (busy && read_around)) {
         let off = layout.wu_byte_offset(au.index, ext.stripe, ext.within);
-        match shelf.read_drive(au.drive, off, ext.len, now) {
-            Ok((bytes, t)) => {
+        match shelf.read_drive_traced(au.drive, off, ext.len, now) {
+            Ok(dr) => {
                 stats.direct_reads += 1;
-                if std::env::var("PURITY_TRACE").is_ok() && t.saturating_sub(now) > 10_000_000 {
-                    eprintln!("SLOW-DIRECT drive {} ext {:?} lat {}us", au.drive, ext, (t - now) / 1000);
+                stats.read_queueing.record(dr.queued);
+                stats.read_service.record(dr.service);
+                stats
+                    .direct_read_latency
+                    .record(dr.done.saturating_sub(now));
+                if let Some(tr) = trace.as_deref_mut() {
+                    match dr.stall {
+                        Some(cause) => tr.stage_note(
+                            "drive_read",
+                            now,
+                            dr.done,
+                            format!(
+                                "queued {} behind {} on die {} of drive {}",
+                                format_nanos(dr.queued),
+                                cause.as_str(),
+                                dr.die,
+                                au.drive
+                            ),
+                        ),
+                        None => tr.stage_note(
+                            "drive_read",
+                            now,
+                            dr.done,
+                            format!("direct from drive {}", au.drive),
+                        ),
+                    }
                 }
-                return Ok((bytes, t));
+                if std::env::var("PURITY_TRACE").is_ok() && dr.done.saturating_sub(now) > 10_000_000
+                {
+                    eprintln!(
+                        "SLOW-DIRECT drive {} ext {:?} lat {}us",
+                        au.drive,
+                        ext,
+                        (dr.done - now) / 1000
+                    );
+                }
+                return Ok((dr.data, dr.done));
             }
             Err(_) => media_error = true, // corrupt page: rebuild below
         }
@@ -960,7 +1245,9 @@ pub(crate) fn read_extent(
 
     // Reconstruct from k other columns, preferring idle drives.
     let k = layout.k;
-    let mut order: Vec<usize> = (0..info.columns.len()).filter(|&c| c != ext.column).collect();
+    let mut order: Vec<usize> = (0..info.columns.len())
+        .filter(|&c| c != ext.column)
+        .collect();
     order.sort_by_key(|&c| {
         let d = info.columns[c].drive;
         (shelf.drive(d).is_failed(), shelf.is_writing(d, now))
@@ -985,16 +1272,39 @@ pub(crate) fn read_extent(
         }
     }
     if available.len() >= k {
-        let refs: Vec<(usize, &[u8])> =
-            available.iter().map(|(c, b)| (*c, b.as_slice())).collect();
+        let refs: Vec<(usize, &[u8])> = available.iter().map(|(c, b)| (*c, b.as_slice())).collect();
         let rebuilt = rs
             .reconstruct_one(ext.column, &refs)
             .map_err(|e| PurityError::DataLoss(format!("reconstruction failed: {}", e)))?;
         stats.reconstructed_reads += 1;
         stats.reconstruction_extra_reads += (k - 1) as u64;
+        stats
+            .reconstructed_read_latency
+            .record(done.saturating_sub(now));
+        if let Some(tr) = trace.as_deref_mut() {
+            let why = if failed {
+                format!("drive {} failed", au.drive)
+            } else if media_error {
+                format!("media error on drive {}", au.drive)
+            } else {
+                format!("read-around: drive {} busy writing", au.drive)
+            };
+            tr.stage_note(
+                "reconstruct",
+                now,
+                done,
+                format!("{why}; rebuilt column {} from {k} columns", ext.column),
+            );
+        }
         if std::env::var("PURITY_TRACE").is_ok() && done.saturating_sub(now) > 10_000_000 {
             let cols: Vec<String> = available.iter().map(|(c, _)| format!("c{}", c)).collect();
-            eprintln!("SLOW-RECON target d{} ext {:?} lat {}us via {:?}", au.drive, ext, (done - now) / 1000, cols);
+            eprintln!(
+                "SLOW-RECON target d{} ext {:?} lat {}us via {:?}",
+                au.drive,
+                ext,
+                (done - now) / 1000,
+                cols
+            );
         }
         return Ok((rebuilt, done));
     }
@@ -1005,10 +1315,27 @@ pub(crate) fn read_extent(
     let mut fallback_err = String::new();
     if !failed && !media_error {
         let off = layout.wu_byte_offset(au.index, ext.stripe, ext.within);
-        match shelf.read_drive(au.drive, off, ext.len, now) {
-            Ok((bytes, t)) => {
+        match shelf.read_drive_traced(au.drive, off, ext.len, now) {
+            Ok(dr) => {
                 stats.direct_reads += 1;
-                return Ok((bytes, t));
+                stats.read_queueing.record(dr.queued);
+                stats.read_service.record(dr.service);
+                stats
+                    .direct_read_latency
+                    .record(dr.done.saturating_sub(now));
+                if let Some(tr) = trace {
+                    tr.stage_note(
+                        "drive_read",
+                        now,
+                        dr.done,
+                        format!(
+                            "fallback: queued {} behind busy drive {} (too few columns to rebuild)",
+                            format_nanos(dr.queued),
+                            au.drive
+                        ),
+                    );
+                }
+                return Ok((dr.data, dr.done));
             }
             Err(e) => fallback_err = format!("; fallback: {}", e),
         }
@@ -1044,9 +1371,13 @@ pub(crate) fn fetch_cblock_raw(
     stats: &mut ArrayStats,
     pba: &Pba,
     now: Nanos,
+    mut trace: Option<&mut OpTrace>,
 ) -> Result<(Vec<u8>, Nanos)> {
     if let Some(payload) = cache.get(pba) {
         stats.cache_reads += 1;
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.stage("cache_hit", now, now);
+        }
         return Ok((payload, now));
     }
     // A cblock in the open segment may straddle the flush boundary:
@@ -1060,6 +1391,9 @@ pub(crate) fn fetch_cblock_raw(
         let bytes = writer
             .read_pending(pba.segment, pba.offset, len)
             .ok_or_else(|| PurityError::Internal(format!("pending read miss at {:?}", pba)))?;
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.stage("pending_buffer", now, now);
+        }
         (bytes, now)
     } else {
         let info = segments
@@ -1068,17 +1402,24 @@ pub(crate) fn fetch_cblock_raw(
         let mut buf = Vec::with_capacity(len);
         let mut done = now;
         for ext in layout.data_extents(pba.offset, flash_len) {
-            let (bytes, t) =
-                read_extent(shelf, info, layout, rs, read_around, stats, &ext, now)?;
+            let (bytes, t) = read_extent(
+                shelf,
+                info,
+                layout,
+                rs,
+                read_around,
+                stats,
+                &ext,
+                now,
+                trace.as_deref_mut(),
+            )?;
             done = done.max(t);
             buf.extend_from_slice(&bytes);
         }
         if flash_len < len {
             let tail = writer
                 .read_pending(pba.segment, pba.offset + flash_len as u64, len - flash_len)
-                .ok_or_else(|| {
-                    PurityError::Internal(format!("pending tail miss at {:?}", pba))
-                })?;
+                .ok_or_else(|| PurityError::Internal(format!("pending tail miss at {:?}", pba)))?;
             buf.extend_from_slice(&tail);
         }
         (buf, done)
@@ -1119,6 +1460,7 @@ impl BlockFetcher<BlockLoc> for CtrlFetcher<'_> {
             self.stats,
             &loc.pba,
             self.now,
+            None,
         )
         .ok()?;
         let start = sector as usize * SECTOR;
@@ -1129,8 +1471,9 @@ impl BlockFetcher<BlockLoc> for CtrlFetcher<'_> {
         let sector = (loc.sector as i64).checked_add(delta)?;
         // Bounded by the cblock's payload; fetch() enforces the upper
         // bound against actual payload length.
-        (0..=u16::MAX as i64)
-            .contains(&sector)
-            .then_some(BlockLoc { pba: loc.pba, sector: sector as u16 })
+        (0..=u16::MAX as i64).contains(&sector).then_some(BlockLoc {
+            pba: loc.pba,
+            sector: sector as u16,
+        })
     }
 }

@@ -97,7 +97,9 @@ impl AuAllocator {
             .iter()
             .enumerate()
             .flat_map(|(drive, d)| {
-                d.persisted.iter().map(move |&index| AuId { drive, index }.pack())
+                d.persisted
+                    .iter()
+                    .map(move |&index| AuId { drive, index }.pack())
             })
             .collect()
     }
@@ -220,7 +222,10 @@ mod tests {
     #[test]
     fn restore_reconstructs_free_and_persisted() {
         let in_use = [AuId { drive: 0, index: 0 }, AuId { drive: 0, index: 1 }];
-        let persisted = [AuId { drive: 0, index: 2 }.pack(), AuId { drive: 0, index: 3 }.pack()];
+        let persisted = [
+            AuId { drive: 0, index: 2 }.pack(),
+            AuId { drive: 0, index: 3 }.pack(),
+        ];
         let mut a = AuAllocator::restore(1, 8, 2, &persisted, &in_use);
         // Persisted AUs allocatable immediately.
         assert_eq!(a.allocate(0), Some(AuId { drive: 0, index: 2 }));

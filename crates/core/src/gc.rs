@@ -225,9 +225,10 @@ impl Controller {
         if depth > 64 || lo >= hi {
             return;
         }
-        for (key, _val, _seq) in
-            self.map.range(Bound::Included(&(medium.0, lo)), Bound::Excluded(&(medium.0, hi)))
-        {
+        for (key, _val, _seq) in self.map.range(
+            Bound::Included(&(medium.0, lo)),
+            Bound::Excluded(&(medium.0, hi)),
+        ) {
             let root_x = key.1 as i128 + delta;
             if root_x >= 0 {
                 out.insert(root_x as u64);
@@ -264,7 +265,17 @@ impl Controller {
 
         // GC dedup pass (§4.7): the expensive one inline dedup skipped.
         let outcomes: Vec<Outcome<BlockLoc>> = if self.cfg.dedup_enabled {
-            let Self { dedup, cache, segments, writer, layout, rs, cfg, stats, .. } = self;
+            let Self {
+                dedup,
+                cache,
+                segments,
+                writer,
+                layout,
+                rs,
+                cfg,
+                stats,
+                ..
+            } = self;
             let mut fetcher = CtrlFetcher {
                 shelf,
                 cache,
@@ -359,7 +370,10 @@ impl Controller {
         for chunk in facts.chunks(PATCH_CHUNK_FACTS) {
             let mut bytes = Vec::new();
             encode_log_record(
-                &LogRecord { table: TableId::Map, rows: chunk.to_vec() },
+                &LogRecord {
+                    table: TableId::Map,
+                    rows: chunk.to_vec(),
+                },
                 &mut bytes,
             );
             new_patches.push(self.append_log_record(shelf, &bytes, now)?);
@@ -498,11 +512,8 @@ impl Controller {
             let Self { map, mediums, .. } = self;
             let n = mediums.shortcut_pass(
                 |m: MediumId, start: u64, end: u64| {
-                    !map.range(
-                        Bound::Included(&(m.0, start)),
-                        Bound::Excluded(&(m.0, end)),
-                    )
-                    .is_empty()
+                    !map.range(Bound::Included(&(m.0, start)), Bound::Excluded(&(m.0, end)))
+                        .is_empty()
                 },
                 seq,
             );
@@ -514,4 +525,3 @@ impl Controller {
         total
     }
 }
-

@@ -61,19 +61,19 @@ impl MediumTable {
     pub fn create_root(&mut self, medium: MediumId, size_sectors: u64, seq: Seq) {
         self.rows.insert(
             (medium.0, 0),
-            MediumRow { end: size_sectors, target: None, target_offset: 0, writable: true, seq },
+            MediumRow {
+                end: size_sectors,
+                target: None,
+                target_offset: 0,
+                writable: true,
+                seq,
+            },
         );
     }
 
     /// Registers a child medium layered over `source` (snapshot's new
     /// writable top, or a clone).
-    pub fn create_child(
-        &mut self,
-        child: MediumId,
-        source: MediumId,
-        size_sectors: u64,
-        seq: Seq,
-    ) {
+    pub fn create_child(&mut self, child: MediumId, source: MediumId, size_sectors: u64, seq: Seq) {
         self.rows.insert(
             (child.0, 0),
             MediumRow {
@@ -115,7 +115,9 @@ impl MediumTable {
 
     /// Whether a medium accepts writes at `sector`.
     pub fn is_writable(&self, medium: MediumId, sector: u64) -> bool {
-        self.row_covering(medium, sector).map(|(_, r)| r.writable).unwrap_or(false)
+        self.row_covering(medium, sector)
+            .map(|(_, r)| r.writable)
+            .unwrap_or(false)
     }
 
     /// Marks a medium deleted. One range-table insert — the whole point
@@ -233,7 +235,11 @@ impl MediumTable {
                     // unwritten; terminate the chain.
                     self.rows.insert(
                         (medium, start),
-                        MediumRow { target: None, seq, ..row },
+                        MediumRow {
+                            target: None,
+                            seq,
+                            ..row
+                        },
                     );
                     rewrites += 1;
                 }
@@ -373,13 +379,25 @@ mod tests {
         assert_eq!(
             chain,
             vec![
-                ChainStep { medium: MediumId(14), sector: 100 },
-                ChainStep { medium: MediumId(12), sector: 100 },
+                ChainStep {
+                    medium: MediumId(14),
+                    sector: 100
+                },
+                ChainStep {
+                    medium: MediumId(12),
+                    sector: 100
+                },
             ]
         );
         // Medium 15 (clone of part of 12): offset shifts by 2000.
         let chain = t.resolve(MediumId(15), 10);
-        assert_eq!(chain[1], ChainStep { medium: MediumId(12), sector: 2010 });
+        assert_eq!(
+            chain[1],
+            ChainStep {
+                medium: MediumId(12),
+                sector: 2010
+            }
+        );
         // Medium 22 sector 0..500 walks 21 -> 20 -> 18 -> 12.
         let chain = t.resolve(MediumId(22), 42);
         let ids: Vec<u64> = chain.iter().map(|c| c.medium.0).collect();
@@ -390,13 +408,25 @@ mod tests {
         assert_eq!(
             chain,
             vec![
-                ChainStep { medium: MediumId(22), sector: 600 },
-                ChainStep { medium: MediumId(12), sector: 2600 },
+                ChainStep {
+                    medium: MediumId(22),
+                    sector: 600
+                },
+                ChainStep {
+                    medium: MediumId(12),
+                    sector: 2600
+                },
             ]
         );
         // Medium 22 sector 1000.. is its own root.
         let chain = t.resolve(MediumId(22), 1500);
-        assert_eq!(chain, vec![ChainStep { medium: MediumId(22), sector: 1500 }]);
+        assert_eq!(
+            chain,
+            vec![ChainStep {
+                medium: MediumId(22),
+                sector: 1500
+            }]
+        );
     }
 
     #[test]
@@ -457,7 +487,13 @@ mod tests {
             chain
         );
         // Resolution target is unchanged.
-        assert_eq!(chain.last().unwrap(), &ChainStep { medium: MediumId(12), sector: 2042 });
+        assert_eq!(
+            chain.last().unwrap(),
+            &ChainStep {
+                medium: MediumId(12),
+                sector: 2042
+            }
+        );
     }
 
     #[test]
@@ -466,10 +502,7 @@ mod tests {
         let facts = t.to_facts();
         let back = MediumTable::from_facts(&facts, RangeTable::new());
         assert_eq!(back.row_count(), t.row_count());
-        assert_eq!(
-            back.resolve(MediumId(22), 42),
-            t.resolve(MediumId(22), 42)
-        );
+        assert_eq!(back.resolve(MediumId(22), 42), t.resolve(MediumId(22), 42));
     }
 
     #[test]
@@ -507,7 +540,13 @@ mod tests {
         t.replace_rows(
             MediumId(22),
             0,
-            MediumRow { end: 2000, target: None, target_offset: 0, writable: true, seq: 50 },
+            MediumRow {
+                end: 2000,
+                target: None,
+                target_offset: 0,
+                writable: true,
+                seq: 50,
+            },
         );
         assert_eq!(t.rows_of(MediumId(22)).len(), 1);
         assert_eq!(t.resolve(MediumId(22), 42).len(), 1, "chain terminated");

@@ -58,7 +58,11 @@ impl MapFact {
             sector: r[1],
             seq: r[2],
             loc: BlockLoc {
-                pba: Pba { segment: SegmentId(r[3]), offset: r[4], stored_len: r[5] as u32 },
+                pba: Pba {
+                    segment: SegmentId(r[3]),
+                    offset: r[4],
+                    stored_len: r[5] as u32,
+                },
                 sector: r[6] as u16,
             },
             deduped: r[7] != 0,
@@ -378,15 +382,36 @@ pub fn encode_meta(intent: &MetaIntent) -> Vec<u8> {
         out.extend_from_slice(name.as_bytes());
     };
     match &intent.op {
-        MetaOp::CreateVolume { volume, medium, size_sectors, name } => {
-            put_name(1, &[*volume, *medium, *size_sectors], name, &mut out)
-        }
-        MetaOp::SnapshotVolume { snapshot, volume, frozen_medium, new_anchor, name } => {
-            put_name(2, &[*snapshot, *volume, *frozen_medium, *new_anchor], name, &mut out)
-        }
-        MetaOp::CloneToVolume { volume, source_medium, new_anchor, size_sectors, name } => {
-            put_name(3, &[*volume, *source_medium, *new_anchor, *size_sectors], name, &mut out)
-        }
+        MetaOp::CreateVolume {
+            volume,
+            medium,
+            size_sectors,
+            name,
+        } => put_name(1, &[*volume, *medium, *size_sectors], name, &mut out),
+        MetaOp::SnapshotVolume {
+            snapshot,
+            volume,
+            frozen_medium,
+            new_anchor,
+            name,
+        } => put_name(
+            2,
+            &[*snapshot, *volume, *frozen_medium, *new_anchor],
+            name,
+            &mut out,
+        ),
+        MetaOp::CloneToVolume {
+            volume,
+            source_medium,
+            new_anchor,
+            size_sectors,
+            name,
+        } => put_name(
+            3,
+            &[*volume, *source_medium, *new_anchor, *size_sectors],
+            name,
+            &mut out,
+        ),
         MetaOp::DestroyVolume { volume, medium } => put_name(4, &[*volume, *medium], "", &mut out),
         MetaOp::DestroySnapshot { snapshot, medium } => {
             put_name(5, &[*snapshot, *medium], "", &mut out)
@@ -422,7 +447,12 @@ pub fn decode_meta(input: &[u8]) -> Option<MetaIntent> {
     let name_len = next(&mut at)? as usize;
     let name = String::from_utf8(input.get(at..at + name_len)?.to_vec()).ok()?;
     let op = match tag {
-        1 => MetaOp::CreateVolume { volume: f[0], medium: f[1], size_sectors: f[2], name },
+        1 => MetaOp::CreateVolume {
+            volume: f[0],
+            medium: f[1],
+            size_sectors: f[2],
+            name,
+        },
         2 => MetaOp::SnapshotVolume {
             snapshot: f[0],
             volume: f[1],
@@ -437,8 +467,14 @@ pub fn decode_meta(input: &[u8]) -> Option<MetaIntent> {
             size_sectors: f[3],
             name,
         },
-        4 => MetaOp::DestroyVolume { volume: f[0], medium: f[1] },
-        _ => MetaOp::DestroySnapshot { snapshot: f[0], medium: f[1] },
+        4 => MetaOp::DestroyVolume {
+            volume: f[0],
+            medium: f[1],
+        },
+        _ => MetaOp::DestroySnapshot {
+            snapshot: f[0],
+            medium: f[1],
+        },
     };
     Some(MetaIntent { seq, op })
 }
@@ -491,7 +527,12 @@ pub fn decode_intent(input: &[u8]) -> Option<WriteIntent> {
     let (len, n) = varint::decode(&input[at..])?;
     at += n;
     let data = input.get(at..at + len as usize)?.to_vec();
-    Some(WriteIntent { seq, medium: MediumId(medium), start_sector, data })
+    Some(WriteIntent {
+        seq,
+        medium: MediumId(medium),
+        start_sector,
+        data,
+    })
 }
 
 #[cfg(test)]
@@ -500,7 +541,11 @@ mod tests {
 
     fn sample_loc() -> BlockLoc {
         BlockLoc {
-            pba: Pba { segment: SegmentId(7), offset: 123_456, stored_len: 4096 },
+            pba: Pba {
+                segment: SegmentId(7),
+                offset: 123_456,
+                stored_len: 4096,
+            },
             sector: 3,
         }
     }
@@ -580,7 +625,10 @@ mod tests {
 
     #[test]
     fn empty_log_record_round_trips() {
-        let rec = LogRecord { table: TableId::Segment, rows: vec![] };
+        let rec = LogRecord {
+            table: TableId::Segment,
+            rows: vec![],
+        };
         let mut buf = Vec::new();
         encode_log_record(&rec, &mut buf);
         let (back, _) = decode_log_record(&buf).unwrap();
@@ -624,7 +672,11 @@ mod tests {
                     medium: MediumId(5),
                     sector: 1_000_000 + i,
                     loc: BlockLoc {
-                        pba: Pba { segment: SegmentId(3), offset: i * 4096, stored_len: 4096 },
+                        pba: Pba {
+                            segment: SegmentId(3),
+                            offset: i * 4096,
+                            stored_len: 4096,
+                        },
                         sector: 0,
                     },
                     deduped: false,
@@ -651,7 +703,12 @@ mod meta_tests {
     #[test]
     fn meta_intents_round_trip() {
         let ops = vec![
-            MetaOp::CreateVolume { volume: 1, medium: 2, size_sectors: 4096, name: "db".into() },
+            MetaOp::CreateVolume {
+                volume: 1,
+                medium: 2,
+                size_sectors: 4096,
+                name: "db".into(),
+            },
             MetaOp::SnapshotVolume {
                 snapshot: 3,
                 volume: 1,
@@ -666,11 +723,20 @@ mod meta_tests {
                 size_sectors: 4096,
                 name: "dev-clone".into(),
             },
-            MetaOp::DestroyVolume { volume: 5, medium: 6 },
-            MetaOp::DestroySnapshot { snapshot: 3, medium: 2 },
+            MetaOp::DestroyVolume {
+                volume: 5,
+                medium: 6,
+            },
+            MetaOp::DestroySnapshot {
+                snapshot: 3,
+                medium: 2,
+            },
         ];
         for (i, op) in ops.into_iter().enumerate() {
-            let intent = MetaIntent { seq: 100 + i as u64, op };
+            let intent = MetaIntent {
+                seq: 100 + i as u64,
+                op,
+            };
             let bytes = encode_meta(&intent);
             assert_eq!(decode_meta(&bytes), Some(intent.clone()));
             assert_eq!(decode_nvram_entry(&bytes), Some(NvramEntry::Meta(intent)));
@@ -679,7 +745,12 @@ mod meta_tests {
 
     #[test]
     fn nvram_entry_dispatches_by_tag() {
-        let w = WriteIntent { seq: 1, medium: MediumId(1), start_sector: 0, data: vec![9; 512] };
+        let w = WriteIntent {
+            seq: 1,
+            medium: MediumId(1),
+            start_sector: 0,
+            data: vec![9; 512],
+        };
         let bytes = encode_intent(&w);
         assert_eq!(decode_nvram_entry(&bytes), Some(NvramEntry::Write(w)));
         assert_eq!(decode_nvram_entry(&[0x00, 0x01]), None);

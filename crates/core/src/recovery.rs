@@ -94,7 +94,11 @@ impl Controller {
         );
         let (cp, mut done) = boot.read(shelf, now)?;
         if std::env::var("PURITY_TRACE").is_ok() {
-            eprintln!("RECOVER v{} segs {:?}", cp.version, cp.segment_rows.iter().map(|r| r[0]).collect::<Vec<_>>());
+            eprintln!(
+                "RECOVER v{} segs {:?}",
+                cp.version,
+                cp.segment_rows.iter().map(|r| r[0]).collect::<Vec<_>>()
+            );
         }
 
         // --- 1. Rebuild small tables from the checkpoint. -------------
@@ -109,13 +113,18 @@ impl Controller {
             segments.insert(info.id.0, info);
         }
         let elided = RangeTable::from_pairs(&cp.elided_mediums);
-        let medium_facts: Vec<MediumFact> =
-            cp.medium_rows.iter().map(|r| MediumFact::from_row(r)).collect();
+        let medium_facts: Vec<MediumFact> = cp
+            .medium_rows
+            .iter()
+            .map(|r| MediumFact::from_row(r))
+            .collect();
         let mediums = MediumTable::from_facts(&medium_facts, elided.clone());
         let elided_arc = Arc::new(RwLock::new(elided));
         let mut map: Pyramid<MapKey, MapVal> = Pyramid::with_thresholds(1 << 30, 8);
         let filter = elided_arc.clone();
-        map.set_elide_filter(Arc::new(move |k: &MapKey, _s: Seq| filter.read().contains(k.0)));
+        map.set_elide_filter(Arc::new(move |k: &MapKey, _s: Seq| {
+            filter.read().contains(k.0)
+        }));
 
         let mut stats = ArrayStats::default();
         let mut durable_map_seq: Seq = 0;
@@ -128,7 +137,7 @@ impl Controller {
             let mut buf = Vec::with_capacity(loc.len as usize);
             for ext in layout.log_extents(loc.log_offset, loc.len as usize) {
                 let (bytes, t) = crate::controller::read_extent(
-                    shelf, info, &layout, &rs, false, &mut stats, &ext, now,
+                    shelf, info, &layout, &rs, false, &mut stats, &ext, now, None,
                 )?;
                 done = done.max(t);
                 buf.extend_from_slice(&bytes);
@@ -142,7 +151,10 @@ impl Controller {
                     durable_map_seq = durable_map_seq.max(f.seq);
                     map.insert(
                         (f.medium.0, f.sector),
-                        MapVal { loc: f.loc, deduped: f.deduped },
+                        MapVal {
+                            loc: f.loc,
+                            deduped: f.deduped,
+                        },
                         f.seq,
                     );
                     report.facts_loaded += 1;
@@ -184,7 +196,9 @@ impl Controller {
             };
             drive_busy[au.drive] = t.max(probe_at + PROBE_NS);
             scan_done = scan_done.max(t);
-            let Some(header) = AuHeader::decode(&page) else { continue };
+            let Some(header) = AuHeader::decode(&page) else {
+                continue;
+            };
             if segments.contains_key(&header.segment.0) || discovered.contains(&header.segment) {
                 continue;
             }
@@ -231,7 +245,7 @@ impl Controller {
                     len: 16,
                 };
                 let Ok((frame, t)) = crate::controller::read_extent(
-                    shelf, &info, &layout, &rs, false, &mut stats, &frame_ext, now,
+                    shelf, &info, &layout, &rs, false, &mut stats, &frame_ext, now, None,
                 ) else {
                     break;
                 };
@@ -246,7 +260,7 @@ impl Controller {
                 let mut stripe_payload = Vec::with_capacity(payload_len);
                 for ext in layout.log_extents((log_idx * sp) as u64, payload_len) {
                     let (bytes, t) = crate::controller::read_extent(
-                        shelf, &info, &layout, &rs, false, &mut stats, &ext, now,
+                        shelf, &info, &layout, &rs, false, &mut stats, &ext, now, None,
                     )?;
                     scan_done = scan_done.max(t);
                     stripe_payload.extend_from_slice(&bytes);
@@ -309,6 +323,7 @@ impl Controller {
             map_patches: cp.map_patches.clone(),
             last_nvram_index: None,
             stats,
+            obs: purity_obs::Obs::new(cfg.slow_op_capture_ns),
             cfg,
         };
         for v in &cp.volumes {
@@ -389,7 +404,10 @@ impl Controller {
                     *durable_map_seq = (*durable_map_seq).max(f.seq);
                     map.insert(
                         (f.medium.0, f.sector),
-                        MapVal { loc: f.loc, deduped: f.deduped },
+                        MapVal {
+                            loc: f.loc,
+                            deduped: f.deduped,
+                        },
                         f.seq,
                     );
                     report.facts_loaded += 1;

@@ -39,11 +39,16 @@ impl ReplicaLink {
     /// Creates a link of the given bandwidth.
     pub fn new(bandwidth_bytes_per_sec: u64) -> Self {
         assert!(bandwidth_bytes_per_sec > 0);
-        Self { bandwidth_bytes_per_sec, timeline: Timeline::new(), bytes_shipped: 0 }
+        Self {
+            bandwidth_bytes_per_sec,
+            timeline: Timeline::new(),
+            bytes_shipped: 0,
+        }
     }
 
     fn ship(&mut self, bytes: usize, now: Nanos) -> Nanos {
-        let duration = (bytes as u128 * SEC as u128 / self.bandwidth_bytes_per_sec as u128) as Nanos;
+        let duration =
+            (bytes as u128 * SEC as u128 / self.bandwidth_bytes_per_sec as u128) as Nanos;
         self.bytes_shipped += bytes as u64;
         self.timeline.reserve(now, duration).end
     }
@@ -61,7 +66,9 @@ pub fn replicate_snapshot_full(
     let now = src.now();
     let (medium, size_sectors) = {
         let ctrl = src.controller();
-        let snap = ctrl.snapshot_info(snapshot).ok_or(PurityError::NoSuchSnapshot)?;
+        let snap = ctrl
+            .snapshot_info(snapshot)
+            .ok_or(PurityError::NoSuchSnapshot)?;
         let size = ctrl
             .volume(snap.volume)
             .map(|v| v.size_sectors)
@@ -109,8 +116,12 @@ pub fn replicate_snapshot_incremental(
     let now = src.now();
     let (base_medium, newer_medium, size_sectors) = {
         let ctrl = src.controller();
-        let b = ctrl.snapshot_info(base).ok_or(PurityError::NoSuchSnapshot)?;
-        let n = ctrl.snapshot_info(newer).ok_or(PurityError::NoSuchSnapshot)?;
+        let b = ctrl
+            .snapshot_info(base)
+            .ok_or(PurityError::NoSuchSnapshot)?;
+        let n = ctrl
+            .snapshot_info(newer)
+            .ok_or(PurityError::NoSuchSnapshot)?;
         if b.volume != n.volume {
             return Err(PurityError::BadRequest(
                 "snapshots must belong to the same volume".into(),
@@ -129,12 +140,12 @@ pub fn replicate_snapshot_incremental(
     // content (facts are immutable; a rewrite always makes a new fact).
     let mut run_start: Option<u64> = None;
     let flush_run = |src: &mut FlashArray,
-                         dst: &mut FlashArray,
-                         link: &mut ReplicaLink,
-                         start: u64,
-                         end: u64,
-                         report: &mut ReplicationReport,
-                         link_done: &mut Nanos|
+                     dst: &mut FlashArray,
+                     link: &mut ReplicaLink,
+                     start: u64,
+                     end: u64,
+                     report: &mut ReplicationReport,
+                     link_done: &mut Nanos|
      -> Result<()> {
         let n = (end - start) as usize;
         let (ctrl, shelf) = src.controller_and_shelf();
@@ -167,7 +178,15 @@ pub fn replicate_snapshot_incremental(
         }
     }
     if let Some(start) = run_start {
-        flush_run(src, dst, link, start, size_sectors, &mut report, &mut link_done)?;
+        flush_run(
+            src,
+            dst,
+            link,
+            start,
+            size_sectors,
+            &mut report,
+            &mut link_done,
+        )?;
     }
     report.link_time = link_done.saturating_sub(now);
     Ok(report)

@@ -144,9 +144,7 @@ impl SegmentLayout {
             let in_stripe = 16 + at % sp;
             let column = in_stripe / self.wu;
             let within = in_stripe % self.wu;
-            let take = remaining
-                .min(sp - at % sp)
-                .min(self.wu - within);
+            let take = remaining.min(sp - at % sp).min(self.wu - within);
             out.push(Extent {
                 column,
                 stripe: self.n_stripes - 1 - log_stripe,
@@ -260,7 +258,12 @@ impl AuHeader {
             columns.push(AuId::unpack(next(&mut at)?));
         }
         let seq_lo = next(&mut at)?;
-        Some(Self { segment, column, columns, seq_lo })
+        Some(Self {
+            segment,
+            column,
+            columns,
+            seq_lo,
+        })
     }
 }
 
@@ -427,8 +430,7 @@ impl SegmentWriter {
             return Ok((None, true));
         };
         let framed_len = record.len();
-        let after =
-            Self::stripes_in_use(&open.info, open.log_pending.len() + framed_len, &layout);
+        let after = Self::stripes_in_use(&open.info, open.log_pending.len() + framed_len, &layout);
         if after > layout.n_stripes {
             return Ok((None, true));
         }
@@ -443,7 +445,9 @@ impl SegmentWriter {
         let mut done = now;
         #[allow(clippy::while_let_loop)] // the binding is re-checked per iteration
         loop {
-            let Some(open) = self.open.as_mut() else { break };
+            let Some(open) = self.open.as_mut() else {
+                break;
+            };
             if open.data_pending.len() < sd {
                 break;
             }
@@ -525,7 +529,9 @@ impl SegmentWriter {
         let mut done = now;
         #[allow(clippy::while_let_loop)] // the binding is re-checked per iteration
         loop {
-            let Some(open) = self.open.as_mut() else { break };
+            let Some(open) = self.open.as_mut() else {
+                break;
+            };
             if open.log_pending.is_empty() {
                 break;
             }
@@ -553,7 +559,9 @@ impl SegmentWriter {
     pub fn pad_flush_data(&mut self, shelf: &mut Shelf, now: Nanos) -> Result<Nanos> {
         let sd = self.layout.stripe_data_bytes();
         {
-            let Some(open) = self.open.as_mut() else { return Ok(now) };
+            let Some(open) = self.open.as_mut() else {
+                return Ok(now);
+            };
             if open.data_pending.is_empty() {
                 return Ok(now);
             }
@@ -569,11 +577,18 @@ impl SegmentWriter {
 
     /// Seals the segment: pads and flushes the data tail and log, and
     /// returns the final descriptor (state = Sealed).
-    pub fn seal(&mut self, shelf: &mut Shelf, seq: Seq, now: Nanos) -> Result<Option<(SegmentInfo, Nanos)>> {
+    pub fn seal(
+        &mut self,
+        shelf: &mut Shelf,
+        seq: Seq,
+        now: Nanos,
+    ) -> Result<Option<(SegmentInfo, Nanos)>> {
         let sd = self.layout.stripe_data_bytes();
         let mut done = now;
         {
-            let Some(open) = self.open.as_mut() else { return Ok(None) };
+            let Some(open) = self.open.as_mut() else {
+                return Ok(None);
+            };
             if !open.data_pending.is_empty() {
                 let pad = sd - open.data_pending.len() % sd;
                 if pad != sd {
@@ -618,7 +633,10 @@ impl SegmentWriter {
 
     /// Bytes of data space still unflushed in the open segment.
     pub fn pending_data_bytes(&self) -> usize {
-        self.open.as_ref().map(|o| o.data_pending.len()).unwrap_or(0)
+        self.open
+            .as_ref()
+            .map(|o| o.data_pending.len())
+            .unwrap_or(0)
     }
 }
 
@@ -638,14 +656,38 @@ mod tests {
         // Range spanning the last bytes of column 0 into column 1.
         let ext = l.data_extents((wu - 100) as u64, 200);
         assert_eq!(ext.len(), 2);
-        assert_eq!(ext[0], Extent { column: 0, stripe: 0, within: wu - 100, len: 100 });
-        assert_eq!(ext[1], Extent { column: 1, stripe: 0, within: 0, len: 100 });
+        assert_eq!(
+            ext[0],
+            Extent {
+                column: 0,
+                stripe: 0,
+                within: wu - 100,
+                len: 100
+            }
+        );
+        assert_eq!(
+            ext[1],
+            Extent {
+                column: 1,
+                stripe: 0,
+                within: 0,
+                len: 100
+            }
+        );
         // Range crossing a stripe boundary.
         let stripe_bytes = l.stripe_data_bytes();
         let ext = l.data_extents((stripe_bytes - 50) as u64, 100);
         assert_eq!(ext[0].stripe, 0);
         assert_eq!(ext[0].column, l.k - 1);
-        assert_eq!(ext[1], Extent { column: 0, stripe: 1, within: 0, len: 50 });
+        assert_eq!(
+            ext[1],
+            Extent {
+                column: 0,
+                stripe: 1,
+                within: 0,
+                len: 50
+            }
+        );
     }
 
     #[test]
@@ -662,7 +704,12 @@ mod tests {
         let h = AuHeader {
             segment: SegmentId(42),
             column: 3,
-            columns: (0..9).map(|i| AuId { drive: i, index: i as u32 * 2 }).collect(),
+            columns: (0..9)
+                .map(|i| AuId {
+                    drive: i,
+                    index: i as u32 * 2,
+                })
+                .collect(),
             seq_lo: 777,
         };
         let page = h.encode(4096);
@@ -674,24 +721,33 @@ mod tests {
     fn mk_writer_and_shelf() -> (SegmentWriter, Shelf, ArrayConfig) {
         let cfg = ArrayConfig::test_small();
         let shelf = Shelf::new(&cfg, Clock::new());
-        let writer = SegmentWriter::new(SegmentLayout::from_config(&cfg), cfg.ssd_geometry.page_size);
+        let writer =
+            SegmentWriter::new(SegmentLayout::from_config(&cfg), cfg.ssd_geometry.page_size);
         (writer, shelf, cfg)
     }
 
     fn columns_for(cfg: &ArrayConfig, au_index: u32) -> Vec<AuId> {
-        (0..cfg.stripe_width()).map(|d| AuId { drive: d, index: au_index }).collect()
+        (0..cfg.stripe_width())
+            .map(|d| AuId {
+                drive: d,
+                index: au_index,
+            })
+            .collect()
     }
 
     #[test]
     fn append_flush_read_back_via_extents() {
         let (mut w, mut shelf, cfg) = mk_writer_and_shelf();
-        w.open_segment_on(&mut shelf, SegmentId(1), columns_for(&cfg, 0), 1, 0).unwrap();
+        w.open_segment_on(&mut shelf, SegmentId(1), columns_for(&cfg, 0), 1, 0)
+            .unwrap();
         // Fill more than one full stripe so data hits the drives.
         let blob: Vec<u8> = (0..w.layout().stripe_data_bytes() + 5000)
             .map(|i| (i % 251) as u8)
             .collect();
         let (placed, _) = w.append_data(&mut shelf, &blob, 0).unwrap();
-        let Append::Placed(pba) = placed else { panic!("should fit") };
+        let Append::Placed(pba) = placed else {
+            panic!("should fit")
+        };
         assert_eq!(pba.offset, 0);
 
         // Read the flushed stripe back through extent math.
@@ -713,7 +769,8 @@ mod tests {
     #[test]
     fn parity_columns_reconstruct_lost_write_units() {
         let (mut w, mut shelf, cfg) = mk_writer_and_shelf();
-        w.open_segment_on(&mut shelf, SegmentId(1), columns_for(&cfg, 0), 1, 0).unwrap();
+        w.open_segment_on(&mut shelf, SegmentId(1), columns_for(&cfg, 0), 1, 0)
+            .unwrap();
         let l = *w.layout();
         let blob: Vec<u8> = (0..l.stripe_data_bytes()).map(|i| (i / 7) as u8).collect();
         w.append_data(&mut shelf, &blob, 0).unwrap();
@@ -730,8 +787,7 @@ mod tests {
             let (bytes, _) = shelf.read_drive(au.drive, off, l.wu, 1).unwrap();
             available.push((c, bytes));
         }
-        let refs: Vec<(usize, &[u8])> =
-            available.iter().map(|(c, b)| (*c, b.as_slice())).collect();
+        let refs: Vec<(usize, &[u8])> = available.iter().map(|(c, b)| (*c, b.as_slice())).collect();
         let rebuilt = rs.reconstruct_one(2, &refs).unwrap();
         assert_eq!(rebuilt, blob[2 * l.wu..3 * l.wu]);
     }
@@ -739,7 +795,8 @@ mod tests {
     #[test]
     fn segment_fills_and_reports_full() {
         let (mut w, mut shelf, cfg) = mk_writer_and_shelf();
-        w.open_segment_on(&mut shelf, SegmentId(1), columns_for(&cfg, 0), 1, 0).unwrap();
+        w.open_segment_on(&mut shelf, SegmentId(1), columns_for(&cfg, 0), 1, 0)
+            .unwrap();
         let capacity = w.layout().n_stripes * w.layout().stripe_data_bytes();
         let chunk = vec![7u8; 16 * 1024];
         let mut placed_bytes = 0;
@@ -760,7 +817,8 @@ mod tests {
     #[test]
     fn log_records_round_trip_through_log_stripes() {
         let (mut w, mut shelf, cfg) = mk_writer_and_shelf();
-        w.open_segment_on(&mut shelf, SegmentId(1), columns_for(&cfg, 0), 1, 0).unwrap();
+        w.open_segment_on(&mut shelf, SegmentId(1), columns_for(&cfg, 0), 1, 0)
+            .unwrap();
         let rec1 = b"patch-one".to_vec();
         let rec2 = vec![0xCD; 3000];
         let (r1, _) = w.append_log(&mut shelf, &rec1, 0).unwrap();
@@ -798,7 +856,8 @@ mod tests {
     #[test]
     fn writes_mark_drives_busy_for_the_scheduler() {
         let (mut w, mut shelf, cfg) = mk_writer_and_shelf();
-        w.open_segment_on(&mut shelf, SegmentId(1), columns_for(&cfg, 0), 1, 0).unwrap();
+        w.open_segment_on(&mut shelf, SegmentId(1), columns_for(&cfg, 0), 1, 0)
+            .unwrap();
         let blob = vec![1u8; w.layout().stripe_data_bytes()];
         let (_, done) = w.append_data(&mut shelf, &blob, 0).unwrap();
         assert!(done > 0);
@@ -810,7 +869,9 @@ mod tests {
         }
         // Pacing: at any instant at most 2 drives are writing.
         for t in (0..done).step_by(50_000) {
-            let busy = (0..cfg.n_drives).filter(|&d| shelf.is_writing(d, t)).count();
+            let busy = (0..cfg.n_drives)
+                .filter(|&d| shelf.is_writing(d, t))
+                .count();
             assert!(busy <= 2, "{} drives writing at {}", busy, t);
         }
     }
@@ -819,8 +880,11 @@ mod tests {
     fn degraded_append_skips_failed_drives() {
         let (mut w, mut shelf, cfg) = mk_writer_and_shelf();
         shelf.drive_mut(2).fail();
-        w.open_segment_on(&mut shelf, SegmentId(1), columns_for(&cfg, 0), 1, 0).unwrap();
-        let blob: Vec<u8> = (0..w.layout().stripe_data_bytes()).map(|i| i as u8).collect();
+        w.open_segment_on(&mut shelf, SegmentId(1), columns_for(&cfg, 0), 1, 0)
+            .unwrap();
+        let blob: Vec<u8> = (0..w.layout().stripe_data_bytes())
+            .map(|i| i as u8)
+            .collect();
         w.append_data(&mut shelf, &blob, 0).unwrap();
         // Column 2's write unit is reconstructable from the others.
         let l = *w.layout();
@@ -835,8 +899,10 @@ mod tests {
             let (bytes, _) = shelf.read_drive(au.drive, off, l.wu, 1).unwrap();
             available.push((c, bytes));
         }
-        let refs: Vec<(usize, &[u8])> =
-            available.iter().map(|(c, b)| (*c, b.as_slice())).collect();
-        assert_eq!(rs.reconstruct_one(2, &refs).unwrap(), blob[2 * l.wu..3 * l.wu]);
+        let refs: Vec<(usize, &[u8])> = available.iter().map(|(c, b)| (*c, b.as_slice())).collect();
+        assert_eq!(
+            rs.reconstruct_one(2, &refs).unwrap(),
+            blob[2 * l.wu..3 * l.wu]
+        );
     }
 }

@@ -83,7 +83,9 @@ impl Shelf {
 
     /// Drives currently failed.
     pub fn failed_drives(&self) -> Vec<DriveId> {
-        (0..self.drives.len()).filter(|&d| self.drives[d].is_failed()).collect()
+        (0..self.drives.len())
+            .filter(|&d| self.drives[d].is_failed())
+            .collect()
     }
 
     /// Earliest time a new bulk write pair may start (global §4.4 pacing).
@@ -116,7 +118,9 @@ impl Shelf {
     /// True if the array is writing to drive `d` at time `now` — the
     /// §4.4 condition for treating the drive as failed for reads.
     pub fn is_writing(&self, d: DriveId, now: Nanos) -> bool {
-        self.writing_windows[d].iter().any(|&(s, e)| s <= now && now < e)
+        self.writing_windows[d]
+            .iter()
+            .any(|&(s, e)| s <= now && now < e)
     }
 
     /// Writes page-aligned bytes to a drive, updating the writing window.
@@ -144,6 +148,22 @@ impl Shelf {
     ) -> Result<(Vec<u8>, Nanos)> {
         self.drives[d]
             .read(offset, len, now)
+            .map_err(|e| PurityError::Device(format!("drive {}: {}", d, e)))
+    }
+
+    /// Reads from a drive with the latency decomposition of the
+    /// critical-path page (queueing vs service, and what it queued
+    /// behind) — the per-drive attribution the read path stamps into
+    /// slow-op traces.
+    pub fn read_drive_traced(
+        &mut self,
+        d: DriveId,
+        offset: usize,
+        len: usize,
+        now: Nanos,
+    ) -> Result<purity_ssd::DeviceRead> {
+        self.drives[d]
+            .read_traced(offset, len, now)
             .map_err(|e| PurityError::Device(format!("drive {}: {}", d, e)))
     }
 }

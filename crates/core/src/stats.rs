@@ -21,6 +21,15 @@ pub struct ArrayStats {
     pub write_latency: LatencyHistogram,
     /// Read latency distribution.
     pub read_latency: LatencyHistogram,
+    /// Queueing component of direct drive reads (time the critical-path
+    /// page waited behind programs/erases/other reads on its die).
+    pub read_queueing: LatencyHistogram,
+    /// Service component of direct drive reads (die busy time).
+    pub read_service: LatencyHistogram,
+    /// Drive-level latency of reads served on the direct path.
+    pub direct_read_latency: LatencyHistogram,
+    /// Drive-level latency of reads served via parity reconstruction.
+    pub reconstructed_read_latency: LatencyHistogram,
     /// Reads served straight from the addressed drive.
     pub direct_reads: u64,
     /// Reads served via parity reconstruction (busy or failed drive).
@@ -55,6 +64,10 @@ impl Default for ArrayStats {
             logical_bytes_read: 0,
             write_latency: LatencyHistogram::new(),
             read_latency: LatencyHistogram::new(),
+            read_queueing: LatencyHistogram::new(),
+            read_service: LatencyHistogram::new(),
+            direct_read_latency: LatencyHistogram::new(),
+            reconstructed_read_latency: LatencyHistogram::new(),
             direct_reads: 0,
             reconstructed_reads: 0,
             reconstruction_extra_reads: 0,
@@ -93,6 +106,11 @@ impl ArrayStats {
         self.logical_bytes_read += other.logical_bytes_read;
         self.write_latency.merge(&other.write_latency);
         self.read_latency.merge(&other.read_latency);
+        self.read_queueing.merge(&other.read_queueing);
+        self.read_service.merge(&other.read_service);
+        self.direct_read_latency.merge(&other.direct_read_latency);
+        self.reconstructed_read_latency
+            .merge(&other.reconstructed_read_latency);
         self.direct_reads += other.direct_reads;
         self.reconstructed_reads += other.reconstructed_reads;
         self.reconstruction_extra_reads += other.reconstruction_extra_reads;
@@ -188,5 +206,66 @@ mod tests {
         let r = s.report();
         assert!(r.contains("reduction"));
         assert!(r.contains("gc:"));
+    }
+
+    /// The failover contract: absorbing one controller's stats into
+    /// another's and then reporting must equal reporting the union of
+    /// both observation streams — absorb() is lossless, histograms
+    /// included.
+    #[test]
+    fn absorb_then_report_equals_reporting_the_union() {
+        let mut a = ArrayStats::default();
+        let mut b = ArrayStats::default();
+        let mut union = ArrayStats::default();
+        for i in 0..500u64 {
+            let lat = 10_000 + i * 377;
+            a.read_latency.record(lat);
+            union.read_latency.record(lat);
+            a.read_queueing.record(lat / 3);
+            union.read_queueing.record(lat / 3);
+            a.direct_read_latency.record(lat);
+            union.direct_read_latency.record(lat);
+            a.direct_reads += 1;
+            union.direct_reads += 1;
+            a.logical_bytes_read += 4096;
+            union.logical_bytes_read += 4096;
+        }
+        for i in 0..300u64 {
+            let lat = 2_000_000 + i * 991;
+            b.read_latency.record(lat);
+            union.read_latency.record(lat);
+            b.read_service.record(lat / 7);
+            union.read_service.record(lat / 7);
+            b.reconstructed_read_latency.record(lat);
+            union.reconstructed_read_latency.record(lat);
+            b.reconstructed_reads += 1;
+            union.reconstructed_reads += 1;
+            b.write_latency.record(lat / 2);
+            union.write_latency.record(lat / 2);
+        }
+        a.absorb(&b);
+        assert_eq!(a.direct_reads, union.direct_reads);
+        assert_eq!(a.reconstructed_reads, union.reconstructed_reads);
+        assert_eq!(a.logical_bytes_read, union.logical_bytes_read);
+        for (merged, expect) in [
+            (&a.read_latency, &union.read_latency),
+            (&a.write_latency, &union.write_latency),
+            (&a.read_queueing, &union.read_queueing),
+            (&a.read_service, &union.read_service),
+            (&a.direct_read_latency, &union.direct_read_latency),
+            (
+                &a.reconstructed_read_latency,
+                &union.reconstructed_read_latency,
+            ),
+        ] {
+            assert_eq!(merged.count(), expect.count());
+            assert_eq!(merged.mean(), expect.mean());
+            assert_eq!(merged.min(), expect.min());
+            assert_eq!(merged.max(), expect.max());
+            for q in [0.5, 0.95, 0.99, 0.999] {
+                assert_eq!(merged.quantile(q), expect.quantile(q));
+            }
+        }
+        assert_eq!(a.report(), union.report());
     }
 }

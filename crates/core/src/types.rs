@@ -66,7 +66,10 @@ impl AuId {
 
     /// Inverse of [`AuId::pack`].
     pub fn unpack(v: u64) -> Self {
-        Self { drive: (v >> 32) as usize, index: v as u32 }
+        Self {
+            drive: (v >> 32) as usize,
+            index: v as u32,
+        }
     }
 }
 
@@ -78,8 +81,14 @@ mod tests {
     fn au_id_packs_round_trip() {
         for au in [
             AuId { drive: 0, index: 0 },
-            AuId { drive: 10, index: 12345 },
-            AuId { drive: usize::from(u16::MAX), index: u32::MAX },
+            AuId {
+                drive: 10,
+                index: 12345,
+            },
+            AuId {
+                drive: usize::from(u16::MAX),
+                index: u32::MAX,
+            },
         ] {
             assert_eq!(AuId::unpack(au.pack()), au);
         }

@@ -65,7 +65,12 @@ pub struct DedupEngine<L> {
 impl<L: Copy + Eq> DedupEngine<L> {
     /// Creates an engine around an index.
     pub fn new(index: DedupIndex<L>) -> Self {
-        Self { index, stats: EngineStats::default(), background_queue: Vec::new(), inline_verify_budget: usize::MAX }
+        Self {
+            index,
+            stats: EngineStats::default(),
+            background_queue: Vec::new(),
+            inline_verify_budget: usize::MAX,
+        }
     }
 
     /// Bounds byte-compare verifications per `process` call; further
@@ -101,11 +106,7 @@ impl<L: Copy + Eq> DedupEngine<L> {
     /// neighbours. Extension must run after all anchors are found —
     /// a duplicate run's sampled hash may sit at its tail, and the run's
     /// head must still be claimable.
-    pub fn process<F: BlockFetcher<L>>(
-        &mut self,
-        data: &[u8],
-        fetcher: &mut F,
-    ) -> Vec<Outcome<L>> {
+    pub fn process<F: BlockFetcher<L>>(&mut self, data: &[u8], fetcher: &mut F) -> Vec<Outcome<L>> {
         assert_eq!(data.len() % DEDUP_BLOCK, 0, "whole blocks only");
         let n = data.len() / DEDUP_BLOCK;
         let mut out: Vec<Option<Outcome<L>>> = vec![None; n];
@@ -118,7 +119,9 @@ impl<L: Copy + Eq> DedupEngine<L> {
         for i in 0..n {
             self.stats.blocks += 1;
             let h = block_hash(block(i));
-            let Some(loc) = self.index.lookup(h) else { continue };
+            let Some(loc) = self.index.lookup(h) else {
+                continue;
+            };
             if verifies_left == 0 {
                 // Defer: record for the background pass, store inline.
                 self.background_queue.push((h, loc));
@@ -130,7 +133,10 @@ impl<L: Copy + Eq> DedupEngine<L> {
                 Some(existing) if existing == block(i) => {
                     self.stats.verified_dups += 1;
                     self.index.promote(h, loc);
-                    out[i] = Some(Outcome::Dup { loc, via_anchor: false });
+                    out[i] = Some(Outcome::Dup {
+                        loc,
+                        via_anchor: false,
+                    });
                     anchors.push((i, loc));
                 }
                 _ => {
@@ -147,7 +153,9 @@ impl<L: Copy + Eq> DedupEngine<L> {
         }
 
         // Phase 3: everything else stores as unique.
-        out.into_iter().map(|o| o.unwrap_or(Outcome::Unique)).collect()
+        out.into_iter()
+            .map(|o| o.unwrap_or(Outcome::Unique))
+            .collect()
     }
 
     /// Extends a confirmed anchor at block `at` matching `loc` in
@@ -181,7 +189,10 @@ impl<L: Copy + Eq> DedupEngine<L> {
             if there != here {
                 break;
             }
-            out[j] = Some(Outcome::Dup { loc: there_loc, via_anchor: true });
+            out[j] = Some(Outcome::Dup {
+                loc: there_loc,
+                via_anchor: true,
+            });
             self.stats.blocks += 1;
             self.stats.anchored_dups += 1;
             delta += dir;
@@ -272,7 +283,10 @@ mod tests {
         // Write the identical 16 KiB again: sampled hashes hit for 1/8 of
         // blocks, anchors claim the rest.
         let outcomes = write_through(&mut eng, &mut store, &data);
-        let dups = outcomes.iter().filter(|o| matches!(o, Outcome::Dup { .. })).count();
+        let dups = outcomes
+            .iter()
+            .filter(|o| matches!(o, Outcome::Dup { .. }))
+            .count();
         assert_eq!(dups, 32, "whole rewrite should dedup");
 
         // With a cold index (no recent-write window), only 1-in-8 hashes
@@ -281,9 +295,15 @@ mod tests {
         let mut store2 = MemStore::new();
         write_through(&mut cold, &mut store2, &data);
         let outcomes = write_through(&mut cold, &mut store2, &data);
-        let dups = outcomes.iter().filter(|o| matches!(o, Outcome::Dup { .. })).count();
+        let dups = outcomes
+            .iter()
+            .filter(|o| matches!(o, Outcome::Dup { .. }))
+            .count();
         assert_eq!(dups, 32, "cold rewrite should still fully dedup");
-        assert!(cold.stats().anchored_dups > 0, "anchors should have extended");
+        assert!(
+            cold.stats().anchored_dups > 0,
+            "anchors should have extended"
+        );
         // Dup locations must hold identical bytes.
         for (i, o) in outcomes.iter().enumerate() {
             if let Outcome::Dup { loc, .. } = o {
@@ -307,8 +327,15 @@ mod tests {
         let mut stream = blocks_of(b"fresh!!", 3);
         stream.extend_from_slice(&original[5 * DEDUP_BLOCK..37 * DEDUP_BLOCK]);
         let outcomes = write_through(&mut eng, &mut store, &stream);
-        let dup_count = outcomes.iter().filter(|o| matches!(o, Outcome::Dup { .. })).count();
-        assert!(dup_count >= 30, "expected most of the 32-block run, got {}", dup_count);
+        let dup_count = outcomes
+            .iter()
+            .filter(|o| matches!(o, Outcome::Dup { .. }))
+            .count();
+        assert!(
+            dup_count >= 30,
+            "expected most of the 32-block run, got {}",
+            dup_count
+        );
         assert!(outcomes[..3].iter().all(|o| matches!(o, Outcome::Unique)));
     }
 

@@ -32,7 +32,9 @@ fn round(acc: u64, input: u64) -> u64 {
 
 #[inline]
 fn merge_round(acc: u64, val: u64) -> u64 {
-    (acc ^ round(0, val)).wrapping_mul(PRIME1).wrapping_add(PRIME4)
+    (acc ^ round(0, val))
+        .wrapping_mul(PRIME1)
+        .wrapping_add(PRIME4)
 }
 
 /// Hashes a block with the given seed.
@@ -69,7 +71,10 @@ pub fn hash_with_seed(data: &[u8], seed: u64) -> u64 {
     h = h.wrapping_add(len);
 
     while rest.len() >= 8 {
-        h = (h ^ round(0, read_u64(rest))).rotate_left(27).wrapping_mul(PRIME1).wrapping_add(PRIME4);
+        h = (h ^ round(0, read_u64(rest)))
+            .rotate_left(27)
+            .wrapping_mul(PRIME1)
+            .wrapping_add(PRIME4);
         rest = &rest[8..];
     }
     if rest.len() >= 4 {
@@ -80,7 +85,9 @@ pub fn hash_with_seed(data: &[u8], seed: u64) -> u64 {
         rest = &rest[4..];
     }
     for &b in rest {
-        h = (h ^ (b as u64).wrapping_mul(PRIME5)).rotate_left(11).wrapping_mul(PRIME1);
+        h = (h ^ (b as u64).wrapping_mul(PRIME5))
+            .rotate_left(11)
+            .wrapping_mul(PRIME1);
     }
 
     h ^= h >> 33;
@@ -109,7 +116,11 @@ mod tests {
         assert_eq!(block_hash(b""), 0xEF46DB3751D8E999);
         assert_eq!(block_hash(b"a"), 0xD24EC4F1A98C6E5B);
         assert_eq!(block_hash(b"abc"), 0x44BC2CF5AD770999);
-        assert_ne!(hash_with_seed(b"abc", 1), block_hash(b"abc"), "seed must matter");
+        assert_ne!(
+            hash_with_seed(b"abc", 1),
+            block_hash(b"abc"),
+            "seed must matter"
+        );
     }
 
     #[test]

@@ -14,7 +14,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero matrix.
     pub fn zero(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// Creates an identity matrix.

@@ -25,7 +25,11 @@ impl std::fmt::Display for RsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RsError::TooFewShards { present, needed } => {
-                write!(f, "unrecoverable: {} shards present, {} needed", present, needed)
+                write!(
+                    f,
+                    "unrecoverable: {} shards present, {} needed",
+                    present, needed
+                )
             }
             RsError::ShardSizeMismatch => write!(f, "shard sizes differ"),
             RsError::WrongShardCount { got, expected } => {
@@ -49,7 +53,10 @@ pub struct ReedSolomon {
 impl ReedSolomon {
     /// Creates a codec with `k` data shards and `m` parity shards.
     pub fn new(k: usize, m: usize) -> Self {
-        assert!(k >= 1 && m >= 1, "need at least one data and one parity shard");
+        assert!(
+            k >= 1 && m >= 1,
+            "need at least one data and one parity shard"
+        );
         assert!(k + m <= 256, "GF(256) supports at most 256 shards");
         let vandermonde = Matrix::vandermonde(k + m, k);
         let top = vandermonde.select_rows(&(0..k).collect::<Vec<_>>());
@@ -81,7 +88,10 @@ impl ReedSolomon {
     /// Computes the `m` parity shards for `k` equal-length data shards.
     pub fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, RsError> {
         if data.len() != self.k {
-            return Err(RsError::WrongShardCount { got: data.len(), expected: self.k });
+            return Err(RsError::WrongShardCount {
+                got: data.len(),
+                expected: self.k,
+            });
         }
         let len = data[0].len();
         if data.iter().any(|d| d.len() != len) {
@@ -110,7 +120,10 @@ impl ReedSolomon {
         parity: &mut [Vec<u8>],
     ) -> Result<(), RsError> {
         if parity.len() != self.m {
-            return Err(RsError::WrongShardCount { got: parity.len(), expected: self.m });
+            return Err(RsError::WrongShardCount {
+                got: parity.len(),
+                expected: self.m,
+            });
         }
         if old.len() != new.len() || parity.iter().any(|p| p.len() != old.len()) {
             return Err(RsError::ShardSizeMismatch);
@@ -128,18 +141,26 @@ impl ReedSolomon {
     /// least `k` shards are present.
     pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), RsError> {
         if shards.len() != self.k + self.m {
-            return Err(RsError::WrongShardCount { got: shards.len(), expected: self.k + self.m });
+            return Err(RsError::WrongShardCount {
+                got: shards.len(),
+                expected: self.k + self.m,
+            });
         }
-        let present: Vec<usize> =
-            (0..shards.len()).filter(|&i| shards[i].is_some()).collect();
+        let present: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_some()).collect();
         if present.len() < self.k {
-            return Err(RsError::TooFewShards { present: present.len(), needed: self.k });
+            return Err(RsError::TooFewShards {
+                present: present.len(),
+                needed: self.k,
+            });
         }
         if present.len() == shards.len() {
             return Ok(()); // nothing missing
         }
         let len = shards[present[0]].as_ref().unwrap().len();
-        if present.iter().any(|&i| shards[i].as_ref().unwrap().len() != len) {
+        if present
+            .iter()
+            .any(|&i| shards[i].as_ref().unwrap().len() != len)
+        {
             return Err(RsError::ShardSizeMismatch);
         }
 
@@ -150,8 +171,7 @@ impl ReedSolomon {
         let decode = sub.inverted().expect("any k generator rows are invertible");
 
         // Recover missing data shards.
-        let missing_data: Vec<usize> =
-            (0..self.k).filter(|&i| shards[i].is_none()).collect();
+        let missing_data: Vec<usize> = (0..self.k).filter(|&i| shards[i].is_none()).collect();
         for &target in &missing_data {
             let mut out = vec![0u8; len];
             for (j, &src_row) in use_rows.iter().enumerate() {
@@ -185,7 +205,10 @@ impl ReedSolomon {
         available: &[(usize, &[u8])],
     ) -> Result<Vec<u8>, RsError> {
         if available.len() < self.k {
-            return Err(RsError::TooFewShards { present: available.len(), needed: self.k });
+            return Err(RsError::TooFewShards {
+                present: available.len(),
+                needed: self.k,
+            });
         }
         let len = available[0].1.len();
         if available.iter().any(|(_, d)| d.len() != len) {
@@ -222,10 +245,16 @@ impl ReedSolomon {
     /// Verifies that the parity shards are consistent with the data shards.
     pub fn verify(&self, shards: &[&[u8]]) -> Result<bool, RsError> {
         if shards.len() != self.k + self.m {
-            return Err(RsError::WrongShardCount { got: shards.len(), expected: self.k + self.m });
+            return Err(RsError::WrongShardCount {
+                got: shards.len(),
+                expected: self.k + self.m,
+            });
         }
         let parity = self.encode(&shards[..self.k])?;
-        Ok(parity.iter().zip(&shards[self.k..]).all(|(a, b)| a.as_slice() == *b))
+        Ok(parity
+            .iter()
+            .zip(&shards[self.k..])
+            .all(|(a, b)| a.as_slice() == *b))
     }
 }
 
@@ -237,7 +266,9 @@ mod tests {
 
     fn random_shards(k: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..k).map(|_| (0..len).map(|_| rng.gen()).collect()).collect()
+        (0..k)
+            .map(|_| (0..len).map(|_| rng.gen()).collect())
+            .collect()
     }
 
     #[test]
@@ -276,13 +307,19 @@ mod tests {
 
         for a in 0..9 {
             for b in (a + 1)..9 {
-                let mut shards: Vec<Option<Vec<u8>>> =
-                    full.iter().cloned().map(Some).collect();
+                let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
                 shards[a] = None;
                 shards[b] = None;
                 rs.reconstruct(&mut shards).unwrap();
                 for (i, s) in shards.iter().enumerate() {
-                    assert_eq!(s.as_ref().unwrap(), &full[i], "loss ({},{}) shard {}", a, b, i);
+                    assert_eq!(
+                        s.as_ref().unwrap(),
+                        &full[i],
+                        "loss ({},{}) shard {}",
+                        a,
+                        b,
+                        i
+                    );
                 }
             }
         }
@@ -294,17 +331,16 @@ mod tests {
         let data = random_shards(7, 64, 4);
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
         let parity = rs.encode(&refs).unwrap();
-        let mut shards: Vec<Option<Vec<u8>>> = data
-            .into_iter()
-            .chain(parity)
-            .map(Some)
-            .collect();
+        let mut shards: Vec<Option<Vec<u8>>> = data.into_iter().chain(parity).map(Some).collect();
         shards[0] = None;
         shards[4] = None;
         shards[8] = None;
         assert_eq!(
             rs.reconstruct(&mut shards),
-            Err(RsError::TooFewShards { present: 6, needed: 7 })
+            Err(RsError::TooFewShards {
+                present: 6,
+                needed: 7
+            })
         );
     }
 
@@ -375,12 +411,8 @@ mod tests {
         let data = random_shards(17, 100, 8);
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
         let parity = rs.encode(&refs).unwrap();
-        let mut shards: Vec<Option<Vec<u8>>> = data
-            .iter()
-            .cloned()
-            .chain(parity)
-            .map(Some)
-            .collect();
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().chain(parity).map(Some).collect();
         shards[0] = None;
         shards[10] = None;
         shards[19] = None;

@@ -64,7 +64,9 @@ mod tests {
 
     fn pages(n: usize, size: usize, seed: u64) -> Vec<Vec<u8>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| (0..size).map(|_| rng.gen()).collect()).collect()
+        (0..n)
+            .map(|_| (0..size).map(|_| rng.gen()).collect())
+            .collect()
     }
 
     #[test]
@@ -80,7 +82,12 @@ mod tests {
                 .filter(|(i, _)| *i != lost)
                 .map(|(_, p)| p.as_slice())
                 .collect();
-            assert_eq!(vp.recover(&surviving, &parity), group[lost], "lost {}", lost);
+            assert_eq!(
+                vp.recover(&surviving, &parity),
+                group[lost],
+                "lost {}",
+                lost
+            );
         }
     }
 

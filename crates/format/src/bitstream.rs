@@ -30,7 +30,11 @@ impl BitWriter {
                 self.buf.push(0);
             }
             let take = (8 - bit_pos).min(remaining);
-            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
             self.buf[byte_pos] |= ((value & mask) as u8) << bit_pos;
             value >>= take;
             self.bit_len += take;

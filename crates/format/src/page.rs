@@ -73,7 +73,11 @@ impl ColumnDict {
             Err(i) => i - 1,
         };
         let o = v - self.bases[idx];
-        let fits = if self.width >= 64 { true } else { o < (1u64 << self.width) };
+        let fits = if self.width >= 64 {
+            true
+        } else {
+            o < (1u64 << self.width)
+        };
         fits.then_some((idx as u64, o))
     }
 }
@@ -81,7 +85,11 @@ impl ColumnDict {
 /// Greedy base cover for `sorted` distinct values at offset width `w`:
 /// a new base starts whenever the next value is >= base + 2^w.
 fn bases_for_width(sorted: &[u64], w: usize) -> Vec<u64> {
-    let span = if w >= 64 { u64::MAX } else { (1u64 << w).max(1) };
+    let span = if w >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << w).max(1)
+    };
     let mut bases = Vec::new();
     let mut current: Option<u64> = None;
     for &v in sorted {
@@ -123,7 +131,11 @@ fn choose_dict(values: &[u64], n_rows: usize) -> ColumnDict {
         let sel_bits = ceil_log2(bases.len());
         // Header cost ~9 bytes per base (varint worst case) + payload.
         let cost = n_rows * (sel_bits + w) + bases.len() * 72;
-        let dict = ColumnDict { bases, width: w, sel_bits };
+        let dict = ColumnDict {
+            bases,
+            width: w,
+            sel_bits,
+        };
         if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
             best = Some((cost, dict));
         }
@@ -170,7 +182,14 @@ impl Page {
                 w.write_bits(off, dicts[c].width);
             }
         }
-        Self { n_rows, n_cols, dicts, col_offsets, row_bits, payload: w.into_bytes() }
+        Self {
+            n_rows,
+            n_cols,
+            dicts,
+            col_offsets,
+            row_bits,
+            payload: w.into_bytes(),
+        }
     }
 
     /// Number of tuples.
@@ -223,7 +242,9 @@ impl Page {
 
     /// Decodes every tuple.
     pub fn decode_all(&self) -> Vec<Vec<u64>> {
-        (0..self.n_rows).map(|r| self.get_row(r).expect("in range")).collect()
+        (0..self.n_rows)
+            .map(|r| self.get_row(r).expect("in range"))
+            .collect()
     }
 
     /// Compressed-domain equality scan (§4.9): finds rows whose `col`
@@ -279,7 +300,11 @@ mod tests {
         let rows: Vec<Vec<u64>> = (0..100).map(|i| vec![i, 0xdead_beef]).collect();
         let page = Page::encode(&rows);
         let d = &page.dicts[1];
-        assert_eq!(d.bits_per_value(), 0, "constant column must cost 0 bits/row");
+        assert_eq!(
+            d.bits_per_value(),
+            0,
+            "constant column must cost 0 bits/row"
+        );
         assert_eq!(page.get(50, 1).unwrap(), 0xdead_beef);
     }
 
@@ -288,7 +313,11 @@ mod tests {
         // Dense sequence numbers: one base + small offsets.
         let rows: Vec<Vec<u64>> = (0..1000u64).map(|i| vec![1_000_000 + i]).collect();
         let page = Page::encode(&rows);
-        assert!(page.row_bits() <= 10, "sequential ids should pack to ~10 bits, got {}", page.row_bits());
+        assert!(
+            page.row_bits() <= 10,
+            "sequential ids should pack to ~10 bits, got {}",
+            page.row_bits()
+        );
         assert_eq!(page.decode_all(), rows);
     }
 
@@ -301,7 +330,11 @@ mod tests {
             rows.push(vec![u64::MAX - 1000 + i % 500]);
         }
         let page = Page::encode(&rows);
-        assert!(page.row_bits() < 16, "clustered page used {} bits/row", page.row_bits());
+        assert!(
+            page.row_bits() < 16,
+            "clustered page used {} bits/row",
+            page.row_bits()
+        );
         assert_eq!(page.decode_all(), rows);
     }
 
@@ -317,7 +350,10 @@ mod tests {
         let page = Page::encode(&[vec![1, 2]]);
         assert_eq!(page.get(1, 0).unwrap_err(), PageError::RowOutOfRange);
         assert_eq!(page.get(0, 2).unwrap_err(), PageError::ColOutOfRange);
-        assert_eq!(page.scan_col_eq(5, 0).unwrap_err(), PageError::ColOutOfRange);
+        assert_eq!(
+            page.scan_col_eq(5, 0).unwrap_err(),
+            PageError::ColOutOfRange
+        );
     }
 
     #[test]
@@ -348,7 +384,7 @@ mod tests {
                     (0..n_cols)
                         .map(|c| match c % 3 {
                             0 => rng.gen_range(0..50),
-                            1 => 1_000_000 + rng.gen_range(0..10) * 4096,
+                            1 => 1_000_000 + rng.gen_range(0..10u64) * 4096,
                             _ => rng.gen(),
                         })
                         .collect()
@@ -357,7 +393,7 @@ mod tests {
             let page = Page::encode(&rows);
             assert_eq!(page.decode_all(), rows);
             for col in 0..n_cols {
-                let probe = rows[rng.gen_range(0..n_rows)][col];
+                let probe = rows[rng.gen_range(0usize..n_rows)][col];
                 let expect: Vec<usize> = rows
                     .iter()
                     .enumerate()

@@ -43,11 +43,7 @@ impl RangeTable {
         }
         // Successor ranges that start within (or adjacent to) the new span.
         loop {
-            let next = self
-                .ranges
-                .range(new_start..)
-                .next()
-                .map(|(&s, &e)| (s, e));
+            let next = self.ranges.range(new_start..).next().map(|(&s, &e)| (s, e));
             match next {
                 Some((s, e)) if s <= new_end.saturating_add(1) => {
                     new_end = new_end.max(e);
@@ -203,7 +199,7 @@ mod tests {
             let mut reference = BTreeSet::new();
             for _ in 0..500 {
                 let s = rng.gen_range(0..1000u64);
-                let e = s + rng.gen_range(0..20);
+                let e = s + rng.gen_range(0..20u64);
                 t.insert_range(s, e);
                 for v in s..=e {
                     reference.insert(v);

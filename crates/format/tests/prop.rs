@@ -8,9 +8,9 @@ use std::collections::BTreeSet;
 fn row_strategy() -> impl Strategy<Value = Vec<u64>> {
     proptest::collection::vec(
         prop_oneof![
-            0u64..16,                       // tiny enums
-            1_000_000u64..1_001_000,        // clustered ids
-            any::<u64>(),                   // raw values
+            0u64..16,                // tiny enums
+            1_000_000u64..1_001_000, // clustered ids
+            any::<u64>(),            // raw values
         ],
         3,
     )

@@ -24,7 +24,11 @@ impl<K: Ord + Clone, V: Clone> Patch<K, V> {
         entries.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
         let min_seq = entries.iter().map(|e| e.1).min().unwrap_or(0);
         let max_seq = entries.iter().map(|e| e.1).max().unwrap_or(0);
-        Self { entries, min_seq, max_seq }
+        Self {
+            entries,
+            min_seq,
+            max_seq,
+        }
     }
 
     /// Number of facts.
@@ -121,7 +125,10 @@ mod tests {
 
     fn patch(entries: Vec<(u64, Seq, &str)>) -> Patch<u64, String> {
         Patch::from_entries(
-            entries.into_iter().map(|(k, s, v)| (k, s, v.to_string())).collect(),
+            entries
+                .into_iter()
+                .map(|(k, s, v)| (k, s, v.to_string()))
+                .collect(),
         )
     }
 
@@ -150,7 +157,10 @@ mod tests {
             .map(|e| e.0)
             .collect();
         assert_eq!(got, vec![3, 5]);
-        let all: Vec<u64> = p.range(Bound::Unbounded, Bound::Unbounded).map(|e| e.0).collect();
+        let all: Vec<u64> = p
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .map(|e| e.0)
+            .collect();
         assert_eq!(all, vec![1, 3, 5, 7]);
     }
 

@@ -39,6 +39,25 @@ pub struct PyramidStats {
     pub elided_dropped: u64,
 }
 
+impl PyramidStats {
+    /// Mirrors these counters into a metrics registry under the
+    /// `lsm_*` names, labeled with the pyramid's name. Publishing is
+    /// idempotent ([`purity_obs::Counter::set`]), so pull-style
+    /// collectors may call it repeatedly.
+    pub fn publish(&self, registry: &purity_obs::MetricsRegistry, pyramid: &str) {
+        let labels = [("pyramid", pyramid)];
+        registry.counter("lsm_inserts", &labels).set(self.inserts);
+        registry.counter("lsm_flushes", &labels).set(self.flushes);
+        registry.counter("lsm_merges", &labels).set(self.merges);
+        registry
+            .counter("lsm_superseded_dropped", &labels)
+            .set(self.superseded_dropped);
+        registry
+            .counter("lsm_elided_dropped", &labels)
+            .set(self.elided_dropped);
+    }
+}
+
 /// A log-structured merge index over immutable facts.
 ///
 /// Readers see the union of the memtable and all patches, newest sequence
@@ -97,7 +116,10 @@ impl<K: Ord + Clone, V: Clone> Pyramid<K, V> {
     }
 
     fn is_elided(&self, key: &K, seq: Seq) -> bool {
-        self.elide.as_ref().map(|e| e.is_elided(key, seq)).unwrap_or(false)
+        self.elide
+            .as_ref()
+            .map(|e| e.is_elided(key, seq))
+            .unwrap_or(false)
     }
 
     /// Newest non-elided fact for `key`.
@@ -183,9 +205,7 @@ impl<K: Ord + Clone, V: Clone> Pyramid<K, V> {
         }
         let entries: Vec<(K, Seq, V)> = std::mem::take(&mut self.memtable)
             .into_iter()
-            .flat_map(|(k, versions)| {
-                versions.into_iter().map(move |(s, v)| (k.clone(), s, v))
-            })
+            .flat_map(|(k, versions)| versions.into_iter().map(move |(s, v)| (k.clone(), s, v)))
             .collect();
         self.mem_facts = 0;
         let patch = Arc::new(Patch::from_entries(entries));

@@ -25,14 +25,18 @@ impl Default for SeqAllocator {
 impl SeqAllocator {
     /// Starts allocating at 1.
     pub fn new() -> Self {
-        Self { next: AtomicU64::new(1) }
+        Self {
+            next: AtomicU64::new(1),
+        }
     }
 
     /// Resumes allocation after recovery: hands out numbers strictly
     /// greater than `highest_seen`. Sequence numbers are never reused
     /// (§4.10 relies on this to bound elide tables).
     pub fn resume_after(highest_seen: Seq) -> Self {
-        Self { next: AtomicU64::new(highest_seen + 1) }
+        Self {
+            next: AtomicU64::new(highest_seen + 1),
+        }
     }
 
     /// Allocates one sequence number.
@@ -81,7 +85,10 @@ mod tests {
             let handles: Vec<_> = (0..4)
                 .map(|_| s.spawn(|| (0..1000).map(|_| a.next()).collect::<Vec<_>>()))
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
         });
         all.sort_unstable();
         all.dedup();

@@ -1,0 +1,164 @@
+//! Minimal JSON writer.
+//!
+//! The container ships no serde; the export surface here is small and
+//! flat, so a push-style writer is all the layer needs. Output is
+//! deterministic (field order = insertion order) which keeps `results/`
+//! snapshots diffable across runs.
+
+/// Escapes a string for inclusion inside JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental writer for one JSON object or array.
+pub struct JsonWriter {
+    buf: String,
+    close: char,
+    empty: bool,
+}
+
+impl JsonWriter {
+    /// Starts an object: `{...}`.
+    pub fn object() -> Self {
+        Self {
+            buf: String::from("{"),
+            close: '}',
+            empty: true,
+        }
+    }
+
+    /// Starts an array: `[...]`.
+    pub fn array() -> Self {
+        Self {
+            buf: String::from("["),
+            close: ']',
+            empty: true,
+        }
+    }
+
+    fn sep(&mut self) {
+        if self.empty {
+            self.empty = false;
+        } else {
+            self.buf.push(',');
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        self.sep();
+        self.buf.push('"');
+        self.buf.push_str(&escape(name));
+        self.buf.push_str("\":");
+    }
+
+    pub fn str_field(&mut self, name: &str, value: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push('"');
+        self.buf.push_str(&escape(value));
+        self.buf.push('"');
+        self
+    }
+
+    pub fn u64_field(&mut self, name: &str, value: u64) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    pub fn i64_field(&mut self, name: &str, value: i64) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    pub fn f64_field(&mut self, name: &str, value: f64) -> &mut Self {
+        self.key(name);
+        if value.is_finite() {
+            self.buf.push_str(&format!("{value:.6}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    pub fn bool_field(&mut self, name: &str, value: bool) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Inserts pre-encoded JSON as a field value.
+    pub fn raw_field(&mut self, name: &str, raw_json: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(raw_json);
+        self
+    }
+
+    /// Appends pre-encoded JSON as an array element.
+    pub fn raw_element(&mut self, raw_json: &str) -> &mut Self {
+        self.sep();
+        self.buf.push_str(raw_json);
+        self
+    }
+
+    /// Appends a string as an array element.
+    pub fn str_element(&mut self, value: &str) -> &mut Self {
+        self.sep();
+        self.buf.push('"');
+        self.buf.push_str(&escape(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// Closes the container and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push(self.close);
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn writes_nested_structures() {
+        let mut inner = JsonWriter::array();
+        inner.raw_element("1").raw_element("2");
+        let inner = inner.finish();
+        let mut w = JsonWriter::object();
+        w.str_field("name", "x")
+            .u64_field("n", 7)
+            .f64_field("frac", 0.25)
+            .bool_field("ok", true)
+            .raw_field("xs", &inner);
+        assert_eq!(
+            w.finish(),
+            "{\"name\":\"x\",\"n\":7,\"frac\":0.250000,\"ok\":true,\"xs\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(JsonWriter::object().finish(), "{}");
+        assert_eq!(JsonWriter::array().finish(), "[]");
+    }
+}

@@ -1,0 +1,354 @@
+//! Labeled metrics registry: counters, gauges, latency histograms.
+//!
+//! Subsystems register metrics once (name + label pairs, e.g.
+//! `("flash_reads", [("drive","3"),("die","2")])`) and keep the returned
+//! handle; recording through a handle is an atomic op (counters/gauges)
+//! or a short mutex-guarded histogram insert — cheap enough for the
+//! simulation's hot paths. `snapshot()` freezes every metric into a
+//! [`MetricsSnapshot`] that renders to the JSON schema documented in
+//! OBSERVABILITY.md.
+
+use crate::json::JsonWriter;
+use parking_lot::Mutex;
+use purity_sim::{LatencyHistogram, Nanos};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A metric's identity: name plus sorted label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// `name{k=v,k2=v2}` rendering used in reports.
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let pairs: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        format!("{}{{{}}}", self.name, pairs.join(","))
+    }
+}
+
+/// Monotonically increasing counter handle.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+    /// Sets the absolute value — used by pull-style collectors that
+    /// mirror a subsystem's own cumulative stats into the registry.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time gauge handle.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Latency histogram handle (log-bucketed, see `purity_sim::hist`).
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<Mutex<LatencyHistogram>>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self(Arc::new(Mutex::new(LatencyHistogram::new())))
+    }
+}
+
+impl Histogram {
+    pub fn record(&self, v: Nanos) {
+        self.0.lock().record(v);
+    }
+    /// Folds a whole pre-aggregated histogram in (e.g. from ArrayStats).
+    pub fn merge_from(&self, other: &LatencyHistogram) {
+        self.0.lock().merge(other);
+    }
+    /// Replaces the contents with a pre-aggregated histogram. Used by
+    /// pull-style collectors mirroring a subsystem's own cumulative
+    /// distribution — like [`Counter::set`], repeated publishes are
+    /// idempotent.
+    pub fn set_from(&self, other: &LatencyHistogram) {
+        *self.0.lock() = other.clone();
+    }
+    pub fn snapshot(&self) -> LatencyHistogram {
+        self.0.lock().clone()
+    }
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary::of(&self.0.lock())
+    }
+}
+
+/// Frozen quantile summary of one histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub mean: Nanos,
+    pub min: Nanos,
+    pub max: Nanos,
+    pub p50: Nanos,
+    pub p95: Nanos,
+    pub p99: Nanos,
+    pub p999: Nanos,
+}
+
+impl HistogramSummary {
+    pub fn of(h: &LatencyHistogram) -> Self {
+        Self {
+            count: h.count(),
+            mean: h.mean(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.p50(),
+            p95: h.p95(),
+            p99: h.p99(),
+            p999: h.p999(),
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::object();
+        w.u64_field("count", self.count)
+            .u64_field("mean_ns", self.mean)
+            .u64_field("min_ns", self.min)
+            .u64_field("max_ns", self.max)
+            .u64_field("p50_ns", self.p50)
+            .u64_field("p95_ns", self.p95)
+            .u64_field("p99_ns", self.p99)
+            .u64_field("p999_ns", self.p999);
+        w.finish()
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<MetricId, Counter>,
+    gauges: BTreeMap<MetricId, Gauge>,
+    histograms: BTreeMap<MetricId, Histogram>,
+}
+
+/// The process-wide (per-array) metric store.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+/// `Debug` shows only cardinalities; dumping every series is what
+/// `snapshot()` is for.
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = self.inner.lock();
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &g.counters.len())
+            .field("gauges", &g.gauges.len())
+            .field("histograms", &g.histograms.len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates the counter `name{labels}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let id = MetricId::new(name, labels);
+        self.inner.lock().counters.entry(id).or_default().clone()
+    }
+
+    /// Gets or creates the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let id = MetricId::new(name, labels);
+        self.inner.lock().gauges.entry(id).or_default().clone()
+    }
+
+    /// Gets or creates the histogram `name{labels}`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let id = MetricId::new(name, labels);
+        self.inner.lock().histograms.entry(id).or_default().clone()
+    }
+
+    /// Freezes every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let g = self.inner.lock();
+        MetricsSnapshot {
+            counters: g
+                .counters
+                .iter()
+                .map(|(id, c)| (id.clone(), c.get()))
+                .collect(),
+            gauges: g
+                .gauges
+                .iter()
+                .map(|(id, v)| (id.clone(), v.get()))
+                .collect(),
+            histograms: g
+                .histograms
+                .iter()
+                .map(|(id, h)| (id.clone(), h.summary()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of the whole registry, ready for export.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(MetricId, u64)>,
+    pub gauges: Vec<(MetricId, i64)>,
+    pub histograms: Vec<(MetricId, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// Sum of every counter series with this name (across labels).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(id, _)| id.name == name)
+            .map(|&(_, v)| v)
+            .sum()
+    }
+
+    /// The value of an exact counter series, 0 if absent.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let id = MetricId::new(name, labels);
+        self.counters
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// The summary of an exact histogram series, if present.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSummary> {
+        let id = MetricId::new(name, labels);
+        self.histograms
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, s)| s)
+    }
+
+    pub fn to_json(&self) -> String {
+        fn id_obj(id: &MetricId) -> JsonWriter {
+            let mut w = JsonWriter::object();
+            w.str_field("name", &id.name);
+            let mut labels = JsonWriter::object();
+            for (k, v) in &id.labels {
+                labels.str_field(k, v);
+            }
+            w.raw_field("labels", &labels.finish());
+            w
+        }
+        let mut counters = JsonWriter::array();
+        for (id, v) in &self.counters {
+            let mut w = id_obj(id);
+            w.u64_field("value", *v);
+            counters.raw_element(&w.finish());
+        }
+        let mut gauges = JsonWriter::array();
+        for (id, v) in &self.gauges {
+            let mut w = id_obj(id);
+            w.i64_field("value", *v);
+            gauges.raw_element(&w.finish());
+        }
+        let mut histograms = JsonWriter::array();
+        for (id, s) in &self.histograms {
+            let mut w = id_obj(id);
+            w.raw_field("summary", &s.to_json());
+            histograms.raw_element(&w.finish());
+        }
+        let mut root = JsonWriter::object();
+        root.raw_field("counters", &counters.finish())
+            .raw_field("gauges", &gauges.finish())
+            .raw_field("histograms", &histograms.finish());
+        root.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("reads", &[("drive", "3")]);
+        let b = r.counter("reads", &[("drive", "3")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        // Different labels are a different series.
+        assert_eq!(r.counter("reads", &[("drive", "4")]).get(), 0);
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let r = MetricsRegistry::new();
+        r.counter("x", &[("a", "1"), ("b", "2")]).inc();
+        assert_eq!(r.counter("x", &[("b", "2"), ("a", "1")]).get(), 1);
+    }
+
+    #[test]
+    fn snapshot_lookup_and_totals() {
+        let r = MetricsRegistry::new();
+        r.counter("reads", &[("drive", "0")]).add(5);
+        r.counter("reads", &[("drive", "1")]).add(7);
+        r.gauge("depth", &[]).set(-3);
+        r.histogram("lat", &[("path", "direct")]).record(1000);
+        let s = r.snapshot();
+        assert_eq!(s.counter_total("reads"), 12);
+        assert_eq!(s.counter("reads", &[("drive", "1")]), 7);
+        assert_eq!(s.histogram("lat", &[("path", "direct")]).unwrap().count, 1);
+        let j = s.to_json();
+        assert!(j.contains("\"drive\":\"1\""), "{j}");
+        assert!(j.contains("\"p999_ns\""), "{j}");
+    }
+
+    #[test]
+    fn render_includes_labels() {
+        let id = MetricId::new("flash_reads", &[("die", "2"), ("drive", "3")]);
+        assert_eq!(id.render(), "flash_reads{die=2,drive=3}");
+    }
+}

@@ -20,7 +20,9 @@ pub struct Clock {
 impl Clock {
     /// Creates a clock at time zero.
     pub fn new() -> Arc<Self> {
-        Arc::new(Self { now: AtomicU64::new(0) })
+        Arc::new(Self {
+            now: AtomicU64::new(0),
+        })
     }
 
     /// Current virtual time.

@@ -29,8 +29,16 @@ impl Zipf {
         let n = n as f64;
         let h_integral_x1 = Self::h_integral(1.5, theta) - 1.0;
         let h_integral_n = Self::h_integral(n + 0.5, theta);
-        let s = 2.0 - Self::h_integral_inverse(Self::h_integral(2.5, theta) - Self::h(2.0, theta), theta);
-        Self { n, theta, h_x1: Self::h(1.0, theta), h_integral_x1, h_integral_n, s }
+        let s = 2.0
+            - Self::h_integral_inverse(Self::h_integral(2.5, theta) - Self::h(2.0, theta), theta);
+        Self {
+            n,
+            theta,
+            h_x1: Self::h(1.0, theta),
+            h_integral_x1,
+            h_integral_n,
+            s,
+        }
     }
 
     fn h(x: f64, theta: f64) -> f64 {

@@ -49,7 +49,13 @@ fn bucket_value(idx: usize) -> Nanos {
 impl LatencyHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Self { counts: vec![0; BUCKETS], total: 0, sum: 0, min: Nanos::MAX, max: 0 }
+        Self {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: Nanos::MAX,
+            max: 0,
+        }
     }
 
     /// Records one latency sample.
@@ -200,7 +206,11 @@ mod tests {
             h.record(20 * MS); // 0.2% slow requests
         }
         assert!(h.p99() < MS);
-        assert!(h.p999() >= 15 * MS, "p999 {} should capture the outliers", h.p999());
+        assert!(
+            h.p999() >= 15 * MS,
+            "p999 {} should capture the outliers",
+            h.p999()
+        );
     }
 
     #[test]

@@ -43,6 +43,20 @@ impl Reservation {
     pub fn latency(&self, issued_at: Nanos) -> Nanos {
         self.end.saturating_sub(issued_at)
     }
+
+    /// Time spent waiting for the resource: `start - issued_at`. Zero when
+    /// the resource was idle at issue. This is the observability split the
+    /// paper's tail analysis needs — a sample is slow either because the
+    /// device was busy (queueing) or because the op itself was long
+    /// (service).
+    pub fn queueing(&self, issued_at: Nanos) -> Nanos {
+        self.start.saturating_sub(issued_at)
+    }
+
+    /// Time the resource actually spent on the op: `end - start`.
+    pub fn service(&self) -> Nanos {
+        self.end.saturating_sub(self.start)
+    }
 }
 
 impl Timeline {
@@ -86,10 +100,8 @@ impl Timeline {
         let end = start + duration;
         // Insert, merging with exactly-adjacent neighbours so back-to-
         // back chains stay O(1) in memory.
-        let merge_prev =
-            insert_at > 0 && inner.bookings[insert_at - 1].1 == start;
-        let merge_next =
-            insert_at < inner.bookings.len() && inner.bookings[insert_at].0 == end;
+        let merge_prev = insert_at > 0 && inner.bookings[insert_at - 1].1 == start;
+        let merge_next = insert_at < inner.bookings.len() && inner.bookings[insert_at].0 == end;
         match (merge_prev, merge_next) {
             (true, true) => {
                 let next_end = inner.bookings.remove(insert_at).expect("index checked").1;
@@ -107,14 +119,17 @@ impl Timeline {
     /// may be pruned and reports busy conservatively.
     pub fn busy_at(&self, now: Nanos) -> bool {
         let inner = self.inner.lock();
-        now < inner.pruned_floor
-            || inner.bookings.iter().any(|&(s, e)| s <= now && now < e)
+        now < inner.pruned_floor || inner.bookings.iter().any(|&(s, e)| s <= now && now < e)
     }
 
     /// The end of the last booking (0 when idle).
     pub fn free_at(&self) -> Nanos {
         let inner = self.inner.lock();
-        inner.bookings.back().map(|&(_, e)| e).unwrap_or(inner.pruned_floor)
+        inner
+            .bookings
+            .back()
+            .map(|&(_, e)| e)
+            .unwrap_or(inner.pruned_floor)
     }
 
     /// Marks the resource busy through `t` (used for background work
@@ -142,7 +157,13 @@ mod tests {
     fn idle_resource_starts_immediately() {
         let t = Timeline::new();
         let r = t.reserve(100, 50);
-        assert_eq!(r, Reservation { start: 100, end: 150 });
+        assert_eq!(
+            r,
+            Reservation {
+                start: 100,
+                end: 150
+            }
+        );
         assert_eq!(r.latency(100), 50);
     }
 
@@ -154,6 +175,18 @@ mod tests {
         let r = t.reserve(100, 50);
         assert_eq!(r.start, 1_000);
         assert_eq!(r.latency(100), 950);
+        // latency decomposes exactly into queueing + service.
+        assert_eq!(r.queueing(100), 900);
+        assert_eq!(r.service(), 50);
+        assert_eq!(r.queueing(100) + r.service(), r.latency(100));
+    }
+
+    #[test]
+    fn idle_resource_has_zero_queueing() {
+        let t = Timeline::new();
+        let r = t.reserve(500, 70);
+        assert_eq!(r.queueing(500), 0);
+        assert_eq!(r.service(), 70);
     }
 
     #[test]
@@ -224,7 +257,10 @@ mod tests {
             t.reserve(i * 1_000_000, 10);
         }
         t.reserve(1_000_000_000, 10);
-        assert!(t.inner.lock().bookings.len() < 5, "old intervals pruned on reserve");
+        assert!(
+            t.inner.lock().bookings.len() < 5,
+            "old intervals pruned on reserve"
+        );
         // Pruned history reports busy conservatively.
         assert!(t.busy_at(5));
     }

@@ -1,8 +1,10 @@
-//! Property tests: Timeline bookings never overlap and reservations
-//! start no earlier than their issue time.
+//! Property tests: Timeline bookings never overlap, reservations start
+//! no earlier than their issue time, scheduling is FIFO within a
+//! resource, gap-filling respects future bookings, and LatencyHistogram
+//! merge/quantile behave like the union population.
 
 use proptest::prelude::*;
-use purity_sim::Timeline;
+use purity_sim::{LatencyHistogram, Timeline};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -39,5 +41,101 @@ proptest! {
         if covered {
             prop_assert!(t.busy_at(probe));
         }
+    }
+
+    #[test]
+    fn fifo_within_a_resource(mut reqs in proptest::collection::vec((0u64..1_000_000, 1u64..50_000), 2..200)) {
+        // For monotonic issue times a resource serves strictly in issue
+        // order: starts never regress, and the latency split
+        // queueing + service == latency holds per grant.
+        reqs.sort_by_key(|&(now, _)| now);
+        let t = Timeline::new();
+        let mut last_start = 0u64;
+        for (now, dur) in reqs {
+            let r = t.reserve(now, dur);
+            prop_assert!(r.start >= last_start, "FIFO violated: start {} after {}", r.start, last_start);
+            prop_assert_eq!(r.queueing(now) + r.service(), r.latency(now));
+            prop_assert_eq!(r.service(), dur);
+            last_start = r.start;
+        }
+    }
+
+    #[test]
+    fn gap_filling_respects_future_bookings(
+        future_start in 500_000u64..1_000_000,
+        future_dur in 100_000u64..500_000,
+        mut fillers in proptest::collection::vec((0u64..400_000, 1u64..30_000), 1..50),
+    ) {
+        // One future slot (a paced segment flush) is booked first; small
+        // ops issued earlier must fill the idle gap before it without
+        // ever overlapping it, and whenever an op fits entirely before
+        // the slot it must not be pushed behind it.
+        let t = Timeline::new();
+        let future = t.reserve(future_start, future_dur);
+        prop_assert_eq!(future.start, future_start);
+        fillers.sort_by_key(|&(now, _)| now);
+        let mut granted: Vec<(u64, u64)> = vec![(future.start, future.end)];
+        for (now, dur) in fillers {
+            let r = t.reserve(now, dur);
+            for &(s, e) in &granted {
+                prop_assert!(r.end <= s || r.start >= e,
+                    "overlap with booking: ({},{}) vs ({},{})", r.start, r.end, s, e);
+            }
+            // If the gap before the future slot fits this op at its issue
+            // time, the op must use the gap, not queue behind the future.
+            let gap_fits = granted
+                .iter()
+                .filter(|&&(s, _)| s < future.start)
+                .map(|&(_, e)| e)
+                .max()
+                .unwrap_or(0)
+                .max(now)
+                + dur
+                <= future.start;
+            if gap_fits {
+                prop_assert!(r.end <= future.start,
+                    "op ({},{}) needlessly queued behind future slot at {}", r.start, r.end, future.start);
+            }
+            granted.push((r.start, r.end));
+            granted.sort_unstable();
+        }
+    }
+
+    #[test]
+    fn histogram_merge_equals_union(
+        xs in proptest::collection::vec(0u64..10_000_000, 1..300),
+        ys in proptest::collection::vec(0u64..10_000_000, 1..300),
+    ) {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut union = LatencyHistogram::new();
+        for &x in &xs { a.record(x); union.record(x); }
+        for &y in &ys { b.record(y); union.record(y); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), union.count());
+        prop_assert_eq!(a.mean(), union.mean());
+        prop_assert_eq!(a.min(), union.min());
+        prop_assert_eq!(a.max(), union.max());
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(a.quantile(q), union.quantile(q), "q={}", q);
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotonic(
+        xs in proptest::collection::vec(0u64..100_000_000, 1..500),
+        qa in 0u32..=1000,
+        qb in 0u32..=1000,
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &x in &xs { h.record(x); }
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(
+            h.quantile(lo as f64 / 1000.0) <= h.quantile(hi as f64 / 1000.0),
+            "quantile({}) > quantile({})", lo, hi
+        );
+        // Quantiles are bracketed by the recorded extremes.
+        prop_assert!(h.quantile(0.0) >= h.min());
+        prop_assert!(h.quantile(1.0) <= h.max());
     }
 }

@@ -2,10 +2,11 @@
 //! device with trim, plus the fault-injection hooks the paper's
 //! "pull drives while evaluating" stance (§1) demands.
 
-use crate::flash::Flash;
+use crate::flash::{Flash, StallCause};
 use crate::ftl::{Ftl, FtlError, FtlStats};
 use crate::geometry::{Ppa, SsdGeometry};
 use crate::latency::{EnduranceModel, LatencyModel};
+use purity_obs::MetricsRegistry;
 use purity_sim::{Clock, Nanos};
 use std::sync::Arc;
 
@@ -38,6 +39,26 @@ impl From<FtlError> for DeviceError {
     }
 }
 
+/// One traced device read: the data plus the latency decomposition of
+/// the *critical-path* page (the constituent page read that completed
+/// last) — which die served it, how long it queued vs worked, and what
+/// class of op it queued behind. This is what the array layer stamps
+/// into an [`purity_obs::OpTrace`] span note.
+#[derive(Debug, Clone)]
+pub struct DeviceRead {
+    pub data: Vec<u8>,
+    /// Completion timestamp of the whole read.
+    pub done: Nanos,
+    /// Queueing delay of the critical-path page.
+    pub queued: Nanos,
+    /// Die service time of the critical-path page.
+    pub service: Nanos,
+    /// Die that served the critical-path page.
+    pub die: usize,
+    /// What the critical-path page queued behind, if anything.
+    pub stall: Option<StallCause>,
+}
+
 /// One simulated SSD.
 pub struct Ssd {
     ftl: Ftl,
@@ -58,7 +79,11 @@ impl Ssd {
     ) -> Self {
         let flash = Flash::new(geo, latency, endurance, clock, seed);
         let page_size = geo.page_size;
-        Self { ftl: Ftl::new(flash, over_provision), page_size, failed: false }
+        Self {
+            ftl: Ftl::new(flash, over_provision),
+            page_size,
+            failed: false,
+        }
     }
 
     /// A consumer-MLC drive at the scaled test geometry.
@@ -121,7 +146,10 @@ impl Ssd {
     /// Earliest time every die is free.
     pub fn free_at(&self) -> Nanos {
         let geo = *self.ftl.flash().geometry();
-        (0..geo.dies).map(|d| self.ftl.flash().die_free_at(d)).max().unwrap_or(0)
+        (0..geo.dies)
+            .map(|d| self.ftl.flash().die_free_at(d))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Writes page-aligned bytes at a page-aligned byte offset.
@@ -143,7 +171,12 @@ impl Ssd {
 
     /// Reads `len` bytes at any byte offset. Returns data + the
     /// completion timestamp of the slowest constituent page read.
-    pub fn read(&mut self, offset: usize, len: usize, now: Nanos) -> Result<(Vec<u8>, Nanos), DeviceError> {
+    pub fn read(
+        &mut self,
+        offset: usize,
+        len: usize,
+        now: Nanos,
+    ) -> Result<(Vec<u8>, Nanos), DeviceError> {
         if self.failed {
             return Err(DeviceError::Failed);
         }
@@ -161,6 +194,111 @@ impl Ssd {
         }
         let start = offset - first * self.page_size;
         Ok((buf[start..start + len].to_vec(), done))
+    }
+
+    /// Reads `len` bytes at any byte offset, reporting the latency
+    /// decomposition of the critical-path page (see [`DeviceRead`]).
+    pub fn read_traced(
+        &mut self,
+        offset: usize,
+        len: usize,
+        now: Nanos,
+    ) -> Result<DeviceRead, DeviceError> {
+        if self.failed {
+            return Err(DeviceError::Failed);
+        }
+        if len == 0 {
+            return Ok(DeviceRead {
+                data: Vec::new(),
+                done: now,
+                queued: 0,
+                service: 0,
+                die: 0,
+                stall: None,
+            });
+        }
+        let first = offset / self.page_size;
+        let last = (offset + len - 1) / self.page_size;
+        let mut buf = Vec::with_capacity((last - first + 1) * self.page_size);
+        let mut crit = DeviceRead {
+            data: Vec::new(),
+            done: now,
+            queued: 0,
+            service: 0,
+            die: 0,
+            stall: None,
+        };
+        for lpn in first..=last {
+            let page = self.ftl.read_traced(lpn, now)?;
+            buf.extend_from_slice(&page.data);
+            if page.done >= crit.done {
+                crit.done = page.done;
+                crit.queued = page.queued;
+                crit.service = page.service;
+                crit.die = page.die;
+                crit.stall = page.stall;
+            }
+        }
+        let start = offset - first * self.page_size;
+        crit.data = buf[start..start + len].to_vec();
+        Ok(crit)
+    }
+
+    /// Mirrors the drive's cumulative counters into the registry under
+    /// the given drive label. Pull-style collection: call at snapshot
+    /// time; `Counter::set` makes repeated publishes idempotent.
+    pub fn publish_metrics(&self, registry: &MetricsRegistry, drive: &str) {
+        let labels = [("drive", drive)];
+        let s = self.stats();
+        registry
+            .counter("ssd_host_programs", &labels)
+            .set(s.host_programs);
+        registry
+            .counter("ssd_gc_programs", &labels)
+            .set(s.gc_programs);
+        registry.counter("ssd_gc_runs", &labels).set(s.gc_runs);
+        registry.counter("ssd_erases", &labels).set(s.erases);
+        registry
+            .gauge("ssd_write_amplification_milli", &labels)
+            .set((s.write_amplification() * 1000.0) as i64);
+        let fc = self.flash_counters();
+        registry.counter("flash_reads", &labels).set(fc.reads);
+        registry.counter("flash_programs", &labels).set(fc.programs);
+        registry.counter("flash_erases", &labels).set(fc.erases);
+        registry
+            .counter("flash_bad_blocks", &labels)
+            .set(fc.bad_blocks);
+        for (cause, v) in [
+            ("program", fc.read_stalls_program),
+            ("erase", fc.read_stalls_erase),
+            ("read", fc.read_stalls_read),
+        ] {
+            registry
+                .counter("flash_read_stalls", &[("drive", drive), ("cause", cause)])
+                .set(v);
+        }
+        registry
+            .counter("flash_read_stall_ns", &labels)
+            .set(fc.read_stall_ns);
+        // Wear: the per-block erase-count spread the wear-leveler manages.
+        let geo = *self.ftl.flash().geometry();
+        let mut max_pe = 0u64;
+        let mut sum_pe = 0u64;
+        let mut blocks = 0u64;
+        for die in 0..geo.dies {
+            for block in 0..geo.blocks_per_die {
+                let pe = self.ftl.flash().erase_count(die, block);
+                max_pe = max_pe.max(pe);
+                sum_pe += pe;
+                blocks += 1;
+            }
+        }
+        registry
+            .gauge("flash_wear_max_pe", &labels)
+            .set(max_pe as i64);
+        registry
+            .gauge("flash_wear_mean_pe", &labels)
+            .set(sum_pe.checked_div(blocks).unwrap_or(0) as i64);
     }
 
     /// Trims a page-aligned byte range, releasing it inside the FTL.
@@ -206,7 +344,9 @@ impl Ssd {
         // private, so walk physical pages via a trial read would charge
         // time. Instead expose corruption through the FTL mapping.
         if let Some(flat) = self.ftl.physical_of(lpn) {
-            self.ftl.flash_mut().corrupt_page(Ppa::unflatten(flat, &geo));
+            self.ftl
+                .flash_mut()
+                .corrupt_page(Ppa::unflatten(flat, &geo));
             true
         } else {
             false
@@ -245,8 +385,14 @@ mod tests {
     #[test]
     fn misaligned_writes_are_rejected() {
         let mut ssd = mk();
-        assert_eq!(ssd.write(100, &[0u8; 4096], 0).unwrap_err(), DeviceError::Misaligned);
-        assert_eq!(ssd.write(0, &[0u8; 100], 0).unwrap_err(), DeviceError::Misaligned);
+        assert_eq!(
+            ssd.write(100, &[0u8; 4096], 0).unwrap_err(),
+            DeviceError::Misaligned
+        );
+        assert_eq!(
+            ssd.write(0, &[0u8; 100], 0).unwrap_err(),
+            DeviceError::Misaligned
+        );
     }
 
     #[test]
@@ -256,7 +402,10 @@ mod tests {
         ssd.fail();
         assert!(ssd.is_failed());
         assert_eq!(ssd.read(0, 10, 0).unwrap_err(), DeviceError::Failed);
-        assert_eq!(ssd.write(0, &[0u8; 4096], 0).unwrap_err(), DeviceError::Failed);
+        assert_eq!(
+            ssd.write(0, &[0u8; 4096], 0).unwrap_err(),
+            DeviceError::Failed
+        );
         assert_eq!(ssd.trim(0, 4096).unwrap_err(), DeviceError::Failed);
         ssd.revive();
         assert_eq!(ssd.read(0, 4096, 0).unwrap().0, [7u8; 4096]);
@@ -267,7 +416,10 @@ mod tests {
         let mut ssd = mk();
         ssd.write(0, &[1u8; 4096], 0).unwrap();
         ssd.trim(0, 4096).unwrap();
-        assert!(matches!(ssd.read(0, 1, 0), Err(DeviceError::Ftl(FtlError::Unmapped))));
+        assert!(matches!(
+            ssd.read(0, 1, 0),
+            Err(DeviceError::Ftl(FtlError::Unmapped))
+        ));
     }
 
     #[test]
@@ -277,7 +429,9 @@ mod tests {
         assert!(ssd.corrupt_at(0));
         assert!(matches!(
             ssd.read(0, 4096, 0),
-            Err(DeviceError::Ftl(FtlError::Flash(crate::flash::FlashError::Corrupt)))
+            Err(DeviceError::Ftl(FtlError::Flash(
+                crate::flash::FlashError::Corrupt
+            )))
         ));
         // Corrupting an unmapped page reports false.
         assert!(!ssd.corrupt_at(1024 * 1024));

@@ -85,6 +85,51 @@ impl Block {
 struct Die {
     timeline: Timeline,
     blocks: Vec<Block>,
+    /// Completion time of the most recent program on this die, for
+    /// attributing read queueing to its cause.
+    last_program_end: Nanos,
+    /// Completion time of the most recent erase on this die.
+    last_erase_end: Nanos,
+}
+
+/// What a queued read was waiting behind on its die (§2.1: "while an SSD
+/// is erasing a block, it cannot read data from physically-related
+/// blocks").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// Waiting behind a page program.
+    Program,
+    /// Waiting behind a block erase — the expensive one.
+    Erase,
+    /// Waiting behind other reads only.
+    Read,
+}
+
+impl StallCause {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StallCause::Program => "program",
+            StallCause::Erase => "erase",
+            StallCause::Read => "read",
+        }
+    }
+}
+
+/// A completed page read with its latency decomposition — the raw
+/// material for tail-latency attribution.
+#[derive(Debug, Clone)]
+pub struct PageRead {
+    pub data: Vec<u8>,
+    /// Completion timestamp (includes queueing).
+    pub done: Nanos,
+    /// Time spent waiting for the die.
+    pub queued: Nanos,
+    /// Time the die spent servicing the read.
+    pub service: Nanos,
+    /// Die the page lives on.
+    pub die: usize,
+    /// Why the read queued, when it did.
+    pub stall: Option<StallCause>,
 }
 
 /// Wear / traffic counters (SMART-style).
@@ -98,6 +143,14 @@ pub struct FlashCounters {
     pub erases: u64,
     /// Blocks retired as bad.
     pub bad_blocks: u64,
+    /// Reads that queued behind a program.
+    pub read_stalls_program: u64,
+    /// Reads that queued behind an erase.
+    pub read_stalls_erase: u64,
+    /// Reads that queued behind other reads.
+    pub read_stalls_read: u64,
+    /// Total ns reads spent queued behind busy dies.
+    pub read_stall_ns: u64,
 }
 
 /// A raw NAND device: dies operating in parallel, each with its own
@@ -133,9 +186,18 @@ impl Flash {
                         Block::new(geo.pages_per_block, limit)
                     })
                     .collect(),
+                last_program_end: 0,
+                last_erase_end: 0,
             })
             .collect();
-        Self { geo, latency, endurance, clock, dies, counters: FlashCounters::default() }
+        Self {
+            geo,
+            latency,
+            endurance,
+            clock,
+            dies,
+            counters: FlashCounters::default(),
+        }
     }
 
     /// Device geometry.
@@ -171,6 +233,14 @@ impl Flash {
     /// Reads one page. Returns the data and the completion timestamp
     /// (includes any queueing behind programs/erases on the die).
     pub fn read_page(&mut self, ppa: Ppa, now: Nanos) -> Result<(Vec<u8>, Nanos), FlashError> {
+        self.read_page_traced(ppa, now).map(|r| (r.data, r.done))
+    }
+
+    /// Reads one page with its latency decomposition: how long it queued,
+    /// how long the die worked, and what the queueing was behind
+    /// (program / erase / other reads) — the per-die attribution the
+    /// observability layer surfaces for tail samples.
+    pub fn read_page_traced(&mut self, ppa: Ppa, now: Nanos) -> Result<PageRead, FlashError> {
         let retention = self.retention_limit(ppa);
         let virtual_now = self.clock.now();
         // Determine service time first; charge it before looking at
@@ -180,11 +250,37 @@ impl Flash {
             if block.bad {
                 return Err(FlashError::BadBlock);
             }
-            let data = block.data[ppa.page].as_ref().ok_or(FlashError::NotProgrammed)?;
+            let data = block.data[ppa.page]
+                .as_ref()
+                .ok_or(FlashError::NotProgrammed)?;
             self.latency.page_read(data.len())
         };
         let res = self.dies[ppa.die].timeline.reserve(now, service);
         self.counters.reads += 1;
+        let queued = res.queueing(now);
+        let stall = if queued == 0 {
+            None
+        } else {
+            // Blame whichever write-class op was still pending at issue
+            // time; when both were, the one finishing later was directly
+            // ahead of us in the queue.
+            let die = &self.dies[ppa.die];
+            let prog_pending = die.last_program_end > now;
+            let erase_pending = die.last_erase_end > now;
+            let cause = match (prog_pending, erase_pending) {
+                (_, true) if die.last_erase_end >= die.last_program_end => StallCause::Erase,
+                (true, _) => StallCause::Program,
+                (false, true) => StallCause::Erase,
+                (false, false) => StallCause::Read,
+            };
+            match cause {
+                StallCause::Program => self.counters.read_stalls_program += 1,
+                StallCause::Erase => self.counters.read_stalls_erase += 1,
+                StallCause::Read => self.counters.read_stalls_read += 1,
+            }
+            self.counters.read_stall_ns += queued;
+            Some(cause)
+        };
         let block = &mut self.dies[ppa.die].blocks[ppa.block];
         if block.corrupt[ppa.page] {
             return Err(FlashError::Corrupt);
@@ -194,17 +290,19 @@ impl Flash {
             block.corrupt[ppa.page] = true;
             return Err(FlashError::Corrupt);
         }
-        Ok((block.data[ppa.page].as_ref().unwrap().to_vec(), res.end))
+        Ok(PageRead {
+            data: block.data[ppa.page].as_ref().unwrap().to_vec(),
+            done: res.end,
+            queued,
+            service: res.service(),
+            die: ppa.die,
+            stall,
+        })
     }
 
     /// Programs one page. Pages must be erased and programmed in order.
     /// Returns the completion timestamp.
-    pub fn program_page(
-        &mut self,
-        ppa: Ppa,
-        data: &[u8],
-        now: Nanos,
-    ) -> Result<Nanos, FlashError> {
+    pub fn program_page(&mut self, ppa: Ppa, data: &[u8], now: Nanos) -> Result<Nanos, FlashError> {
         assert_eq!(data.len(), self.geo.page_size, "programs are whole pages");
         let virtual_now = self.clock.now().max(now);
         {
@@ -221,6 +319,7 @@ impl Flash {
         }
         let service = self.latency.page_program(data.len());
         let res = self.dies[ppa.die].timeline.reserve(now, service);
+        self.dies[ppa.die].last_program_end = self.dies[ppa.die].last_program_end.max(res.end);
         let block = &mut self.dies[ppa.die].blocks[ppa.block];
         block.data[ppa.page] = Some(data.to_vec().into_boxed_slice());
         block.programmed_at[ppa.page] = virtual_now;
@@ -232,12 +331,18 @@ impl Flash {
 
     /// Erases a whole block. Wears the block; past its true endurance the
     /// block goes bad. Returns the completion timestamp.
-    pub fn erase_block(&mut self, die: usize, block: usize, now: Nanos) -> Result<Nanos, FlashError> {
+    pub fn erase_block(
+        &mut self,
+        die: usize,
+        block: usize,
+        now: Nanos,
+    ) -> Result<Nanos, FlashError> {
         let pages = self.geo.pages_per_block;
         if self.dies[die].blocks[block].bad {
             return Err(FlashError::BadBlock);
         }
         let res = self.dies[die].timeline.reserve(now, self.latency.erase_ns);
+        self.dies[die].last_erase_end = self.dies[die].last_erase_end.max(res.end);
         let b = &mut self.dies[die].blocks[block];
         let (prior_erases, true_endurance) = (b.erase_count, b.true_endurance);
         *b = Block::new(pages, true_endurance);
@@ -276,8 +381,7 @@ impl Flash {
     fn retention_limit(&self, ppa: Ppa) -> Nanos {
         let b = &self.dies[ppa.die].blocks[ppa.block];
         let wear = b.erase_count.max(1);
-        ((RETENTION_AT_RATING as u128 * b.true_endurance as u128)
-            / (wear as u128 * 2))
+        ((RETENTION_AT_RATING as u128 * b.true_endurance as u128) / (wear as u128 * 2))
             .min(Nanos::MAX as u128) as Nanos
     }
 }
@@ -305,7 +409,11 @@ mod tests {
     #[test]
     fn program_then_read_round_trips() {
         let (mut f, _) = mk();
-        let ppa = Ppa { die: 0, block: 0, page: 0 };
+        let ppa = Ppa {
+            die: 0,
+            block: 0,
+            page: 0,
+        };
         let data = page(0xab, 4096);
         f.program_page(ppa, &data, 0).unwrap();
         let (read, _) = f.read_page(ppa, 0).unwrap();
@@ -315,14 +423,22 @@ mod tests {
     #[test]
     fn unprogrammed_read_fails() {
         let (mut f, _) = mk();
-        let ppa = Ppa { die: 1, block: 2, page: 3 };
+        let ppa = Ppa {
+            die: 1,
+            block: 2,
+            page: 3,
+        };
         assert_eq!(f.read_page(ppa, 0).unwrap_err(), FlashError::NotProgrammed);
     }
 
     #[test]
     fn no_overwrite_without_erase() {
         let (mut f, _) = mk();
-        let ppa = Ppa { die: 0, block: 0, page: 0 };
+        let ppa = Ppa {
+            die: 0,
+            block: 0,
+            page: 0,
+        };
         f.program_page(ppa, &page(1, 4096), 0).unwrap();
         assert_eq!(
             f.program_page(ppa, &page(2, 4096), 0).unwrap_err(),
@@ -336,12 +452,25 @@ mod tests {
     #[test]
     fn pages_program_in_order() {
         let (mut f, _) = mk();
-        let p1 = Ppa { die: 0, block: 0, page: 1 };
+        let p1 = Ppa {
+            die: 0,
+            block: 0,
+            page: 1,
+        };
         assert_eq!(
             f.program_page(p1, &page(1, 4096), 0).unwrap_err(),
             FlashError::OutOfOrderProgram
         );
-        f.program_page(Ppa { die: 0, block: 0, page: 0 }, &page(0, 4096), 0).unwrap();
+        f.program_page(
+            Ppa {
+                die: 0,
+                block: 0,
+                page: 0,
+            },
+            &page(0, 4096),
+            0,
+        )
+        .unwrap();
         f.program_page(p1, &page(1, 4096), 0).unwrap();
     }
 
@@ -349,12 +478,29 @@ mod tests {
     fn erase_wipes_all_pages() {
         let (mut f, _) = mk();
         for p in 0..4 {
-            f.program_page(Ppa { die: 0, block: 5, page: p }, &page(p as u8, 4096), 0).unwrap();
+            f.program_page(
+                Ppa {
+                    die: 0,
+                    block: 5,
+                    page: p,
+                },
+                &page(p as u8, 4096),
+                0,
+            )
+            .unwrap();
         }
         f.erase_block(0, 5, 0).unwrap();
         for p in 0..4 {
             assert_eq!(
-                f.read_page(Ppa { die: 0, block: 5, page: p }, 0).unwrap_err(),
+                f.read_page(
+                    Ppa {
+                        die: 0,
+                        block: 5,
+                        page: p
+                    },
+                    0
+                )
+                .unwrap_err(),
                 FlashError::NotProgrammed
             );
         }
@@ -363,14 +509,27 @@ mod tests {
     #[test]
     fn reads_queue_behind_programs_on_same_die() {
         let (mut f, _) = mk();
-        let w = Ppa { die: 0, block: 0, page: 0 };
+        let w = Ppa {
+            die: 0,
+            block: 0,
+            page: 0,
+        };
         let done = f.program_page(w, &page(7, 4096), 0).unwrap();
         assert!(done >= LatencyModel::consumer_mlc().program_ns);
         // Read on the same die waits for the program.
         let (_, read_done) = f.read_page(w, 1000).unwrap();
         assert!(read_done > done, "read should queue behind the program");
         // Read on another die proceeds immediately.
-        f.program_page(Ppa { die: 1, block: 0, page: 0 }, &page(8, 4096), 0).unwrap();
+        f.program_page(
+            Ppa {
+                die: 1,
+                block: 0,
+                page: 0,
+            },
+            &page(8, 4096),
+            0,
+        )
+        .unwrap();
         let free = f.die_free_at(1);
         assert!(f.die_busy_at(1, 0));
         assert!(!f.die_busy_at(1, free));
@@ -380,9 +539,16 @@ mod tests {
     fn blocks_wear_out_past_true_endurance() {
         let clock = Clock::new();
         let mut f = Flash::new(
-            SsdGeometry { dies: 1, blocks_per_die: 1, pages_per_block: 4, page_size: 512 },
+            SsdGeometry {
+                dies: 1,
+                blocks_per_die: 1,
+                pages_per_block: 4,
+                page_size: 512,
+            },
             LatencyModel::consumer_mlc(),
-            EnduranceModel { rated_pe_cycles: 10 },
+            EnduranceModel {
+                rated_pe_cycles: 10,
+            },
             clock,
             1,
         );
@@ -402,7 +568,11 @@ mod tests {
     #[test]
     fn injected_corruption_is_detected() {
         let (mut f, _) = mk();
-        let ppa = Ppa { die: 2, block: 1, page: 0 };
+        let ppa = Ppa {
+            die: 2,
+            block: 1,
+            page: 0,
+        };
         f.program_page(ppa, &page(9, 4096), 0).unwrap();
         f.corrupt_page(ppa);
         assert_eq!(f.read_page(ppa, 0).unwrap_err(), FlashError::Corrupt);
@@ -411,7 +581,12 @@ mod tests {
     #[test]
     fn worn_blocks_leak_charge_over_virtual_time() {
         let clock = Clock::new();
-        let geo = SsdGeometry { dies: 1, blocks_per_die: 2, pages_per_block: 2, page_size: 512 };
+        let geo = SsdGeometry {
+            dies: 1,
+            blocks_per_die: 2,
+            pages_per_block: 2,
+            page_size: 512,
+        };
         let mut f = Flash::new(
             geo,
             LatencyModel::consumer_mlc(),
@@ -423,15 +598,26 @@ mod tests {
         for _ in 0..4 {
             f.erase_block(0, 0, clock.now()).unwrap();
         }
-        let ppa = Ppa { die: 0, block: 0, page: 0 };
+        let ppa = Ppa {
+            die: 0,
+            block: 0,
+            page: 0,
+        };
         f.program_page(ppa, &page(1, 512), clock.now()).unwrap();
         // Data still fine shortly after.
         assert!(f.read_page(ppa, clock.now()).is_ok());
         // Two virtual years later the worn block has leaked...
         clock.advance(2 * RETENTION_AT_RATING);
-        assert_eq!(f.read_page(ppa, clock.now()).unwrap_err(), FlashError::Corrupt);
+        assert_eq!(
+            f.read_page(ppa, clock.now()).unwrap_err(),
+            FlashError::Corrupt
+        );
         // ...but a freshly written page on a fresh block survives.
-        let fresh = Ppa { die: 0, block: 1, page: 0 };
+        let fresh = Ppa {
+            die: 0,
+            block: 1,
+            page: 0,
+        };
         f.program_page(fresh, &page(2, 512), clock.now()).unwrap();
         clock.advance(2 * RETENTION_AT_RATING);
         assert!(

@@ -120,10 +120,12 @@ impl Ftl {
     /// Wraps a flash device, reserving `over_provision` (e.g. 0.125) of
     /// raw capacity as GC headroom — the standard consumer-SSD trick.
     pub fn new(flash: Flash, over_provision: f64) -> Self {
-        assert!((0.02..0.9).contains(&over_provision), "implausible over-provisioning");
+        assert!(
+            (0.02..0.9).contains(&over_provision),
+            "implausible over-provisioning"
+        );
         let geo = *flash.geometry();
-        let logical_pages =
-            ((geo.total_pages() as f64) * (1.0 - over_provision)) as usize;
+        let logical_pages = ((geo.total_pages() as f64) * (1.0 - over_provision)) as usize;
         let total_blocks = geo.total_blocks();
         Self {
             flash,
@@ -132,7 +134,10 @@ impl Ftl {
             p2l: vec![NO_PAGE; geo.total_pages()],
             programmed: vec![0; geo.total_pages().div_ceil(64)],
             blocks: (0..total_blocks)
-                .map(|_| BlockState { valid: 0, kind: BlockKind::Free })
+                .map(|_| BlockState {
+                    valid: 0,
+                    kind: BlockKind::Free,
+                })
                 .collect(),
             active: vec![None; geo.dies],
             next_die: 0,
@@ -193,6 +198,26 @@ impl Ftl {
         Ok(self.flash.read_page(ppa, now)?)
     }
 
+    /// Reads a logical page with its latency decomposition (queueing vs
+    /// service, plus what the queueing was behind). Used by the traced
+    /// read path; the plain [`Ftl::read`] stays for callers that only
+    /// want data + completion time.
+    pub fn read_traced(
+        &mut self,
+        lpn: usize,
+        now: Nanos,
+    ) -> Result<crate::flash::PageRead, FtlError> {
+        if lpn >= self.logical_pages {
+            return Err(FtlError::OutOfRange);
+        }
+        let phys = self.l2p[lpn];
+        if phys == NO_PAGE {
+            return Err(FtlError::Unmapped);
+        }
+        let ppa = Ppa::unflatten(phys as usize, &self.geo);
+        Ok(self.flash.read_page_traced(ppa, now)?)
+    }
+
     /// Writes a logical page. Returns the completion timestamp, which
     /// includes any foreground GC the write had to wait for — the random
     /// write latency spike.
@@ -243,7 +268,10 @@ impl Ftl {
     }
 
     fn free_blocks(&self) -> usize {
-        self.blocks.iter().filter(|b| b.kind == BlockKind::Free).count()
+        self.blocks
+            .iter()
+            .filter(|b| b.kind == BlockKind::Free)
+            .count()
     }
 
     fn invalidate_phys(&mut self, flat_page: usize) {
@@ -329,7 +357,14 @@ impl Ftl {
             self.active[die] = None;
             return self.next_slot(die, now);
         }
-        Ok(Some((Ppa { die, block, page: cursor }, fb)))
+        Ok(Some((
+            Ppa {
+                die,
+                block,
+                page: cursor,
+            },
+            fb,
+        )))
     }
 
     /// Whether a flat physical page has been programmed since last erase.
@@ -383,7 +418,10 @@ impl Ftl {
         match self.flash.erase_block(die, block, done) {
             Ok(t) => {
                 done = done.max(t);
-                self.blocks[victim] = BlockState { valid: 0, kind: BlockKind::Free };
+                self.blocks[victim] = BlockState {
+                    valid: 0,
+                    kind: BlockKind::Free,
+                };
                 self.clear_programmed_block(victim);
             }
             Err(FlashError::BadBlock) => {

@@ -20,14 +20,24 @@ impl SsdGeometry {
     /// A small geometry for fast tests: 4 dies × 64 blocks × 32 pages ×
     /// 4 KiB = 32 MiB raw.
     pub fn test_small() -> Self {
-        Self { dies: 4, blocks_per_die: 64, pages_per_block: 32, page_size: 4096 }
+        Self {
+            dies: 4,
+            blocks_per_die: 64,
+            pages_per_block: 32,
+            page_size: 4096,
+        }
     }
 
     /// A "consumer MLC" shape scaled down ~1000× from a real 256 GB part
     /// so simulations stay fast while keeping realistic block/page ratios:
     /// 8 dies × 128 blocks × 64 pages × 4 KiB = 256 MiB raw.
     pub fn consumer_mlc_scaled() -> Self {
-        Self { dies: 8, blocks_per_die: 128, pages_per_block: 64, page_size: 4096 }
+        Self {
+            dies: 8,
+            blocks_per_die: 128,
+            pages_per_block: 64,
+            page_size: 4096,
+        }
     }
 
     /// Pages per die.

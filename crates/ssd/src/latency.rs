@@ -25,9 +25,9 @@ impl LatencyModel {
     /// Consumer MLC NAND: the drives Purity shelves are built from.
     pub fn consumer_mlc() -> Self {
         Self {
-            read_ns: 90_000,       // 90 us
-            program_ns: 1_300_000, // 1.3 ms
-            erase_ns: 3_500_000,   // 3.5 ms
+            read_ns: 90_000,        // 90 us
+            program_ns: 1_300_000,  // 1.3 ms
+            erase_ns: 3_500_000,    // 3.5 ms
             xfer_ns_per_kib: 1_900, // ~500 MB/s link
         }
     }
@@ -36,9 +36,9 @@ impl LatencyModel {
     /// P/E budget.
     pub fn slc_nvram() -> Self {
         Self {
-            read_ns: 25_000,     // 25 us
-            program_ns: 100_000, // 100 us
-            erase_ns: 1_500_000, // 1.5 ms
+            read_ns: 25_000,      // 25 us
+            program_ns: 100_000,  // 100 us
+            erase_ns: 1_500_000,  // 1.5 ms
             xfer_ns_per_kib: 950, // ~1 GB/s internal link
         }
     }
@@ -70,12 +70,16 @@ pub struct EnduranceModel {
 impl EnduranceModel {
     /// Consumer MLC rating.
     pub fn consumer_mlc() -> Self {
-        Self { rated_pe_cycles: 3000 }
+        Self {
+            rated_pe_cycles: 3000,
+        }
     }
 
     /// SLC rating.
     pub fn slc() -> Self {
-        Self { rated_pe_cycles: 100_000 }
+        Self {
+            rated_pe_cycles: 100_000,
+        }
     }
 }
 
@@ -108,6 +112,9 @@ mod tests {
 
     #[test]
     fn endurance_ratings_are_ordered() {
-        assert!(EnduranceModel::slc().rated_pe_cycles > EnduranceModel::consumer_mlc().rated_pe_cycles * 10);
+        assert!(
+            EnduranceModel::slc().rated_pe_cycles
+                > EnduranceModel::consumer_mlc().rated_pe_cycles * 10
+        );
     }
 }

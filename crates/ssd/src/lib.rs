@@ -31,7 +31,8 @@ pub mod geometry;
 pub mod latency;
 pub mod nvram;
 
-pub use device::{DeviceError, Ssd};
+pub use device::{DeviceError, DeviceRead, Ssd};
+pub use flash::StallCause;
 pub use geometry::SsdGeometry;
 pub use latency::LatencyModel;
 pub use nvram::Nvram;

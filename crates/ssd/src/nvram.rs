@@ -110,7 +110,10 @@ impl Nvram {
         let index = self.next_index;
         self.next_index += 1;
         self.used_bytes += payload.len();
-        self.records.push(NvramRecord { index, payload: payload.to_vec() });
+        self.records.push(NvramRecord {
+            index,
+            payload: payload.to_vec(),
+        });
         self.appends += 1;
         Ok((index, res.end))
     }
@@ -215,7 +218,11 @@ mod tests {
         let mut nv = Nvram::new(1024 * 1024);
         let (_, t) = nv.append(&[0u8; 512], 0).unwrap();
         // SLC program + transfer: well under the MLC program time.
-        assert!(t < LatencyModel::consumer_mlc().program_ns / 2, "commit {}", t);
+        assert!(
+            t < LatencyModel::consumer_mlc().program_ns / 2,
+            "commit {}",
+            t
+        );
     }
 
     #[test]

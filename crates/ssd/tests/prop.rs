@@ -12,7 +12,12 @@ use std::collections::HashMap;
 fn mk() -> Ftl {
     Ftl::new(
         Flash::new(
-            SsdGeometry { dies: 2, blocks_per_die: 32, pages_per_block: 16, page_size: 512 },
+            SsdGeometry {
+                dies: 2,
+                blocks_per_die: 32,
+                pages_per_block: 16,
+                page_size: 512,
+            },
             LatencyModel::consumer_mlc(),
             EnduranceModel::consumer_mlc(),
             Clock::new(),

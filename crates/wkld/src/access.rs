@@ -68,7 +68,9 @@ impl SizeMix {
 
     /// Fixed-size requests (e.g. the paper's 32 KiB benchmark unit).
     pub fn fixed(bytes: usize) -> Self {
-        Self { choices: vec![(bytes, 1)] }
+        Self {
+            choices: vec![(bytes, 1)],
+        }
     }
 
     fn sample(&self, rng: &mut StdRng) -> usize {
@@ -91,6 +93,44 @@ impl SizeMix {
     }
 }
 
+/// Cumulative offered load: what a generator has *issued* (as opposed
+/// to what the array has completed). Bench harnesses publish these as
+/// the `wkld_*` metrics so exported snapshots record the demand side.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OfferedLoad {
+    /// Total operations issued.
+    pub ops: u64,
+    /// Read operations issued.
+    pub reads: u64,
+    /// Write operations issued.
+    pub writes: u64,
+    /// Bytes requested by reads.
+    pub bytes_read: u64,
+    /// Bytes carried by writes.
+    pub bytes_written: u64,
+}
+
+impl OfferedLoad {
+    /// Mirrors the counters into a registry under a workload label.
+    /// Idempotent (absolute `set`), like every pull-style publisher.
+    pub fn publish(&self, registry: &purity_obs::MetricsRegistry, workload: &str) {
+        let labels = [("workload", workload)];
+        registry.counter("wkld_ops_issued", &labels).set(self.ops);
+        registry
+            .counter("wkld_reads_issued", &labels)
+            .set(self.reads);
+        registry
+            .counter("wkld_writes_issued", &labels)
+            .set(self.writes);
+        registry
+            .counter("wkld_bytes_read_issued", &labels)
+            .set(self.bytes_read);
+        registry
+            .counter("wkld_bytes_written_issued", &labels)
+            .set(self.bytes_written);
+    }
+}
+
 /// A deterministic request generator over one volume.
 pub struct WorkloadGen {
     rng: StdRng,
@@ -106,6 +146,7 @@ pub struct WorkloadGen {
     /// Virtual inter-arrival time between requests (open-loop pacing).
     pub interarrival: Nanos,
     version: u64,
+    offered: OfferedLoad,
 }
 
 impl WorkloadGen {
@@ -137,12 +178,21 @@ impl WorkloadGen {
             sequential_at: 0,
             interarrival,
             version: 0,
+            offered: OfferedLoad::default(),
         }
+    }
+
+    /// Cumulative offered load issued by this generator so far.
+    pub fn offered(&self) -> OfferedLoad {
+        self.offered
     }
 
     /// Produces the next request.
     pub fn next_op(&mut self) -> Op {
-        let len = self.sizes.sample(&mut self.rng).min(self.volume_bytes as usize);
+        let len = self
+            .sizes
+            .sample(&mut self.rng)
+            .min(self.volume_bytes as usize);
         let max_start = self.volume_bytes - len as u64;
         let offset = match self.pattern {
             AccessPattern::Uniform => {
@@ -150,7 +200,11 @@ impl WorkloadGen {
                 self.rng.gen_range(0..=sectors) * SECTOR as u64
             }
             AccessPattern::Zipfian(_) => {
-                let region = self.zipf.as_ref().expect("zipf built").sample(&mut self.rng);
+                let region = self
+                    .zipf
+                    .as_ref()
+                    .expect("zipf built")
+                    .sample(&mut self.rng);
                 (region * 4096).min(max_start) / SECTOR as u64 * SECTOR as u64
             }
             AccessPattern::Sequential => {
@@ -159,15 +213,22 @@ impl WorkloadGen {
                 at / SECTOR as u64 * SECTOR as u64
             }
         };
-        if self.rng.gen_range(0..100) < self.read_pct as u32 {
+        self.offered.ops += 1;
+        if self.rng.gen_range(0..100u32) < self.read_pct as u32 {
+            self.offered.reads += 1;
+            self.offered.bytes_read += len as u64;
             Op::Read { offset, len }
         } else {
             self.version += 1;
+            self.offered.writes += 1;
+            self.offered.bytes_written += len as u64;
             let start_sector = offset / SECTOR as u64;
             // Fold the version in so overwrites produce fresh content.
-            let data = self
-                .content
-                .buffer(self.seed ^ self.version.rotate_left(17), start_sector, len / SECTOR);
+            let data = self.content.buffer(
+                self.seed ^ self.version.rotate_left(17),
+                start_sector,
+                len / SECTOR,
+            );
             Op::Write { offset, data }
         }
     }

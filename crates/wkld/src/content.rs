@@ -64,9 +64,12 @@ impl ContentModel {
                 }
                 fill_structured(&mut out, &mut rng, 3);
             }
-            ContentModel::VdiClone { clone_id, mutation_pct } => {
+            ContentModel::VdiClone {
+                clone_id,
+                mutation_pct,
+            } => {
                 let mut rng = StdRng::seed_from_u64(mix(seed, sector, 3 + *clone_id as u64));
-                if rng.gen_range(0..100) < *mutation_pct as u32 {
+                if rng.gen_range(0..100u32) < *mutation_pct as u32 {
                     // Clone-private mutation (logs, swap, user files) —
                     // structured, so it still compresses.
                     fill_structured(&mut out, &mut rng, 6);
@@ -132,7 +135,10 @@ mod tests {
             ContentModel::Random,
             ContentModel::Rdbms,
             ContentModel::DocStore,
-            ContentModel::VdiClone { clone_id: 3, mutation_pct: 8 },
+            ContentModel::VdiClone {
+                clone_id: 3,
+                mutation_pct: 8,
+            },
         ] {
             assert_eq!(model.sector(7, 42), model.sector(7, 42));
             assert_ne!(model.sector(7, 42), model.sector(7, 43), "{:?}", model);
@@ -141,17 +147,35 @@ mod tests {
 
     #[test]
     fn vdi_clones_share_the_golden_image() {
-        let a = ContentModel::VdiClone { clone_id: 1, mutation_pct: 0 };
-        let b = ContentModel::VdiClone { clone_id: 2, mutation_pct: 0 };
+        let a = ContentModel::VdiClone {
+            clone_id: 1,
+            mutation_pct: 0,
+        };
+        let b = ContentModel::VdiClone {
+            clone_id: 2,
+            mutation_pct: 0,
+        };
         // With no mutations every sector is golden, identical across clones.
         for s in [0u64, 9, 100] {
             assert_eq!(a.sector(5, s), b.sector(5, s));
         }
         // With mutations, clones diverge on some sectors.
-        let a = ContentModel::VdiClone { clone_id: 1, mutation_pct: 50 };
-        let b = ContentModel::VdiClone { clone_id: 2, mutation_pct: 50 };
-        let diverged = (0..64u64).filter(|&s| a.sector(5, s) != b.sector(5, s)).count();
-        assert!(diverged > 10, "clones should diverge on mutated sectors: {}", diverged);
+        let a = ContentModel::VdiClone {
+            clone_id: 1,
+            mutation_pct: 50,
+        };
+        let b = ContentModel::VdiClone {
+            clone_id: 2,
+            mutation_pct: 50,
+        };
+        let diverged = (0..64u64)
+            .filter(|&s| a.sector(5, s) != b.sector(5, s))
+            .count();
+        assert!(
+            diverged > 10,
+            "clones should diverge on mutated sectors: {}",
+            diverged
+        );
     }
 
     #[test]
@@ -168,7 +192,11 @@ mod tests {
                 dups += count - 1;
             }
         }
-        assert!(dups > 200, "rdbms stream should carry duplicate pages: {}", dups);
+        assert!(
+            dups > 200,
+            "rdbms stream should carry duplicate pages: {}",
+            dups
+        );
     }
 
     #[test]

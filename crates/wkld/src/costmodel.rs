@@ -84,7 +84,11 @@ pub fn figure7_intervals() -> Vec<(&'static str, f64)> {
 
 /// The interval at which `a` becomes cheaper than `b` (binary search over
 /// seconds; `None` if no crossover in [1s, 10yr]).
-pub fn crossover_interval(a: &DeviceEconomics, b: &DeviceEconomics, item_bytes: u64) -> Option<f64> {
+pub fn crossover_interval(
+    a: &DeviceEconomics,
+    b: &DeviceEconomics,
+    item_bytes: u64,
+) -> Option<f64> {
     let cheaper = |t: f64| cost_per_item(a, item_bytes, t) < cost_per_item(b, item_bytes, t);
     let (mut lo, mut hi) = (1.0f64, 315_360_000.0);
     if cheaper(lo) == cheaper(hi) {

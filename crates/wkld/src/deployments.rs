@@ -50,7 +50,10 @@ pub fn table2_rows() -> Vec<Deployment> {
         },
         Deployment {
             service: "Spanner",
-            scale: ScaleKind::Capacity { lo: 10u64.pow(15), hi: 10 * 10u64.pow(15) },
+            scale: ScaleKind::Capacity {
+                lo: 10u64.pow(15),
+                hi: 10 * 10u64.pow(15),
+            },
             year: 2010,
             scope: "Data center",
             apps: "300",
@@ -88,7 +91,10 @@ pub struct ArrayCapability {
 impl ArrayCapability {
     /// The paper's FA-450 figures: 200K 32 KiB IOPS, 250 TB effective.
     pub fn fa450_paper() -> Self {
-        Self { ops_per_sec: 200_000, effective_bytes: 250 * 10u64.pow(12) }
+        Self {
+            ops_per_sec: 200_000,
+            effective_bytes: 250 * 10u64.pow(12),
+        }
     }
 
     /// How many arrays one deployment needs — Table 2's "≈FA-450's".
@@ -132,6 +138,8 @@ mod tests {
     fn rows_carry_table_metadata() {
         let rows = table2_rows();
         assert_eq!(rows.len(), 4);
-        assert!(rows.iter().any(|r| r.service == "Spanner" && r.year == 2010));
+        assert!(rows
+            .iter()
+            .any(|r| r.service == "Spanner" && r.year == 2010));
     }
 }

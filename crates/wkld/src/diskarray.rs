@@ -24,7 +24,7 @@ impl DiskModel {
     /// A 15k-RPM 600 GB "performance" SAS disk of the paper's era.
     pub fn perf_15k() -> Self {
         Self {
-            seek_ns: 3_400_000,              // 3.4 ms average seek
+            seek_ns: 3_400_000, // 3.4 ms average seek
             rpm: 15_000,
             transfer_bps: 180 * 1024 * 1024, // 180 MiB/s outer tracks
             capacity_bytes: 600 * 1000 * 1000 * 1000,
@@ -38,9 +38,7 @@ impl DiskModel {
 
     /// Service time for one random I/O of `bytes`.
     pub fn service_ns(&self, bytes: usize) -> u64 {
-        self.seek_ns
-            + self.rotational_ns()
-            + (bytes as u64 * 1_000_000_000) / self.transfer_bps
+        self.seek_ns + self.rotational_ns() + (bytes as u64 * 1_000_000_000) / self.transfer_bps
     }
 
     /// Random-I/O capability of one disk at `bytes` per request.
@@ -115,8 +113,7 @@ impl DiskArrayModel {
 
     /// Usable capacity after RAID.
     pub fn usable_bytes(&self) -> u64 {
-        (self.disk.capacity_bytes as f64 * self.n_disks as f64 / self.raid_capacity_overhead)
-            as u64
+        (self.disk.capacity_bytes as f64 * self.n_disks as f64 / self.raid_capacity_overhead) as u64
     }
 
     /// Annual power cost at `usd_per_kwh`.

@@ -24,6 +24,6 @@ pub mod costmodel;
 pub mod deployments;
 pub mod diskarray;
 
-pub use access::{AccessPattern, Op, SizeMix, WorkloadGen};
+pub use access::{AccessPattern, OfferedLoad, Op, SizeMix, WorkloadGen};
 pub use content::ContentModel;
 pub use diskarray::DiskArrayModel;

@@ -33,8 +33,13 @@ fn main() -> purity_core::Result<()> {
 
     // Seed the DR site with a full snapshot ship.
     let base = primary_site.snapshot(vol, "rep-base")?;
-    let (dr_vol, seed) =
-        replicate_snapshot_full(&mut primary_site, base, &mut dr_site, "erp-replica", &mut link)?;
+    let (dr_vol, seed) = replicate_snapshot_full(
+        &mut primary_site,
+        base,
+        &mut dr_site,
+        "erp-replica",
+        &mut link,
+    )?;
     println!(
         "seed replication: {} sectors shipped ({} MiB on the wire, {} ms link time)",
         seed.sectors_shipped,
@@ -70,11 +75,20 @@ fn main() -> purity_core::Result<()> {
     primary_site.fail_drive(1);
     primary_site.fail_drive(8);
     let (data, _) = primary_site.read(vol, 0, 64 * SECTOR)?;
-    println!("  two drives pulled: reads still exact ({} KiB verified)", data.len() >> 10);
+    println!(
+        "  two drives pulled: reads still exact ({} KiB verified)",
+        data.len() >> 10
+    );
     let fo = primary_site.fail_primary()?;
-    println!("  controller killed: standby took over in {} ms (virtual)", fo.downtime / 1_000_000);
+    println!(
+        "  controller killed: standby took over in {} ms (virtual)",
+        fo.downtime / 1_000_000
+    );
     let rebuilt = primary_site.revive_drive(1);
-    println!("  drive 1 reinserted: {} write units rebuilt", rebuilt.units_rebuilt);
+    println!(
+        "  drive 1 reinserted: {} write units rebuilt",
+        rebuilt.units_rebuilt
+    );
     primary_site.revive_drive(8);
     let scrub = primary_site.scrub()?;
     println!(
@@ -88,7 +102,11 @@ fn main() -> purity_core::Result<()> {
     // Sector 0..16 was never overwritten post-base in this run's pattern
     // only if 37-stride missed it; verify against the live primary copy.
     let (primary_now, _) = primary_site.read(vol, 0, 16 * SECTOR)?;
-    assert_eq!(&dr_state[..16 * SECTOR], &primary_now[..], "DR copy tracks production");
+    assert_eq!(
+        &dr_state[..16 * SECTOR],
+        &primary_now[..],
+        "DR copy tracks production"
+    );
     let _ = want_head;
     println!("\nDR site verified byte-identical with production after incremental ship.");
     println!(

@@ -70,9 +70,7 @@ fn main() -> purity_core::Result<()> {
     // The paper's ops drill: pull a drive mid-production.
     array.fail_drive(5);
     for (i, vol) in vols.iter().enumerate() {
-        if let Op::Read { offset, len } =
-            gens[i].next_op()
-        {
+        if let Op::Read { offset, len } = gens[i].next_op() {
             array.read(*vol, offset, len)?;
         }
     }
@@ -82,9 +80,19 @@ fn main() -> purity_core::Result<()> {
     let s = array.stats();
     let space = array.space_report();
     println!("\nconsolidation results:");
-    println!("  instances:        {} volumes + {} snapshots + 1 clone", instances, snaps.len());
-    println!("  data reduction:   {:.2}x (paper: 3-8x for RDBMS)", s.reduction_ratio());
-    println!("  thin provisioning {:.1}x of usable capacity", space.thin_provision_ratio);
+    println!(
+        "  instances:        {} volumes + {} snapshots + 1 clone",
+        instances,
+        snaps.len()
+    );
+    println!(
+        "  data reduction:   {:.2}x (paper: 3-8x for RDBMS)",
+        s.reduction_ratio()
+    );
+    println!(
+        "  thin provisioning {:.1}x of usable capacity",
+        space.thin_provision_ratio
+    );
     println!("  write latency:    {}", s.write_latency.summary());
     println!("  read latency:     {}", s.read_latency.summary());
     Ok(())

@@ -19,7 +19,10 @@ fn main() -> purity_core::Result<()> {
     // Install the golden image on a master volume.
     println!("installing the golden image ({} MiB)...", image_bytes >> 20);
     let master = array.create_volume("golden-master", image_bytes)?;
-    let golden = ContentModel::VdiClone { clone_id: 0, mutation_pct: 0 };
+    let golden = ContentModel::VdiClone {
+        clone_id: 0,
+        mutation_pct: 0,
+    };
     let mut s = 0u64;
     while s < image_sectors {
         let n = 64.min((image_sectors - s) as usize);
@@ -30,12 +33,18 @@ fn main() -> purity_core::Result<()> {
     let golden_snap = array.snapshot(master, "golden-v1")?;
 
     // Clone a desktop per user — O(1) each, then boot-storm mutations.
-    println!("cloning {} desktops and applying per-desktop mutations...", desktops);
+    println!(
+        "cloning {} desktops and applying per-desktop mutations...",
+        desktops
+    );
     let mut clones = Vec::new();
     for d in 0..desktops {
         let clone = array.clone_snapshot(golden_snap, &format!("desktop-{:03}", d))?;
         // Each desktop dirties ~5% of its image with its own content.
-        let model = ContentModel::VdiClone { clone_id: d as u32 + 1, mutation_pct: 100 };
+        let model = ContentModel::VdiClone {
+            clone_id: d as u32 + 1,
+            mutation_pct: 100,
+        };
         let mut dirtied = 0u64;
         let mut at = (d as u64 * 13) % image_sectors;
         while dirtied < image_sectors / 20 {
@@ -64,7 +73,10 @@ fn main() -> purity_core::Result<()> {
         logical_per_desktop >> 20,
         (desktops as u64 * logical_per_desktop) >> 20
     );
-    println!("  data reduction: {:.2}x (paper: >20x possible for VDI, §5.3)", s.reduction_ratio());
+    println!(
+        "  data reduction: {:.2}x (paper: >20x possible for VDI, §5.3)",
+        s.reduction_ratio()
+    );
     println!(
         "  dedup saved {} MiB, compression saved {} MiB",
         s.dedup_bytes_saved >> 20,

@@ -133,7 +133,9 @@ fn snapshot_chain_reads_fall_through() {
         assert_eq!(read, sectors(20 + gen, 8), "generation {}", gen);
     }
     // Earliest snapshot sees only generation 0.
-    let early = a.read_snapshot(snaps[0], 8 * SECTOR as u64, 8 * SECTOR).unwrap();
+    let early = a
+        .read_snapshot(snaps[0], 8 * SECTOR as u64, 8 * SECTOR)
+        .unwrap();
     assert_eq!(early, vec![0u8; 8 * SECTOR]);
 }
 
@@ -174,14 +176,25 @@ fn destroy_volume_then_gc_reclaims_segments() {
     }
     a.checkpoint().unwrap();
     let segments_before = a.controller().segment_count();
-    assert!(segments_before >= 4, "expected several segments, got {}", segments_before);
+    assert!(
+        segments_before >= 4,
+        "expected several segments, got {}",
+        segments_before
+    );
 
     a.destroy_volume(vol).unwrap();
     let report = a.run_gc().unwrap();
-    assert!(report.segments_freed > 0, "GC should reclaim segments: {:?}", report);
+    assert!(
+        report.segments_freed > 0,
+        "GC should reclaim segments: {:?}",
+        report
+    );
     assert!(a.controller().segment_count() < segments_before);
     // The destroyed volume is gone from the API.
-    assert!(matches!(a.read(vol, 0, SECTOR), Err(PurityError::NoSuchVolume)));
+    assert!(matches!(
+        a.read(vol, 0, SECTOR),
+        Err(PurityError::NoSuchVolume)
+    ));
 }
 
 #[test]
@@ -193,7 +206,8 @@ fn gc_preserves_live_data() {
     a.write(keep, 0, &keep_data).unwrap();
     // Enough kill-volume data to seal several segments.
     for i in 0..48u64 {
-        a.write(kill, i * 256 * 1024, &sectors(60 + i, 512)).unwrap();
+        a.write(kill, i * 256 * 1024, &sectors(60 + i, 512))
+            .unwrap();
     }
     a.destroy_volume(kill).unwrap();
     let report = a.run_gc().unwrap();
@@ -217,7 +231,11 @@ fn gc_bounds_medium_chain_depth() {
     }
     a.run_gc().unwrap();
     let depth = a.controller().max_root_chain_depth();
-    assert!(depth <= 3, "post-GC chain depth {} exceeds the paper's bound", depth);
+    assert!(
+        depth <= 3,
+        "post-GC chain depth {} exceeds the paper's bound",
+        depth
+    );
     // Data still correct through the shortcut chain.
     let (read, _) = a.read(vol, 0, 32 * SECTOR).unwrap();
     assert_eq!(read, sectors(70, 32));
@@ -234,7 +252,11 @@ fn space_report_tracks_thin_provisioning() {
         a.create_volume(&format!("thin{}", i), per_vol).unwrap();
     }
     let report = a.space_report();
-    assert!(report.thin_provision_ratio >= 11.9, "ratio {}", report.thin_provision_ratio);
+    assert!(
+        report.thin_provision_ratio >= 11.9,
+        "ratio {}",
+        report.thin_provision_ratio
+    );
     assert!(report.provisioned_bytes >= 12 * usable);
 }
 
@@ -249,7 +271,10 @@ fn stats_accumulate_sanely() {
     assert_eq!(s.logical_bytes_written, data.len() as u64);
     assert_eq!(s.logical_bytes_read, data.len() as u64);
     assert!(s.physical_bytes_stored > 0);
-    assert!(s.physical_bytes_stored < data.len() as u64, "compression should shrink");
+    assert!(
+        s.physical_bytes_stored < data.len() as u64,
+        "compression should shrink"
+    );
     assert!(s.write_latency.count() >= 1);
     assert!(s.read_latency.count() == 1);
     assert!(!s.report().is_empty());
@@ -283,7 +308,10 @@ fn sustained_workload_with_background_maintenance() {
         let data = sectors(1000 + op, n);
         a.write(vol, start * SECTOR as u64, &data).unwrap();
         for i in 0..n as u64 {
-            shadow.insert(start + i, data[i as usize * SECTOR..(i as usize + 1) * SECTOR].to_vec());
+            shadow.insert(
+                start + i,
+                data[i as usize * SECTOR..(i as usize + 1) * SECTOR].to_vec(),
+            );
         }
         a.advance(100_000);
         if op % 100 == 99 {
@@ -307,11 +335,16 @@ fn cblock_size_inference_follows_write_sizes() {
     let large = a.create_volume("large-io", 8 << 20).unwrap();
     for i in 0..32u64 {
         a.write(small, i * 8192, &sectors(900 + i, 16)).unwrap(); // 8 KiB
-        a.write(large, i * 128 * 1024, &sectors(950 + i, 256)).unwrap(); // 128 KiB
+        a.write(large, i * 128 * 1024, &sectors(950 + i, 256))
+            .unwrap(); // 128 KiB
     }
     let small_cb = a.volume(small).unwrap().inferred_cblock_bytes(32 * 1024);
     let large_cb = a.volume(large).unwrap().inferred_cblock_bytes(32 * 1024);
-    assert_eq!(small_cb, 8 * 1024, "small-write volume infers 8 KiB cblocks");
+    assert_eq!(
+        small_cb,
+        8 * 1024,
+        "small-write volume infers 8 KiB cblocks"
+    );
     assert_eq!(large_cb, 32 * 1024, "large writes cap at the 32 KiB max");
     // Data integrity is unaffected by granularity.
     let (read, _) = a.read(small, 0, 8192).unwrap();

@@ -33,7 +33,10 @@ fn reads_survive_one_pulled_drive() {
     a.fail_drive(4);
     let (read, _) = a.read(vol, 0, data.len()).unwrap();
     assert_eq!(read, data);
-    assert!(a.stats().reconstructed_reads > 0, "degraded reads must reconstruct");
+    assert!(
+        a.stats().reconstructed_reads > 0,
+        "degraded reads must reconstruct"
+    );
 }
 
 #[test]
@@ -172,7 +175,8 @@ fn gc_operates_with_a_failed_drive() {
     let keep_data = sectors(1, 256);
     a.write(keep, 0, &keep_data).unwrap();
     for i in 0..48u64 {
-        a.write(kill, i * 256 * 1024, &sectors(200 + i, 512)).unwrap();
+        a.write(kill, i * 256 * 1024, &sectors(200 + i, 512))
+            .unwrap();
     }
     a.fail_drive(2);
     a.destroy_volume(kill).unwrap();
@@ -196,7 +200,8 @@ fn write_heavy_interference_triggers_read_around() {
     // Heavy write stream with interleaved hot reads, no clock advance:
     // drives stay busy flushing, so reads must work around them.
     for i in 0..64u64 {
-        a.write(vol, (1 << 20) + i * 128 * 1024, &sectors(300 + i, 256)).unwrap();
+        a.write(vol, (1 << 20) + i * 128 * 1024, &sectors(300 + i, 256))
+            .unwrap();
         let (read, _) = a.read(vol, 0, hot.len()).unwrap();
         assert_eq!(read, hot);
     }

@@ -31,7 +31,10 @@ fn failover_preserves_acknowledged_writes() {
     a.write(vol, 0, &data).unwrap();
     // Crash immediately: data lives only in NVRAM + open segment.
     let report = a.fail_primary().unwrap();
-    assert!(report.recovery.write_intents_replayed > 0, "NVRAM replay expected");
+    assert!(
+        report.recovery.write_intents_replayed > 0,
+        "NVRAM replay expected"
+    );
     let (read, _) = a.read(vol, 0, data.len()).unwrap();
     assert_eq!(read, data);
 }
@@ -87,7 +90,10 @@ fn repeated_failovers_converge() {
             let data = sectors(round * 1000 + s, 4);
             a.write(vol, s * SECTOR as u64, &data).unwrap();
             for i in 0..4u64 {
-                shadow.insert(s + i, data[i as usize * SECTOR..(i as usize + 1) * SECTOR].to_vec());
+                shadow.insert(
+                    s + i,
+                    data[i as usize * SECTOR..(i as usize + 1) * SECTOR].to_vec(),
+                );
             }
             a.advance(MS);
         }
@@ -108,7 +114,8 @@ fn failover_with_dirty_gc_state() {
     let keep_data = sectors(5, 256);
     a.write(keep, 0, &keep_data).unwrap();
     for i in 0..32u64 {
-        a.write(kill, i * 128 * 1024, &sectors(100 + i, 256)).unwrap();
+        a.write(kill, i * 128 * 1024, &sectors(100 + i, 256))
+            .unwrap();
     }
     a.destroy_volume(kill).unwrap();
     a.run_gc().unwrap();
@@ -126,7 +133,8 @@ fn recovery_within_client_timeout() {
     let mut a = FlashArray::new(ArrayConfig::test_small()).unwrap();
     let vol = a.create_volume("db", 8 << 20).unwrap();
     for i in 0..64u64 {
-        a.write(vol, i * 128 * 1024, &sectors(200 + i, 256)).unwrap();
+        a.write(vol, i * 128 * 1024, &sectors(200 + i, 256))
+            .unwrap();
         a.advance(MS);
     }
     let report = a.fail_primary().unwrap();
@@ -150,7 +158,8 @@ fn frontier_scan_beats_full_scan() {
     let mut a = FlashArray::new(ArrayConfig::test_small()).unwrap();
     let vol = a.create_volume("db", 8 << 20).unwrap();
     for i in 0..64u64 {
-        a.write(vol, i * 128 * 1024, &sectors(300 + i, 256)).unwrap();
+        a.write(vol, i * 128 * 1024, &sectors(300 + i, 256))
+            .unwrap();
     }
     a.checkpoint().unwrap();
 
@@ -176,7 +185,8 @@ fn secondary_cache_is_warm_after_failover() {
     // Touch the data repeatedly so it is hot, letting warming kick in
     // (warms every 128 writes).
     for i in 0..256u64 {
-        a.write(vol, 32 * SECTOR as u64, &sectors(7 + i % 3, 4)).unwrap();
+        a.write(vol, 32 * SECTOR as u64, &sectors(7 + i % 3, 4))
+            .unwrap();
         a.read(vol, 0, 16 * SECTOR).unwrap();
     }
     let hits_before = a.stats().cache_reads;

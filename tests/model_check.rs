@@ -39,7 +39,10 @@ fn content(rng: &mut StdRng, dedup_friendly: bool) -> [u8; SECTOR] {
 fn run_model(seed: u64, ops: usize) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut a = FlashArray::new(ArrayConfig::test_small()).unwrap();
-    let mut model = Model { volumes: HashMap::new(), snapshots: HashMap::new() };
+    let mut model = Model {
+        volumes: HashMap::new(),
+        snapshots: HashMap::new(),
+    };
     let mut live_vols: Vec<VolumeId> = Vec::new();
     let mut live_snaps: Vec<(SnapshotId, VolumeId)> = Vec::new();
     let mut pulled: Vec<usize> = Vec::new();
@@ -48,9 +51,13 @@ fn run_model(seed: u64, ops: usize) {
     for i in 0..2 {
         let size = 2 << 20;
         let v = a.create_volume(&format!("v{}", i), size).unwrap();
-        model
-            .volumes
-            .insert(v.0, ModelVolume { sectors: HashMap::new(), size_sectors: size / SECTOR as u64 });
+        model.volumes.insert(
+            v.0,
+            ModelVolume {
+                sectors: HashMap::new(),
+                size_sectors: size / SECTOR as u64,
+            },
+        );
         live_vols.push(v);
     }
 
@@ -67,7 +74,12 @@ fn run_model(seed: u64, ops: usize) {
                 for i in 0..n {
                     let friendly = rng.gen_bool(0.4);
                     let c = content(&mut rng, friendly);
-                    model.volumes.get_mut(&v.0).unwrap().sectors.insert(start + i as u64, c);
+                    model
+                        .volumes
+                        .get_mut(&v.0)
+                        .unwrap()
+                        .sectors
+                        .insert(start + i as u64, c);
                     buf.extend_from_slice(&c);
                 }
                 a.write(v, start * SECTOR as u64, &buf).unwrap();
@@ -79,7 +91,9 @@ fn run_model(seed: u64, ops: usize) {
                 let mv = &model.volumes[&v.0];
                 let n = rng.gen_range(1..=32usize);
                 let start = rng.gen_range(0..mv.size_sectors - n as u64);
-                let (read, _) = a.read(v, start * SECTOR as u64, n * SECTOR).unwrap_or_else(|e| panic!("op {}: {}", op, e));
+                let (read, _) = a
+                    .read(v, start * SECTOR as u64, n * SECTOR)
+                    .unwrap_or_else(|e| panic!("op {}: {}", op, e));
                 for i in 0..n {
                     let expect = mv
                         .sectors
@@ -119,7 +133,9 @@ fn run_model(seed: u64, ops: usize) {
                     let ms = &model.snapshots[&s.0];
                     let n = 8usize;
                     let start = rng.gen_range(0..ms.size_sectors.max(9) - n as u64);
-                    let read = a.read_snapshot(s, start * SECTOR as u64, n * SECTOR).unwrap();
+                    let read = a
+                        .read_snapshot(s, start * SECTOR as u64, n * SECTOR)
+                        .unwrap();
                     for i in 0..n {
                         let expect = ms
                             .sectors
@@ -182,14 +198,28 @@ fn run_model(seed: u64, ops: usize) {
         let mv = &model.volumes[&v.0];
         for (&sector, expect) in &mv.sectors {
             let (read, _) = a.read(v, sector * SECTOR as u64, SECTOR).unwrap();
-            assert_eq!(&read[..], &expect[..], "final: seed {} vol {:?} sector {}", seed, v, sector);
+            assert_eq!(
+                &read[..],
+                &expect[..],
+                "final: seed {} vol {:?} sector {}",
+                seed,
+                v,
+                sector
+            );
         }
     }
     for &(s, _) in &live_snaps {
         let ms = &model.snapshots[&s.0];
         for (&sector, expect) in &ms.sectors {
             let read = a.read_snapshot(s, sector * SECTOR as u64, SECTOR).unwrap();
-            assert_eq!(&read[..], &expect[..], "final: seed {} snap {:?} sector {}", seed, s, sector);
+            assert_eq!(
+                &read[..],
+                &expect[..],
+                "final: seed {} snap {:?} sector {}",
+                seed,
+                s,
+                sector
+            );
         }
     }
 }

@@ -1,0 +1,249 @@
+//! End-to-end acceptance tests for the observability layer: slow-op
+//! capture with die-level stall attribution, per-path metrics export,
+//! and survival of telemetry across controller failover.
+//!
+//! The scenario the tentpole demands: a run with write-induced
+//! program/erase stalls must produce a slow-op capture that *explains*
+//! a tail read — "queued 1.3ms behind program on die 2 of drive 5" —
+//! and the metrics snapshot must expose the per-path counters and
+//! queueing/service split that back the explanation up.
+
+use purity_core::{ArrayConfig, FlashArray, SECTOR};
+use purity_ssd::SsdGeometry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A config that funnels reads straight into busy drives: no read
+/// cache, no read-around scheduling, incompressible non-dedupable data.
+fn stall_config() -> ArrayConfig {
+    let mut cfg = ArrayConfig::test_small();
+    cfg.cache_bytes = 0;
+    cfg.read_around_writes = false;
+    cfg.dedup_enabled = false;
+    cfg.compression_enabled = false;
+    cfg
+}
+
+/// Like [`stall_config`], but on tiny drives (4 dies × 16 blocks ×
+/// 32 pages = 8 MiB raw) so sustained churn cycles the FTL through its
+/// free-block pool and forces device-level GC erases mid-run.
+fn churn_config() -> ArrayConfig {
+    let mut cfg = stall_config();
+    cfg.ssd_geometry = SsdGeometry {
+        dies: 4,
+        blocks_per_die: 16,
+        pages_per_block: 32,
+        page_size: 4096,
+    };
+    cfg
+}
+
+fn random_sectors(rng: &mut StdRng, n: usize) -> Vec<u8> {
+    let mut out = vec![0u8; n * SECTOR];
+    rng.fill(&mut out[..]);
+    out
+}
+
+#[test]
+fn tail_reads_are_attributed_to_die_busy_time() {
+    let cfg = churn_config();
+    let mut a = FlashArray::new(cfg).expect("format");
+    let vol_bytes: u64 = 4 << 20;
+    let vol = a.create_volume("churn", vol_bytes).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // Fill the volume once so several segments seal and reach the
+    // drives; later reads of this data are real drive reads.
+    let chunk = 128 * 1024usize;
+    for i in 0..(vol_bytes as usize / chunk) as u64 {
+        let data = random_sectors(&mut rng, chunk / SECTOR);
+        a.write(vol, i * chunk as u64, &data).unwrap();
+        a.advance(500_000);
+    }
+    a.advance(20_000_000);
+
+    // Churn: overwrite fresh data (keeping dies busy programming, and —
+    // once the FTL's free pool cycles — erasing), while immediately
+    // reading *old* sealed data at the same virtual instant. With no
+    // cache and no read-around, those reads queue behind the die.
+    let mut saw_program = false;
+    let mut saw_erase = false;
+    let vol_sectors = vol_bytes / SECTOR as u64;
+    'churn: for round in 0..64u64 {
+        for i in 0..8u64 {
+            let w_off =
+                (((round * 8 + i) * (chunk as u64)) % vol_bytes).min(vol_bytes - chunk as u64);
+            let data = random_sectors(&mut rng, chunk / SECTOR);
+            a.write(vol, w_off, &data).unwrap();
+            for probe in 0..8u64 {
+                let r_sector = (round * 131 + i * 17 + probe * 41) % vol_sectors;
+                a.read(vol, r_sector * SECTOR as u64, SECTOR).unwrap();
+            }
+            a.advance(400_000);
+        }
+        a.run_gc().unwrap();
+        a.advance(5_000_000);
+        for op in a.obs().tracer.slow_ops() {
+            for stage in &op.stages {
+                if let Some(note) = &stage.note {
+                    if note.contains("behind program on die") {
+                        saw_program = true;
+                    }
+                    if note.contains("behind erase on die") {
+                        saw_erase = true;
+                    }
+                }
+            }
+        }
+        if saw_program && saw_erase {
+            break 'churn;
+        }
+    }
+    assert!(
+        saw_program,
+        "expected a slow read queued behind a page program; slow ops: {:?}",
+        a.obs()
+            .tracer
+            .slow_ops()
+            .iter()
+            .map(|o| o.describe())
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        saw_erase,
+        "expected a slow read queued behind an erase (device GC); slow ops: {:?}",
+        a.obs()
+            .tracer
+            .slow_ops()
+            .iter()
+            .map(|o| o.describe())
+            .collect::<Vec<_>>()
+    );
+
+    // The capture carries the full decomposition: a drive_read stage with
+    // die/drive attribution, and an end-to-end latency above threshold.
+    let slow = a.obs().tracer.slowest().expect("ring not empty");
+    assert!(slow.latency >= a.config().slow_op_capture_ns);
+    let dominant = slow.dominant_stage().expect("stages recorded");
+    assert!(
+        dominant.stage == "drive_read" || dominant.stage == "reconstruct",
+        "tail op dominated by {}: {}",
+        dominant.stage,
+        slow.describe()
+    );
+    let described = slow.describe();
+    assert!(
+        described.contains("of drive"),
+        "attribution names a drive: {described}"
+    );
+
+    // The same story shows up in the aggregate counters.
+    let snap = a.metrics_snapshot();
+    let stalls: u64 = ["program", "erase", "read"]
+        .iter()
+        .map(|c| {
+            snap.counters
+                .iter()
+                .filter(|(id, _)| {
+                    id.name == "flash_read_stalls"
+                        && id.labels.iter().any(|(k, v)| k == "cause" && v == c)
+                })
+                .map(|&(_, v)| v)
+                .sum::<u64>()
+        })
+        .sum();
+    assert!(stalls > 0, "flash_read_stalls counters should be nonzero");
+    assert!(snap.counter("array_reads", &[("path", "direct")]) > 0);
+
+    // Queueing + service decompose every direct drive read losslessly.
+    let stats = a.stats();
+    assert_eq!(stats.read_queueing.count(), stats.read_service.count());
+    assert!(stats.read_queueing.count() > 0);
+    assert!(
+        stats.read_queueing.max() > 0,
+        "stalled reads show nonzero queueing"
+    );
+}
+
+#[test]
+fn metrics_snapshot_and_export_are_consistent() {
+    let mut a = FlashArray::new(stall_config()).expect("format");
+    let vol = a.create_volume("v", 8 << 20).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    // 4 MiB of incompressible data seals 2+ segments, so early offsets
+    // are on the drives (not the open segment's pending buffer).
+    let data = random_sectors(&mut rng, 1024);
+    a.write(vol, 0, &data).unwrap();
+    a.advance(20_000_000);
+    a.read(vol, 0, 64 * SECTOR).unwrap();
+    // An unwritten range exercises the zero-fill path.
+    a.read(vol, 6 << 20, 4 * SECTOR).unwrap();
+
+    let snap = a.metrics_snapshot();
+    assert_eq!(
+        snap.counter("array_logical_bytes_written", &[]),
+        data.len() as u64
+    );
+    assert!(snap.counter("array_reads", &[("path", "direct")]) > 0);
+    assert!(snap.counter("array_reads", &[("path", "zero")]) > 0);
+    // Per-drive flash counters exist, and at least one full stripe's
+    // worth of drives took programs (segments span 9 of the 11 slots).
+    let programmed_drives = (0..a.config().n_drives)
+        .filter(|d| snap.counter("flash_programs", &[("drive", d.to_string().as_str())]) > 0)
+        .count();
+    assert!(
+        programmed_drives >= a.config().stripe_width(),
+        "only {programmed_drives} drives published program counters"
+    );
+    // Latency histograms mirror ArrayStats exactly (set_from is lossless).
+    let h = snap
+        .histogram("array_read_latency", &[])
+        .expect("read latency published");
+    assert_eq!(h.count, a.stats().read_latency.count());
+    assert_eq!(h.p999, a.stats().read_latency.p999());
+
+    // Publishing is idempotent: a second snapshot reports the same values.
+    let again = a.metrics_snapshot();
+    assert_eq!(
+        snap.counter("array_logical_bytes_written", &[]),
+        again.counter("array_logical_bytes_written", &[])
+    );
+    assert_eq!(h, again.histogram("array_read_latency", &[]).unwrap());
+
+    // The combined export carries both halves of the story.
+    let j = a.export_observability_json();
+    assert!(j.contains("\"metrics\""), "{j}");
+    assert!(j.contains("\"slow_ops\""), "{j}");
+    assert!(j.contains("array_read_latency"), "{j}");
+}
+
+#[test]
+fn observability_survives_failover() {
+    let mut a = FlashArray::new(stall_config()).expect("format");
+    let vol = a.create_volume("v", 4 << 20).unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+    let data = random_sectors(&mut rng, 64);
+    a.write(vol, 0, &data).unwrap();
+    a.read(vol, 0, SECTOR).unwrap();
+
+    let finished_before = a.obs().tracer.finished_count();
+    let captured_before = a.obs().tracer.captured_count();
+    assert!(finished_before > 0);
+
+    a.fail_primary().unwrap();
+
+    // The secondary shares the same hub: history intact, and new ops
+    // keep accumulating into it.
+    assert_eq!(a.obs().tracer.finished_count(), finished_before);
+    assert_eq!(a.obs().tracer.captured_count(), captured_before);
+    a.read(vol, 0, SECTOR).unwrap();
+    assert!(a.obs().tracer.finished_count() > finished_before);
+
+    // Post-failover metrics publishing still reflects merged stats.
+    let snap = a.metrics_snapshot();
+    assert_eq!(
+        snap.counter("array_logical_bytes_written", &[]),
+        data.len() as u64
+    );
+    assert_eq!(snap.counter("array_failovers", &[]), 1);
+}

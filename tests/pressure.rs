@@ -31,7 +31,11 @@ fn tiny_nvram_forces_constant_checkpoints() {
         }
         a.advance(200_000);
     }
-    assert!(a.stats().checkpoints > 3, "NVRAM pressure should checkpoint: {}", a.stats().checkpoints);
+    assert!(
+        a.stats().checkpoints > 3,
+        "NVRAM pressure should checkpoint: {}",
+        a.stats().checkpoints
+    );
     for (&s, data) in &shadow {
         let (read, _) = a.read(vol, s * SECTOR as u64, SECTOR).unwrap();
         assert_eq!(&read, data, "sector {}", s);
@@ -66,7 +70,9 @@ fn boot_region_survives_mirror_corruption() {
 fn array_on_worn_flash_still_serves() {
     // §5.1's validation exercise as a regression test.
     let mut cfg = ArrayConfig::test_small();
-    cfg.ssd_endurance = EnduranceModel { rated_pe_cycles: 50 };
+    cfg.ssd_endurance = EnduranceModel {
+        rated_pe_cycles: 50,
+    };
     cfg.preage_cycles = 50;
     let mut a = FlashArray::new(cfg).unwrap();
     let vol = a.create_volume("worn", 4 << 20).unwrap();
@@ -103,7 +109,10 @@ fn filling_the_array_runs_out_of_space_cleanly() {
         }
         a.advance(100_000);
     }
-    assert!(out_of_space, "a 1 GiB volume cannot fit in a ~200 MiB array");
+    assert!(
+        out_of_space,
+        "a 1 GiB volume cannot fit in a ~200 MiB array"
+    );
     // Everything acknowledged before the error is still readable.
     let usable = wrote.min(16 << 20);
     let (read, _) = a.read(vol, 0, usable.min(128 * 1024) as usize).unwrap();

@@ -32,10 +32,16 @@ fn identical_volumes_dedup_almost_entirely() {
         stored_total
     );
     let ratio = a.stats().reduction_ratio();
-    assert!(ratio > 5.0, "VDI-style clones should exceed 5x, got {:.2}", ratio);
+    assert!(
+        ratio > 5.0,
+        "VDI-style clones should exceed 5x, got {:.2}",
+        ratio
+    );
     // And every copy reads back identically.
     for i in [0u64, 5, 9] {
-        let (read, _) = a.read(purity_core::VolumeId(i + 1), 0, image.len()).unwrap();
+        let (read, _) = a
+            .read(purity_core::VolumeId(i + 1), 0, image.len())
+            .unwrap();
         assert_eq!(read, image, "volume {}", i);
     }
 }
@@ -154,7 +160,8 @@ fn overwrite_churn_then_gc_recovers_space() {
     let vol = a.create_volume("v", 2 << 20).unwrap();
     // Overwrite the same 512 KiB region 8 times with fresh random data.
     for round in 0..8u64 {
-        a.write(vol, 0, &random_bytes(100 + round, 512 * 1024)).unwrap();
+        a.write(vol, 0, &random_bytes(100 + round, 512 * 1024))
+            .unwrap();
     }
     a.checkpoint().unwrap();
     let segs_before = a.controller().segment_count();

@@ -75,9 +75,8 @@ fn incremental_replication_ships_only_the_diff() {
     src.write(vol, 128 * 1024, &delta).unwrap();
     let snap2 = src.snapshot(vol, "t2").unwrap();
 
-    let inc =
-        replicate_snapshot_incremental(&mut src, snap1, snap2, &mut dst, dst_vol, &mut link)
-            .unwrap();
+    let inc = replicate_snapshot_incremental(&mut src, snap1, snap2, &mut dst, dst_vol, &mut link)
+        .unwrap();
     assert!(
         inc.bytes_shipped < full.bytes_shipped / 4,
         "incremental ({}) should ship far less than full ({})",
@@ -143,8 +142,7 @@ fn destination_dedups_shipped_data() {
         let vol = src.create_volume(&format!("v{}", i), 1 << 20).unwrap();
         src.write(vol, 0, &image).unwrap();
         let snap = src.snapshot(vol, "s").unwrap();
-        replicate_snapshot_full(&mut src, snap, &mut dst, &format!("r{}", i), &mut link)
-            .unwrap();
+        replicate_snapshot_full(&mut src, snap, &mut dst, &format!("r{}", i), &mut link).unwrap();
     }
     assert!(
         dst.stats().dedup_bytes_saved > image.len() as u64 / 2,
