@@ -1,0 +1,157 @@
+//! Host queue-depth sweep (§2, §4.4): drive the array through the
+//! purity-host front end at queue depths 1, 8, 32 and 128 and show the
+//! classic closed-loop trade: IOPS rises with queue depth while p50 and
+//! p99 end-to-end latency rise with it — more outstanding ops queue
+//! against the same dies. The curves come out of the array's per-die
+//! timelines, not a fitted model.
+//!
+//! Emits `results/exp_host_qd.json` and then *parses it back* with the
+//! harness's own JSON reader, asserting the monotonicity the exhibit
+//! claims — so a CI smoke run (`--smoke`) fails loudly if the host
+//! engine stops producing queue-depth-dependent behaviour.
+
+use purity_bench::{parse_json, print_table, write_results, JsonValue};
+use purity_core::{ArrayConfig, FlashArray};
+use purity_host::{HostConfig, HostEngine, HostReport};
+use purity_obs::json::JsonWriter;
+use purity_sim::units::format_nanos;
+use purity_wkld::{AccessPattern, ContentModel, SizeMix, WorkloadGen};
+
+/// One sweep point, against a fresh identically-seeded array.
+fn run(qd: usize, ops: u64) -> HostReport {
+    let mut cfg = ArrayConfig::bench_medium();
+    // Working set deliberately larger than DRAM cache so reads reach
+    // the drives, where per-die timelines make queueing visible.
+    cfg.cache_bytes = 1 << 20;
+    let mut a = FlashArray::new(cfg).unwrap();
+    let vol_bytes: u64 = 48 << 20;
+    let vol = a.create_volume("db", vol_bytes).unwrap();
+
+    // Warm the working set with unique (dedup-proof) content.
+    let mut warm = vec![0u8; 1 << 20];
+    for c in 0..(vol_bytes >> 20) {
+        for (i, b) in warm.iter_mut().enumerate() {
+            *b = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(c) as u8;
+        }
+        a.write(vol, c << 20, &warm).unwrap();
+    }
+
+    let engine = HostEngine::new(HostConfig {
+        initiators: 4,
+        queue_depth: qd.div_ceil(4).max(1),
+        coalesce: false,
+        ..HostConfig::default()
+    });
+    let mut gen = WorkloadGen::new(
+        17,
+        vol_bytes,
+        AccessPattern::Uniform,
+        SizeMix::fixed(16 * 1024),
+        70,
+        ContentModel::Rdbms,
+        0,
+    );
+    engine.run_closed_loop(&mut a, vol, &mut gen, ops, None)
+}
+
+/// Pulls (qd, iops, p50, p99) rows back out of the written document.
+fn rows_of(doc: &JsonValue) -> Vec<(u64, f64, u64, u64)> {
+    doc.path("sweep")
+        .and_then(|s| s.as_array())
+        .expect("sweep array")
+        .iter()
+        .map(|point| {
+            let qd = point.path("queue_depth").and_then(|v| v.as_u64());
+            let iops = point.path("report.iops").and_then(|v| v.as_f64());
+            let p50 = point.path("e2e_p50_ns").and_then(|v| v.as_u64());
+            let p99 = point.path("e2e_p99_ns").and_then(|v| v.as_u64());
+            (
+                qd.expect("queue_depth"),
+                iops.expect("iops"),
+                p50.expect("p50"),
+                p99.expect("p99"),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (depths, ops): (&[usize], u64) = if smoke {
+        (&[1, 32], 600)
+    } else {
+        (&[1, 8, 32, 128], 2_000)
+    };
+    println!(
+        "=== host queue-depth sweep ({} mode) ===",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let mut sweep = JsonWriter::array();
+    let mut table = Vec::new();
+    for &qd in depths {
+        let r = run(qd, ops);
+        let all = r.e2e_all();
+        println!(
+            "QD {:>3}: {:>8.0} IOPS | e2e p50 {} p99 {} | queue wait p50 {}",
+            qd,
+            r.iops(),
+            format_nanos(all.p50()),
+            format_nanos(all.p99()),
+            format_nanos(r.queue_wait.p50()),
+        );
+        table.push(vec![
+            qd.to_string(),
+            format!("{:.0}", r.iops()),
+            format_nanos(all.p50()),
+            format_nanos(all.p99()),
+            format_nanos(r.queue_wait.p50()),
+        ]);
+        let mut point = JsonWriter::object();
+        point
+            .u64_field("queue_depth", qd as u64)
+            .u64_field("e2e_p50_ns", all.p50())
+            .u64_field("e2e_p99_ns", all.p99())
+            .raw_field("report", &r.to_json());
+        sweep.raw_element(&point.finish());
+    }
+    print_table(
+        "host closed-loop sweep",
+        &["QD", "IOPS", "e2e p50", "e2e p99", "qwait p50"],
+        &table,
+    );
+
+    let mut root = JsonWriter::object();
+    root.str_field("experiment", "exp_host_qd")
+        .bool_field("smoke", smoke)
+        .u64_field("ops_per_point", ops)
+        .raw_field("sweep", &sweep.finish());
+    let json = root.finish();
+    write_results("exp_host_qd", &json);
+
+    // Self-check: the written document must parse, and the exhibit's
+    // claim must hold — IOPS and latency both rise with queue depth.
+    let doc = parse_json(&json).expect("emitted JSON must parse");
+    let rows = rows_of(&doc);
+    assert_eq!(rows.len(), depths.len());
+    for pair in rows.windows(2) {
+        let (qd0, iops0, p50_0, p99_0) = pair[0];
+        let (qd1, iops1, p50_1, p99_1) = pair[1];
+        assert!(qd1 > qd0);
+        assert!(
+            iops1 > iops0,
+            "IOPS must rise with QD: qd{qd0}={iops0:.0} vs qd{qd1}={iops1:.0}"
+        );
+        assert!(
+            p50_1 >= p50_0,
+            "p50 must not fall as QD rises: qd{qd0}={p50_0} vs qd{qd1}={p50_1}"
+        );
+        assert!(
+            p99_1 >= p99_0,
+            "p99 must not fall as QD rises: qd{qd0}={p99_0} vs qd{qd1}={p99_1}"
+        );
+    }
+    println!("\nself-check OK: JSON parses; IOPS and latency rise monotonically with QD.");
+}

@@ -6,6 +6,10 @@
 //! open-loop request stream against a [`FlashArray`] in virtual time,
 //! and small table-printing helpers.
 
+pub mod json;
+
+pub use json::{parse_json, JsonValue};
+
 use purity_core::{Ack, FlashArray, VolumeId};
 use purity_obs::json::JsonWriter;
 use purity_obs::HistogramSummary;

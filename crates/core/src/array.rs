@@ -12,6 +12,7 @@ use crate::cache::CblockCache;
 use crate::config::ArrayConfig;
 use crate::controller::{Ack, Controller, Volume};
 use crate::error::Result;
+use crate::fault::{AppliedFault, FaultEvent, FaultOutcome, FaultPlan};
 use crate::gc::GcReport;
 use crate::recovery::{RecoveryReport, ScanMode};
 use crate::scrub::ScrubReport;
@@ -20,6 +21,7 @@ use crate::stats::ArrayStats;
 use crate::types::{DriveId, SnapshotId, VolumeId};
 use purity_obs::{MetricsSnapshot, Obs};
 use purity_sim::{Clock, Nanos};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Interconnect hop for requests arriving at the standby's ports
@@ -45,6 +47,26 @@ pub struct FailoverReport {
     pub downtime: Nanos,
     /// Recovery details.
     pub recovery: RecoveryReport,
+    /// Op ids of in-flight I/Os whose completions would have landed
+    /// after the crash: their acks died with the old primary, and a
+    /// host must detect the loss (timeout) and resubmit. The data-path
+    /// *effects* of these ops are durable (NVRAM commit precedes the
+    /// ack), so resubmission is safe.
+    pub aborted: Vec<u64>,
+}
+
+/// One I/O accepted through a port and not yet known complete: the
+/// in-flight accounting a host front end needs across failover.
+#[derive(Debug, Clone, Copy)]
+pub struct InflightOp {
+    /// Monotonic array-assigned op id.
+    pub id: u64,
+    /// Virtual time the op entered the array.
+    pub issued_at: Nanos,
+    /// Virtual time its ack reaches the host.
+    pub completes_at: Nanos,
+    /// Port it arrived on.
+    pub port: Port,
 }
 
 /// Space accounting (thin provisioning vs physical reality, §1).
@@ -70,6 +92,10 @@ pub struct FlashArray {
     /// is rebuilt from the shelf on takeover).
     secondary_cache: CblockCache,
     writes_since_warm: u64,
+    /// Ops accepted but (as of the last prune) not yet complete.
+    inflight: VecDeque<InflightOp>,
+    /// Next op id to assign.
+    next_op_id: u64,
     /// Cumulative downtime across failovers.
     pub downtime_total: Nanos,
     /// Failovers performed.
@@ -90,6 +116,8 @@ impl FlashArray {
             primary,
             secondary_cache,
             writes_since_warm: 0,
+            inflight: VecDeque::new(),
+            next_op_id: 0,
             downtime_total: 0,
             failovers: 0,
         })
@@ -170,6 +198,21 @@ impl FlashArray {
         offset: u64,
         data: &[u8],
     ) -> Result<Ack> {
+        self.submit_write(port, volume, offset, data)
+            .map(|(_, a)| a)
+    }
+
+    /// Writes through a chosen port, returning the array op id alongside
+    /// the ack — the completion-event hook a discrete-event host uses:
+    /// the ack lands at `issue time + ack.latency`, and if a failover
+    /// intervenes the id appears in [`FailoverReport::aborted`].
+    pub fn submit_write(
+        &mut self,
+        port: Port,
+        volume: VolumeId,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(u64, Ack)> {
         let now = self.clock.now();
         let mut ack = self
             .primary
@@ -184,7 +227,7 @@ impl FlashArray {
             // virtual time.
             self.primary.cache.warm_into(&mut self.secondary_cache);
         }
-        Ok(ack)
+        Ok((self.note_inflight(port, now, ack.latency), ack))
     }
 
     /// Reads through the primary's ports.
@@ -200,6 +243,19 @@ impl FlashArray {
         offset: u64,
         len: usize,
     ) -> Result<(Vec<u8>, Ack)> {
+        self.submit_read(port, volume, offset, len)
+            .map(|(_, d, a)| (d, a))
+    }
+
+    /// Reads through a chosen port, returning the array op id (see
+    /// [`FlashArray::submit_write`]).
+    pub fn submit_read(
+        &mut self,
+        port: Port,
+        volume: VolumeId,
+        offset: u64,
+        len: usize,
+    ) -> Result<(u64, Vec<u8>, Ack)> {
         let now = self.clock.now();
         let (data, mut ack) = self
             .primary
@@ -207,7 +263,29 @@ impl FlashArray {
         if port == Port::Secondary {
             ack.latency += FORWARD_NS;
         }
-        Ok((data, ack))
+        let id = self.note_inflight(port, now, ack.latency);
+        Ok((id, data, ack))
+    }
+
+    /// Records an accepted op in the in-flight log and assigns its id.
+    /// Ops whose completion time has already passed are pruned — the
+    /// log only ever holds the window a failover could abort.
+    fn note_inflight(&mut self, port: Port, issued_at: Nanos, latency: Nanos) -> u64 {
+        self.inflight.retain(|op| op.completes_at > issued_at);
+        let id = self.next_op_id;
+        self.next_op_id += 1;
+        self.inflight.push_back(InflightOp {
+            id,
+            issued_at,
+            completes_at: issued_at + latency,
+            port,
+        });
+        id
+    }
+
+    /// Ops whose acks are still in flight at virtual time `now`.
+    pub fn inflight_at(&self, now: Nanos) -> impl Iterator<Item = &InflightOp> {
+        self.inflight.iter().filter(move |op| op.completes_at > now)
     }
 
     /// Reads a snapshot's contents (sector-addressed).
@@ -255,10 +333,53 @@ impl FlashArray {
     }
 
     // ---- Fault injection (the "pull drives" demo, §1). -----------------
+    //
+    // All faults — imperative calls below and declarative [`FaultPlan`]
+    // schedules — funnel through [`FlashArray::apply_fault`], the single
+    // entry point.
+
+    /// Applies one fault right now. The one entry point every other
+    /// fault surface routes through.
+    pub fn apply_fault(&mut self, event: &FaultEvent) -> Result<FaultOutcome> {
+        match *event {
+            FaultEvent::FailDrive(d) => {
+                self.shelf.drive_mut(d).fail();
+                Ok(FaultOutcome::DriveFailed)
+            }
+            FaultEvent::ReviveDrive(d) => {
+                self.shelf.drive_mut(d).revive();
+                let now = self.clock.now();
+                let report = self
+                    .primary
+                    .rebuild_drive(&mut self.shelf, d, now)
+                    .unwrap_or_default();
+                Ok(FaultOutcome::DriveRevived(report))
+            }
+            FaultEvent::CorruptAt { drive, offset } => Ok(FaultOutcome::Corrupted(
+                self.shelf.drive_mut(drive).corrupt_at(offset),
+            )),
+            FaultEvent::FailPrimary => self
+                .fail_primary_with(ScanMode::Frontier)
+                .map(FaultOutcome::FailedOver),
+        }
+    }
+
+    /// Fires every event in `plan` due at or before the current virtual
+    /// time, in schedule order, and reports what each did. Drivers call
+    /// this as they advance the clock; a plan with nothing due is a
+    /// cheap no-op.
+    pub fn apply_due_faults(&mut self, plan: &mut FaultPlan) -> Result<Vec<AppliedFault>> {
+        let mut applied = Vec::new();
+        while let Some((at, event)) = plan.take_due(self.clock.now()) {
+            let outcome = self.apply_fault(&event)?;
+            applied.push(AppliedFault { at, event, outcome });
+        }
+        Ok(applied)
+    }
 
     /// Pulls a drive from the shelf.
     pub fn fail_drive(&mut self, d: DriveId) {
-        self.shelf.drive_mut(d).fail();
+        let _ = self.apply_fault(&FaultEvent::FailDrive(d));
     }
 
     /// Re-inserts a pulled drive (contents intact) and rebuilds any
@@ -266,11 +387,10 @@ impl FlashArray {
     /// reinsertion that keeps per-stripe degradation bounded by the
     /// *concurrent* failure count.
     pub fn revive_drive(&mut self, d: DriveId) -> crate::scrub::RebuildReport {
-        self.shelf.drive_mut(d).revive();
-        let now = self.clock.now();
-        self.primary
-            .rebuild_drive(&mut self.shelf, d, now)
-            .unwrap_or_default()
+        match self.apply_fault(&FaultEvent::ReviveDrive(d)) {
+            Ok(FaultOutcome::DriveRevived(report)) => report,
+            _ => crate::scrub::RebuildReport::default(),
+        }
     }
 
     /// Currently failed drives.
@@ -280,7 +400,10 @@ impl FlashArray {
 
     /// Corrupts the flash page backing a drive byte offset (bit rot).
     pub fn corrupt_drive_at(&mut self, d: DriveId, offset: usize) -> bool {
-        self.shelf.drive_mut(d).corrupt_at(offset)
+        matches!(
+            self.apply_fault(&FaultEvent::CorruptAt { drive: d, offset }),
+            Ok(FaultOutcome::Corrupted(true))
+        )
     }
 
     /// Kills the primary controller; the standby takes over by
@@ -294,6 +417,16 @@ impl FlashArray {
     /// [`ScanMode::FullScan`] as the pre-frontier-set baseline).
     pub fn fail_primary_with(&mut self, mode: ScanMode) -> Result<FailoverReport> {
         let start = self.clock.now();
+        // Acks not yet delivered at the moment of the crash die with the
+        // old primary; their op ids are surfaced so a host front end can
+        // time out and resubmit them. Everything older has been seen.
+        let aborted: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|op| op.completes_at > start)
+            .map(|op| op.id)
+            .collect();
+        self.inflight.clear();
         let (mut ctrl, recovery) =
             Controller::recover(self.cfg.clone(), &mut self.shelf, mode, start)?;
         // The standby starts with the warm cache the old primary fed it,
@@ -312,7 +445,11 @@ impl FlashArray {
         self.clock.advance_to(start + downtime);
         self.downtime_total += downtime;
         self.failovers += 1;
-        Ok(FailoverReport { downtime, recovery })
+        Ok(FailoverReport {
+            downtime,
+            recovery,
+            aborted,
+        })
     }
 
     // ---- Telemetry. ------------------------------------------------------

@@ -33,7 +33,7 @@ use purity_lsm::{Pyramid, Seq, SeqAllocator};
 use purity_obs::{Obs, OpTrace};
 use purity_sim::units::format_nanos;
 use purity_sim::Nanos;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Fixed controller CPU overhead charged per request (event-handler
@@ -879,8 +879,9 @@ impl Controller {
         mut trace: Option<&mut OpTrace>,
     ) -> Result<(Vec<u8>, Nanos)> {
         let mut out = vec![0u8; n_sectors * SECTOR];
-        // Group sector fetches by cblock.
-        let mut plan: HashMap<Pba, Vec<(usize, u16)>> = HashMap::new();
+        // Group sector fetches by cblock. Ordered map: fetch order decides
+        // die-timeline reservation order, so it must be deterministic.
+        let mut plan: BTreeMap<Pba, Vec<(usize, u16)>> = BTreeMap::new();
         let mut zero_sectors = 0u64;
         for i in 0..n_sectors {
             let sector = start_sector + i as u64;

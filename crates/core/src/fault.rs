@@ -1,0 +1,158 @@
+//! Unified fault injection (the "pull drives on stage" demo, §1).
+//!
+//! The array's fault surface used to be loose methods — `fail_drive`,
+//! `corrupt_drive_at`, `fail_primary` — invoked imperatively by tests.
+//! A host front end and the failure-sweep benches instead need faults
+//! *scheduled in virtual time*: "pull drive 3 at t = 2 s, kill the
+//! primary at t = 5 s". [`FaultPlan`] is that declarative schedule;
+//! [`crate::FlashArray::apply_due_faults`] fires everything due at or
+//! before the current virtual time, and every imperative fault method
+//! now routes through the same [`crate::FlashArray::apply_fault`] entry
+//! point so the two styles cannot drift apart.
+
+use crate::array::FailoverReport;
+use crate::scrub::RebuildReport;
+use crate::types::DriveId;
+use purity_sim::Nanos;
+
+/// One schedulable fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Pull a drive from the shelf (whole-device failure).
+    FailDrive(DriveId),
+    /// Re-insert a pulled drive; missed write units are rebuilt.
+    ReviveDrive(DriveId),
+    /// Flip bits in the flash page backing a drive byte offset.
+    CorruptAt {
+        /// Target drive.
+        drive: DriveId,
+        /// Byte offset within the drive.
+        offset: usize,
+    },
+    /// Kill the primary controller; the standby takes over.
+    FailPrimary,
+}
+
+/// What actually happened when a [`FaultEvent`] was applied.
+#[derive(Debug, Clone)]
+pub enum FaultOutcome {
+    /// The drive is now failed.
+    DriveFailed,
+    /// The drive is back; rebuild details attached.
+    DriveRevived(RebuildReport),
+    /// Whether a mapped page existed at the offset to corrupt.
+    Corrupted(bool),
+    /// Failover details, including the array op ids whose acks were
+    /// lost with the dead controller (see `FailoverReport::aborted`).
+    FailedOver(FailoverReport),
+}
+
+/// A fault applied from a plan: when it was due, what it was, and what
+/// it did.
+#[derive(Debug, Clone)]
+pub struct AppliedFault {
+    /// Scheduled virtual time.
+    pub at: Nanos,
+    /// The event.
+    pub event: FaultEvent,
+    /// The result.
+    pub outcome: FaultOutcome,
+}
+
+/// A declarative, virtual-time fault schedule.
+///
+/// Build with [`FaultPlan::at`] (any insertion order; the plan keeps
+/// itself time-sorted), then hand it to a driver that periodically calls
+/// [`crate::FlashArray::apply_due_faults`]. Events fire at most once, in
+/// schedule order; ties fire in insertion order.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Time-sorted (stable) pending events.
+    events: Vec<(Nanos, FaultEvent)>,
+    /// Index of the next unfired event.
+    next: usize,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at virtual time `t` (builder style).
+    pub fn at(mut self, t: Nanos, event: FaultEvent) -> Self {
+        self.push(t, event);
+        self
+    }
+
+    /// Schedules `event` at virtual time `t`.
+    pub fn push(&mut self, t: Nanos, event: FaultEvent) {
+        assert!(
+            self.next == 0 || t >= self.events[self.next - 1].0,
+            "cannot schedule a fault before already-fired events"
+        );
+        // Stable insert: after every event with time <= t.
+        let idx = self.events[self.next..]
+            .iter()
+            .position(|&(et, _)| et > t)
+            .map(|p| self.next + p)
+            .unwrap_or(self.events.len());
+        self.events.insert(idx, (t, event));
+    }
+
+    /// The time of the next unfired event, if any.
+    pub fn next_due(&self) -> Option<Nanos> {
+        self.events.get(self.next).map(|&(t, _)| t)
+    }
+
+    /// Pops the next event if it is due at or before `now`.
+    pub fn take_due(&mut self, now: Nanos) -> Option<(Nanos, FaultEvent)> {
+        match self.events.get(self.next) {
+            Some(&(t, ref e)) if t <= now => {
+                self.next += 1;
+                Some((t, e.clone()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Events not yet fired.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.next
+    }
+
+    /// True once every scheduled event has fired.
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_sorts_and_fires_in_time_order() {
+        let mut plan = FaultPlan::new()
+            .at(300, FaultEvent::FailPrimary)
+            .at(100, FaultEvent::FailDrive(2))
+            .at(200, FaultEvent::ReviveDrive(2));
+        assert_eq!(plan.next_due(), Some(100));
+        assert_eq!(plan.remaining(), 3);
+        assert!(plan.take_due(50).is_none());
+        assert_eq!(plan.take_due(250), Some((100, FaultEvent::FailDrive(2))));
+        assert_eq!(plan.take_due(250), Some((200, FaultEvent::ReviveDrive(2))));
+        assert!(plan.take_due(250).is_none(), "300 not yet due");
+        assert_eq!(plan.take_due(300), Some((300, FaultEvent::FailPrimary)));
+        assert!(plan.is_done());
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut plan = FaultPlan::new()
+            .at(100, FaultEvent::FailDrive(1))
+            .at(100, FaultEvent::FailDrive(2));
+        assert_eq!(plan.take_due(100), Some((100, FaultEvent::FailDrive(1))));
+        assert_eq!(plan.take_due(100), Some((100, FaultEvent::FailDrive(2))));
+    }
+}

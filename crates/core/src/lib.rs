@@ -28,6 +28,7 @@ pub mod cache;
 pub mod config;
 pub mod controller;
 pub mod error;
+pub mod fault;
 pub mod frontier;
 pub mod gc;
 pub mod medium;
@@ -40,9 +41,10 @@ pub mod shelf;
 pub mod stats;
 pub mod types;
 
-pub use array::{FlashArray, Port};
+pub use array::{FailoverReport, FlashArray, InflightOp, Port};
 pub use config::ArrayConfig;
 pub use controller::Ack;
 pub use error::{PurityError, Result};
+pub use fault::{AppliedFault, FaultEvent, FaultOutcome, FaultPlan};
 pub use recovery::ScanMode;
 pub use types::{MediumId, SnapshotId, VolumeId, SECTOR};

@@ -26,7 +26,7 @@ pub const SECTOR: usize = 512;
 
 /// Physical block address of a stored cblock: a byte extent within a
 /// segment's data space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pba {
     /// Owning segment.
     pub segment: SegmentId,

@@ -110,8 +110,9 @@ impl<L: Copy> DedupIndex<L> {
     pub fn promote(&mut self, hash: u64, loc: L) {
         let count = self.hot.get(&hash).map(|(_, c)| *c).unwrap_or(0) + 1;
         if self.hot.len() >= self.hot_capacity && !self.hot.contains_key(&hash) {
-            // Evict the coldest entry.
-            if let Some((&victim, _)) = self.hot.iter().min_by_key(|(_, (_, c))| *c) {
+            // Evict the coldest entry; break count ties by hash so the
+            // victim never depends on HashMap iteration order.
+            if let Some((&victim, _)) = self.hot.iter().min_by_key(|(&h, &(_, c))| (c, h)) {
                 self.hot.remove(&victim);
             }
         }

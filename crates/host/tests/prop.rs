@@ -1,0 +1,157 @@
+//! Property tests for the QoS dispatch queue: caps are never exceeded
+//! within an accounting window, dispatch order is earliest-deadline-
+//! first with FIFO tie-breaks, and nothing is lost or duplicated.
+
+use proptest::prelude::*;
+use purity_host::{DispatchQueue, PopOutcome, QosSpec};
+
+/// Drains the queue across virtual time, recording every dispatch as
+/// (time, deadline, seq-of-push, bytes). Respects Throttled outcomes by
+/// jumping to the indicated refresh time.
+fn drain(q: &mut DispatchQueue, start: u64) -> Vec<(u64, u64, u64, u64)> {
+    let mut now = start;
+    let mut out = Vec::new();
+    let mut spins = 0;
+    while !q.is_empty() {
+        match q.pop_ready(now) {
+            PopOutcome::Ready(p) => out.push((now, p.deadline, p.req, p.bytes)),
+            PopOutcome::Throttled { until } => {
+                assert!(until > now, "throttle must move time forward");
+                now = until;
+            }
+            PopOutcome::Empty => unreachable!("queue reported non-empty"),
+        }
+        spins += 1;
+        assert!(spins < 1_000_000, "drain did not terminate");
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Within any aligned window, dispatches never exceed the IOPS cap.
+    #[test]
+    fn iops_cap_never_exceeded_within_a_window(
+        arrivals in proptest::collection::vec((0u64..50_000, 1u64..4_000), 1..120),
+        iops_cap in 1u64..8,
+        window in 1_000u64..10_000,
+    ) {
+        let mut q = DispatchQueue::new(QosSpec {
+            iops_cap,
+            bytes_cap: 0,
+            window,
+            target_latency: 2_000,
+        });
+        for (i, &(arrival, bytes)) in arrivals.iter().enumerate() {
+            q.push(i as u64, arrival, bytes);
+        }
+        let dispatched = drain(&mut q, 0);
+        prop_assert_eq!(dispatched.len(), arrivals.len(), "nothing lost");
+        // Bucket dispatch times into aligned windows and count.
+        let mut per_window = std::collections::HashMap::new();
+        for &(t, _, _, _) in &dispatched {
+            *per_window.entry(t / window).or_insert(0u64) += 1;
+        }
+        for (w, count) in per_window {
+            prop_assert!(
+                count <= iops_cap,
+                "window {} dispatched {} > cap {}",
+                w, count, iops_cap
+            );
+        }
+    }
+
+    /// Within any aligned window, dispatched bytes never exceed the
+    /// byte cap — except the documented oversized-request case, which
+    /// must be alone in its window.
+    #[test]
+    fn byte_cap_never_exceeded_within_a_window(
+        arrivals in proptest::collection::vec((0u64..50_000, 1u64..3_000), 1..120),
+        bytes_cap in 1_000u64..5_000,
+        window in 1_000u64..10_000,
+    ) {
+        let mut q = DispatchQueue::new(QosSpec {
+            iops_cap: 0,
+            bytes_cap,
+            window,
+            target_latency: 2_000,
+        });
+        for (i, &(arrival, bytes)) in arrivals.iter().enumerate() {
+            q.push(i as u64, arrival, bytes);
+        }
+        let dispatched = drain(&mut q, 0);
+        prop_assert_eq!(dispatched.len(), arrivals.len());
+        let mut per_window: std::collections::HashMap<u64, Vec<u64>> =
+            std::collections::HashMap::new();
+        for &(t, _, _, bytes) in &dispatched {
+            per_window.entry(t / window).or_default().push(bytes);
+        }
+        for (w, sizes) in per_window {
+            let total: u64 = sizes.iter().sum();
+            if total > bytes_cap {
+                prop_assert!(
+                    sizes.len() == 1 && sizes[0] > bytes_cap,
+                    "window {} over cap ({} > {}) without the oversized-alone exemption: {:?}",
+                    w, total, bytes_cap, sizes
+                );
+            }
+        }
+    }
+
+    /// Dispatch order is nondecreasing in (deadline, push seq): EDF
+    /// overall, FIFO within equal deadlines.
+    #[test]
+    fn edf_with_fifo_ties(
+        deadlines in proptest::collection::vec(0u64..1_000, 2..150),
+        iops_cap in 0u64..4,
+    ) {
+        let mut q = DispatchQueue::new(QosSpec {
+            iops_cap,
+            bytes_cap: 0,
+            window: 5_000,
+            target_latency: 0,
+        });
+        // All requests are present before the first pop, so the queue's
+        // choice is a pure priority decision.
+        for (i, &d) in deadlines.iter().enumerate() {
+            q.push_with_deadline(i as u64, 0, d, 512);
+        }
+        let dispatched = drain(&mut q, 0);
+        prop_assert_eq!(dispatched.len(), deadlines.len());
+        for pair in dispatched.windows(2) {
+            let (_, d0, s0, _) = pair[0];
+            let (_, d1, s1, _) = pair[1];
+            prop_assert!(
+                (d0, s0) < (d1, s1),
+                "dispatch order violated EDF/FIFO: ({}, {}) then ({}, {})",
+                d0, s0, d1, s1
+            );
+        }
+    }
+
+    /// No request is dispatched twice and every request is dispatched
+    /// once, under combined caps.
+    #[test]
+    fn exactly_once_under_combined_caps(
+        arrivals in proptest::collection::vec((0u64..20_000, 1u64..2_000), 1..100),
+        iops_cap in 1u64..6,
+        bytes_cap in 2_000u64..6_000,
+    ) {
+        let mut q = DispatchQueue::new(QosSpec {
+            iops_cap,
+            bytes_cap,
+            window: 2_000,
+            target_latency: 1_000,
+        });
+        for (i, &(arrival, bytes)) in arrivals.iter().enumerate() {
+            q.push(i as u64, arrival, bytes);
+        }
+        let dispatched = drain(&mut q, 0);
+        let mut seen = std::collections::HashSet::new();
+        for &(_, _, req, _) in &dispatched {
+            prop_assert!(seen.insert(req), "request {} dispatched twice", req);
+        }
+        prop_assert_eq!(seen.len(), arrivals.len(), "every request dispatched");
+    }
+}

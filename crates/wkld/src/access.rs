@@ -7,6 +7,7 @@
 //! uniform or sequential patterns; read/write ratio is a parameter
 //! (enterprise workloads are read-heavy, §5.1).
 
+use crate::arrival::ArrivalProcess;
 use crate::content::{ContentModel, SECTOR};
 use purity_sim::{Nanos, Zipf};
 use rand::rngs::StdRng;
@@ -145,6 +146,12 @@ pub struct WorkloadGen {
     sequential_at: u64,
     /// Virtual inter-arrival time between requests (open-loop pacing).
     pub interarrival: Nanos,
+    /// Arrival process used by [`WorkloadGen::next_interarrival`];
+    /// defaults to `Fixed(interarrival)`.
+    arrivals: ArrivalProcess,
+    /// Pacing RNG, seeded independently of the op-stream RNG so the
+    /// request sequence is identical across pacing modes.
+    arrival_rng: StdRng,
     version: u64,
     offered: OfferedLoad,
 }
@@ -177,9 +184,33 @@ impl WorkloadGen {
             zipf,
             sequential_at: 0,
             interarrival,
+            arrivals: ArrivalProcess::Fixed(interarrival),
+            arrival_rng: StdRng::seed_from_u64(seed ^ 0x5eed_a221_7a1b_90c3),
             version: 0,
             offered: OfferedLoad::default(),
         }
+    }
+
+    /// Replaces the arrival process (builder style). `interarrival`
+    /// is updated to the process mean so legacy fixed-pacing drivers
+    /// keep a sensible gap.
+    pub fn with_arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.interarrival = arrivals.mean_gap();
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// The configured arrival process.
+    pub fn arrivals(&self) -> ArrivalProcess {
+        self.arrivals
+    }
+
+    /// Samples the gap between this request's arrival and the next —
+    /// open-loop drivers advance virtual time by this between
+    /// [`WorkloadGen::next_op`] calls. Deterministic per seed, and
+    /// independent of the op stream.
+    pub fn next_interarrival(&mut self) -> Nanos {
+        self.arrivals.sample(&mut self.arrival_rng)
     }
 
     /// Cumulative offered load issued by this generator so far.
@@ -315,6 +346,54 @@ mod tests {
             }
         }
         assert!(wrapped, "64 MiB volume should wrap within 5000 ops");
+    }
+
+    #[test]
+    fn arrival_sequence_is_seed_deterministic() {
+        let mk = |seed| {
+            WorkloadGen::new(
+                seed,
+                64 << 20,
+                AccessPattern::Uniform,
+                SizeMix::enterprise(),
+                70,
+                ContentModel::Rdbms,
+                0,
+            )
+            .with_arrivals(ArrivalProcess::poisson_iops(5_000.0))
+        };
+        let mut a = mk(42);
+        let mut b = mk(42);
+        let mut c = mk(43);
+        let ga: Vec<_> = (0..500).map(|_| a.next_interarrival()).collect();
+        let gb: Vec<_> = (0..500).map(|_| b.next_interarrival()).collect();
+        let gc: Vec<_> = (0..500).map(|_| c.next_interarrival()).collect();
+        assert_eq!(ga, gb, "same seed, same arrival sequence");
+        assert_ne!(ga, gc, "different seed, different arrival sequence");
+    }
+
+    #[test]
+    fn pacing_mode_does_not_perturb_op_stream() {
+        let ops = |arrivals: Option<ArrivalProcess>| {
+            let mut g = gen(AccessPattern::Uniform, 50);
+            if let Some(a) = arrivals {
+                g = g.with_arrivals(a);
+            }
+            (0..200)
+                .map(|_| {
+                    g.next_interarrival();
+                    match g.next_op() {
+                        Op::Read { offset, len } => (false, offset, len),
+                        Op::Write { offset, data } => (true, offset, data.len()),
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            ops(None),
+            ops(Some(ArrivalProcess::poisson_iops(1_000.0))),
+            "op stream must be identical across pacing modes"
+        );
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Open-loop arrival processes.
+//!
+//! [`crate::OfferedLoad`] describes what a generator has *issued*;
+//! arrival processes describe *when* requests are issued. A closed-loop
+//! driver (N initiators, each holding a fixed queue depth) needs no
+//! arrival process — completions pace it. Open-loop drivers model
+//! independent clients and need inter-arrival gaps: fixed pacing for
+//! calibration runs, Poisson (exponential gaps) for the memoryless
+//! arrival streams real host fan-in produces.
+//!
+//! Sampling uses an RNG seeded independently of the op-stream RNG, so
+//! switching a workload between pacing modes never perturbs *which*
+//! requests it generates — only when.
+
+use purity_sim::Nanos;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// When successive requests are issued.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Closed-loop: no pacing; the driver issues on completion.
+    Closed,
+    /// Fixed inter-arrival gap (deterministic pacing).
+    Fixed(Nanos),
+    /// Poisson arrivals: exponentially-distributed gaps with the given
+    /// mean. Gaps are clamped to at least 1 ns so virtual time always
+    /// advances.
+    Poisson {
+        /// Mean inter-arrival gap in virtual ns.
+        mean: Nanos,
+    },
+}
+
+impl ArrivalProcess {
+    /// Poisson arrivals at the given offered rate (ops per virtual
+    /// second).
+    pub fn poisson_iops(iops: f64) -> Self {
+        assert!(iops > 0.0, "offered rate must be positive");
+        ArrivalProcess::Poisson {
+            mean: (purity_sim::SEC as f64 / iops) as Nanos,
+        }
+    }
+
+    /// Mean inter-arrival gap (0 for closed-loop).
+    pub fn mean_gap(&self) -> Nanos {
+        match *self {
+            ArrivalProcess::Closed => 0,
+            ArrivalProcess::Fixed(gap) => gap,
+            ArrivalProcess::Poisson { mean } => mean,
+        }
+    }
+
+    /// Samples the next inter-arrival gap.
+    pub fn sample(&self, rng: &mut StdRng) -> Nanos {
+        match *self {
+            ArrivalProcess::Closed => 0,
+            ArrivalProcess::Fixed(gap) => gap,
+            ArrivalProcess::Poisson { mean } => {
+                // Inverse-CDF: gap = -mean * ln(1 - U), U uniform [0,1).
+                let u: f64 = rng.gen();
+                let gap = -(mean as f64) * (1.0 - u).ln();
+                (gap as Nanos).max(1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = ArrivalProcess::Fixed(250);
+        assert!((0..100).all(|_| p.sample(&mut rng) == 250));
+    }
+
+    #[test]
+    fn poisson_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = ArrivalProcess::poisson_iops(10_000.0); // mean 100 µs
+        let n = 20_000;
+        let total: u128 = (0..n).map(|_| p.sample(&mut rng) as u128).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (90_000.0..110_000.0).contains(&mean),
+            "sample mean {} should be near 100 µs",
+            mean
+        );
+    }
+
+    #[test]
+    fn poisson_gaps_vary() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = ArrivalProcess::Poisson { mean: 50_000 };
+        let gaps: Vec<Nanos> = (0..32).map(|_| p.sample(&mut rng)).collect();
+        assert!(gaps.windows(2).any(|w| w[0] != w[1]), "{:?}", gaps);
+        assert!(gaps.iter().all(|&g| g >= 1));
+    }
+}

@@ -19,11 +19,13 @@
 //!   rules of thumb they imply.
 
 pub mod access;
+pub mod arrival;
 pub mod content;
 pub mod costmodel;
 pub mod deployments;
 pub mod diskarray;
 
 pub use access::{AccessPattern, OfferedLoad, Op, SizeMix, WorkloadGen};
+pub use arrival::ArrivalProcess;
 pub use content::ContentModel;
 pub use diskarray::DiskArrayModel;

@@ -21,6 +21,13 @@ cargo build --release --workspace
 step "cargo test -q"
 cargo test -q --workspace
 
+# Host front-end exhibits double as smoke checks: each binary parses its
+# own results/<name>.json back and asserts the claimed invariants
+# (QD-monotone IOPS/latency; zero lost acks across failover).
+step "host exhibit smoke (exp_host_qd, exp_host_failover)"
+cargo run -q --release -p purity-bench --bin exp_host_qd -- --smoke
+cargo run -q --release -p purity-bench --bin exp_host_failover -- --smoke
+
 if [[ $quick -eq 1 ]]; then
   echo "--quick: skipping fmt/clippy"
   exit 0
