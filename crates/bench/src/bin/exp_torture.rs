@@ -1,0 +1,201 @@
+//! Crash–recovery torture sweep (§4.3): whole-array power loss at
+//! adversarial instants, cold start through the normal recovery paths,
+//! durability oracle on every run.
+//!
+//! Each seed runs one campaign; the crash phase rotates through
+//! NVRAM-tail / segment-flush / checkpoint / op-boundary so a sweep of
+//! N seeds covers all four. Any violation is shrunk to a minimal spec
+//! and written to `results/exp_torture_repro.txt` as a one-line repro;
+//! replay it with `exp_torture --repro <line>`.
+//!
+//! Emits `results/exp_torture.json` and parses it back as a self-check.
+//! The self-check also runs one deliberately sabotaged recovery (NVRAM
+//! replay skipped) and demands the oracle catch it — proof the sweep is
+//! not a rubber stamp.
+
+use purity_bench::{parse_json, results_dir, write_results, JsonValue};
+use purity_obs::json::JsonWriter;
+use purity_sim::units::format_nanos;
+use purity_torture::{parse_repro, repro_line, run_campaign, shrink, CampaignSpec, CrashPhase};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut seeds: u64 = 25;
+    let mut repro: Option<String> = None;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                seeds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seeds takes a number");
+            }
+            "--repro" => {
+                repro = Some(it.next().expect("--repro takes a spec line").clone());
+            }
+            _ => {}
+        }
+    }
+
+    // Replay mode: run exactly one spec, print everything, exit by
+    // verdict.
+    if let Some(line) = repro {
+        let spec = parse_repro(&line).expect("unparsable repro line");
+        println!("replaying {}", repro_line(&spec));
+        let out = run_campaign(&spec);
+        println!("{:#?}", out);
+        if out.violations.is_empty() {
+            println!("repro did NOT reproduce (no violations)");
+        } else {
+            println!("reproduced: {} violation(s)", out.violations.len());
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    println!("=== crash-recovery torture sweep ({seeds} seeds) ===");
+    let (crash_op, post_ops) = if smoke { (60, 30) } else { (120, 60) };
+
+    let mut phase_hits = [0u64; 4];
+    let mut phase_runs = [0u64; 4];
+    let mut torn_writes = 0u64;
+    let mut total_downtime = 0u64;
+    let mut intents_replayed = 0u64;
+    let mut torn_tails = 0u64;
+    let mut failures: Vec<CampaignSpec> = Vec::new();
+
+    for seed in 0..seeds {
+        let phase = CrashPhase::ALL[(seed % 4) as usize];
+        let spec = CampaignSpec {
+            crash_op,
+            post_ops,
+            // Every 5th seed drives the host engine front end too.
+            host_stage: seed % 5 == 4,
+            ..CampaignSpec::new(seed, phase)
+        };
+        let out = run_campaign(&spec);
+        let pi = (seed % 4) as usize;
+        phase_runs[pi] += 1;
+        if out.phase_hit {
+            phase_hits[pi] += 1;
+        }
+        if out.torn.as_deref().is_some_and(|t| t.contains("torn")) {
+            torn_writes += 1;
+        }
+        total_downtime += out.downtime;
+        intents_replayed +=
+            (out.recovery.write_intents_replayed + out.recovery.meta_intents_replayed) as u64;
+        torn_tails += out.recovery.torn_tail_records as u64;
+        if out.violations.is_empty() {
+            println!(
+                "seed {seed:>3} {:<13} {} downtime {}  replayed {:>3} intents{}",
+                phase.name(),
+                if out.phase_hit { "hit " } else { "miss" },
+                format_nanos(out.downtime),
+                out.recovery.write_intents_replayed + out.recovery.meta_intents_replayed,
+                if out.recovery.torn_tail_records > 0 {
+                    "  (torn tail dropped)"
+                } else {
+                    ""
+                },
+            );
+        } else {
+            println!(
+                "seed {seed:>3} {:<13} FAILED: {} violation(s)",
+                phase.name(),
+                out.violations.len()
+            );
+            for v in out.violations.iter().take(5) {
+                println!("    {v}");
+            }
+            failures.push(spec);
+        }
+    }
+
+    // Shrink the first failure to a minimal repro and persist the line
+    // where CI can pick it up as an artifact.
+    let repro_path = results_dir().join("exp_torture_repro.txt");
+    if let Some(first) = failures.first() {
+        println!("\nshrinking first failing spec ...");
+        let shrunk = shrink(first);
+        let line = repro_line(&shrunk.spec);
+        println!(
+            "minimal repro after {} runs ({} ops): exp_torture {}",
+            shrunk.runs,
+            shrunk.spec.crash_op + shrunk.spec.post_ops,
+            line
+        );
+        std::fs::write(&repro_path, format!("{line}\n")).expect("write repro file");
+        println!("repro written to {}", repro_path.display());
+    } else {
+        // Stale repro files from earlier failing runs must not linger.
+        let _ = std::fs::remove_file(&repro_path);
+    }
+
+    // Oracle power self-check: sabotaged recovery must be caught.
+    let sabotaged = CampaignSpec {
+        sabotage: true,
+        crash_op,
+        post_ops,
+        ..CampaignSpec::new(1, CrashPhase::OpBoundary)
+    };
+    let caught = !run_campaign(&sabotaged).violations.is_empty();
+    println!(
+        "\noracle self-check (NVRAM replay skipped): {}",
+        if caught { "caught" } else { "MISSED" }
+    );
+
+    let mut root = JsonWriter::object();
+    root.str_field("experiment", "exp_torture")
+        .bool_field("smoke", smoke)
+        .u64_field("seeds", seeds)
+        .u64_field("failures", failures.len() as u64)
+        .bool_field("sabotage_caught", caught)
+        .u64_field("torn_writes", torn_writes)
+        .u64_field("intents_replayed", intents_replayed)
+        .u64_field("torn_tails_dropped", torn_tails)
+        .u64_field("mean_downtime_ns", total_downtime / seeds.max(1));
+    {
+        let mut phases = JsonWriter::object();
+        for (i, p) in CrashPhase::ALL.iter().enumerate() {
+            let mut ph = JsonWriter::object();
+            ph.u64_field("runs", phase_runs[i])
+                .u64_field("hits", phase_hits[i]);
+            phases.raw_field(p.name(), &ph.finish());
+        }
+        root.raw_field("phases", &phases.finish());
+    }
+    let json = root.finish();
+    write_results("exp_torture", &json);
+
+    // Self-check: the sweep covered at least 3 distinct phases with a
+    // real (torn-write) hit, nothing failed, and the oracle has teeth.
+    let doc = parse_json(&json).expect("emitted JSON must parse");
+    let get = |p: &str| doc.path(p).and_then(|v| v.as_u64()).expect(p);
+    assert_eq!(
+        doc.path("sabotage_caught"),
+        Some(&JsonValue::Bool(true)),
+        "oracle must catch sabotage"
+    );
+    let phases_hit = CrashPhase::ALL
+        .iter()
+        .filter(|p| {
+            doc.path(&format!("phases.{}.hits", p.name()))
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0)
+                > 0
+        })
+        .count();
+    assert!(
+        phases_hit >= 3,
+        "sweep must hit >= 3 distinct crash phases, got {phases_hit}"
+    );
+    assert_eq!(
+        get("failures"),
+        0,
+        "durability contract violated — see repro file"
+    );
+    println!("\nself-check OK: {phases_hit}/4 phases hit, zero violations across {seeds} seeds.");
+}

@@ -14,7 +14,7 @@ use crate::controller::{Ack, Controller, Volume};
 use crate::error::Result;
 use crate::fault::{AppliedFault, FaultEvent, FaultOutcome, FaultPlan};
 use crate::gc::GcReport;
-use crate::recovery::{RecoveryReport, ScanMode};
+use crate::recovery::{RecoveryOptions, RecoveryReport, ScanMode};
 use crate::scrub::ScrubReport;
 use crate::shelf::Shelf;
 use crate::stats::ArrayStats;
@@ -53,6 +53,29 @@ pub struct FailoverReport {
     /// *effects* of these ops are durable (NVRAM commit precedes the
     /// ack), so resubmission is safe.
     pub aborted: Vec<u64>,
+}
+
+/// How to recover from a whole-array power loss.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PowerLossSpec {
+    /// Recovery knobs for the cold start.
+    pub recovery: RecoveryOptions,
+}
+
+/// Outcome of a whole-array power loss + cold start.
+#[derive(Debug, Clone)]
+pub struct PowerLossReport {
+    /// Virtual time the array was unable to serve I/O.
+    pub downtime: Nanos,
+    /// Recovery details.
+    pub recovery: RecoveryReport,
+    /// Op ids whose acks had not reached the host when power died (see
+    /// [`FailoverReport::aborted`] — same contract).
+    pub aborted: Vec<u64>,
+    /// What the outage tore, if a trigger fired ("power lost
+    /// mid-NVRAM-append…", "…mid-boot-region write…"); `None` when the
+    /// cut was clean.
+    pub torn: Option<String>,
 }
 
 /// One I/O accepted through a port and not yet known complete: the
@@ -100,6 +123,8 @@ pub struct FlashArray {
     pub downtime_total: Nanos,
     /// Failovers performed.
     pub failovers: u64,
+    /// Whole-array power losses survived.
+    pub power_losses: u64,
 }
 
 impl FlashArray {
@@ -120,6 +145,7 @@ impl FlashArray {
             next_op_id: 0,
             downtime_total: 0,
             failovers: 0,
+            power_losses: 0,
         })
     }
 
@@ -213,6 +239,7 @@ impl FlashArray {
         offset: u64,
         data: &[u8],
     ) -> Result<(u64, Ack)> {
+        self.check_powered()?;
         let now = self.clock.now();
         let mut ack = self
             .primary
@@ -256,6 +283,7 @@ impl FlashArray {
         offset: u64,
         len: usize,
     ) -> Result<(u64, Vec<u8>, Ack)> {
+        self.check_powered()?;
         let now = self.clock.now();
         let (data, mut ack) = self
             .primary
@@ -295,6 +323,7 @@ impl FlashArray {
         offset: u64,
         len: usize,
     ) -> Result<Vec<u8>> {
+        self.check_powered()?;
         let now = self.clock.now();
         let medium = self
             .primary
@@ -450,6 +479,142 @@ impl FlashArray {
             recovery,
             aborted,
         })
+    }
+
+    // ---- Whole-array power loss (torture harness). ---------------------
+
+    /// Arms a power-loss trigger on the shelf: the `after`-th subsequent
+    /// device mutation matching `target` is torn at `keep_bytes` and the
+    /// whole shelf goes dark with it. The array keeps running until the
+    /// trigger fires — call [`FlashArray::power_loss`] afterwards (or on
+    /// a clean boundary without arming) to cold-start.
+    pub fn arm_power_loss(&mut self, target: crate::shelf::CrashTarget, after: u64, keep: usize) {
+        self.shelf.arm_power_loss(target, after, keep);
+    }
+
+    /// Whether the shelf currently has power.
+    pub fn powered(&self) -> bool {
+        self.shelf.powered()
+    }
+
+    /// A powered-off array must fail all I/O, even requests the
+    /// controller could have satisfied from DRAM cache or the zero path
+    /// without touching the (gated) shelf.
+    fn check_powered(&self) -> crate::error::Result<()> {
+        if self.shelf.powered() {
+            Ok(())
+        } else {
+            Err(crate::error::PurityError::Unavailable(
+                "array power is off".into(),
+            ))
+        }
+    }
+
+    /// Whether an armed power-loss trigger has not yet fired.
+    pub fn power_loss_armed(&self) -> bool {
+        self.shelf.power_loss_armed()
+    }
+
+    /// Cuts power cleanly right now (no torn write).
+    pub fn cut_power(&mut self) {
+        self.shelf.cut_power();
+    }
+
+    /// The shelf's description of what the last power cut tore, if any.
+    pub fn torn_note(&self) -> Option<&str> {
+        self.shelf.torn_note()
+    }
+
+    /// Whole-array power loss + cold start: both controllers die at
+    /// once, so — unlike [`FlashArray::fail_primary_with`] — nothing
+    /// volatile survives: no warm standby cache, no carried-over
+    /// telemetry, no in-flight acks. If power is still on (no trigger
+    /// fired), it is cut cleanly first. Power is then restored and a
+    /// fresh controller rebuilds purely from durable shelf state via
+    /// [`Controller::recover_with`].
+    pub fn power_loss(&mut self, spec: PowerLossSpec) -> Result<PowerLossReport> {
+        let start = self.clock.now();
+        if self.shelf.powered() {
+            self.shelf.cut_power();
+        }
+        let torn = self.shelf.torn_note().map(str::to_owned);
+        let aborted: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|op| op.completes_at > start)
+            .map(|op| op.id)
+            .collect();
+        self.inflight.clear();
+        self.shelf.power_restore();
+        let (ctrl, recovery) =
+            Controller::recover_with(self.cfg.clone(), &mut self.shelf, spec.recovery, start)?;
+        // Cold start: the secondary's warm cache died too, and a fresh
+        // observability registry boots with the new controller.
+        self.secondary_cache = CblockCache::new(self.cfg.cache_bytes);
+        self.writes_since_warm = 0;
+        self.primary = ctrl;
+        let downtime = recovery.total_time;
+        self.clock.advance_to(start + downtime);
+        self.downtime_total += downtime;
+        self.power_losses += 1;
+        Ok(PowerLossReport {
+            downtime,
+            recovery,
+            aborted,
+            torn,
+        })
+    }
+
+    /// Cross-checks structural invariants the recovery paths must
+    /// uphold, returning one human-readable line per violation (empty =
+    /// healthy). The torture oracle calls this after every cold start.
+    ///
+    /// - no AU is owned by two live segments (the §4.3 "duplicate facts
+    ///   are harmless" claim only holds for *facts*, never ownership);
+    /// - every volume anchor medium exists and is writable;
+    /// - every snapshot medium exists and is frozen (not writable).
+    pub fn verify_integrity(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let ctrl = &self.primary;
+        let mut owner: std::collections::BTreeMap<(usize, u32), u64> =
+            std::collections::BTreeMap::new();
+        for seg in ctrl.segments.values() {
+            for au in &seg.columns {
+                if let Some(prev) = owner.insert((au.drive, au.index), seg.id.0) {
+                    violations.push(format!(
+                        "AU drive {} index {} owned by both segment {} and segment {}",
+                        au.drive, au.index, prev, seg.id.0
+                    ));
+                }
+            }
+        }
+        for v in ctrl.volumes.values() {
+            if ctrl.mediums.rows_of(v.anchor).is_empty() {
+                violations.push(format!(
+                    "volume {} anchor medium {} has no medium rows",
+                    v.id.0, v.anchor.0
+                ));
+            } else if !ctrl.mediums.is_writable(v.anchor, 0) {
+                violations.push(format!(
+                    "volume {} anchor medium {} is not writable",
+                    v.id.0, v.anchor.0
+                ));
+            }
+        }
+        for s in ctrl.snapshots.values() {
+            if ctrl.mediums.rows_of(s.medium).is_empty() {
+                violations.push(format!(
+                    "snapshot {} medium {} has no medium rows",
+                    s.id.0, s.medium.0
+                ));
+            } else if ctrl.mediums.is_writable(s.medium, 0) {
+                violations.push(format!(
+                    "snapshot {} medium {} is still writable (not frozen)",
+                    s.id.0, s.medium.0
+                ));
+            }
+        }
+        violations
     }
 
     // ---- Telemetry. ------------------------------------------------------

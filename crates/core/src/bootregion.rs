@@ -183,7 +183,11 @@ impl Checkpoint {
         varint::encode(stripe_width as u64, &mut out);
         varint::encode(body.len() as u64, &mut out);
         out.extend_from_slice(&body);
-        out.extend_from_slice(&block_hash(&body).to_le_bytes());
+        // Checksum covers the header varints too, not just the body: a
+        // flipped stripe_width changes SegmentFact arity parsing, which
+        // would otherwise decode the body into garbage rows while the
+        // body checksum still passed.
+        out.extend_from_slice(&block_hash(&out[8..]).to_le_bytes());
         out
     }
 
@@ -198,10 +202,10 @@ impl Checkpoint {
         at += n;
         let (body_len, n) = varint::decode(&input[at..])?;
         at += n;
-        let body = input.get(at..at + body_len as usize)?;
+        let body = input.get(at..at.checked_add(body_len as usize)?)?;
         let csum_at = at + body_len as usize;
         let csum_bytes = input.get(csum_at..csum_at + 8)?;
-        if u64::from_le_bytes(csum_bytes.try_into().ok()?) != block_hash(body) {
+        if u64::from_le_bytes(csum_bytes.try_into().ok()?) != block_hash(&input[8..csum_at]) {
             return None;
         }
         let stripe_width = stripe_width as usize;

@@ -250,14 +250,14 @@ impl Controller {
         bytes: &[u8],
         now: Nanos,
     ) -> Result<(u64, Nanos)> {
-        match shelf.nvram_mut().append(bytes, now) {
+        match shelf.nvram_append(bytes, now) {
             Ok(ok) => Ok(ok),
-            Err(purity_ssd::nvram::NvramError::Full) => {
+            Err(PurityError::OutOfSpace) => {
                 // Trim by checkpointing, then retry once.
                 self.write_checkpoint(shelf, now)?;
-                Ok(shelf.nvram_mut().append(bytes, now)?)
+                shelf.nvram_append(bytes, now)
             }
-            Err(e) => Err(e.into()),
+            Err(e) => Err(e),
         }
     }
 
@@ -1097,7 +1097,7 @@ impl Controller {
         }
         let t = self.boot.write(shelf, &cp, now)?;
         if let Some(idx) = trim_to {
-            shelf.nvram_mut().trim_through(idx);
+            shelf.nvram_trim(idx)?;
         }
         self.stats.checkpoints += 1;
         Ok(t)

@@ -64,13 +64,31 @@ pub struct AppliedFault {
 /// Build with [`FaultPlan::at`] (any insertion order; the plan keeps
 /// itself time-sorted), then hand it to a driver that periodically calls
 /// [`crate::FlashArray::apply_due_faults`]. Events fire at most once, in
-/// schedule order; ties fire in insertion order.
+/// schedule order; same-tick ties break by event kind (drive pulls
+/// before revives before corruptions before controller kills), then by
+/// insertion order — so two plans describing the same fault *set* fire
+/// identically no matter how they were assembled. Deterministic replay
+/// (the torture harness's seed repro) depends on this.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
-    /// Time-sorted (stable) pending events.
-    events: Vec<(Nanos, FaultEvent)>,
+    /// Pending events sorted by (time, kind rank, insertion seq).
+    events: Vec<(Nanos, u64, FaultEvent)>,
+    /// Next insertion sequence number.
+    seq: u64,
     /// Index of the next unfired event.
     next: usize,
+}
+
+/// Same-tick ordering rank: pulls sort before revives (a same-instant
+/// pull+revive nets to "drive briefly out", not a no-op that skips the
+/// rebuild), and whole-controller faults fire after device-level ones.
+fn kind_rank(e: &FaultEvent) -> u64 {
+    match e {
+        FaultEvent::FailDrive(_) => 0,
+        FaultEvent::ReviveDrive(_) => 1,
+        FaultEvent::CorruptAt { .. } => 2,
+        FaultEvent::FailPrimary => 3,
+    }
 }
 
 impl FaultPlan {
@@ -91,24 +109,28 @@ impl FaultPlan {
             self.next == 0 || t >= self.events[self.next - 1].0,
             "cannot schedule a fault before already-fired events"
         );
-        // Stable insert: after every event with time <= t.
+        let rank = kind_rank(&event);
+        self.seq += 1;
+        // Sorted insert on (time, kind rank); equal keys keep insertion
+        // order because we slot only before *strictly greater* entries
+        // (every already-stored equal-key event has a smaller seq).
         let idx = self.events[self.next..]
             .iter()
-            .position(|&(et, _)| et > t)
+            .position(|&(et, er, _)| (et, er) > (t, rank))
             .map(|p| self.next + p)
             .unwrap_or(self.events.len());
-        self.events.insert(idx, (t, event));
+        self.events.insert(idx, (t, rank, event));
     }
 
     /// The time of the next unfired event, if any.
     pub fn next_due(&self) -> Option<Nanos> {
-        self.events.get(self.next).map(|&(t, _)| t)
+        self.events.get(self.next).map(|&(t, _, _)| t)
     }
 
     /// Pops the next event if it is due at or before `now`.
     pub fn take_due(&mut self, now: Nanos) -> Option<(Nanos, FaultEvent)> {
         match self.events.get(self.next) {
-            Some(&(t, ref e)) if t <= now => {
+            Some(&(t, _, ref e)) if t <= now => {
                 self.next += 1;
                 Some((t, e.clone()))
             }
@@ -148,11 +170,39 @@ mod tests {
     }
 
     #[test]
-    fn ties_fire_in_insertion_order() {
+    fn same_kind_ties_fire_in_insertion_order() {
         let mut plan = FaultPlan::new()
             .at(100, FaultEvent::FailDrive(1))
             .at(100, FaultEvent::FailDrive(2));
         assert_eq!(plan.take_due(100), Some((100, FaultEvent::FailDrive(1))));
         assert_eq!(plan.take_due(100), Some((100, FaultEvent::FailDrive(2))));
+    }
+
+    #[test]
+    fn same_tick_ties_order_by_kind_regardless_of_insertion() {
+        // The same fault *set* inserted in two different orders must
+        // fire identically: (time, kind, insertion seq).
+        let forwards = FaultPlan::new()
+            .at(100, FaultEvent::FailDrive(7))
+            .at(100, FaultEvent::ReviveDrive(7))
+            .at(100, FaultEvent::FailPrimary);
+        let backwards = FaultPlan::new()
+            .at(100, FaultEvent::FailPrimary)
+            .at(100, FaultEvent::ReviveDrive(7))
+            .at(100, FaultEvent::FailDrive(7));
+        let drain = |mut p: FaultPlan| {
+            let mut fired = Vec::new();
+            while let Some((_, e)) = p.take_due(100) {
+                fired.push(e);
+            }
+            fired
+        };
+        let expect = vec![
+            FaultEvent::FailDrive(7),
+            FaultEvent::ReviveDrive(7),
+            FaultEvent::FailPrimary,
+        ];
+        assert_eq!(drain(forwards), expect);
+        assert_eq!(drain(backwards), expect);
     }
 }

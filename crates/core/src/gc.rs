@@ -162,7 +162,7 @@ impl Controller {
             for au in &info.columns {
                 let off = self.layout.au_byte_offset(au.index);
                 // Trim is advisory; a failed drive's AU is released anyway.
-                let _ = shelf.drive_mut(au.drive).trim(off, self.layout.au_bytes);
+                let _ = shelf.trim_drive(au.drive, off, self.layout.au_bytes);
                 self.allocator.release(*au);
             }
             report.segments_freed += 1;
@@ -194,6 +194,10 @@ impl Controller {
         for (root, size) in roots {
             let mut candidates: HashSet<u64> = HashSet::new();
             self.collect_candidates(root, 0, size, 0, 0, &mut candidates);
+            // Sorted iteration: HashSet order varies per process run and
+            // would break byte-identical seed replay.
+            let mut candidates: Vec<u64> = candidates.into_iter().collect();
+            candidates.sort_unstable();
             for x in candidates {
                 if !claimed.insert((root.0, x, 0)) {
                     continue;
@@ -411,6 +415,11 @@ impl Controller {
             }
             let mut candidates = HashSet::new();
             self.collect_candidates(root, 0, size, 0, 0, &mut candidates);
+            // Sorted: materialization order feeds the memtable and from
+            // there physical placement; HashSet order would make two
+            // runs of the same seed diverge.
+            let mut candidates: Vec<u64> = candidates.into_iter().collect();
+            candidates.sort_unstable();
             let mut to_materialize = Vec::new();
             for x in candidates {
                 if let Some((key, val)) = self.resolve_sector_entry(root, x) {

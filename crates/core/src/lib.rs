@@ -41,10 +41,11 @@ pub mod shelf;
 pub mod stats;
 pub mod types;
 
-pub use array::{FailoverReport, FlashArray, InflightOp, Port};
+pub use array::{FailoverReport, FlashArray, InflightOp, Port, PowerLossReport, PowerLossSpec};
 pub use config::ArrayConfig;
 pub use controller::Ack;
 pub use error::{PurityError, Result};
 pub use fault::{AppliedFault, FaultEvent, FaultOutcome, FaultPlan};
-pub use recovery::ScanMode;
+pub use recovery::{RecoveryOptions, RecoveryReport, ScanMode};
+pub use shelf::CrashTarget;
 pub use types::{MediumId, SnapshotId, VolumeId, SECTOR};

@@ -13,8 +13,29 @@
 
 use crate::types::{BlockLoc, MediumId, Pba, SegmentId};
 use purity_compress::varint;
+use purity_dedup::hash::block_hash;
 use purity_format::Page;
 use purity_lsm::Seq;
+
+/// Appends an 8-byte content checksum over everything already in `out`
+/// starting at `from`. Every durable record carries one so that torn
+/// tails and bit flips *decode to an error* instead of garbage — the
+/// recovery paths lean on "undecodable" being a reliable signal.
+fn put_checksum(out: &mut Vec<u8>, from: usize) {
+    let h = block_hash(&out[from..]);
+    out.extend_from_slice(&h.to_le_bytes());
+}
+
+/// Verifies the 8-byte checksum at `input[at..at + 8]` over
+/// `input[..at]`. Returns the total length consumed (body + checksum).
+fn check_checksum(input: &[u8], at: usize) -> Option<usize> {
+    let stored = input.get(at..at + 8)?;
+    let h = block_hash(&input[..at]);
+    if stored != h.to_le_bytes() {
+        return None;
+    }
+    Some(at + 8)
+}
 
 /// Map-table fact: one 512 B sector of a medium resolves to a block
 /// location.
@@ -239,9 +260,10 @@ pub struct LogRecord {
     pub rows: Vec<Vec<u64>>,
 }
 
-/// Serializes a log record: tag, row count, arity, then the page bytes
-/// (we re-encode rather than keeping `Page`'s internal state).
+/// Serializes a log record: tag, row count, arity, the row-major varint
+/// stream, then an 8-byte checksum over all of it.
 pub fn encode_log_record(rec: &LogRecord, out: &mut Vec<u8>) {
+    let start = out.len();
     varint::encode(rec.table as u64, out);
     varint::encode(rec.rows.len() as u64, out);
     let arity = rec.rows.first().map(|r| r.len()).unwrap_or(0);
@@ -255,10 +277,12 @@ pub fn encode_log_record(rec: &LogRecord, out: &mut Vec<u8>) {
             varint::encode(v, out);
         }
     }
+    put_checksum(out, start);
 }
 
 /// Decodes one log record from the front of `input`; returns it and the
-/// bytes consumed.
+/// bytes consumed. `None` on truncation, an unknown table tag, or a
+/// checksum mismatch — a bit flip anywhere in the record is detected.
 pub fn decode_log_record(input: &[u8]) -> Option<(LogRecord, usize)> {
     let mut at = 0;
     let (tag, n) = varint::decode(&input[at..])?;
@@ -268,7 +292,7 @@ pub fn decode_log_record(input: &[u8]) -> Option<(LogRecord, usize)> {
     at += n;
     let (arity, n) = varint::decode(&input[at..])?;
     at += n;
-    let mut rows = Vec::with_capacity(n_rows as usize);
+    let mut rows = Vec::with_capacity((n_rows as usize).min(input.len()));
     for _ in 0..n_rows {
         let mut row = Vec::with_capacity(arity as usize);
         for _ in 0..arity {
@@ -278,7 +302,8 @@ pub fn decode_log_record(input: &[u8]) -> Option<(LogRecord, usize)> {
         }
         rows.push(row);
     }
-    Some((LogRecord { table, rows }, at))
+    let consumed = check_checksum(input, at)?;
+    Some((LogRecord { table, rows }, consumed))
 }
 
 /// Measures the dictionary-compressed size of a patch (what §4.9's page
@@ -417,6 +442,7 @@ pub fn encode_meta(intent: &MetaIntent) -> Vec<u8> {
             put_name(5, &[*snapshot, *medium], "", &mut out)
         }
     }
+    put_checksum(&mut out, 0);
     out
 }
 
@@ -445,7 +471,9 @@ pub fn decode_meta(input: &[u8]) -> Option<MetaIntent> {
         f.push(next(&mut at)?);
     }
     let name_len = next(&mut at)? as usize;
-    let name = String::from_utf8(input.get(at..at + name_len)?.to_vec()).ok()?;
+    let name = String::from_utf8(input.get(at..at.checked_add(name_len)?)?.to_vec()).ok()?;
+    at += name_len;
+    check_checksum(input, at)?;
     let op = match tag {
         1 => MetaOp::CreateVolume {
             volume: f[0],
@@ -501,17 +529,20 @@ pub fn decode_nvram_entry(input: &[u8]) -> Option<NvramEntry> {
 
 /// Serializes a write intent for the NVRAM log.
 pub fn encode_intent(intent: &WriteIntent) -> Vec<u8> {
-    let mut out = Vec::with_capacity(intent.data.len() + 24);
+    let mut out = Vec::with_capacity(intent.data.len() + 32);
     out.push(INTENT_TAG);
     varint::encode(intent.seq, &mut out);
     varint::encode(intent.medium.0, &mut out);
     varint::encode(intent.start_sector, &mut out);
     varint::encode(intent.data.len() as u64, &mut out);
     out.extend_from_slice(&intent.data);
+    put_checksum(&mut out, 0);
     out
 }
 
-/// Deserializes a write intent.
+/// Deserializes a write intent. `None` on truncation or any bit flip
+/// (checksum-verified) — a torn NVRAM tail must never replay as a
+/// shorter-but-plausible write.
 pub fn decode_intent(input: &[u8]) -> Option<WriteIntent> {
     let mut at = 0;
     if *input.first()? != INTENT_TAG {
@@ -526,7 +557,9 @@ pub fn decode_intent(input: &[u8]) -> Option<WriteIntent> {
     at += n;
     let (len, n) = varint::decode(&input[at..])?;
     at += n;
-    let data = input.get(at..at + len as usize)?.to_vec();
+    let data = input.get(at..at.checked_add(len as usize)?)?.to_vec();
+    at += len as usize;
+    check_checksum(input, at)?;
     Some(WriteIntent {
         seq,
         medium: MediumId(medium),

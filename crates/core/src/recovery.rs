@@ -54,6 +54,27 @@ pub enum ScanMode {
     FullScan,
 }
 
+/// Knobs for [`Controller::recover_with`]. The defaults are production
+/// behaviour; the extra flags exist for the torture harness.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryOptions {
+    /// How the log-record scan chooses candidate AUs.
+    pub mode: ScanMode,
+    /// Test-only sabotage: skip step 3 (NVRAM intent replay) entirely.
+    /// Exists so the torture oracle can prove it *catches* a recovery
+    /// that forgets acked-but-unflushed writes. Never set in production.
+    pub skip_nvram_replay: bool,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        Self {
+            mode: ScanMode::Frontier,
+            skip_nvram_replay: false,
+        }
+    }
+}
+
 /// What recovery did and how long the virtual clock says it took.
 #[derive(Debug, Clone, Default)]
 pub struct RecoveryReport {
@@ -73,6 +94,11 @@ pub struct RecoveryReport {
     pub write_intents_replayed: usize,
     /// Meta intents replayed from NVRAM.
     pub meta_intents_replayed: usize,
+    /// Torn final NVRAM records tolerated (a power loss mid-append
+    /// leaves an undecodable tail; the write was never acknowledged, so
+    /// dropping it is correct — anywhere *else* in the log it is data
+    /// loss).
+    pub torn_tail_records: usize,
 }
 
 impl Controller {
@@ -83,6 +109,25 @@ impl Controller {
         mode: ScanMode,
         now: Nanos,
     ) -> Result<(Self, RecoveryReport)> {
+        Self::recover_with(
+            cfg,
+            shelf,
+            RecoveryOptions {
+                mode,
+                ..RecoveryOptions::default()
+            },
+            now,
+        )
+    }
+
+    /// [`Controller::recover`] with explicit [`RecoveryOptions`].
+    pub fn recover_with(
+        cfg: ArrayConfig,
+        shelf: &mut Shelf,
+        opts: RecoveryOptions,
+        now: Nanos,
+    ) -> Result<(Self, RecoveryReport)> {
+        let mode = opts.mode;
         cfg.validate().map_err(PurityError::BadConfig)?;
         let mut report = RecoveryReport::default();
         let layout = SegmentLayout::from_config(&cfg);
@@ -356,7 +401,14 @@ impl Controller {
         let (records, t) = shelf.nvram().scan(now)?;
         done = done.max(t);
         let mut max_seq_seen = ctrl.seq.high_water();
-        for rec in records {
+        let n_records = records.len();
+        for (pos, rec) in records.into_iter().enumerate() {
+            if opts.skip_nvram_replay {
+                // Sabotage mode: pretend the log was read (indexes still
+                // advance so trims behave) but apply nothing.
+                ctrl.last_nvram_index = Some(rec.index);
+                continue;
+            }
             ctrl.last_nvram_index = Some(rec.index);
             match decode_nvram_entry(&rec.payload) {
                 Some(NvramEntry::Meta(mi)) => {
@@ -372,6 +424,12 @@ impl Controller {
                         ctrl.apply_write(shelf, wi.medium, wi.start_sector, &wi.data, wi.seq, now)?;
                         report.write_intents_replayed += 1;
                     }
+                }
+                None if pos == n_records - 1 => {
+                    // A torn tail: power died mid-append, so the commit
+                    // never completed and the client was never acked.
+                    // Dropping it is the *required* behaviour.
+                    report.torn_tail_records += 1;
                 }
                 None => {
                     return Err(PurityError::DataLoss(format!(

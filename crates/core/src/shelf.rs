@@ -10,8 +10,33 @@ use crate::config::ArrayConfig;
 use crate::error::{PurityError, Result};
 use crate::types::DriveId;
 use purity_sim::{Clock, Nanos};
+use purity_ssd::nvram::NvramError;
 use purity_ssd::{Nvram, Ssd};
 use std::sync::Arc;
+
+/// Which durable-device mutations a scheduled power loss counts toward
+/// its trigger (and tears when it fires).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashTarget {
+    /// Any drive write or NVRAM append.
+    AnyWrite,
+    /// NVRAM appends only (torn write-intent tail).
+    NvramAppend,
+    /// Boot-region mirror writes only (torn checkpoint slot).
+    BootWrite,
+    /// Main-region drive writes only (torn segment flush / AU header).
+    SegmentWrite,
+}
+
+/// A pending whole-array power loss, armed on the shelf: the `after`-th
+/// matching device mutation from now is torn at `keep_bytes` and power
+/// dies with it — every later I/O fails until [`Shelf::power_restore`].
+#[derive(Debug, Clone, Copy)]
+struct PowerTrigger {
+    target: CrashTarget,
+    after: u64,
+    keep_bytes: usize,
+}
 
 /// The shared drive shelf.
 pub struct Shelf {
@@ -26,6 +51,18 @@ pub struct Shelf {
     /// Global write pacer (§4.4: at most two drives per ECC group busy
     /// writing at once): bulk write-unit flushes chain through this.
     write_pacer_until: Nanos,
+    /// Boot-region extent at the front of the mirror drives (used to
+    /// classify writes for [`CrashTarget`]).
+    boot_region_bytes: usize,
+    /// Whole-shelf power state. While off, every durable mutation and
+    /// read is rejected; contents are frozen (flash and NVRAM are
+    /// non-volatile).
+    powered: bool,
+    /// Armed power-loss trigger, if any.
+    trigger: Option<PowerTrigger>,
+    /// Human-readable note describing what the last fired trigger tore
+    /// (phase classification for the torture harness).
+    torn_note: Option<String>,
 }
 
 impl Shelf {
@@ -53,7 +90,85 @@ impl Shelf {
             nvram: Nvram::new(config.nvram_bytes),
             writing_windows: vec![std::collections::VecDeque::new(); config.n_drives],
             write_pacer_until: 0,
+            boot_region_bytes: config.boot_region_bytes(),
+            powered: true,
+            trigger: None,
+            torn_note: None,
         }
+    }
+
+    /// Whether the shelf currently has power.
+    pub fn powered(&self) -> bool {
+        self.powered
+    }
+
+    /// Arms a power-loss trigger: the `after`-th subsequent device
+    /// mutation matching `target` (0 = the very next one) is torn so
+    /// that only its first `keep_bytes` bytes reach the medium, and the
+    /// whole shelf loses power at that instant. Replaces any
+    /// previously-armed trigger.
+    pub fn arm_power_loss(&mut self, target: CrashTarget, after: u64, keep_bytes: usize) {
+        self.trigger = Some(PowerTrigger {
+            target,
+            after,
+            keep_bytes,
+        });
+    }
+
+    /// Whether a power-loss trigger is still armed (it has not fired).
+    pub fn power_loss_armed(&self) -> bool {
+        self.trigger.is_some()
+    }
+
+    /// Cuts power cleanly at an operation boundary: no in-flight write
+    /// is torn, but every subsequent I/O fails until
+    /// [`Shelf::power_restore`]. Disarms any pending trigger.
+    pub fn cut_power(&mut self) {
+        self.powered = false;
+        self.trigger = None;
+        self.torn_note = Some("clean cut at op boundary".to_string());
+    }
+
+    /// Restores power. Durable contents (flash, NVRAM) are intact;
+    /// volatile shelf-side scheduling state (writing windows, the write
+    /// pacer) is gone with the outage.
+    pub fn power_restore(&mut self) {
+        self.powered = true;
+        self.trigger = None;
+        for w in &mut self.writing_windows {
+            w.clear();
+        }
+        self.write_pacer_until = 0;
+    }
+
+    /// What the last power loss tore, if anything (phase classification
+    /// for the torture harness).
+    pub fn torn_note(&self) -> Option<&str> {
+        self.torn_note.as_deref()
+    }
+
+    /// Classifies a drive write and consumes one trigger count if it
+    /// matches. Returns `Some(keep_bytes)` when the trigger fires on
+    /// this write.
+    fn check_drive_trigger(&mut self, d: DriveId, offset: usize) -> Option<usize> {
+        let t = self.trigger.as_mut()?;
+        let is_boot = d < crate::bootregion::BOOT_MIRRORS && offset < self.boot_region_bytes;
+        let matches = match t.target {
+            CrashTarget::AnyWrite => true,
+            CrashTarget::NvramAppend => false,
+            CrashTarget::BootWrite => is_boot,
+            CrashTarget::SegmentWrite => !is_boot,
+        };
+        if !matches {
+            return None;
+        }
+        if t.after > 0 {
+            t.after -= 1;
+            return None;
+        }
+        let keep = t.keep_bytes;
+        self.trigger = None;
+        Some(keep)
     }
 
     /// Number of drive slots.
@@ -124,6 +239,9 @@ impl Shelf {
     }
 
     /// Writes page-aligned bytes to a drive, updating the writing window.
+    /// The single choke point every durable drive mutation goes through:
+    /// power loss (armed via [`Shelf::arm_power_loss`]) fires here,
+    /// tearing this write and failing everything after it.
     pub fn write_drive(
         &mut self,
         d: DriveId,
@@ -131,11 +249,100 @@ impl Shelf {
         data: &[u8],
         now: Nanos,
     ) -> Result<Nanos> {
+        if !self.powered {
+            return Err(PurityError::Device("shelf power lost".to_string()));
+        }
+        if let Some(keep) = self.check_drive_trigger(d, offset) {
+            let keep = keep.min(data.len().saturating_sub(1));
+            // The prefix reaches the medium; the straddling page is an
+            // interrupted program (undefined contents); the tail never
+            // started. Then the lights go out.
+            let _ = self.drives[d].write_torn(offset, data, keep, now);
+            self.powered = false;
+            let kind = if d < crate::bootregion::BOOT_MIRRORS && offset < self.boot_region_bytes {
+                "boot-region write"
+            } else {
+                "segment write"
+            };
+            self.torn_note = Some(format!(
+                "power lost mid-{kind}: drive {d} offset {offset} torn at {keep}/{} bytes",
+                data.len()
+            ));
+            return Err(PurityError::Device(format!(
+                "drive {}: power lost mid-write",
+                d
+            )));
+        }
         let done = self.drives[d]
             .write(offset, data, now)
             .map_err(|e| PurityError::Device(format!("drive {}: {}", d, e)))?;
         self.mark_writing(d, now, done);
         Ok(done)
+    }
+
+    /// Appends to NVRAM through the power gate. An armed
+    /// `NvramAppend`/`AnyWrite` trigger fires here: the record's tail is
+    /// torn at `keep_bytes` and power dies with it — the caller never
+    /// gets an index back, so the intent was never acknowledgeable.
+    pub fn nvram_append(&mut self, payload: &[u8], now: Nanos) -> Result<(u64, Nanos)> {
+        if !self.powered {
+            return Err(PurityError::Device("shelf power lost".to_string()));
+        }
+        let fire = match self.trigger {
+            Some(t) if matches!(t.target, CrashTarget::NvramAppend | CrashTarget::AnyWrite) => {
+                if self.trigger.as_mut().unwrap().after > 0 {
+                    self.trigger.as_mut().unwrap().after -= 1;
+                    None
+                } else {
+                    let keep = t.keep_bytes;
+                    self.trigger = None;
+                    Some(keep)
+                }
+            }
+            _ => None,
+        };
+        if let Some(keep) = fire {
+            let keep = keep.min(payload.len().saturating_sub(1));
+            // Durably land the record first, then tear its tail: the
+            // prefix genuinely reached the SLC medium before the outage.
+            let _ = self.nvram.append(payload, now);
+            self.nvram.tear_last_append(keep);
+            self.powered = false;
+            self.torn_note = Some(format!(
+                "power lost mid-NVRAM-append: record torn at {keep}/{} bytes",
+                payload.len()
+            ));
+            return Err(PurityError::Device(
+                "nvram: power lost mid-append".to_string(),
+            ));
+        }
+        match self.nvram.append(payload, now) {
+            Ok(v) => Ok(v),
+            // Full is recoverable: the controller checkpoints to trim
+            // the log and retries, so it must stay distinguishable.
+            Err(NvramError::Full) => Err(PurityError::OutOfSpace),
+            Err(e) => Err(PurityError::Device(format!("nvram: {}", e))),
+        }
+    }
+
+    /// Trims NVRAM through the power gate (trims are durable mutations
+    /// too — a powered-off shelf must not lose its replay log).
+    pub fn nvram_trim(&mut self, through: u64) -> Result<()> {
+        if !self.powered {
+            return Err(PurityError::Device("shelf power lost".to_string()));
+        }
+        self.nvram.trim_through(through);
+        Ok(())
+    }
+
+    /// TRIMs a drive extent through the power gate (GC's erasure path).
+    pub fn trim_drive(&mut self, d: DriveId, offset: usize, len: usize) -> Result<()> {
+        if !self.powered {
+            return Err(PurityError::Device("shelf power lost".to_string()));
+        }
+        self.drives[d]
+            .trim(offset, len)
+            .map_err(|e| PurityError::Device(format!("drive {}: {}", d, e)))
     }
 
     /// Reads from a drive.
@@ -146,6 +353,9 @@ impl Shelf {
         len: usize,
         now: Nanos,
     ) -> Result<(Vec<u8>, Nanos)> {
+        if !self.powered {
+            return Err(PurityError::Device("shelf power lost".to_string()));
+        }
         self.drives[d]
             .read(offset, len, now)
             .map_err(|e| PurityError::Device(format!("drive {}: {}", d, e)))
@@ -162,6 +372,9 @@ impl Shelf {
         len: usize,
         now: Nanos,
     ) -> Result<purity_ssd::DeviceRead> {
+        if !self.powered {
+            return Err(PurityError::Device("shelf power lost".to_string()));
+        }
         self.drives[d]
             .read_traced(offset, len, now)
             .map_err(|e| PurityError::Device(format!("drive {}: {}", d, e)))
@@ -217,5 +430,74 @@ mod tests {
         s.drive_mut(1).fail();
         assert_eq!(s.failed_drives(), vec![1]);
         assert!(s.write_drive(1, 0, &[0; 4096], 0).is_err());
+    }
+
+    #[test]
+    fn power_cut_blocks_all_io_until_restore() {
+        let mut s = shelf();
+        s.write_drive(2, 0, &[1; 4096], 0).unwrap();
+        s.cut_power();
+        assert!(!s.powered());
+        assert!(s.write_drive(2, 4096, &[2; 4096], 0).is_err());
+        assert!(s.read_drive(2, 0, 4096, 0).is_err());
+        assert!(s.nvram_append(b"x", 0).is_err());
+        assert!(s.nvram_trim(0).is_err());
+        assert!(s.trim_drive(2, 0, 4096).is_err());
+        s.power_restore();
+        // Durable contents survive the outage.
+        let (data, _) = s.read_drive(2, 0, 4096, 0).unwrap();
+        assert_eq!(data, vec![1; 4096]);
+        // Volatile scheduling state did not.
+        assert!(!s.is_writing(2, 0));
+    }
+
+    #[test]
+    fn armed_trigger_tears_the_matching_write_and_kills_power() {
+        let mut s = shelf();
+        let page = 4096;
+        // Fires on the second AnyWrite, keeping one page of three.
+        s.arm_power_loss(CrashTarget::AnyWrite, 1, page);
+        s.write_drive(4, 0, &vec![0xaa; page], 0).unwrap();
+        assert!(s.power_loss_armed());
+        let err = s.write_drive(4, page, &vec![0xbb; 3 * page], 0);
+        assert!(err.is_err());
+        assert!(!s.powered());
+        assert!(!s.power_loss_armed());
+        assert!(s.torn_note().unwrap().contains("segment write"));
+        s.power_restore();
+        // Prefix page reached the medium; straddle/tail did not survive
+        // intact (interrupted program or never written).
+        let (p0, _) = s.read_drive(4, page, page, 0).unwrap();
+        assert_eq!(p0, vec![0xbb; page]);
+        assert!(s.read_drive(4, 2 * page, page, 0).is_err());
+    }
+
+    #[test]
+    fn nvram_trigger_tears_the_append_tail() {
+        let mut s = shelf();
+        s.nvram_append(&[7u8; 64], 0).unwrap();
+        s.arm_power_loss(CrashTarget::NvramAppend, 0, 10);
+        assert!(s.nvram_append(&[9u8; 64], 0).is_err());
+        assert!(!s.powered());
+        assert!(s.torn_note().unwrap().contains("NVRAM"));
+        s.power_restore();
+        let (records, _) = s.nvram().scan(0).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].payload, vec![7u8; 64]);
+        assert_eq!(records[1].payload, vec![9u8; 10]);
+    }
+
+    #[test]
+    fn boot_target_skips_segment_writes() {
+        let cfg = ArrayConfig::test_small();
+        let mut s = Shelf::new(&cfg, Clock::new());
+        let boot_bytes = cfg.boot_region_bytes();
+        s.arm_power_loss(CrashTarget::BootWrite, 0, 0);
+        // A main-region write on a mirror drive does not match.
+        s.write_drive(0, boot_bytes, &[1; 4096], 0).unwrap();
+        // A boot-region write on a non-mirror drive id does not exist,
+        // but a mirror-drive boot offset fires.
+        assert!(s.write_drive(0, 0, &[2; 8192], 0).is_err());
+        assert!(s.torn_note().unwrap().contains("boot-region"));
     }
 }

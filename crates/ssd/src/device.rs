@@ -169,6 +169,52 @@ impl Ssd {
         Ok(done)
     }
 
+    /// Power-loss hook: performs a write that power loss interrupts
+    /// after `keep_bytes` bytes. Pages entirely within the kept prefix
+    /// program normally (they reached the flash before the cut); the
+    /// page straddling the tear point programs partially — real NAND
+    /// leaves an interrupted program in an undefined state, modeled as a
+    /// corrupt page that read-verification rejects; pages beyond it are
+    /// never programmed and keep whatever mapping they had before.
+    ///
+    /// Everything already on the device is frozen as-is (flash is
+    /// non-volatile); the drive's volatile state (in-flight transfer
+    /// buffers) is exactly the discarded tail of this write.
+    pub fn write_torn(
+        &mut self,
+        offset: usize,
+        data: &[u8],
+        keep_bytes: usize,
+        now: Nanos,
+    ) -> Result<Nanos, DeviceError> {
+        if self.failed {
+            return Err(DeviceError::Failed);
+        }
+        if !offset.is_multiple_of(self.page_size) || !data.len().is_multiple_of(self.page_size) {
+            return Err(DeviceError::Misaligned);
+        }
+        let mut done = now;
+        for (i, chunk) in data.chunks(self.page_size).enumerate() {
+            let page_start = i * self.page_size;
+            if page_start >= keep_bytes {
+                break; // never left the controller
+            }
+            let lpn = offset / self.page_size + i;
+            done = done.max(self.ftl.write(lpn, chunk, now)?);
+            if page_start + self.page_size > keep_bytes {
+                // Interrupted mid-program: undefined contents.
+                let geo = *self.ftl.flash().geometry();
+                if let Some(flat) = self.ftl.physical_of(lpn) {
+                    self.ftl
+                        .flash_mut()
+                        .corrupt_page(Ppa::unflatten(flat, &geo));
+                }
+                break;
+            }
+        }
+        Ok(done)
+    }
+
     /// Reads `len` bytes at any byte offset. Returns data + the
     /// completion timestamp of the slowest constituent page read.
     pub fn read(
@@ -435,6 +481,34 @@ mod tests {
         ));
         // Corrupting an unmapped page reports false.
         assert!(!ssd.corrupt_at(1024 * 1024));
+    }
+
+    #[test]
+    fn torn_write_keeps_prefix_corrupts_straddle_skips_tail() {
+        let mut ssd = mk();
+        // Pre-existing data the torn write partially overwrites.
+        let old = vec![0xAAu8; 3 * 4096];
+        ssd.write(0, &old, 0).unwrap();
+        let new = vec![0xBBu8; 3 * 4096];
+        // Tear mid-second-page: page 0 fully new, page 1 undefined
+        // (corrupt), page 2 untouched (still old).
+        ssd.write_torn(0, &new, 4096 + 100, 0).unwrap();
+        assert_eq!(ssd.read(0, 4096, 0).unwrap().0, vec![0xBB; 4096]);
+        assert!(matches!(
+            ssd.read(4096, 4096, 0),
+            Err(DeviceError::Ftl(FtlError::Flash(
+                crate::flash::FlashError::Corrupt
+            )))
+        ));
+        assert_eq!(ssd.read(2 * 4096, 4096, 0).unwrap().0, vec![0xAA; 4096]);
+        // A page-aligned tear keeps whole pages and corrupts nothing.
+        let mut ssd2 = mk();
+        ssd2.write_torn(0, &new, 4096, 0).unwrap();
+        assert_eq!(ssd2.read(0, 4096, 0).unwrap().0, vec![0xBB; 4096]);
+        assert!(matches!(
+            ssd2.read(4096, 1, 0),
+            Err(DeviceError::Ftl(FtlError::Unmapped))
+        ));
     }
 
     #[test]

@@ -54,6 +54,8 @@ pub struct Nvram {
     records: Vec<NvramRecord>,
     failed: bool,
     appends: u64,
+    /// Torn-tail injections performed (power-loss simulation).
+    torn_tails: u64,
 }
 
 impl Nvram {
@@ -76,6 +78,7 @@ impl Nvram {
             records: Vec::new(),
             failed: false,
             appends: 0,
+            torn_tails: 0,
         }
     }
 
@@ -152,6 +155,34 @@ impl Nvram {
         self.used_bytes -= freed;
     }
 
+    /// Power-loss hook: tears the most recent append at a byte offset,
+    /// as if power died while the record's tail was still in the part's
+    /// program buffer. The first `keep_bytes` of the last record survive;
+    /// the rest never reached the medium. Durable state (all earlier
+    /// records) is frozen untouched; there is no volatile state to
+    /// discard — appends are durable at completion by construction.
+    ///
+    /// Returns `true` if a record was actually torn (`keep_bytes` was
+    /// shorter than the record).
+    pub fn tear_last_append(&mut self, keep_bytes: usize) -> bool {
+        let Some(last) = self.records.last_mut() else {
+            return false;
+        };
+        if keep_bytes >= last.payload.len() {
+            return false;
+        }
+        let shed = last.payload.len() - keep_bytes;
+        last.payload.truncate(keep_bytes);
+        self.used_bytes -= shed;
+        self.torn_tails += 1;
+        true
+    }
+
+    /// Torn-tail injections performed so far.
+    pub fn torn_tails(&self) -> u64 {
+        self.torn_tails
+    }
+
     /// Fails the device.
     pub fn fail(&mut self) {
         self.failed = true;
@@ -223,6 +254,25 @@ mod tests {
             "commit {}",
             t
         );
+    }
+
+    #[test]
+    fn torn_tail_truncates_only_the_last_record() {
+        let mut nv = Nvram::new(1024);
+        nv.append(b"stable-record", 0).unwrap();
+        nv.append(b"torn-record", 0).unwrap();
+        let before = nv.used_bytes();
+        assert!(nv.tear_last_append(4));
+        assert_eq!(nv.used_bytes(), before - (b"torn-record".len() - 4));
+        let (records, _) = nv.scan(0).unwrap();
+        assert_eq!(records[0].payload, b"stable-record");
+        assert_eq!(records[1].payload, b"torn");
+        assert_eq!(nv.torn_tails(), 1);
+        // keep >= len is a no-op (the append fully reached the medium).
+        assert!(!nv.tear_last_append(100));
+        // An empty log has nothing to tear.
+        let mut empty = Nvram::new(64);
+        assert!(!empty.tear_last_append(0));
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! # purity-torture
+//!
+//! Deterministic crash–recovery torture harness for the Purity array.
+//!
+//! Everything here runs in virtual time on the deterministic
+//! simulation: a seeded campaign drives the full stack (host engine →
+//! QoS → multipath → array → FTL), loses power at an adversarial
+//! instant — mid-NVRAM-append (torn tail), mid-segment-flush (partial
+//! AU), mid-checkpoint (torn A/B boot slot), or cleanly between ops —
+//! cold-starts through the normal recovery paths, and holds the result
+//! to the durability contract with a sector-exact oracle.
+//!
+//! - [`oracle::DurabilityOracle`] — what the array promised: acked
+//!   writes bit-exact, unacked writes atomically present-or-absent,
+//!   snapshots frozen forever.
+//! - [`campaign::run_campaign`] — one seeded crash + recovery + verify
+//!   run; a pure function of its [`campaign::CampaignSpec`].
+//! - [`shrink::shrink`] — greedy minimizer for failing specs, with a
+//!   one-line repro command ([`shrink::repro_line`]).
+//!
+//! The `torture` integration test (`tests/torture.rs` at the workspace
+//! root) runs bounded seed sweeps in CI; the `exp_torture` bench binary
+//! runs wider sweeps and replays repro lines.
+
+pub mod campaign;
+pub mod oracle;
+pub mod shrink;
+
+pub use campaign::{failing, run_campaign, CampaignOutcome, CampaignSpec, CrashPhase};
+pub use oracle::DurabilityOracle;
+pub use shrink::{parse_repro, repro_line, shrink, Shrunk};

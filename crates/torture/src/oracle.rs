@@ -1,0 +1,265 @@
+//! The durability oracle: an authoritative model of what the array
+//! *promised* to keep.
+//!
+//! The contract under whole-array power loss (§4.3 of the paper):
+//!
+//! - every **acked** write survives bit-exact — the ack was only sent
+//!   after the NVRAM intent was durable;
+//! - an **unacked** write (the op that died with the power) is
+//!   prefix-atomic: the write path cuts an op into cblock-sized chunks,
+//!   each covered by its own NVRAM intent, appended and applied in
+//!   order — so after cold start some *prefix* of the op's sectors
+//!   holds the new data and the rest still hold their pre-images. No
+//!   sector is ever garbage, and the new data never lands out of order
+//!   (a durable later chunk with its earlier sibling missing would mean
+//!   replay resurrected a torn record);
+//! - snapshots are frozen: their contents never change, across any
+//!   number of crashes;
+//! - unwritten sectors read as zeros.
+//!
+//! The oracle mirrors acked state sector-by-sector, carries at most one
+//! *staged* (issued-but-unresolved) write at a time, and after a cold
+//! start [`DurabilityOracle::settle`]s the staged write by reading it
+//! back and folding whichever legal outcome it observes into the model.
+//! Violations are returned as strings, never panics, so the shrinker
+//! can re-run failing campaigns cheaply.
+
+use purity_core::{FlashArray, SnapshotId, VolumeId, SECTOR};
+use std::collections::BTreeMap;
+
+/// Acked contents of one volume (or a frozen snapshot of one).
+#[derive(Clone)]
+struct VolState {
+    size_sectors: u64,
+    sectors: BTreeMap<u64, [u8; SECTOR]>,
+}
+
+/// A write that was issued but errored out (power died mid-op): its
+/// sectors must resolve all-old or all-new after recovery.
+struct StagedWrite {
+    volume: VolumeId,
+    start_sector: u64,
+    /// Per sector: (pre-image, intended new contents).
+    sectors: Vec<([u8; SECTOR], [u8; SECTOR])>,
+}
+
+/// The model. All bookkeeping is `BTreeMap` so iteration order — and
+/// therefore every violation string — is deterministic.
+#[derive(Default)]
+pub struct DurabilityOracle {
+    volumes: BTreeMap<u64, VolState>,
+    snapshots: BTreeMap<u64, VolState>,
+    staged: Option<StagedWrite>,
+}
+
+impl DurabilityOracle {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a freshly created (all-zero) volume.
+    pub fn create_volume(&mut self, v: VolumeId, size_bytes: u64) {
+        self.volumes.insert(
+            v.0,
+            VolState {
+                size_sectors: size_bytes / SECTOR as u64,
+                sectors: BTreeMap::new(),
+            },
+        );
+    }
+
+    pub fn size_sectors(&self, v: VolumeId) -> u64 {
+        self.volumes[&v.0].size_sectors
+    }
+
+    /// Freezes the current acked state of `v` as snapshot `s`.
+    pub fn snapshot(&mut self, s: SnapshotId, v: VolumeId) {
+        let frozen = self.volumes[&v.0].clone();
+        self.snapshots.insert(s.0, frozen);
+    }
+
+    pub fn destroy_snapshot(&mut self, s: SnapshotId) {
+        self.snapshots.remove(&s.0);
+    }
+
+    /// Registers a clone of snapshot `s` as new volume `v`.
+    pub fn clone_snapshot(&mut self, s: SnapshotId, v: VolumeId) {
+        let state = self.snapshots[&s.0].clone();
+        self.volumes.insert(v.0, state);
+    }
+
+    /// Stages a write about to be issued. Exactly one write may be in
+    /// flight at a time (the harness is a single-threaded simulation).
+    pub fn stage_write(&mut self, v: VolumeId, start_sector: u64, data: &[u8]) {
+        assert!(self.staged.is_none(), "oracle: staged write never resolved");
+        assert_eq!(data.len() % SECTOR, 0);
+        let vol = &self.volumes[&v.0];
+        let sectors = data
+            .chunks_exact(SECTOR)
+            .enumerate()
+            .map(|(i, chunk)| {
+                let old = vol
+                    .sectors
+                    .get(&(start_sector + i as u64))
+                    .copied()
+                    .unwrap_or([0u8; SECTOR]);
+                let mut new = [0u8; SECTOR];
+                new.copy_from_slice(chunk);
+                (old, new)
+            })
+            .collect();
+        self.staged = Some(StagedWrite {
+            volume: v,
+            start_sector,
+            sectors,
+        });
+    }
+
+    /// The staged write was acked: it is now part of the durability
+    /// contract.
+    pub fn commit_staged(&mut self) {
+        let w = self.staged.take().expect("oracle: nothing staged");
+        let vol = self.volumes.get_mut(&w.volume.0).unwrap();
+        for (i, (_, new)) in w.sectors.into_iter().enumerate() {
+            vol.sectors.insert(w.start_sector + i as u64, new);
+        }
+    }
+
+    /// The staged write errored (power died mid-op). It stays pending
+    /// until [`DurabilityOracle::settle`] observes its outcome.
+    pub fn abandon_staged(&mut self) {
+        assert!(self.staged.is_some(), "oracle: abandon with nothing staged");
+    }
+
+    /// After a cold start: resolve any pending unacked write by reading
+    /// it back. The legal outcome is a *prefix* of the op's sectors
+    /// holding the new data and the remainder still holding their
+    /// pre-images (each cblock chunk's NVRAM intent is all-or-nothing
+    /// and they commit in order). Per-sector garbage, or new data
+    /// landing after an old sector (out-of-order durability), is a
+    /// violation. The observed outcome is folded into the model.
+    pub fn settle(&mut self, a: &mut FlashArray) -> Vec<String> {
+        let mut violations = Vec::new();
+        let Some(w) = self.staged.take() else {
+            return violations;
+        };
+        let n = w.sectors.len();
+        match a.read(w.volume, w.start_sector * SECTOR as u64, n * SECTOR) {
+            Err(e) => violations.push(format!(
+                "settle: read of pending write vol {} sector {} failed: {}",
+                w.volume.0, w.start_sector, e
+            )),
+            Ok((read, _)) => {
+                // True once a sector unambiguously held its pre-image;
+                // any unambiguously-new sector after that is a hole in
+                // the middle of the op — impossible under in-order
+                // intent commit.
+                let mut seen_old = false;
+                let vol = self.volumes.get_mut(&w.volume.0).unwrap();
+                for (i, (old, new)) in w.sectors.iter().enumerate() {
+                    let got = &read[i * SECTOR..(i + 1) * SECTOR];
+                    if got == &new[..] {
+                        if seen_old && old != new {
+                            violations.push(format!(
+                                "settle: unacked write vol {} sector {} is new data after an \
+                                 old sector — non-prefix (out-of-order) durability",
+                                w.volume.0,
+                                w.start_sector + i as u64
+                            ));
+                        }
+                        vol.sectors.insert(w.start_sector + i as u64, *new);
+                    } else if got == &old[..] {
+                        seen_old = true;
+                    } else {
+                        violations.push(format!(
+                            "settle: vol {} sector {} is neither pre-image nor new data",
+                            w.volume.0,
+                            w.start_sector + i as u64
+                        ));
+                    }
+                }
+            }
+        }
+        violations
+    }
+
+    /// Read-your-writes check over an extent of acked state.
+    pub fn check_read(
+        &self,
+        v: VolumeId,
+        start_sector: u64,
+        read: &[u8],
+        ctx: &str,
+    ) -> Vec<String> {
+        let vol = &self.volumes[&v.0];
+        Self::check_extent(vol, start_sector, read, &format!("{ctx} vol {}", v.0))
+    }
+
+    fn check_extent(state: &VolState, start_sector: u64, read: &[u8], what: &str) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (i, got) in read.chunks_exact(SECTOR).enumerate() {
+            let sector = start_sector + i as u64;
+            let expect = state.sectors.get(&sector).copied().unwrap_or([0u8; SECTOR]);
+            if got != expect {
+                violations.push(format!(
+                    "{what} sector {sector}: acked data lost or corrupt"
+                ));
+            }
+        }
+        violations
+    }
+
+    /// Full sweep: every acked sector of every volume, every frozen
+    /// sector of every snapshot, must read back bit-exact.
+    pub fn verify_all(&self, a: &mut FlashArray) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (&id, vol) in &self.volumes {
+            for (&sector, expect) in &vol.sectors {
+                match a.read(VolumeId(id), sector * SECTOR as u64, SECTOR) {
+                    Err(e) => {
+                        violations.push(format!("vol {id} sector {sector}: read failed: {e}"))
+                    }
+                    Ok((read, _)) => {
+                        if read[..] != expect[..] {
+                            violations.push(format!("vol {id} sector {sector}: acked write lost"));
+                        }
+                    }
+                }
+            }
+        }
+        for (&id, snap) in &self.snapshots {
+            for (&sector, expect) in &snap.sectors {
+                match a.read_snapshot(SnapshotId(id), sector * SECTOR as u64, SECTOR) {
+                    Err(e) => {
+                        violations.push(format!("snap {id} sector {sector}: read failed: {e}"))
+                    }
+                    Ok(read) => {
+                        if read[..] != expect[..] {
+                            violations
+                                .push(format!("snap {id} sector {sector}: frozen data changed"));
+                        }
+                    }
+                }
+            }
+        }
+        violations
+    }
+
+    /// Expected contents of one frozen snapshot sector (for spot reads).
+    pub fn snapshot_sector(&self, s: SnapshotId, sector: u64) -> [u8; SECTOR] {
+        self.snapshots[&s.0]
+            .sectors
+            .get(&sector)
+            .copied()
+            .unwrap_or([0u8; SECTOR])
+    }
+
+    pub fn snapshot_size_sectors(&self, s: SnapshotId) -> u64 {
+        self.snapshots[&s.0].size_sectors
+    }
+
+    /// Number of acked sectors tracked across all volumes (test aid).
+    pub fn acked_sectors(&self) -> usize {
+        self.volumes.values().map(|v| v.sectors.len()).sum()
+    }
+}

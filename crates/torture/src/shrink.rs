@@ -1,0 +1,134 @@
+//! Seed shrinking: turn a failing campaign into the smallest repro the
+//! greedy search can find, plus a one-line command to replay it.
+//!
+//! Because [`crate::campaign::run_campaign`] is a pure function of its
+//! spec, shrinking is just re-running candidate specs and keeping the
+//! smallest one that still fails. The search is greedy over the two op
+//! counts (post-crash first — a failure that survives `post_ops = 0`
+//! is caught by the final sweep alone — then the pre-crash count, by
+//! halving, then quartering, then decrement).
+
+use crate::campaign::{failing, CampaignSpec, CrashPhase};
+
+/// Result of a shrink: the minimized spec and how many campaign re-runs
+/// the search spent.
+#[derive(Debug, Clone, Copy)]
+pub struct Shrunk {
+    pub spec: CampaignSpec,
+    pub runs: usize,
+}
+
+/// Greedily minimizes a failing spec. The input must fail (assert);
+/// the output still fails and has `crash_op + post_ops` no larger than
+/// the input's.
+pub fn shrink(spec: &CampaignSpec) -> Shrunk {
+    assert!(
+        failing(spec),
+        "shrink called on a passing spec: {}",
+        repro_line(spec)
+    );
+    let mut best = *spec;
+    let mut runs = 1usize;
+    loop {
+        let mut candidates: Vec<CampaignSpec> = Vec::new();
+        if best.post_ops > 0 {
+            candidates.push(CampaignSpec {
+                post_ops: 0,
+                ..best
+            });
+            candidates.push(CampaignSpec {
+                post_ops: best.post_ops / 2,
+                ..best
+            });
+        }
+        if best.crash_op > 1 {
+            for next in [
+                best.crash_op / 2,
+                best.crash_op - (best.crash_op / 4).max(1),
+                best.crash_op - 1,
+            ] {
+                if next < best.crash_op {
+                    candidates.push(CampaignSpec {
+                        crash_op: next,
+                        ..best
+                    });
+                }
+            }
+        }
+        candidates.retain(|c| c != &best);
+        let mut improved = false;
+        for c in candidates {
+            runs += 1;
+            if failing(&c) {
+                best = c;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return Shrunk { spec: best, runs };
+        }
+    }
+}
+
+/// One line that replays the spec: paste it after `exp_torture`.
+pub fn repro_line(spec: &CampaignSpec) -> String {
+    format!(
+        "--repro seed={},phase={},crash_op={},post_ops={},full_scan={},sabotage={},host={}",
+        spec.seed,
+        spec.phase.name(),
+        spec.crash_op,
+        spec.post_ops,
+        spec.full_scan,
+        spec.sabotage,
+        spec.host_stage
+    )
+}
+
+/// Parses the `key=value,...` payload of a repro line (the part after
+/// `--repro`). Unknown keys and malformed pairs are errors.
+pub fn parse_repro(s: &str) -> Option<CampaignSpec> {
+    let mut spec = CampaignSpec::new(0, CrashPhase::OpBoundary);
+    for pair in s.trim().split(',') {
+        let (k, v) = pair.split_once('=')?;
+        match k.trim() {
+            "seed" => spec.seed = v.parse().ok()?,
+            "phase" => spec.phase = CrashPhase::parse(v)?,
+            "crash_op" => spec.crash_op = v.parse().ok()?,
+            "post_ops" => spec.post_ops = v.parse().ok()?,
+            "full_scan" => spec.full_scan = v.parse().ok()?,
+            "sabotage" => spec.sabotage = v.parse().ok()?,
+            "host" => spec.host_stage = v.parse().ok()?,
+            _ => return None,
+        }
+    }
+    Some(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repro_line_round_trips() {
+        let spec = CampaignSpec {
+            seed: 42,
+            crash_op: 17,
+            post_ops: 3,
+            phase: CrashPhase::SegmentFlush,
+            full_scan: true,
+            sabotage: true,
+            host_stage: false,
+        };
+        let line = repro_line(&spec);
+        let payload = line.strip_prefix("--repro ").unwrap();
+        assert_eq!(parse_repro(payload), Some(spec));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_and_junk() {
+        assert!(parse_repro("seed=1,bogus=2").is_none());
+        assert!(parse_repro("seed=abc").is_none());
+        assert!(parse_repro("no-equals-sign").is_none());
+    }
+}

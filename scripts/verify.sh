@@ -28,6 +28,12 @@ step "host exhibit smoke (exp_host_qd, exp_host_failover)"
 cargo run -q --release -p purity-bench --bin exp_host_qd -- --smoke
 cargo run -q --release -p purity-bench --bin exp_host_failover -- --smoke
 
+# Crash-recovery torture smoke: a short power-loss sweep across all four
+# crash phases, plus the oracle's sabotage self-check. A failure leaves
+# a one-line repro in results/exp_torture_repro.txt (see TESTING.md).
+step "crash-recovery torture smoke (exp_torture)"
+cargo run -q --release -p purity-bench --bin exp_torture -- --seeds 8 --smoke
+
 if [[ $quick -eq 1 ]]; then
   echo "--quick: skipping fmt/clippy"
   exit 0

@@ -9,12 +9,16 @@
 use purity_core::{ArrayConfig, FlashArray, SnapshotId, VolumeId, SECTOR};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
-/// Reference state of one volume.
+/// Reference state of one volume. Sector contents live in a `BTreeMap`
+/// so the final verification sweep reads in sorted order — iterating a
+/// `HashMap` here issued reads in per-run-random order, whose
+/// order-dependent device queueing broke the byte-identical-replay
+/// regression test below.
 #[derive(Clone, Default)]
 struct ModelVolume {
-    sectors: HashMap<u64, [u8; SECTOR]>,
+    sectors: BTreeMap<u64, [u8; SECTOR]>,
     size_sectors: u64,
 }
 
@@ -36,7 +40,7 @@ fn content(rng: &mut StdRng, dedup_friendly: bool) -> [u8; SECTOR] {
     s
 }
 
-fn run_model(seed: u64, ops: usize) {
+fn run_model(seed: u64, ops: usize) -> FlashArray {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut a = FlashArray::new(ArrayConfig::test_small()).unwrap();
     let mut model = Model {
@@ -54,7 +58,7 @@ fn run_model(seed: u64, ops: usize) {
         model.volumes.insert(
             v.0,
             ModelVolume {
-                sectors: HashMap::new(),
+                sectors: BTreeMap::new(),
                 size_sectors: size / SECTOR as u64,
             },
         );
@@ -222,6 +226,7 @@ fn run_model(seed: u64, ops: usize) {
             );
         }
     }
+    a
 }
 
 #[test]
@@ -257,4 +262,17 @@ fn model_seed_6() {
 #[test]
 fn model_seed_7_long() {
     run_model(7, 900);
+}
+
+/// Determinism regression: the same seed run twice must produce
+/// byte-identical observability exports — virtual time, every counter,
+/// every histogram bucket, every captured slow-op trace. Catches
+/// iteration-order bugs (e.g. a HashMap sneaking into a hot path, two
+/// of which were fixed in PR 2) that would silently break seed replay
+/// in the torture harness.
+#[test]
+fn model_seed_runs_are_byte_identical() {
+    let a = run_model(11, 300).export_observability_json();
+    let b = run_model(11, 300).export_observability_json();
+    assert_eq!(a, b, "same seed, same ops — export must be byte-identical");
 }

@@ -1,0 +1,153 @@
+//! Crash–recovery torture: bounded seed sweeps for CI.
+//!
+//! Each campaign loses whole-array power at an adversarial instant and
+//! must cold-start with every promise intact (see
+//! `purity_torture::oracle` for the contract). Wider sweeps live in the
+//! `exp_torture` bench binary; any failure there prints a one-line
+//! repro that replays under `exp_torture --repro`.
+
+use purity_torture::{failing, run_campaign, shrink, CampaignSpec, CrashPhase};
+
+/// Runs one seed sweep for a phase; asserts zero violations everywhere
+/// and returns how many campaigns actually hit the targeted phase.
+fn sweep(phase: CrashPhase, seeds: std::ops::Range<u64>) -> usize {
+    let mut hits = 0;
+    for seed in seeds {
+        let spec = CampaignSpec::new(seed, phase);
+        let out = run_campaign(&spec);
+        assert!(
+            out.violations.is_empty(),
+            "seed {} phase {} violated the durability contract:\n  {}\nrepro: exp_torture {}",
+            seed,
+            phase.name(),
+            out.violations.join("\n  "),
+            purity_torture::repro_line(&spec),
+        );
+        assert!(
+            out.acked_sectors > 0,
+            "seed {seed}: campaign acked nothing — not a meaningful run"
+        );
+        if out.phase_hit {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+#[test]
+fn torture_nvram_tail() {
+    let hits = sweep(CrashPhase::NvramTail, 0..6);
+    assert!(hits >= 4, "NVRAM-tail trigger rarely fired: {hits}/6");
+}
+
+#[test]
+fn torture_segment_flush() {
+    let hits = sweep(CrashPhase::SegmentFlush, 10..16);
+    assert!(hits >= 4, "segment-flush trigger rarely fired: {hits}/6");
+}
+
+#[test]
+fn torture_checkpoint() {
+    let hits = sweep(CrashPhase::Checkpoint, 20..26);
+    assert!(hits >= 4, "checkpoint trigger rarely fired: {hits}/6");
+}
+
+#[test]
+fn torture_op_boundary() {
+    let hits = sweep(CrashPhase::OpBoundary, 30..36);
+    assert_eq!(hits, 6, "clean cuts always count as hits");
+}
+
+/// Full-device scan recovery must satisfy the same contract as the
+/// frontier scan.
+#[test]
+fn torture_full_scan() {
+    for seed in 40..42u64 {
+        let spec = CampaignSpec {
+            full_scan: true,
+            ..CampaignSpec::new(seed, CrashPhase::SegmentFlush)
+        };
+        let out = run_campaign(&spec);
+        assert!(
+            out.violations.is_empty(),
+            "full-scan seed {seed}: {:?}",
+            out.violations
+        );
+    }
+}
+
+/// The host engine stage (QoS + multipath front end) layered under the
+/// crash changes nothing about the contract.
+#[test]
+fn torture_with_host_stage() {
+    for seed in 50..52u64 {
+        let spec = CampaignSpec {
+            host_stage: true,
+            ..CampaignSpec::new(seed, CrashPhase::NvramTail)
+        };
+        let out = run_campaign(&spec);
+        assert!(
+            out.violations.is_empty(),
+            "host-stage seed {seed}: {:?}",
+            out.violations
+        );
+    }
+}
+
+/// Same spec, run twice: byte-identical outcome. Violation strings,
+/// torn notes, recovery counters — everything. This is what makes a
+/// failing triple a repro rather than an anecdote.
+#[test]
+fn campaign_is_deterministic() {
+    let spec = CampaignSpec::new(7, CrashPhase::SegmentFlush);
+    let a = format!("{:?}", run_campaign(&spec));
+    let b = format!("{:?}", run_campaign(&spec));
+    assert_eq!(a, b, "same spec must replay identically");
+}
+
+/// Oracle power check: deliberately sabotage recovery (skip NVRAM
+/// replay) and the oracle MUST catch the missing acked writes. If this
+/// test fails, the whole suite is a rubber stamp.
+#[test]
+fn sabotaged_recovery_is_caught() {
+    let spec = CampaignSpec {
+        sabotage: true,
+        ..CampaignSpec::new(3, CrashPhase::OpBoundary)
+    };
+    let out = run_campaign(&spec);
+    assert!(
+        !out.violations.is_empty(),
+        "skipping NVRAM replay must lose acked writes — the oracle saw nothing"
+    );
+}
+
+/// The shrinker takes a seeded failure down to a handful of ops and
+/// prints a repro line that parses back to the same spec.
+#[test]
+fn shrinker_minimizes_a_seeded_failure() {
+    let spec = CampaignSpec {
+        sabotage: true,
+        ..CampaignSpec::new(3, CrashPhase::OpBoundary)
+    };
+    assert!(failing(&spec));
+    let shrunk = shrink(&spec);
+    assert!(
+        failing(&shrunk.spec),
+        "shrunk spec must still fail: {:?}",
+        shrunk
+    );
+    let total = shrunk.spec.crash_op + shrunk.spec.post_ops;
+    assert!(
+        total <= 25,
+        "expected <= 25 ops after shrinking, got {total} ({:?}, {} runs)",
+        shrunk.spec,
+        shrunk.runs
+    );
+    let line = purity_torture::repro_line(&shrunk.spec);
+    let payload = line.strip_prefix("--repro ").unwrap();
+    assert_eq!(
+        purity_torture::parse_repro(payload),
+        Some(shrunk.spec),
+        "repro line must parse back to the shrunk spec"
+    );
+}
