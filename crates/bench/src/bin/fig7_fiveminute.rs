@@ -1,14 +1,127 @@
 //! Figure 7: the relative cost of storing data in Purity arrays, disk
 //! arrays and main memory versus access frequency — the five-minute rule
 //! recomputed for 2015 flash economics, plus the paper's rules of thumb.
+//!
+//! The second half puts the "five minutes" on a clock: a five-minute
+//! failure-injection trace sampled by the flight recorder at a one
+//! second cadence. An enterprise-mix workload runs throughout; a drive
+//! is pulled a third of the way in and revived a minute later, and the
+//! recorder's per-interval read-latency series captures the whole arc.
+//! The trace (and any SLO incidents it opened) lands next to the cost
+//! table in `results/fig7_fiveminute.json`, and the binary parses its
+//! own output back as a self-check. `--smoke` shrinks the trace to one
+//! minute for CI.
 
-use purity_bench::{print_table, write_results};
+use purity_bench::{drive, parse_json, print_table, write_results};
+use purity_core::{ArrayConfig, FlashArray};
 use purity_obs::json::JsonWriter;
+use purity_sim::units::format_nanos;
+use purity_sim::{Nanos, SEC};
 use purity_wkld::costmodel::{
     cost_per_item, crossover_interval, figure7_devices, figure7_intervals,
 };
+use purity_wkld::{AccessPattern, ContentModel, SizeMix, WorkloadGen};
+
+/// Telemetry cadence for the trace: one interval per virtual second.
+const TRACE_INTERVAL: Nanos = SEC;
+
+/// What the five-minute trace leaves behind for printing and export.
+struct Trace {
+    /// `five_minute_trace` JSON section.
+    json: String,
+    /// Closed recorder intervals (seconds of trace).
+    intervals: usize,
+    /// Reads driven, which must equal the series' summed counts.
+    reads: u64,
+    /// Interval indices of the drive pull and revival.
+    pull: usize,
+    revive: usize,
+    /// Per-interval (count, p99.9) pairs for the printed digest.
+    series: Vec<(u64, Nanos)>,
+    incidents: usize,
+}
+
+/// Five minutes of enterprise-mix traffic with a mid-trace drive pull,
+/// watched by the flight recorder at a one-second cadence.
+fn five_minute_trace(smoke: bool) -> Trace {
+    let mut cfg = ArrayConfig::test_small();
+    cfg.telemetry_interval_ns = TRACE_INTERVAL;
+    let mut a = FlashArray::new(cfg).unwrap();
+    let vol_bytes: u64 = 4 << 20;
+    let vol = a.create_volume("fig7", vol_bytes).unwrap();
+
+    // Preload so the trace reads hit real blocks (sub-interval, fast).
+    let mut loader = WorkloadGen::new(
+        7,
+        vol_bytes,
+        AccessPattern::Sequential,
+        SizeMix::fixed(64 * 1024),
+        0,
+        ContentModel::Rdbms,
+        20_000,
+    );
+    drive(&mut a, vol, &mut loader, vol_bytes / (64 * 1024), 0);
+
+    // 100 IOPS of the paper's enterprise mix (≈55 KiB mean, 70% reads)
+    // over zipfian offsets; GC runs periodically to keep the churn from
+    // exhausting the small array's segments.
+    let scale: u64 = if smoke { 1 } else { 5 };
+    let mut mix = WorkloadGen::new(
+        21,
+        vol_bytes,
+        AccessPattern::Zipfian(0.99),
+        SizeMix::enterprise(),
+        70,
+        ContentModel::Rdbms,
+        10_000_000,
+    );
+    let mut reads = 0;
+    // 1/3 healthy, 1/3 degraded + rebuilding, 1/3 healthy again.
+    reads += drive(&mut a, vol, &mut mix, 2400 * scale, 50).reads;
+    let t_pull = a.now();
+    a.fail_drive(2);
+    reads += drive(&mut a, vol, &mut mix, 1200 * scale, 50).reads;
+    let t_revive = a.now();
+    let rebuilt = a.revive_drive(2);
+    assert_eq!(rebuilt.unrecoverable, 0, "RS must cover a single pull");
+    reads += drive(&mut a, vol, &mut mix, 2400 * scale, 50).reads;
+    // Cross one more boundary so the final partial interval closes.
+    a.advance(TRACE_INTERVAL);
+
+    let rec = &a.obs().recorder;
+    let first = rec.first_interval_start();
+    let idx = |t: Nanos| ((t - first) / TRACE_INTERVAL) as usize;
+    let stats = rec.hist_series("array_read_latency", &[]);
+    let series: Vec<(u64, Nanos)> = stats.iter().map(|s| (s.count, s.p999)).collect();
+    let incidents = rec.incidents().len();
+
+    let mut points = JsonWriter::array();
+    for s in &stats {
+        let mut p = JsonWriter::object();
+        p.u64_field("count", s.count).u64_field("p999_ns", s.p999);
+        points.raw_element(&p.finish());
+    }
+    let mut json = JsonWriter::object();
+    json.u64_field("interval_ns", TRACE_INTERVAL)
+        .u64_field("intervals", stats.len() as u64)
+        .u64_field("reads", reads)
+        .u64_field("pull_interval", idx(t_pull) as u64)
+        .u64_field("revive_interval", idx(t_revive) as u64)
+        .u64_field("incidents", incidents as u64)
+        .raw_field("read_latency", &points.finish());
+    Trace {
+        json: json.finish(),
+        intervals: stats.len(),
+        reads,
+        pull: idx(t_pull),
+        revive: idx(t_revive),
+        series,
+        incidents,
+    }
+}
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     const ITEM: u64 = 55 * 1024; // the paper's 55 KiB average I/O
     let devices = figure7_devices();
     let intervals = figure7_intervals();
@@ -67,7 +180,42 @@ fn main() {
         "  4. Important data follows a ten-minute rule (second cached copy vs storage access)."
     );
 
-    // Machine-readable form of the same table + crossovers.
+    // The five-minute trace, digested into ~10-row chunks.
+    let trace = five_minute_trace(smoke);
+    println!(
+        "\nFive-minute trace: {} one-second intervals, drive pulled at [{}], revived at [{}], {} incident(s)",
+        trace.intervals, trace.pull, trace.revive, trace.incidents
+    );
+    let chunk = (trace.intervals / 10).max(1);
+    let rows: Vec<Vec<String>> = trace
+        .series
+        .chunks(chunk)
+        .enumerate()
+        .map(|(i, c)| {
+            let lo = i * chunk;
+            let hi = lo + c.len() - 1;
+            let mark = if (lo..=hi).contains(&trace.pull) {
+                "  << pull"
+            } else if (lo..=hi).contains(&trace.revive) {
+                "  << revive"
+            } else {
+                ""
+            };
+            vec![
+                format!("{lo:3}..{hi:3}"),
+                c.iter().map(|&(n, _)| n).sum::<u64>().to_string(),
+                format_nanos(c.iter().map(|&(_, p)| p).max().unwrap_or(0)),
+                mark.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Trace digest (per-interval read latency)",
+        &["Intervals", "Reads", "Max p99.9", ""],
+        &rows,
+    );
+
+    // Machine-readable form: cost table + crossovers + trace.
     let mut cells = JsonWriter::array();
     for (label, t) in &intervals {
         let mut row = JsonWriter::object();
@@ -89,8 +237,36 @@ fn main() {
     }
     let mut root = JsonWriter::object();
     root.str_field("experiment", "fig7_fiveminute")
+        .bool_field("smoke", smoke)
         .u64_field("item_bytes", ITEM)
         .raw_field("relative_cost_table", &cells.finish())
-        .raw_field("crossover_vs_ram_sec", &crossovers.finish());
-    write_results("fig7_fiveminute", &root.finish());
+        .raw_field("crossover_vs_ram_sec", &crossovers.finish())
+        .raw_field("five_minute_trace", &trace.json);
+    let out = root.finish();
+    write_results("fig7_fiveminute", &out);
+
+    // Self-check: the emitted trace parses, covers every driven read,
+    // and brackets the failure window.
+    let doc = parse_json(&out).expect("emitted JSON must parse");
+    let points = doc
+        .path("five_minute_trace.read_latency")
+        .and_then(|v| v.as_array())
+        .expect("trace series");
+    assert_eq!(points.len(), trace.intervals);
+    let counted: u64 = points
+        .iter()
+        .map(|p| p.get("count").and_then(|c| c.as_u64()).unwrap_or(0))
+        .sum();
+    assert_eq!(
+        counted, trace.reads,
+        "every driven read must land in exactly one interval"
+    );
+    assert!(
+        trace.pull < trace.revive && trace.revive < trace.intervals,
+        "failure window must sit inside the trace"
+    );
+    println!(
+        "\nself-check OK: {} reads across {} intervals.",
+        counted, trace.intervals
+    );
 }

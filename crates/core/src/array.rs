@@ -159,9 +159,12 @@ impl FlashArray {
         self.clock.now()
     }
 
-    /// Advances the virtual clock (workload pacing).
+    /// Advances the virtual clock (workload pacing), sampling the
+    /// flight recorder if an interval boundary elapsed.
     pub fn advance(&mut self, delta: Nanos) -> Nanos {
-        self.clock.advance(delta)
+        let t = self.clock.advance(delta);
+        self.sample_telemetry();
+        t
     }
 
     /// Configuration accessor.
@@ -695,15 +698,123 @@ impl FlashArray {
             .set(space.provisioned_bytes as i64);
     }
 
+    /// Whether the flight recorder has an interval boundary to close at
+    /// the current virtual time (one atomic load — callable per op).
+    pub fn telemetry_due(&self) -> bool {
+        self.primary.obs.recorder.due(self.clock.now())
+    }
+
+    /// Samples the flight recorder if an interval boundary has elapsed:
+    /// publishes the registry mirror, closes the due interval(s), and —
+    /// when the SLO monitor opens an incident — freezes the causal
+    /// evidence bundle (per-die busy/GC state, array rebuild/failover
+    /// state, registry gauges such as host queue depth). Drivers that
+    /// advance the clock themselves (the host engine) call this on
+    /// their ticks; [`FlashArray::advance`] calls it automatically.
+    pub fn sample_telemetry(&self) {
+        let now = self.clock.now();
+        let obs = &self.primary.obs;
+        if !obs.recorder.due(now) || !self.shelf.powered() {
+            return;
+        }
+        self.publish_metrics();
+        let events = obs.recorder.sample(now, &obs.registry, &obs.tracer);
+        for ev in events {
+            if let purity_obs::SloEvent::Opened { id, .. } = ev {
+                obs.recorder
+                    .attach_evidence(id, self.incident_evidence(now));
+            }
+        }
+    }
+
+    /// The frozen blame state an SLO incident captures at open time.
+    fn incident_evidence(&self, now: Nanos) -> Vec<purity_obs::EvidenceSection> {
+        let mut drives = Vec::new();
+        for d in 0..self.shelf.n_drives() {
+            let drive = self.shelf.drive(d);
+            if drive.is_failed() {
+                drives.push((format!("drive{d}"), "failed (pulled)".to_string()));
+                continue;
+            }
+            let ftl = drive.stats();
+            drives.push((
+                format!("drive{d}"),
+                format!(
+                    "busy={} gc_runs={} gc_programs={} erases={}",
+                    drive.busy_at(now),
+                    ftl.gc_runs,
+                    ftl.gc_programs,
+                    ftl.erases
+                ),
+            ));
+            for die in drive.die_statuses(now) {
+                if !die.busy {
+                    continue;
+                }
+                let cause = die.pending.map(|c| c.as_str()).unwrap_or("read");
+                drives.push((
+                    format!("drive{d}.die{die}", die = die.die),
+                    format!("busy with {cause} until t={}ns", die.free_at),
+                ));
+            }
+        }
+        let s = &self.primary.stats;
+        let array = vec![
+            (
+                "failed_drives".to_string(),
+                format!("{:?}", self.shelf.failed_drives()),
+            ),
+            ("gc_passes".to_string(), s.gc_passes.to_string()),
+            (
+                "gc_bytes_relocated".to_string(),
+                s.gc_bytes_relocated.to_string(),
+            ),
+            ("scrub_passes".to_string(), s.scrub_passes.to_string()),
+            ("failovers".to_string(), self.failovers.to_string()),
+            ("downtime_ns".to_string(), self.downtime_total.to_string()),
+            (
+                "nvram_used_bytes".to_string(),
+                self.shelf.nvram().used_bytes().to_string(),
+            ),
+        ];
+        // Point-in-time gauges (host queue depth, space accounting, …)
+        // published into the registry by whoever drives the array.
+        let gauges = self
+            .primary
+            .obs
+            .registry
+            .snapshot()
+            .gauges
+            .into_iter()
+            .map(|(id, v)| (id.render(), v.to_string()))
+            .collect();
+        vec![
+            purity_obs::EvidenceSection {
+                section: "array".to_string(),
+                entries: array,
+            },
+            purity_obs::EvidenceSection {
+                section: "drives".to_string(),
+                entries: drives,
+            },
+            purity_obs::EvidenceSection {
+                section: "gauges".to_string(),
+                entries: gauges,
+            },
+        ]
+    }
+
     /// Publishes and freezes every metric.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.publish_metrics();
         self.primary.obs.registry.snapshot()
     }
 
-    /// Publishes, then renders the full observability export (metrics +
-    /// captured slow ops) as JSON — what the bench binaries write into
-    /// `results/`.
+    /// Publishes, then renders the full observability export (metrics,
+    /// captured slow ops, the flight recorder's `timeseries` and
+    /// `incidents`) as JSON — what the bench binaries write into
+    /// `results/`. Pure: exporting never advances recorder state, so
+    /// repeated exports at the same virtual time are byte-identical.
     pub fn export_observability_json(&self) -> String {
         self.publish_metrics();
         self.primary.obs.export_json()

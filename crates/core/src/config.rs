@@ -58,6 +58,23 @@ pub struct ArrayConfig {
     /// The default is the paper's 1 ms headline p99.9 bound — anything
     /// over it is exactly the tail worth explaining.
     pub slow_op_capture_ns: u64,
+    /// Slow-op ring capacity (captures retained). Exhibits that want a
+    /// deeper tail record trade memory for it here; both this and the
+    /// threshold are also runtime-adjustable via `Tracer`.
+    pub slow_op_ring_capacity: usize,
+    /// Flight-recorder sampling cadence in virtual ns (see
+    /// OBSERVABILITY.md "Flight recorder").
+    pub telemetry_interval_ns: u64,
+    /// Flight-recorder bounded window, in intervals.
+    pub telemetry_window_intervals: usize,
+    /// Per-interval read p99.9 budget the SLO monitor burns against
+    /// (the paper's 1 ms bound).
+    pub slo_read_p999_budget_ns: u64,
+    /// Intervals with fewer reads than this are not judged against the
+    /// budget.
+    pub slo_min_interval_reads: u64,
+    /// Consecutive healthy intervals that close an open incident.
+    pub slo_cooldown_intervals: u32,
 }
 
 impl ArrayConfig {
@@ -89,6 +106,12 @@ impl ArrayConfig {
             seed: 0x9E3779B9,
             preage_cycles: 0,
             slow_op_capture_ns: 1_000_000,
+            slow_op_ring_capacity: 256,
+            telemetry_interval_ns: 100_000_000,
+            telemetry_window_intervals: 4096,
+            slo_read_p999_budget_ns: 1_000_000,
+            slo_min_interval_reads: 16,
+            slo_cooldown_intervals: 2,
         }
     }
 
@@ -104,6 +127,24 @@ impl ArrayConfig {
             cache_bytes: 16 * 1024 * 1024,
             dedup_recent_window: 16 * 1024,
             ..Self::test_small()
+        }
+    }
+
+    /// The observability-hub configuration these knobs describe.
+    pub fn obs_config(&self) -> purity_obs::ObsConfig {
+        purity_obs::ObsConfig {
+            slow_op_threshold: self.slow_op_capture_ns,
+            slow_op_capacity: self.slow_op_ring_capacity,
+            recorder: purity_obs::RecorderConfig {
+                interval_ns: self.telemetry_interval_ns,
+                window_intervals: self.telemetry_window_intervals,
+                slo: purity_obs::SloConfig {
+                    series: "array_read_latency".to_string(),
+                    p999_budget_ns: self.slo_read_p999_budget_ns,
+                    min_interval_count: self.slo_min_interval_reads,
+                    cooldown_intervals: self.slo_cooldown_intervals,
+                },
+            },
         }
     }
 

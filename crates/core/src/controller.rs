@@ -225,7 +225,7 @@ impl Controller {
             map_patches: Vec::new(),
             last_nvram_index: None,
             stats: ArrayStats::default(),
-            obs: Obs::new(cfg.slow_op_capture_ns),
+            obs: Obs::with_config(cfg.obs_config(), now),
             cfg,
         };
         ctrl.write_checkpoint(shelf, now)?;

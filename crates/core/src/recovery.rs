@@ -368,7 +368,7 @@ impl Controller {
             map_patches: cp.map_patches.clone(),
             last_nvram_index: None,
             stats,
-            obs: purity_obs::Obs::new(cfg.slow_op_capture_ns),
+            obs: purity_obs::Obs::with_config(cfg.obs_config(), now),
             cfg,
         };
         for v in &cp.volumes {

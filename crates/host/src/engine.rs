@@ -374,7 +374,26 @@ impl<'a> Run<'a> {
                 Event::Timeout { req, attempt } => self.timeout(req, attempt, t),
                 Event::Fault => self.apply_faults(t),
             }
+            self.telemetry_tick();
         }
+    }
+
+    /// Flight-recorder hook. The engine advances the array clock
+    /// directly (`advance_to`), bypassing `FlashArray::advance` and its
+    /// built-in sampling, so each event processed checks whether a
+    /// telemetry interval elapsed. The host-side queue depth gauge is
+    /// refreshed first so every closed interval carries it.
+    fn telemetry_tick(&mut self) {
+        if !self.array.telemetry_due() {
+            return;
+        }
+        let depth: usize = self.outstanding.iter().sum();
+        self.array
+            .obs()
+            .registry
+            .gauge("host_queue_depth", &[])
+            .set(depth as i64);
+        self.array.sample_telemetry();
     }
 
     fn try_dispatch(&mut self, t: Nanos) {

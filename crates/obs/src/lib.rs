@@ -23,9 +23,13 @@
 //! not sampled, and runs are deterministic.
 
 pub mod json;
+pub mod recorder;
 pub mod registry;
 pub mod trace;
 
+pub use recorder::{
+    EvidenceSection, Incident, IntervalStats, Recorder, RecorderConfig, SloConfig, SloEvent,
+};
 pub use registry::{Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use trace::{OpTrace, SlowOp, StageRecord, Tracer};
 
@@ -38,32 +42,76 @@ pub const DEFAULT_SLOW_OP_THRESHOLD: Nanos = 1_000_000;
 /// Default slow-op ring capacity.
 pub const DEFAULT_SLOW_OP_CAPACITY: usize = 256;
 
+/// Full hub configuration: slow-op capture knobs plus the flight
+/// recorder's cadence/window/SLO settings.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Ops slower than this (virtual ns) are captured with their full
+    /// per-stage trace.
+    pub slow_op_threshold: Nanos,
+    /// Slow-op ring capacity.
+    pub slow_op_capacity: usize,
+    /// Flight-recorder knobs.
+    pub recorder: RecorderConfig,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            slow_op_threshold: DEFAULT_SLOW_OP_THRESHOLD,
+            slow_op_capacity: DEFAULT_SLOW_OP_CAPACITY,
+            recorder: RecorderConfig::default(),
+        }
+    }
+}
+
 /// The bundle of observability state one array (controller pair) shares.
 ///
 /// Cheap to clone the `Arc`; both controllers of an HA pair hold the same
-/// hub so captures and metrics survive failover without copying.
+/// hub so captures, metrics and recordings survive failover without
+/// copying. A whole-array power loss boots a fresh hub (volatile
+/// telemetry dies with both controllers).
 #[derive(Debug)]
 pub struct Obs {
     pub registry: MetricsRegistry,
     pub tracer: Tracer,
+    pub recorder: Recorder,
 }
 
 impl Obs {
     /// Creates a hub with the given slow-op threshold (ns) and default
-    /// ring capacity.
+    /// ring capacity and recorder settings, anchored at virtual time 0.
     pub fn new(slow_op_threshold: Nanos) -> Arc<Self> {
+        Self::with_config(
+            ObsConfig {
+                slow_op_threshold,
+                ..ObsConfig::default()
+            },
+            0,
+        )
+    }
+
+    /// Creates a fully configured hub whose recorder grid is anchored
+    /// at `epoch` (the virtual time the owning controller boots).
+    pub fn with_config(cfg: ObsConfig, epoch: Nanos) -> Arc<Self> {
         Arc::new(Self {
             registry: MetricsRegistry::new(),
-            tracer: Tracer::new(slow_op_threshold, DEFAULT_SLOW_OP_CAPACITY),
+            tracer: Tracer::new(cfg.slow_op_threshold, cfg.slow_op_capacity),
+            recorder: Recorder::new(cfg.recorder, epoch),
         })
     }
 
-    /// One JSON document with both the metric snapshot and the slow-op
-    /// ring — the export consumed by the bench binaries.
+    /// One JSON document with the metric snapshot, the slow-op ring,
+    /// and the flight recorder's time-series + incident log — the
+    /// export consumed by the bench binaries. Every section is sorted
+    /// by series name+labels (or id order for ring/incident entries),
+    /// so same-seed runs export byte-identical documents.
     pub fn export_json(&self) -> String {
         let mut w = json::JsonWriter::object();
         w.raw_field("metrics", &self.registry.snapshot().to_json());
         w.raw_field("slow_ops", &self.tracer.slow_ops_json());
+        w.raw_field("timeseries", &self.recorder.timeseries_json());
+        w.raw_field("incidents", &self.recorder.incidents_json());
         w.finish()
     }
 }
@@ -82,6 +130,8 @@ mod tests {
         let j = obs.export_json();
         assert!(j.contains("\"metrics\""), "{j}");
         assert!(j.contains("\"slow_ops\""), "{j}");
+        assert!(j.contains("\"timeseries\""), "{j}");
+        assert!(j.contains("\"incidents\""), "{j}");
         assert!(j.contains("drive_read"), "{j}");
     }
 }

@@ -1,0 +1,844 @@
+//! Flight recorder: virtual-time telemetry time-series, SLO burn
+//! tracking, and tail-latency incident capture.
+//!
+//! The paper's headline claim is *continuous* — Figure 7 plots p99.9
+//! read latency over a five-minute window under failure injection, not
+//! one end-of-run histogram. The [`Recorder`] makes that measurable:
+//! on a virtual-clock cadence it samples the [`MetricsRegistry`] and
+//! keeps bounded per-interval series:
+//!
+//! * **counter deltas** — IOPS, bytes, GC/scrub activity, per-drive
+//!   stall time — one value per elapsed interval;
+//! * **gauge values** — NVRAM occupancy, queue depths — point-in-time
+//!   at each interval boundary;
+//! * **windowed quantile sketches** — every cumulative latency
+//!   histogram is diffed against its previous snapshot
+//!   ([`LatencyHistogram::delta_since`]) so p50/p99/p99.9 exist *per
+//!   interval*.
+//!
+//! An [`SloConfig`]-driven monitor watches one latency series (by
+//! default the array read path) against the paper's 1 ms p99.9 budget.
+//! A violating interval opens an [`Incident`]: a frozen causal-evidence
+//! bundle — the violating interval's quantiles, the slow-op ring
+//! contents at that instant, and caller-attached [`EvidenceSection`]s
+//! (per-die busy/GC state, array rebuild/failover state, host queue
+//! depths). The incident tracks its peak burn and closes after a
+//! configurable streak of healthy intervals.
+//!
+//! Everything runs on the virtual clock: same seed, byte-identical
+//! `timeseries`/`incidents` JSON. Sampling is quantized to the ticks
+//! that call [`Recorder::sample`] — activity between the nominal grid
+//! boundary and the tick that closes it is attributed to the closing
+//! interval.
+
+use crate::json::JsonWriter;
+use crate::registry::{MetricId, MetricsRegistry};
+use crate::trace::{SlowOp, Tracer};
+use parking_lot::Mutex;
+use purity_sim::{LatencyHistogram, Nanos};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default sampling cadence: 100 ms of virtual time.
+pub const DEFAULT_SAMPLE_INTERVAL_NS: Nanos = 100_000_000;
+
+/// Default retained window: 4096 intervals (~6.8 virtual minutes at the
+/// default cadence — enough to hold the paper's five-minute trace).
+pub const DEFAULT_WINDOW_INTERVALS: usize = 4096;
+
+/// SLO monitor configuration.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Name of the (unlabeled) latency histogram series to monitor.
+    pub series: String,
+    /// Per-interval p99.9 budget (the paper's 1 ms read bound).
+    pub p999_budget_ns: Nanos,
+    /// Intervals with fewer samples than this are not judged (a p99.9
+    /// of three ops is noise, not burn).
+    pub min_interval_count: u64,
+    /// Consecutive healthy intervals required to close an incident.
+    pub cooldown_intervals: u32,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        Self {
+            series: "array_read_latency".to_string(),
+            p999_budget_ns: 1_000_000,
+            min_interval_count: 16,
+            cooldown_intervals: 2,
+        }
+    }
+}
+
+/// Recorder configuration.
+#[derive(Debug, Clone)]
+pub struct RecorderConfig {
+    /// Virtual-time sampling cadence.
+    pub interval_ns: Nanos,
+    /// Bounded window: intervals retained before the oldest is evicted.
+    pub window_intervals: usize,
+    /// SLO monitor knobs.
+    pub slo: SloConfig,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        Self {
+            interval_ns: DEFAULT_SAMPLE_INTERVAL_NS,
+            window_intervals: DEFAULT_WINDOW_INTERVALS,
+            slo: SloConfig::default(),
+        }
+    }
+}
+
+/// Compact per-interval quantile sketch of one histogram series.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntervalStats {
+    pub count: u64,
+    pub p50: Nanos,
+    pub p99: Nanos,
+    pub p999: Nanos,
+    pub max: Nanos,
+}
+
+impl IntervalStats {
+    fn of(h: &LatencyHistogram) -> Self {
+        Self {
+            count: h.count(),
+            p50: h.p50(),
+            p99: h.p99(),
+            p999: h.p999(),
+            max: h.max(),
+        }
+    }
+
+    fn to_json(self) -> String {
+        let mut w = JsonWriter::object();
+        w.u64_field("count", self.count)
+            .u64_field("p50_ns", self.p50)
+            .u64_field("p99_ns", self.p99)
+            .u64_field("p999_ns", self.p999)
+            .u64_field("max_ns", self.max);
+        w.finish()
+    }
+}
+
+/// One named group of key/value evidence attached to an incident (e.g.
+/// section `drives`, entry `drive3.die2` → `busy erasing until 1.2ms`).
+#[derive(Debug, Clone)]
+pub struct EvidenceSection {
+    pub section: String,
+    /// Sorted on export; callers may append in any order.
+    pub entries: Vec<(String, String)>,
+}
+
+/// A frozen causal-evidence bundle for one SLO violation window.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    pub id: u64,
+    /// Start of the first violating interval.
+    pub opened_at: Nanos,
+    /// End of the interval that completed the healthy cooldown streak;
+    /// `None` while the incident is still burning.
+    pub closed_at: Option<Nanos>,
+    /// The budget in force when the incident opened.
+    pub budget_ns: Nanos,
+    /// Worst per-interval p99.9 seen while open.
+    pub peak_p999_ns: Nanos,
+    /// Number of violating intervals while open.
+    pub violating_intervals: u32,
+    /// The first violating interval's quantiles.
+    pub trigger: IntervalStats,
+    /// Slow-op ring contents frozen at open time.
+    pub slow_ops: Vec<SlowOp>,
+    /// Caller-attached blame state (drives, array, host).
+    pub evidence: Vec<EvidenceSection>,
+}
+
+impl Incident {
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::object();
+        w.u64_field("id", self.id)
+            .u64_field("opened_at_ns", self.opened_at)
+            .bool_field("open", self.closed_at.is_none());
+        if let Some(t) = self.closed_at {
+            w.u64_field("closed_at_ns", t);
+        }
+        w.u64_field("budget_ns", self.budget_ns)
+            .u64_field("peak_p999_ns", self.peak_p999_ns)
+            .u64_field("violating_intervals", self.violating_intervals as u64)
+            .raw_field("trigger", &self.trigger.to_json());
+        let mut ops = JsonWriter::array();
+        for op in &self.slow_ops {
+            ops.raw_element(&op.to_json());
+        }
+        w.raw_field("slow_ops", &ops.finish());
+        let mut sections: Vec<&EvidenceSection> = self.evidence.iter().collect();
+        sections.sort_by(|a, b| a.section.cmp(&b.section));
+        let mut ev = JsonWriter::array();
+        for s in sections {
+            let mut entries: Vec<&(String, String)> = s.entries.iter().collect();
+            entries.sort();
+            let mut body = JsonWriter::object();
+            for (k, v) in entries {
+                body.str_field(k, v);
+            }
+            let mut sec = JsonWriter::object();
+            sec.str_field("section", &s.section)
+                .raw_field("entries", &body.finish());
+            ev.raw_element(&sec.finish());
+        }
+        w.raw_field("evidence", &ev.finish());
+        w.finish()
+    }
+}
+
+/// SLO monitor transitions surfaced by one [`Recorder::sample`] call.
+/// The caller reacts to `Opened` by attaching domain evidence via
+/// [`Recorder::attach_evidence`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloEvent {
+    Opened { id: u64, opened_at: Nanos },
+    Closed { id: u64, closed_at: Nanos },
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Start of the oldest retained interval.
+    first_start: Nanos,
+    /// Retained interval count (every series has exactly this length).
+    len: usize,
+    /// Intervals evicted from the window since the epoch.
+    dropped: u64,
+    counters: BTreeMap<MetricId, VecDeque<u64>>,
+    gauges: BTreeMap<MetricId, VecDeque<i64>>,
+    hists: BTreeMap<MetricId, VecDeque<IntervalStats>>,
+    prev_counters: BTreeMap<MetricId, u64>,
+    prev_hists: BTreeMap<MetricId, LatencyHistogram>,
+    incidents: Vec<Incident>,
+    /// Index into `incidents` of the currently burning one.
+    open: Option<usize>,
+    healthy_streak: u32,
+}
+
+/// The flight recorder. One per [`crate::Obs`] hub; shared (like the
+/// registry and tracer) across controller failover, reborn on a
+/// whole-array power loss.
+#[derive(Debug)]
+pub struct Recorder {
+    interval: Nanos,
+    window: usize,
+    slo: SloConfig,
+    epoch: Nanos,
+    /// End of the next interval to close — loaded lock-free by
+    /// [`Recorder::due`] so per-op checks cost one atomic read.
+    next_boundary: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+impl Recorder {
+    /// Creates a recorder whose interval grid is anchored at `epoch`
+    /// (the virtual time the owning controller booted, so a recorder
+    /// reborn after a power loss never reports intervals predating it).
+    pub fn new(cfg: RecorderConfig, epoch: Nanos) -> Self {
+        let interval = cfg.interval_ns.max(1);
+        Self {
+            interval,
+            window: cfg.window_intervals.max(1),
+            slo: cfg.slo,
+            epoch,
+            next_boundary: AtomicU64::new(epoch + interval),
+            inner: Mutex::new(Inner {
+                first_start: epoch,
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// The sampling cadence.
+    pub fn interval_ns(&self) -> Nanos {
+        self.interval
+    }
+
+    /// The grid anchor.
+    pub fn epoch(&self) -> Nanos {
+        self.epoch
+    }
+
+    /// The SLO monitor configuration.
+    pub fn slo(&self) -> &SloConfig {
+        &self.slo
+    }
+
+    /// Whether an interval boundary has elapsed — cheap enough to call
+    /// per operation.
+    pub fn due(&self, now: Nanos) -> bool {
+        now >= self.next_boundary.load(Ordering::Relaxed)
+    }
+
+    /// Closes every interval whose end lies at or before `now`: the
+    /// first closing interval receives the registry deltas since the
+    /// previous sample (activity in later partial intervals is
+    /// attributed here — sampling is quantized to the caller's ticks),
+    /// the rest close empty. Returns the SLO transitions this sample
+    /// caused. Call [`Recorder::attach_evidence`] for each `Opened`.
+    pub fn sample(&self, now: Nanos, registry: &MetricsRegistry, tracer: &Tracer) -> Vec<SloEvent> {
+        let mut events = Vec::new();
+        let mut boundary = self.next_boundary.load(Ordering::Relaxed);
+        if now < boundary {
+            return events;
+        }
+        let mut inner = self.inner.lock();
+
+        let snap = registry.snapshot();
+        let hists = registry.histogram_snapshots();
+
+        // First elapsed interval: the real deltas.
+        let slo_stats = self.close_delta_interval(&mut inner, &snap, &hists);
+        self.judge(&mut inner, boundary, slo_stats, tracer, &mut events);
+        boundary += self.interval;
+
+        // Any further fully elapsed intervals saw no sampling tick:
+        // they close empty. Fast-forward past the ones the bounded
+        // window would immediately evict anyway (everything retained is
+        // older still, so it goes too).
+        if boundary <= now {
+            let pending = ((now - boundary) / self.interval + 1) as usize;
+            if pending > self.window {
+                let skip = (pending - self.window) as u64;
+                boundary += skip * self.interval;
+                inner.fast_forward(skip, boundary - self.interval);
+            }
+            while boundary <= now {
+                self.close_empty_interval(&mut inner);
+                self.judge(
+                    &mut inner,
+                    boundary,
+                    IntervalStats::default(),
+                    tracer,
+                    &mut events,
+                );
+                boundary += self.interval;
+            }
+        }
+        self.next_boundary.store(boundary, Ordering::Relaxed);
+        events
+    }
+
+    /// Attaches blame evidence to an incident (normally the one just
+    /// surfaced as [`SloEvent::Opened`]).
+    pub fn attach_evidence(&self, incident_id: u64, evidence: Vec<EvidenceSection>) {
+        let mut inner = self.inner.lock();
+        if let Some(inc) = inner.incidents.iter_mut().find(|i| i.id == incident_id) {
+            inc.evidence = evidence;
+        }
+    }
+
+    /// Retained interval count.
+    pub fn intervals(&self) -> usize {
+        self.inner.lock().len
+    }
+
+    /// Start of the oldest retained interval.
+    pub fn first_interval_start(&self) -> Nanos {
+        self.inner.lock().first_start
+    }
+
+    /// All incidents so far, open ones last.
+    pub fn incidents(&self) -> Vec<Incident> {
+        self.inner.lock().incidents.clone()
+    }
+
+    /// Id of the currently burning incident, if any.
+    pub fn open_incident(&self) -> Option<u64> {
+        let inner = self.inner.lock();
+        inner.open.map(|i| inner.incidents[i].id)
+    }
+
+    /// Per-interval deltas of a counter series (empty if unknown).
+    pub fn counter_series(&self, name: &str, labels: &[(&str, &str)]) -> Vec<u64> {
+        let id = lookup_id(name, labels);
+        self.inner
+            .lock()
+            .counters
+            .get(&id)
+            .map(|v| v.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Per-interval sketches of a histogram series (empty if unknown).
+    pub fn hist_series(&self, name: &str, labels: &[(&str, &str)]) -> Vec<IntervalStats> {
+        let id = lookup_id(name, labels);
+        self.inner
+            .lock()
+            .hists
+            .get(&id)
+            .map(|v| v.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    fn close_delta_interval(
+        &self,
+        inner: &mut Inner,
+        snap: &crate::registry::MetricsSnapshot,
+        hists: &[(MetricId, LatencyHistogram)],
+    ) -> IntervalStats {
+        // Counters: delta vs the previous cumulative sample (a series
+        // appearing mid-run has an implicit previous value of 0).
+        for (id, v) in &snap.counters {
+            let prev = inner.prev_counters.get(id).copied().unwrap_or(0);
+            let delta = v.saturating_sub(prev);
+            push_padded(&mut inner.counters, id, inner.len, 0, delta, self.window);
+        }
+        for (id, v) in &snap.counters {
+            inner.prev_counters.insert(id.clone(), *v);
+        }
+        // Gauges: point-in-time at the closing tick.
+        for (id, v) in &snap.gauges {
+            push_padded(&mut inner.gauges, id, inner.len, 0, *v, self.window);
+        }
+        // Histograms: windowed sketch via cumulative diff.
+        let mut slo_stats = IntervalStats::default();
+        for (id, h) in hists {
+            let stats = match inner.prev_hists.get(id) {
+                Some(prev) => IntervalStats::of(&h.delta_since(prev)),
+                None => IntervalStats::of(h),
+            };
+            if id.labels.is_empty() && id.name == self.slo.series {
+                slo_stats = stats;
+            }
+            push_padded(
+                &mut inner.hists,
+                id,
+                inner.len,
+                IntervalStats::default(),
+                stats,
+                self.window,
+            );
+        }
+        for (id, h) in hists {
+            inner.prev_hists.insert(id.clone(), h.clone());
+        }
+        inner.finish_interval(self.interval, self.window);
+        slo_stats
+    }
+
+    fn close_empty_interval(&self, inner: &mut Inner) {
+        for series in inner.counters.values_mut() {
+            series.push_back(0);
+        }
+        for series in inner.gauges.values_mut() {
+            // A gauge holds its last sampled value across empty intervals.
+            let last = series.back().copied().unwrap_or(0);
+            series.push_back(last);
+        }
+        for series in inner.hists.values_mut() {
+            series.push_back(IntervalStats::default());
+        }
+        inner.finish_interval(self.interval, self.window);
+    }
+
+    /// SLO judgment for the interval that just closed with end time
+    /// `boundary` and monitored-series stats `stats`.
+    fn judge(
+        &self,
+        inner: &mut Inner,
+        boundary: Nanos,
+        stats: IntervalStats,
+        tracer: &Tracer,
+        events: &mut Vec<SloEvent>,
+    ) {
+        let violated =
+            stats.count >= self.slo.min_interval_count && stats.p999 > self.slo.p999_budget_ns;
+        match (inner.open, violated) {
+            (None, true) => {
+                let id = inner.incidents.len() as u64;
+                let opened_at = boundary - self.interval;
+                inner.incidents.push(Incident {
+                    id,
+                    opened_at,
+                    closed_at: None,
+                    budget_ns: self.slo.p999_budget_ns,
+                    peak_p999_ns: stats.p999,
+                    violating_intervals: 1,
+                    trigger: stats,
+                    slow_ops: tracer.slow_ops(),
+                    evidence: Vec::new(),
+                });
+                inner.open = Some(inner.incidents.len() - 1);
+                inner.healthy_streak = 0;
+                events.push(SloEvent::Opened { id, opened_at });
+            }
+            (Some(i), true) => {
+                let inc = &mut inner.incidents[i];
+                inc.peak_p999_ns = inc.peak_p999_ns.max(stats.p999);
+                inc.violating_intervals += 1;
+                inner.healthy_streak = 0;
+            }
+            (Some(i), false) => {
+                inner.healthy_streak += 1;
+                if inner.healthy_streak >= self.slo.cooldown_intervals.max(1) {
+                    let inc = &mut inner.incidents[i];
+                    inc.closed_at = Some(boundary);
+                    events.push(SloEvent::Closed {
+                        id: inc.id,
+                        closed_at: boundary,
+                    });
+                    inner.open = None;
+                    inner.healthy_streak = 0;
+                }
+            }
+            (None, false) => {}
+        }
+    }
+
+    /// The `timeseries` export section: cadence, window metadata, and
+    /// one entry per series (counters/gauges/histograms each sorted by
+    /// name+labels — BTreeMap order).
+    pub fn timeseries_json(&self) -> String {
+        let inner = self.inner.lock();
+        fn id_obj(id: &MetricId) -> JsonWriter {
+            let mut w = JsonWriter::object();
+            w.str_field("name", &id.name);
+            let mut labels = JsonWriter::object();
+            for (k, v) in &id.labels {
+                labels.str_field(k, v);
+            }
+            w.raw_field("labels", &labels.finish());
+            w
+        }
+        let mut counters = JsonWriter::array();
+        for (id, series) in &inner.counters {
+            let mut w = id_obj(id);
+            w.raw_field("deltas", &u64_array(series.iter().copied()));
+            counters.raw_element(&w.finish());
+        }
+        let mut gauges = JsonWriter::array();
+        for (id, series) in &inner.gauges {
+            let vals: Vec<String> = series.iter().map(|v| v.to_string()).collect();
+            let mut w = id_obj(id);
+            w.raw_field("values", &format!("[{}]", vals.join(",")));
+            gauges.raw_element(&w.finish());
+        }
+        let mut hists = JsonWriter::array();
+        for (id, series) in &inner.hists {
+            let mut w = id_obj(id);
+            w.raw_field("count", &u64_array(series.iter().map(|s| s.count)))
+                .raw_field("p50_ns", &u64_array(series.iter().map(|s| s.p50)))
+                .raw_field("p99_ns", &u64_array(series.iter().map(|s| s.p99)))
+                .raw_field("p999_ns", &u64_array(series.iter().map(|s| s.p999)))
+                .raw_field("max_ns", &u64_array(series.iter().map(|s| s.max)));
+            hists.raw_element(&w.finish());
+        }
+        let mut root = JsonWriter::object();
+        root.u64_field("interval_ns", self.interval)
+            .u64_field("epoch_ns", self.epoch)
+            .u64_field("first_start_ns", inner.first_start)
+            .u64_field("intervals", inner.len as u64)
+            .u64_field("dropped_intervals", inner.dropped)
+            .raw_field("counters", &counters.finish())
+            .raw_field("gauges", &gauges.finish())
+            .raw_field("histograms", &hists.finish());
+        root.finish()
+    }
+
+    /// The `incidents` export section, in open order (ids ascend).
+    pub fn incidents_json(&self) -> String {
+        let inner = self.inner.lock();
+        let mut w = JsonWriter::array();
+        for inc in &inner.incidents {
+            w.raw_element(&inc.to_json());
+        }
+        w.finish()
+    }
+}
+
+impl Inner {
+    /// Bumps interval accounting after every series has been extended,
+    /// evicting the oldest interval if the window is full.
+    fn finish_interval(&mut self, interval: Nanos, window: usize) {
+        self.len += 1;
+        while self.len > window {
+            for series in self.counters.values_mut() {
+                series.pop_front();
+            }
+            for series in self.gauges.values_mut() {
+                series.pop_front();
+            }
+            for series in self.hists.values_mut() {
+                series.pop_front();
+            }
+            self.len -= 1;
+            self.first_start += interval;
+            self.dropped += 1;
+        }
+    }
+
+    /// A sampling gap longer than the whole window: drop everything
+    /// retained plus `skipped` never-materialized empty intervals, and
+    /// re-anchor the (still grid-aligned) window at `new_first_start`.
+    fn fast_forward(&mut self, skipped: u64, new_first_start: Nanos) {
+        self.dropped += self.len as u64 + skipped;
+        for series in self.counters.values_mut() {
+            series.clear();
+        }
+        for series in self.gauges.values_mut() {
+            series.clear();
+        }
+        for series in self.hists.values_mut() {
+            series.clear();
+        }
+        self.len = 0;
+        self.first_start = new_first_start;
+    }
+}
+
+/// Appends `value` to `map[id]`, zero-padding a series first seen now
+/// so every series stays exactly `len` long before the push.
+fn push_padded<T: Clone>(
+    map: &mut BTreeMap<MetricId, VecDeque<T>>,
+    id: &MetricId,
+    len: usize,
+    zero: T,
+    value: T,
+    window: usize,
+) {
+    let series = map.entry(id.clone()).or_insert_with(|| {
+        let mut v = VecDeque::with_capacity((len + 1).min(window + 1));
+        for _ in 0..len {
+            v.push_back(zero.clone());
+        }
+        v
+    });
+    series.push_back(value);
+}
+
+fn u64_array(vals: impl Iterator<Item = u64>) -> String {
+    let parts: Vec<String> = vals.map(|v| v.to_string()).collect();
+    format!("[{}]", parts.join(","))
+}
+
+/// Builds the canonical sorted-label id used by the series maps.
+fn lookup_id(name: &str, labels: &[(&str, &str)]) -> MetricId {
+    let mut l: Vec<(String, String)> = labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    l.sort();
+    MetricId {
+        name: name.to_string(),
+        labels: l,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+    use crate::trace::{OpTrace, Tracer};
+
+    fn recorder(interval: Nanos, window: usize) -> Recorder {
+        Recorder::new(
+            RecorderConfig {
+                interval_ns: interval,
+                window_intervals: window,
+                slo: SloConfig {
+                    min_interval_count: 2,
+                    ..SloConfig::default()
+                },
+            },
+            0,
+        )
+    }
+
+    #[test]
+    fn counter_deltas_are_per_interval() {
+        let rec = recorder(100, 16);
+        let reg = MetricsRegistry::new();
+        let tr = Tracer::new(u64::MAX, 4);
+        let c = reg.counter("ops", &[]);
+        c.set(5);
+        assert!(!rec.due(99));
+        assert!(rec.due(100));
+        rec.sample(100, &reg, &tr);
+        c.set(12);
+        rec.sample(200, &reg, &tr);
+        assert_eq!(rec.counter_series("ops", &[]), vec![5, 7]);
+        assert_eq!(rec.intervals(), 2);
+    }
+
+    #[test]
+    fn gaps_close_empty_intervals_on_the_grid() {
+        let rec = recorder(100, 16);
+        let reg = MetricsRegistry::new();
+        let tr = Tracer::new(u64::MAX, 4);
+        reg.counter("ops", &[]).set(3);
+        // One tick lands 4 intervals late: the first carries the
+        // deltas, the trailing three close empty.
+        rec.sample(430, &reg, &tr);
+        assert_eq!(rec.counter_series("ops", &[]), vec![3, 0, 0, 0]);
+        assert!(!rec.due(499));
+        assert!(rec.due(500));
+    }
+
+    #[test]
+    fn window_is_bounded_and_eviction_tracks_grid() {
+        let rec = recorder(100, 4);
+        let reg = MetricsRegistry::new();
+        let tr = Tracer::new(u64::MAX, 4);
+        let c = reg.counter("ops", &[]);
+        for i in 1..=10u64 {
+            c.set(i);
+            rec.sample(i * 100, &reg, &tr);
+        }
+        assert_eq!(rec.intervals(), 4);
+        assert_eq!(rec.counter_series("ops", &[]), vec![1, 1, 1, 1]);
+        assert_eq!(rec.first_interval_start(), 600);
+    }
+
+    #[test]
+    fn mid_run_series_are_left_padded() {
+        let rec = recorder(100, 16);
+        let reg = MetricsRegistry::new();
+        let tr = Tracer::new(u64::MAX, 4);
+        reg.counter("a", &[]).set(1);
+        rec.sample(100, &reg, &tr);
+        reg.counter("b", &[]).set(9);
+        rec.sample(200, &reg, &tr);
+        assert_eq!(rec.counter_series("a", &[]), vec![1, 0]);
+        assert_eq!(rec.counter_series("b", &[]), vec![0, 9]);
+    }
+
+    #[test]
+    fn histogram_series_are_windowed_sketches() {
+        let rec = recorder(100, 16);
+        let reg = MetricsRegistry::new();
+        let tr = Tracer::new(u64::MAX, 4);
+        let mut h = LatencyHistogram::new();
+        for _ in 0..10 {
+            h.record(200_000);
+        }
+        reg.histogram("array_read_latency", &[]).set_from(&h);
+        rec.sample(100, &reg, &tr);
+        for _ in 0..10 {
+            h.record(5_000_000);
+        }
+        reg.histogram("array_read_latency", &[]).set_from(&h);
+        rec.sample(200, &reg, &tr);
+        let series = rec.hist_series("array_read_latency", &[]);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].count, 10);
+        assert!(series[0].p999 < 1_000_000, "first interval fast");
+        assert_eq!(series[1].count, 10);
+        assert!(series[1].p999 > 1_000_000, "second interval slow");
+    }
+
+    #[test]
+    fn slo_monitor_opens_and_closes_one_incident() {
+        let rec = recorder(100, 64);
+        let reg = MetricsRegistry::new();
+        let tr = Tracer::new(0, 4);
+        let mut t = OpTrace::new("read", 0);
+        t.stage("drive_read", 0, 5_000_000);
+        tr.finish(t, 5_000_000);
+        let hist = reg.histogram("array_read_latency", &[]);
+        let mut h = LatencyHistogram::new();
+
+        // Interval 1: healthy.
+        for _ in 0..20 {
+            h.record(100_000);
+        }
+        hist.set_from(&h);
+        assert!(rec.sample(100, &reg, &tr).is_empty());
+
+        // Intervals 2-3: burning.
+        for _ in 0..20 {
+            h.record(4_000_000);
+        }
+        hist.set_from(&h);
+        let ev = rec.sample(200, &reg, &tr);
+        assert_eq!(ev.len(), 1);
+        let id = match ev[0] {
+            SloEvent::Opened { id, opened_at } => {
+                assert_eq!(opened_at, 100);
+                id
+            }
+            other => panic!("expected open, got {other:?}"),
+        };
+        rec.attach_evidence(
+            id,
+            vec![EvidenceSection {
+                section: "drives".into(),
+                entries: vec![("drive3.die2".into(), "busy erasing".into())],
+            }],
+        );
+        for _ in 0..20 {
+            h.record(3_000_000);
+        }
+        hist.set_from(&h);
+        assert!(rec.sample(300, &reg, &tr).is_empty());
+        assert_eq!(rec.open_incident(), Some(id));
+
+        // Healthy again: cooldown of 2 closes at the second interval.
+        for _ in 0..20 {
+            h.record(100_000);
+        }
+        hist.set_from(&h);
+        assert!(rec.sample(400, &reg, &tr).is_empty());
+        for _ in 0..20 {
+            h.record(100_000);
+        }
+        hist.set_from(&h);
+        let ev = rec.sample(500, &reg, &tr);
+        assert_eq!(ev, vec![SloEvent::Closed { id, closed_at: 500 }]);
+        assert_eq!(rec.open_incident(), None);
+
+        let incidents = rec.incidents();
+        assert_eq!(incidents.len(), 1);
+        let inc = &incidents[0];
+        assert_eq!(inc.opened_at, 100);
+        assert_eq!(inc.closed_at, Some(500));
+        assert_eq!(inc.violating_intervals, 2);
+        assert!(inc.peak_p999_ns > inc.budget_ns);
+        assert_eq!(inc.slow_ops.len(), 1, "ring frozen at open");
+        let j = inc.to_json();
+        assert!(j.contains("\"drive3.die2\":\"busy erasing\""), "{j}");
+        assert!(j.contains("\"closed_at_ns\":500"), "{j}");
+    }
+
+    #[test]
+    fn sparse_intervals_are_not_judged() {
+        let rec = recorder(100, 16);
+        let reg = MetricsRegistry::new();
+        let tr = Tracer::new(u64::MAX, 4);
+        let mut h = LatencyHistogram::new();
+        h.record(50_000_000); // one catastrophic sample < min_interval_count
+        reg.histogram("array_read_latency", &[]).set_from(&h);
+        assert!(rec.sample(100, &reg, &tr).is_empty());
+        assert!(rec.incidents().is_empty());
+    }
+
+    #[test]
+    fn epoch_anchors_the_grid() {
+        let rec = Recorder::new(RecorderConfig::default(), 5_000_000_000);
+        assert!(!rec.due(5_000_000_000));
+        assert!(rec.due(5_100_000_000));
+        assert_eq!(rec.first_interval_start(), 5_000_000_000);
+    }
+
+    #[test]
+    fn export_sections_render() {
+        let rec = recorder(100, 8);
+        let reg = MetricsRegistry::new();
+        let tr = Tracer::new(u64::MAX, 4);
+        reg.counter("ops", &[("kind", "read")]).set(4);
+        reg.gauge("depth", &[]).set(7);
+        rec.sample(100, &reg, &tr);
+        let ts = rec.timeseries_json();
+        assert!(ts.contains("\"interval_ns\":100"), "{ts}");
+        assert!(ts.contains("\"deltas\":[4]"), "{ts}");
+        assert!(ts.contains("\"values\":[7]"), "{ts}");
+        assert_eq!(rec.incidents_json(), "[]");
+    }
+}

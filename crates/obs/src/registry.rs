@@ -210,6 +210,17 @@ impl MetricsRegistry {
         self.inner.lock().histograms.entry(id).or_default().clone()
     }
 
+    /// Full bucket-level clones of every histogram, in id order — what
+    /// the flight recorder diffs to window cumulative distributions
+    /// into per-interval sketches.
+    pub fn histogram_snapshots(&self) -> Vec<(MetricId, LatencyHistogram)> {
+        let g = self.inner.lock();
+        g.histograms
+            .iter()
+            .map(|(id, h)| (id.clone(), h.snapshot()))
+            .collect()
+    }
+
     /// Freezes every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let g = self.inner.lock();

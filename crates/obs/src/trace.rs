@@ -15,7 +15,7 @@ use parking_lot::Mutex;
 use purity_sim::units::format_nanos;
 use purity_sim::Nanos;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// One span inside an operation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -142,7 +142,7 @@ impl SlowOp {
 #[derive(Debug)]
 pub struct Tracer {
     threshold: AtomicU64,
-    capacity: usize,
+    capacity: AtomicUsize,
     ring: Mutex<VecDeque<SlowOp>>,
     finished: AtomicU64,
     captured: AtomicU64,
@@ -152,7 +152,7 @@ impl Tracer {
     pub fn new(threshold: Nanos, capacity: usize) -> Self {
         Self {
             threshold: AtomicU64::new(threshold),
-            capacity: capacity.max(1),
+            capacity: AtomicUsize::new(capacity.max(1)),
             ring: Mutex::new(VecDeque::new()),
             finished: AtomicU64::new(0),
             captured: AtomicU64::new(0),
@@ -164,9 +164,27 @@ impl Tracer {
         self.threshold.load(Ordering::Relaxed)
     }
 
-    /// Adjusts the capture threshold at runtime.
+    /// Adjusts the capture threshold at runtime. Ops already in the
+    /// ring are unaffected; only subsequent completions see the new
+    /// threshold.
     pub fn set_threshold(&self, t: Nanos) {
         self.threshold.store(t, Ordering::Relaxed);
+    }
+
+    /// Current ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Resizes the ring at runtime (exhibits trade capture depth for
+    /// memory per run). Shrinking evicts oldest captures immediately.
+    pub fn set_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        let mut ring = self.ring.lock();
+        while ring.len() > capacity {
+            ring.pop_front();
+        }
+        self.capacity.store(capacity, Ordering::Relaxed);
     }
 
     /// Completes an operation; returns its end-to-end latency and whether
@@ -186,7 +204,7 @@ impl Tracer {
             stages: trace.stages,
         };
         let mut ring = self.ring.lock();
-        if ring.len() == self.capacity {
+        while ring.len() >= self.capacity() {
             ring.pop_front();
         }
         ring.push_back(op);
@@ -276,6 +294,24 @@ mod tests {
         assert_eq!(ops.len(), 3);
         assert_eq!(ops[0].issued_at, 7);
         assert_eq!(tr.captured_count(), 10);
+    }
+
+    #[test]
+    fn capacity_is_adjustable_and_shrinks_eagerly() {
+        let tr = Tracer::new(0, 8);
+        for i in 0..8u64 {
+            tr.finish(op("w", i, i + 100), i + 100);
+        }
+        assert_eq!(tr.slow_ops().len(), 8);
+        tr.set_capacity(2);
+        let ops = tr.slow_ops();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].issued_at, 6, "shrink keeps the newest captures");
+        tr.set_capacity(4);
+        for i in 10..20u64 {
+            tr.finish(op("w", i, i + 100), i + 100);
+        }
+        assert_eq!(tr.slow_ops().len(), 4);
     }
 
     #[test]

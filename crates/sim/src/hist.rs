@@ -140,6 +140,38 @@ impl LatencyHistogram {
         self.max = self.max.max(other.max);
     }
 
+    /// The window of samples recorded between `earlier` (a previous
+    /// clone of this histogram) and now, as its own histogram — the
+    /// per-interval view a flight recorder diffs out of a cumulative
+    /// distribution. Bucket counts and the sample sum are exact; min
+    /// and max are bucket-resolution bounds (the exact extremes inside
+    /// the window are not recoverable from cumulative counts).
+    pub fn delta_since(&self, earlier: &Self) -> Self {
+        let mut out = Self::new();
+        for (o, (a, b)) in out
+            .counts
+            .iter_mut()
+            .zip(self.counts.iter().zip(&earlier.counts))
+        {
+            *o = a.saturating_sub(*b);
+        }
+        out.total = self.total.saturating_sub(earlier.total);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        if out.total > 0 {
+            let first = out.counts.iter().position(|&c| c > 0).unwrap();
+            let last = out.counts.iter().rposition(|&c| c > 0).unwrap();
+            out.max = bucket_value(last).min(self.max);
+            let lower = if first == 0 {
+                0
+            } else {
+                bucket_value(first - 1) + 1
+            };
+            // The cumulative min is a floor for any window's min.
+            out.min = lower.max(self.min).min(out.max);
+        }
+        out
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
@@ -223,6 +255,33 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.min(), 10);
         assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn delta_since_isolates_the_window() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(100 * US);
+        }
+        let checkpoint = h.clone();
+        for _ in 0..50 {
+            h.record(5 * MS);
+        }
+        let d = h.delta_since(&checkpoint);
+        assert_eq!(d.count(), 50);
+        // All window samples are 5 ms: every quantile lands in that bucket.
+        assert!(d.p50() >= 4 * MS && d.p50() <= 6 * MS, "p50 {}", d.p50());
+        assert!(d.p999() >= 4 * MS && d.p999() <= 6 * MS);
+        assert!(
+            d.min() >= 4 * MS,
+            "window min {} excludes old data",
+            d.min()
+        );
+        assert!(d.mean() >= 4 * MS && d.mean() <= 6 * MS);
+        // An empty window is a zeroed histogram.
+        let empty = h.delta_since(&h.clone());
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.p999(), 0);
     }
 
     #[test]

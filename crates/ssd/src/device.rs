@@ -143,6 +143,15 @@ impl Ssd {
         (0..geo.dies).any(|d| self.ftl.flash().die_busy_at(d, now))
     }
 
+    /// Point-in-time status of every die — the per-die blame state an
+    /// SLO incident freezes into its evidence bundle.
+    pub fn die_statuses(&self, now: Nanos) -> Vec<crate::flash::DieStatus> {
+        let geo = *self.ftl.flash().geometry();
+        (0..geo.dies)
+            .map(|d| self.ftl.flash().die_status(d, now))
+            .collect()
+    }
+
     /// Earliest time every die is free.
     pub fn free_at(&self) -> Nanos {
         let geo = *self.ftl.flash().geometry();

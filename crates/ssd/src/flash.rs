@@ -115,6 +115,18 @@ impl StallCause {
     }
 }
 
+/// Point-in-time die status (see [`Flash::die_status`]).
+#[derive(Debug, Clone, Copy)]
+pub struct DieStatus {
+    pub die: usize,
+    /// Busy at the queried instant (a read issued now would queue).
+    pub busy: bool,
+    /// When the die's timeline next frees up.
+    pub free_at: Nanos,
+    /// The program/erase a queued read would blame, if one is pending.
+    pub pending: Option<StallCause>,
+}
+
 /// A completed page read with its latency decomposition — the raw
 /// material for tail-latency attribution.
 #[derive(Debug, Clone)]
@@ -228,6 +240,27 @@ impl Flash {
     /// When the die next becomes free.
     pub fn die_free_at(&self, die: usize) -> Nanos {
         self.dies[die].timeline.free_at()
+    }
+
+    /// Point-in-time status of one die — the per-die blame state an
+    /// incident evidence bundle freezes ("die 3 busy erasing until
+    /// t=1.2 ms").
+    pub fn die_status(&self, die: usize, now: Nanos) -> DieStatus {
+        let d = &self.dies[die];
+        let prog_pending = d.last_program_end > now;
+        let erase_pending = d.last_erase_end > now;
+        let pending = match (prog_pending, erase_pending) {
+            (_, true) if d.last_erase_end >= d.last_program_end => Some(StallCause::Erase),
+            (true, _) => Some(StallCause::Program),
+            (false, true) => Some(StallCause::Erase),
+            (false, false) => None,
+        };
+        DieStatus {
+            die,
+            busy: d.timeline.busy_at(now),
+            free_at: d.timeline.free_at(),
+            pending,
+        }
     }
 
     /// Reads one page. Returns the data and the completion timestamp

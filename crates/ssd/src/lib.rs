@@ -32,7 +32,7 @@ pub mod latency;
 pub mod nvram;
 
 pub use device::{DeviceError, DeviceRead, Ssd};
-pub use flash::StallCause;
+pub use flash::{DieStatus, StallCause};
 pub use geometry::SsdGeometry;
 pub use latency::LatencyModel;
 pub use nvram::Nvram;

@@ -398,6 +398,12 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignOutcome {
     let sweep = run.oracle.verify_all(&mut run.a);
     run.violations.extend(sweep);
 
+    // Phase 7: the flight recorder's incident log must be consistent
+    // with the run's timeline. The post-crash recorder was born at the
+    // cold start's recovery instant, so no incident may predate it,
+    // postdate the clock, close before it opened, or overlap another.
+    run.violations.extend(check_incidents(&run.a));
+
     CampaignOutcome {
         violations: run.violations,
         phase_hit,
@@ -476,6 +482,58 @@ fn finish_stage(run: &mut Run, expect: &str) -> bool {
     }
     run.dark = true;
     run.a.torn_note().is_some_and(|n| n.contains(expect))
+}
+
+/// Audits the flight recorder's incident log against the virtual-time
+/// timeline: ids dense from 0, opens monotone and never before the
+/// recorder's first interval (its boot), closes after their opens and
+/// never in the future, at most the final incident still open.
+fn check_incidents(a: &FlashArray) -> Vec<String> {
+    let mut violations = Vec::new();
+    let rec = &a.obs().recorder;
+    let incidents = rec.incidents();
+    let born = rec.first_interval_start();
+    let now = a.now();
+    let mut prev_open: Option<Nanos> = None;
+    for (i, inc) in incidents.iter().enumerate() {
+        if inc.id != i as u64 {
+            violations.push(format!("incident {} has id {}", i, inc.id));
+        }
+        if inc.opened_at < born {
+            violations.push(format!(
+                "incident {} opened at {} before recorder boot {}",
+                inc.id, inc.opened_at, born
+            ));
+        }
+        if inc.opened_at > now {
+            violations.push(format!(
+                "incident {} opened at {} after now {}",
+                inc.id, inc.opened_at, now
+            ));
+        }
+        if let Some(p) = prev_open {
+            if inc.opened_at < p {
+                violations.push(format!("incident {} opens out of order", inc.id));
+            }
+        }
+        prev_open = Some(inc.opened_at);
+        match inc.closed_at {
+            Some(c) => {
+                if c < inc.opened_at || c > now {
+                    violations.push(format!(
+                        "incident {} closed at {c} outside ({}..{now}]",
+                        inc.id, inc.opened_at
+                    ));
+                }
+            }
+            None => {
+                if i + 1 != incidents.len() {
+                    violations.push(format!("incident {} open but not the latest", inc.id));
+                }
+            }
+        }
+    }
+    violations
 }
 
 /// Convenience: a campaign is "failing" when it reports any violation.

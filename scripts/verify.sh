@@ -34,6 +34,14 @@ cargo run -q --release -p purity-bench --bin exp_host_failover -- --smoke
 step "crash-recovery torture smoke (exp_torture)"
 cargo run -q --release -p purity-bench --bin exp_torture -- --seeds 8 --smoke
 
+# Flight-recorder smoke: a forced GC-storm + drive-pull interference
+# window must open and close exactly one SLO incident, with violations
+# confined to the window and byte-identical same-seed exports; the
+# fig7 trace must cover every driven read (see OBSERVABILITY.md).
+step "flight recorder smoke (exp_slo, fig7_fiveminute)"
+cargo run -q --release -p purity-bench --bin exp_slo -- --smoke
+cargo run -q --release -p purity-bench --bin fig7_fiveminute -- --smoke
+
 if [[ $quick -eq 1 ]]; then
   echo "--quick: skipping fmt/clippy"
   exit 0
