@@ -343,6 +343,59 @@ impl FlashArray {
         Ok(data)
     }
 
+    /// Enumerates the sector runs that differ between two snapshots of
+    /// the same volume, as half-open `(start, end)` ranges. With
+    /// `base = None` it enumerates every mapped run of `newer` (the
+    /// full-seed case). This is the medium-diff enumeration API the
+    /// replication fabric computes delta transfers from.
+    pub fn snapshot_diff(
+        &self,
+        base: Option<SnapshotId>,
+        newer: SnapshotId,
+    ) -> Result<Vec<(u64, u64)>> {
+        let ctrl = &self.primary;
+        let new_snap = ctrl
+            .snapshot_info(newer)
+            .ok_or(crate::error::PurityError::NoSuchSnapshot)?;
+        let base_medium = match base {
+            None => None,
+            Some(b) => {
+                let bs = ctrl
+                    .snapshot_info(b)
+                    .ok_or(crate::error::PurityError::NoSuchSnapshot)?;
+                if bs.volume != new_snap.volume {
+                    return Err(crate::error::PurityError::BadRequest(
+                        "snapshots must belong to the same volume".into(),
+                    ));
+                }
+                Some(bs.medium)
+            }
+        };
+        let size = ctrl
+            .volume(new_snap.volume)
+            .map(|v| v.size_sectors)
+            .ok_or(crate::error::PurityError::NoSuchVolume)?;
+        Ok(ctrl.medium_diff(base_medium, new_snap.medium, size))
+    }
+
+    /// Verified dedup probe: looks `hash` up in the array's dedup index
+    /// and, on a hit whose stored bytes actually hash to `hash`, returns
+    /// the 512 B block. Replication uses this on the *destination* to
+    /// answer hash-first delta shipping — a hit means the sector need
+    /// not cross the wire at all.
+    pub fn dedup_fetch_block(&mut self, hash: u64) -> Option<Vec<u8>> {
+        self.check_powered().ok()?;
+        let now = self.clock.now();
+        let loc = self.primary.dedup.index_mut().lookup(hash)?;
+        let (payload, _t) = self
+            .primary
+            .fetch_cblock(&mut self.shelf, &loc.pba, now)
+            .ok()?;
+        let start = loc.sector as usize * crate::types::SECTOR;
+        let data = payload.get(start..start + crate::types::SECTOR)?.to_vec();
+        (purity_dedup::hash::block_hash(&data) == hash).then_some(data)
+    }
+
     // ---- Maintenance. --------------------------------------------------
 
     /// Runs a GC pass.

@@ -929,6 +929,43 @@ impl Controller {
         self.resolve_sector_entry(medium, sector).map(|(_, v)| v)
     }
 
+    /// Enumerates the sector runs whose content differs between two
+    /// medium chains, as half-open `(start, end)` ranges in ascending
+    /// order. With `base = None` it enumerates every mapped run (the
+    /// full-seed case: unmapped sectors read as zeros on both sides and
+    /// never need shipping). The diff compares *resolved locations*:
+    /// facts are immutable, so identical locations mean identical
+    /// content, and a rewrite always makes a new fact. This is the
+    /// medium-diff API replication delta shipping is built on.
+    pub fn medium_diff(
+        &self,
+        base: Option<MediumId>,
+        newer: MediumId,
+        size_sectors: u64,
+    ) -> Vec<(u64, u64)> {
+        let mut runs = Vec::new();
+        let mut run_start: Option<u64> = None;
+        for sector in 0..size_sectors {
+            let new_loc = self.resolve_sector(newer, sector).map(|v| v.loc);
+            let changed = match base {
+                Some(b) => self.resolve_sector(b, sector).map(|v| v.loc) != new_loc,
+                None => new_loc.is_some(),
+            };
+            match (changed, run_start) {
+                (true, None) => run_start = Some(sector),
+                (false, Some(s)) => {
+                    runs.push((s, sector));
+                    run_start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = run_start {
+            runs.push((s, size_sectors));
+        }
+        runs
+    }
+
     /// Like [`Controller::resolve_sector`] but also returns the winning
     /// map key — the chain step whose fact satisfied the lookup (GC's
     /// reachability scan needs it).

@@ -34,7 +34,6 @@ pub mod gc;
 pub mod medium;
 pub mod records;
 pub mod recovery;
-pub mod replication;
 pub mod scrub;
 pub mod segment;
 pub mod shelf;

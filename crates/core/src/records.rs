@@ -507,7 +507,83 @@ pub fn decode_meta(input: &[u8]) -> Option<MetaIntent> {
     Some(MetaIntent { seq, op })
 }
 
+const REPL_CURSOR_TAG: u8 = 0xA9;
+
+/// A durable replication cursor: how far a snapshot transfer to a
+/// replica has been acknowledged. Persisted by the replication fabric
+/// (`purity-repl`) after every chunk ack so a transfer interrupted by a
+/// link flap or a crash resumes from the last acked chunk instead of
+/// restarting. Like every durable record it is checksummed: a torn or
+/// bit-flipped cursor decodes to `None` and the transfer restarts from
+/// scratch — safe, just slower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplCursor {
+    /// Protection-group id the transfer belongs to.
+    pub pg: u64,
+    /// Source volume being replicated.
+    pub src_volume: u64,
+    /// The source snapshot being shipped.
+    pub src_snapshot: u64,
+    /// The base snapshot the delta was computed against (`None` for a
+    /// full seed), encoded as id+1 with 0 meaning none.
+    pub base_snapshot: Option<u64>,
+    /// Next chunk index to ship; chunks below this are fully acked.
+    pub next_chunk: u64,
+    /// Total chunks in the transfer plan — resume re-derives the plan
+    /// from the medium diff and must find the same count, or the cursor
+    /// is stale and the transfer restarts.
+    pub total_chunks: u64,
+    /// Wire sequence number of the last acked message.
+    pub wire_seq: u64,
+}
+
+/// Serializes a replication cursor (checksummed).
+pub fn encode_repl_cursor(c: &ReplCursor) -> Vec<u8> {
+    let mut out = vec![REPL_CURSOR_TAG];
+    varint::encode(c.pg, &mut out);
+    varint::encode(c.src_volume, &mut out);
+    varint::encode(c.src_snapshot, &mut out);
+    varint::encode(c.base_snapshot.map(|s| s + 1).unwrap_or(0), &mut out);
+    varint::encode(c.next_chunk, &mut out);
+    varint::encode(c.total_chunks, &mut out);
+    varint::encode(c.wire_seq, &mut out);
+    put_checksum(&mut out, 0);
+    out
+}
+
+/// Deserializes a replication cursor. `None` on truncation, a foreign
+/// tag, or any bit flip.
+pub fn decode_repl_cursor(input: &[u8]) -> Option<ReplCursor> {
+    if *input.first()? != REPL_CURSOR_TAG {
+        return None;
+    }
+    let mut at = 1;
+    let next = |at: &mut usize| -> Option<u64> {
+        let (v, n) = varint::decode(&input[*at..])?;
+        *at += n;
+        Some(v)
+    };
+    let pg = next(&mut at)?;
+    let src_volume = next(&mut at)?;
+    let src_snapshot = next(&mut at)?;
+    let base = next(&mut at)?;
+    let next_chunk = next(&mut at)?;
+    let total_chunks = next(&mut at)?;
+    let wire_seq = next(&mut at)?;
+    check_checksum(input, at)?;
+    Some(ReplCursor {
+        pg,
+        src_volume,
+        src_snapshot,
+        base_snapshot: base.checked_sub(1),
+        next_chunk,
+        total_chunks,
+        wire_seq,
+    })
+}
+
 const INTENT_TAG: u8 = 0xA7;
+const SEAL_TAG: u8 = 0xAA;
 
 /// Classifies an NVRAM record payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -516,15 +592,39 @@ pub enum NvramEntry {
     Write(WriteIntent),
     /// A metadata operation.
     Meta(MetaIntent),
+    /// A recovery seal (payload: last replayed record index). Appended
+    /// after a successful NVRAM replay; an undecodable record *before*
+    /// a seal is a torn tail an earlier recovery already tolerated, not
+    /// data loss.
+    Seal(u64),
 }
 
-/// Decodes either intent kind.
+/// Decodes any NVRAM record kind.
 pub fn decode_nvram_entry(input: &[u8]) -> Option<NvramEntry> {
     match *input.first()? {
         INTENT_TAG => decode_intent(input).map(NvramEntry::Write),
         META_TAG => decode_meta(input).map(NvramEntry::Meta),
+        SEAL_TAG => decode_recovery_seal(input).map(NvramEntry::Seal),
         _ => None,
     }
+}
+
+/// Serializes a recovery seal.
+pub fn encode_recovery_seal(replayed_through: u64) -> Vec<u8> {
+    let mut out = vec![SEAL_TAG];
+    varint::encode(replayed_through, &mut out);
+    put_checksum(&mut out, 0);
+    out
+}
+
+/// Deserializes a recovery seal. `None` on truncation or any bit flip.
+pub fn decode_recovery_seal(input: &[u8]) -> Option<u64> {
+    if *input.first()? != SEAL_TAG {
+        return None;
+    }
+    let (through, n) = varint::decode(&input[1..])?;
+    check_checksum(input, 1 + n)?;
+    Some(through)
 }
 
 /// Serializes a write intent for the NVRAM log.
@@ -773,6 +873,27 @@ mod meta_tests {
             let bytes = encode_meta(&intent);
             assert_eq!(decode_meta(&bytes), Some(intent.clone()));
             assert_eq!(decode_nvram_entry(&bytes), Some(NvramEntry::Meta(intent)));
+        }
+    }
+
+    #[test]
+    fn repl_cursor_round_trips_and_rejects_corruption() {
+        for base in [None, Some(7u64)] {
+            let c = ReplCursor {
+                pg: 3,
+                src_volume: 11,
+                src_snapshot: 42,
+                base_snapshot: base,
+                next_chunk: 17,
+                total_chunks: 128,
+                wire_seq: 9001,
+            };
+            let bytes = encode_repl_cursor(&c);
+            assert_eq!(decode_repl_cursor(&bytes), Some(c));
+            assert_eq!(decode_repl_cursor(&bytes[..bytes.len() - 1]), None);
+            let mut bad = bytes.clone();
+            bad[2] ^= 0x40;
+            assert_eq!(decode_repl_cursor(&bad), None, "bit flip must be caught");
         }
     }
 

@@ -402,6 +402,16 @@ impl Controller {
         done = done.max(t);
         let mut max_seq_seen = ctrl.seq.high_water();
         let n_records = records.len();
+        // A recovery seal later in the log means a previous cold start
+        // already replayed (and tolerated a torn tail in) everything
+        // before it; undecodable records in that prefix are not data
+        // loss. Records past the last seal get no such amnesty.
+        let last_seal_pos = records
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, r)| matches!(decode_nvram_entry(&r.payload), Some(NvramEntry::Seal(_))))
+            .map(|(pos, _)| pos);
         for (pos, rec) in records.into_iter().enumerate() {
             if opts.skip_nvram_replay {
                 // Sabotage mode: pretend the log was read (indexes still
@@ -425,9 +435,14 @@ impl Controller {
                         report.write_intents_replayed += 1;
                     }
                 }
-                None if pos == n_records - 1 => {
+                Some(NvramEntry::Seal(_)) => {
+                    // An earlier recovery's marker; nothing to apply.
+                }
+                None if pos == n_records - 1 || last_seal_pos.is_some_and(|s| pos < s) => {
                     // A torn tail: power died mid-append, so the commit
-                    // never completed and the client was never acked.
+                    // never completed and the client was never acked —
+                    // either at the end of the log right now, or before
+                    // a seal (an earlier cold start already vetted it).
                     // Dropping it is the *required* behaviour.
                     report.torn_tail_records += 1;
                 }
@@ -439,6 +454,14 @@ impl Controller {
                 }
             }
         }
+        // Seal the replayed log so the *next* cold start can tell this
+        // run's tolerated torn tail apart from real mid-log corruption.
+        let (seal_idx, t) = shelf.nvram_append(
+            &crate::records::encode_recovery_seal(ctrl.last_nvram_index.unwrap_or(0)),
+            done.max(now),
+        )?;
+        ctrl.last_nvram_index = Some(seal_idx);
+        done = done.max(t);
         ctrl.seq = SeqAllocator::resume_after(max_seq_seen.max(ctrl.map.max_seq()));
         report.total_time = done.max(now).saturating_sub(now);
         Ok((ctrl, report))

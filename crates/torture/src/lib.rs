@@ -24,8 +24,10 @@
 
 pub mod campaign;
 pub mod oracle;
+pub mod repl;
 pub mod shrink;
 
 pub use campaign::{failing, run_campaign, CampaignOutcome, CampaignSpec, CrashPhase};
 pub use oracle::DurabilityOracle;
+pub use repl::{run_repl_campaign, ReplCampaignOutcome, ReplCampaignSpec};
 pub use shrink::{parse_repro, repro_line, shrink, Shrunk};

@@ -1,0 +1,327 @@
+//! Crash-during-replication torture: a seeded two-array campaign that
+//! crashes the *destination* mid-ship (and optionally loses the source
+//! outright) and holds the replica to the consistency contract.
+//!
+//! The contract is narrower than the single-array durability oracle
+//! and absolute: **every snapshot in a protection group's lineage —
+//! and therefore anything promotion can produce — is bit-exact some
+//! fully-acked source snapshot.** The replica *volume's anchor* may
+//! hold a torn, half-shipped delta after a crash; no lineage snapshot
+//! ever may. A run is a pure function of its [`ReplCampaignSpec`].
+
+use purity_core::{ArrayConfig, CrashTarget, FlashArray, PowerLossSpec, SECTOR};
+use purity_repl::{LinkConfig, ReplFabric, ReplicaLink};
+use purity_sim::{MS, SEC};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Everything that determines a replication campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplCampaignSpec {
+    /// Seed for the op mix, crash staging, and the link flap schedule.
+    pub seed: u64,
+    /// Delta rounds shipped (each: writes, ship, verify).
+    pub rounds: usize,
+    /// After the rounds, lose the source mid-transfer, promote the
+    /// replica, verify it, then recover the source and reprotect.
+    pub crash_source: bool,
+}
+
+impl ReplCampaignSpec {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            rounds: 4,
+            crash_source: true,
+        }
+    }
+}
+
+/// What a replication campaign did.
+#[derive(Debug, Clone, Default)]
+pub struct ReplCampaignOutcome {
+    /// Consistency violations; empty means the contract held.
+    pub violations: Vec<String>,
+    /// Destination power losses injected mid-ship.
+    pub dst_crashes: u64,
+    /// Transfers that resumed from a persisted cursor past chunk 0.
+    pub cursor_resumes: u64,
+    /// Wire retransmissions across the campaign.
+    pub retransmits: u64,
+    /// Ships that ran to completion.
+    pub ships_completed: u64,
+    /// Whether the promote-after-source-loss drill ran and verified.
+    pub promoted_ok: bool,
+}
+
+/// Reads the full replica image of a lineage snapshot.
+fn snapshot_image(
+    arr: &mut FlashArray,
+    snap: purity_core::SnapshotId,
+    size: usize,
+) -> Result<Vec<u8>, String> {
+    arr.read_snapshot(snap, 0, size)
+        .map_err(|e| format!("lineage snapshot unreadable: {e:?}"))
+}
+
+/// Runs one seeded crash-during-replication campaign.
+pub fn run_repl_campaign(spec: &ReplCampaignSpec) -> ReplCampaignOutcome {
+    let mut out = ReplCampaignOutcome::default();
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5EED_5EED);
+
+    let mut src = FlashArray::new(ArrayConfig::test_small()).expect("src array");
+    let mut dst = FlashArray::new(ArrayConfig::test_small()).expect("dst array");
+    let size = 2usize << 20;
+    let vol = src.create_volume("prod", size as u64).expect("volume");
+    let mut model = vec![0u8; size];
+
+    // Link personality varies by seed: some campaigns flap gently
+    // (retransmits), some brutally (stalls + resumes on top of the
+    // injected crashes).
+    let mean_down = MS * (4 + (spec.seed % 3) * 150);
+    let cfg = LinkConfig::flaky(50 << 20, spec.seed, 50 * MS, mean_down);
+    let mut fabric = ReplFabric::new(ReplicaLink::with_config(cfg));
+    let pg = fabric.protect(&src, vol, "prod", SEC).expect("protect");
+
+    // Golden history: the model image at each source snapshot, pushed
+    // when the ship for it completes (index-aligned with the lineage).
+    let mut golden: Vec<Vec<u8>> = Vec::new();
+
+    let verify_lineage_tip = |fabric: &ReplFabric,
+                              dst: &mut FlashArray,
+                              golden: &[Vec<u8>],
+                              out: &mut ReplCampaignOutcome,
+                              when: &str| {
+        let g = fabric.group(pg).expect("group");
+        if g.lineage.len() != golden.len() {
+            out.violations.push(format!(
+                "{when}: lineage has {} entries, {} ships completed",
+                g.lineage.len(),
+                golden.len()
+            ));
+            return;
+        }
+        if let (Some(entry), Some(want)) = (g.lineage.last(), golden.last()) {
+            match snapshot_image(dst, entry.dst_snapshot, want.len()) {
+                Ok(got) => {
+                    if &got != want {
+                        let first = got
+                            .iter()
+                            .zip(want.iter())
+                            .position(|(a, b)| a != b)
+                            .unwrap_or(0);
+                        out.violations.push(format!(
+                            "{when}: lineage tip diverges from acked source snapshot \
+                                 (first bad sector {})",
+                            first / SECTOR
+                        ));
+                    }
+                }
+                Err(e) => out.violations.push(format!("{when}: {e}")),
+            }
+        }
+        for p in fabric.verify_lineage(pg, dst) {
+            out.violations.push(format!("{when}: {p}"));
+        }
+    };
+
+    for round in 0..spec.rounds {
+        // Mutate the source.
+        let writes = if round == 0 {
+            8
+        } else {
+            2 + rng.gen_range(0..4)
+        };
+        for _ in 0..writes {
+            let len = SECTOR << rng.gen_range(0..8u32);
+            let off = rng.gen_range(0..(size - len) / SECTOR) * SECTOR;
+            let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            src.write(vol, off as u64, &data).expect("src write");
+            model[off..off + len].copy_from_slice(&data);
+        }
+        src.advance(5 * MS);
+
+        // Stage a destination crash on most rounds: power dies mid
+        // NVRAM-append or mid segment-flush while replica chunks land.
+        if rng.gen_bool(0.7) {
+            let target = if rng.gen_bool(0.5) {
+                CrashTarget::NvramAppend
+            } else {
+                CrashTarget::SegmentWrite
+            };
+            let after = rng.gen_range(2..10);
+            let keep = rng.gen_range(1..512);
+            dst.arm_power_loss(target, after, keep);
+        }
+
+        // Drive the ship to completion through crashes and flaps.
+        let mut guard = 0;
+        loop {
+            let report = match fabric.ship_now(pg, &mut src, &mut dst) {
+                Ok(r) => r,
+                Err(e) => {
+                    if dst.powered() {
+                        out.violations
+                            .push(format!("round {round}: ship failed on live arrays: {e:?}"));
+                        break;
+                    }
+                    // The crash tripped outside the transfer loop (e.g.
+                    // while snapshotting the replica) — recover below.
+                    purity_repl::ShipReport::default()
+                }
+            };
+            out.retransmits = fabric.stats().retransmits;
+            if report.resumed_from_chunk > 0 {
+                out.cursor_resumes += 1;
+            }
+            if report.completed
+                && fabric.group(pg).expect("group").lineage.len() == golden.len() + 1
+            {
+                break;
+            }
+            if !dst.powered() {
+                // The injected crash fired mid-ship. Cold-start the
+                // destination and check the contract *before* resuming:
+                // the lineage must still be consistent, the torn delta
+                // confined to the replica volume's anchor.
+                out.dst_crashes += 1;
+                if let Err(e) = dst.power_loss(PowerLossSpec::default()) {
+                    out.violations
+                        .push(format!("round {round}: destination recovery failed: {e:?}"));
+                    return out;
+                }
+                for p in dst.verify_integrity() {
+                    out.violations
+                        .push(format!("round {round} post-crash: {p}"));
+                }
+                verify_lineage_tip(&fabric, &mut dst, &golden, &mut out, "post-crash");
+            }
+            src.advance(100 * MS);
+            guard += 1;
+            if guard > 300 {
+                out.violations
+                    .push(format!("round {round}: transfer never completed"));
+                return out;
+            }
+        }
+        golden.push(model.clone());
+        verify_lineage_tip(
+            &fabric,
+            &mut dst,
+            &golden,
+            &mut out,
+            &format!("round {round}"),
+        );
+        src.advance(20 * MS);
+    }
+    out.ships_completed = fabric.stats().ships_completed;
+
+    // Discharge any leftover armed crash trigger with scratch writes so
+    // the DR drill below exercises source loss, not a stale
+    // destination trap.
+    if dst.power_loss_armed() {
+        let scratch = dst.create_volume("scratch", 1 << 20).ok();
+        let mut i = 0u64;
+        while dst.powered() && dst.power_loss_armed() && i < 128 {
+            if let Some(v) = scratch {
+                let _ = dst.write(v, (i % 256) * SECTOR as u64, &vec![i as u8; SECTOR]);
+            }
+            i += 1;
+        }
+        if !dst.powered() {
+            out.dst_crashes += 1;
+            if let Err(e) = dst.power_loss(PowerLossSpec::default()) {
+                out.violations
+                    .push(format!("destination recovery failed: {e:?}"));
+                return out;
+            }
+            verify_lineage_tip(&fabric, &mut dst, &golden, &mut out, "post-discharge");
+        }
+    }
+
+    if spec.crash_source {
+        // One more delta gets under way; the source dies before (or
+        // while) it completes. Whatever was mid-flight must not leak
+        // into what promotion produces.
+        let data: Vec<u8> = (0..64 * 1024).map(|_| rng.gen()).collect();
+        src.write(vol, 0, &data).expect("src write");
+        let _ = fabric.ship_now(pg, &mut src, &mut dst); // may stall or complete
+        let completed_extra = fabric.group(pg).expect("group").lineage.len() == golden.len() + 1;
+        if completed_extra {
+            let mut m = model.clone();
+            m[..data.len()].copy_from_slice(&data);
+            golden.push(m);
+        }
+        src.cut_power();
+
+        match fabric.promote(pg, &mut dst) {
+            Ok(promoted) => {
+                let want = golden.last().expect("at least one ship completed");
+                match dst.read(promoted, 0, size) {
+                    Ok((got, _)) => {
+                        if &got == want {
+                            out.promoted_ok = true;
+                        } else {
+                            out.violations.push(
+                                "promoted volume is not the last fully-acked source snapshot"
+                                    .into(),
+                            );
+                        }
+                    }
+                    Err(e) => out
+                        .violations
+                        .push(format!("promoted volume unreadable: {e:?}")),
+                }
+            }
+            Err(e) => out.violations.push(format!("promotion failed: {e:?}")),
+        }
+
+        // The old source recovers; reprotect ships the surviving state
+        // back and the reverse replica must match the promoted volume.
+        if src.power_loss(PowerLossSpec::default()).is_err() {
+            out.violations.push("source recovery failed".into());
+            return out;
+        }
+        match fabric.reprotect(pg, &mut dst, &mut src) {
+            Ok((back_pg, mut report)) => {
+                let mut guard = 0;
+                while !report.completed {
+                    dst.advance(100 * MS);
+                    match fabric.resume(back_pg, &mut dst, &mut src) {
+                        Ok(r) => report = r,
+                        Err(e) => {
+                            out.violations
+                                .push(format!("reprotect resume failed: {e:?}"));
+                            return out;
+                        }
+                    }
+                    guard += 1;
+                    if guard > 300 {
+                        out.violations.push("reprotect never completed".into());
+                        return out;
+                    }
+                }
+                let back = fabric
+                    .group(back_pg)
+                    .and_then(|g| g.replica_volume)
+                    .expect("reverse replica");
+                let want = golden.last().expect("golden");
+                match src.read(back, 0, size) {
+                    Ok((got, _)) => {
+                        if &got != want {
+                            out.violations
+                                .push("reverse replica diverged from promoted volume".into());
+                        }
+                    }
+                    Err(e) => out
+                        .violations
+                        .push(format!("reverse replica unreadable: {e:?}")),
+                }
+            }
+            Err(e) => out.violations.push(format!("reprotect failed: {e:?}")),
+        }
+    }
+
+    out.retransmits = fabric.stats().retransmits;
+    out
+}

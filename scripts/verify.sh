@@ -42,6 +42,13 @@ step "flight recorder smoke (exp_slo, fig7_fiveminute)"
 cargo run -q --release -p purity-bench --bin exp_slo -- --smoke
 cargo run -q --release -p purity-bench --bin fig7_fiveminute -- --smoke
 
+# Replication fabric smoke: the bandwidth x flap-rate grid must
+# converge every cell to a bit-exact replica, order its wire costs
+# (heavier flapping => more retransmits; thinner pipe => longer link
+# time), and export byte-identical telemetry across same-seed sweeps.
+step "replication fabric smoke (exp_replication)"
+cargo run -q --release -p purity-bench --bin exp_replication -- --smoke
+
 if [[ $quick -eq 1 ]]; then
   echo "--quick: skipping fmt/clippy"
   exit 0

@@ -1,9 +1,12 @@
-//! Asynchronous off-site replication between two arrays.
+//! Asynchronous off-site replication between two arrays: the
+//! `purity-repl` fabric end to end — delta enumeration, dedup-aware
+//! shipping, flap/resume, promotion, and telemetry determinism.
 
-use purity_core::replication::{
-    replicate_snapshot_full, replicate_snapshot_incremental, ReplicaLink,
-};
 use purity_core::{ArrayConfig, FlashArray, SECTOR};
+use purity_repl::{
+    replicate_snapshot_full, replicate_snapshot_incremental, LinkConfig, ReplFabric, ReplicaLink,
+};
+use purity_sim::{MS, SEC};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -12,10 +15,16 @@ fn random_bytes(seed: u64, len: usize) -> Vec<u8> {
     (0..len).map(|_| rng.gen()).collect()
 }
 
+fn pair() -> (FlashArray, FlashArray) {
+    (
+        FlashArray::new(ArrayConfig::test_small()).unwrap(),
+        FlashArray::new(ArrayConfig::test_small()).unwrap(),
+    )
+}
+
 #[test]
 fn full_replication_copies_a_snapshot() {
-    let mut src = FlashArray::new(ArrayConfig::test_small()).unwrap();
-    let mut dst = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    let (mut src, mut dst) = pair();
     let vol = src.create_volume("prod", 2 << 20).unwrap();
     let data = random_bytes(1, 512 * 1024);
     src.write(vol, 0, &data).unwrap();
@@ -27,6 +36,7 @@ fn full_replication_copies_a_snapshot() {
     let mut link = ReplicaLink::new(1 << 30); // 1 GiB/s
     let (dst_vol, report) =
         replicate_snapshot_full(&mut src, snap, &mut dst, "replica", &mut link).unwrap();
+    assert!(report.completed);
     assert!(report.sectors_shipped >= (512 * 1024 / SECTOR) as u64);
     assert!(report.bytes_shipped > 0);
     assert!(report.link_time > 0);
@@ -37,8 +47,7 @@ fn full_replication_copies_a_snapshot() {
 
 #[test]
 fn replication_skips_unwritten_space() {
-    let mut src = FlashArray::new(ArrayConfig::test_small()).unwrap();
-    let mut dst = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    let (mut src, mut dst) = pair();
     // Large thin volume, tiny written region.
     let vol = src.create_volume("thin", 16 << 20).unwrap();
     let data = random_bytes(3, 64 * 1024);
@@ -59,8 +68,7 @@ fn replication_skips_unwritten_space() {
 
 #[test]
 fn incremental_replication_ships_only_the_diff() {
-    let mut src = FlashArray::new(ArrayConfig::test_small()).unwrap();
-    let mut dst = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    let (mut src, mut dst) = pair();
     let vol = src.create_volume("prod", 4 << 20).unwrap();
     let base = random_bytes(4, 1 << 20);
     src.write(vol, 0, &base).unwrap();
@@ -75,8 +83,9 @@ fn incremental_replication_ships_only_the_diff() {
     src.write(vol, 128 * 1024, &delta).unwrap();
     let snap2 = src.snapshot(vol, "t2").unwrap();
 
-    let inc = replicate_snapshot_incremental(&mut src, snap1, snap2, &mut dst, dst_vol, &mut link)
-        .unwrap();
+    let inc =
+        replicate_snapshot_incremental(&mut src, Some(snap1), snap2, &mut dst, dst_vol, &mut link)
+            .unwrap();
     assert!(
         inc.bytes_shipped < full.bytes_shipped / 4,
         "incremental ({}) should ship far less than full ({})",
@@ -93,26 +102,62 @@ fn incremental_replication_ships_only_the_diff() {
 }
 
 #[test]
-fn incremental_with_no_changes_ships_nothing() {
-    let mut src = FlashArray::new(ArrayConfig::test_small()).unwrap();
-    let mut dst = FlashArray::new(ArrayConfig::test_small()).unwrap();
+fn identical_snapshots_diff_empty_and_ship_nothing() {
+    let (mut src, mut dst) = pair();
     let vol = src.create_volume("prod", 1 << 20).unwrap();
     src.write(vol, 0, &random_bytes(6, 128 * 1024)).unwrap();
     let s1 = src.snapshot(vol, "a").unwrap();
     let s2 = src.snapshot(vol, "b").unwrap();
+    // The medium-diff enumeration itself sees no changed runs...
+    assert_eq!(src.snapshot_diff(Some(s1), s2).unwrap(), Vec::new());
+    // ...so the incremental ship moves zero sectors and zero bytes,
+    // hash probes included.
     let mut link = ReplicaLink::new(1 << 30);
     let (dst_vol, _) =
         replicate_snapshot_full(&mut src, s1, &mut dst, "replica", &mut link).unwrap();
-    let inc =
-        replicate_snapshot_incremental(&mut src, s1, s2, &mut dst, dst_vol, &mut link).unwrap();
-    assert_eq!(inc.sectors_shipped, 0, "{:?}", inc);
+    let before = link.stats().bytes_on_wire;
+    let inc = replicate_snapshot_incremental(&mut src, Some(s1), s2, &mut dst, dst_vol, &mut link)
+        .unwrap();
+    assert_eq!(inc.sectors_shipped, 0, "{inc:?}");
     assert_eq!(inc.bytes_shipped, 0);
+    assert_eq!(inc.hash_bytes, 0);
+    assert_eq!(link.stats().bytes_on_wire, before);
 }
 
 #[test]
-fn replication_is_bandwidth_limited() {
-    let mut src = FlashArray::new(ArrayConfig::test_small()).unwrap();
-    let mut dst = FlashArray::new(ArrayConfig::test_small()).unwrap();
+fn destination_dedup_hit_ships_hash_only_bytes() {
+    let (mut src, mut dst) = pair();
+    // The destination already holds the exact content (e.g. seeded from
+    // backup media). 256 KiB = 512 sectors, comfortably inside the
+    // destination dedup index's exact-match window.
+    let image = random_bytes(9, 256 * 1024);
+    let pre = dst.create_volume("preseed", 1 << 20).unwrap();
+    dst.write(pre, 0, &image).unwrap();
+
+    let vol = src.create_volume("prod", 1 << 20).unwrap();
+    src.write(vol, 0, &image).unwrap();
+    let snap = src.snapshot(vol, "s").unwrap();
+
+    let mut link = ReplicaLink::new(1 << 30);
+    let (dst_vol, report) =
+        replicate_snapshot_full(&mut src, snap, &mut dst, "replica", &mut link).unwrap();
+    let sectors = (image.len() / SECTOR) as u64;
+    assert_eq!(report.dedup_hit_sectors, sectors, "{report:?}");
+    assert_eq!(report.sectors_shipped, 0);
+    assert_eq!(report.bytes_shipped, 0, "payload must not cross the wire");
+    assert_eq!(report.hash_bytes, sectors * 8);
+    assert!(
+        report.bytes_on_wire < image.len() as u64 / 16,
+        "hash-only transfer should be tiny: {} on wire",
+        report.bytes_on_wire
+    );
+    let (replica, _) = dst.read(dst_vol, 0, image.len()).unwrap();
+    assert_eq!(replica, image);
+}
+
+#[test]
+fn replication_is_bandwidth_limited_and_pays_latency() {
+    let (mut src, mut dst) = pair();
     let vol = src.create_volume("prod", 2 << 20).unwrap();
     let data = random_bytes(7, 1 << 20);
     src.write(vol, 0, &data).unwrap();
@@ -128,25 +173,294 @@ fn replication_is_bandwidth_limited() {
         report.link_time,
         expect_ns
     );
+    // Latency term: every chunk pays at least one round trip on top of
+    // serialization time.
+    let rtt = 2 * link.config().latency;
+    assert!(
+        report.link_time >= expect_ns / 2 + report.chunks_acked * rtt,
+        "link time {} missing per-chunk latency ({} chunks, rtt {})",
+        report.link_time,
+        report.chunks_acked,
+        rtt
+    );
 }
 
 #[test]
 fn destination_dedups_shipped_data() {
-    let mut src = FlashArray::new(ArrayConfig::test_small()).unwrap();
-    let mut dst = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    let (mut src, mut dst) = pair();
     // Two source volumes with identical content, replicated separately:
-    // the destination should store one copy.
+    // the destination stores one copy, and the second transfer is
+    // hash-only on the wire.
     let image = random_bytes(8, 256 * 1024);
     let mut link = ReplicaLink::new(1 << 30);
+    let mut reports = Vec::new();
     for i in 0..2 {
         let vol = src.create_volume(&format!("v{}", i), 1 << 20).unwrap();
         src.write(vol, 0, &image).unwrap();
         let snap = src.snapshot(vol, "s").unwrap();
-        replicate_snapshot_full(&mut src, snap, &mut dst, &format!("r{}", i), &mut link).unwrap();
+        let (_, r) =
+            replicate_snapshot_full(&mut src, snap, &mut dst, &format!("r{}", i), &mut link)
+                .unwrap();
+        reports.push(r);
     }
     assert!(
         dst.stats().dedup_bytes_saved > image.len() as u64 / 2,
         "destination should dedup the second copy: saved {}",
         dst.stats().dedup_bytes_saved
     );
+    assert!(reports[0].bytes_shipped > 0);
+    assert_eq!(
+        reports[1].bytes_shipped, 0,
+        "second copy should ship hashes only: {:?}",
+        reports[1]
+    );
+}
+
+/// Property: for any write history, a full seed plus every incremental
+/// delta reproduces the latest source snapshot bit-exactly, and the
+/// replica snapshot lineage stacks properly in the medium table.
+#[test]
+fn seed_plus_deltas_reproduce_latest_snapshot() {
+    for seed in 0..4u64 {
+        let (mut src, mut dst) = pair();
+        let size = 2usize << 20;
+        let vol = src.create_volume("prod", size as u64).unwrap();
+        let mut model = vec![0u8; size];
+        let mut rng = StdRng::seed_from_u64(0xD1FF ^ seed);
+
+        let mut fabric = ReplFabric::new(ReplicaLink::new(200 << 20));
+        let pg = fabric.protect(&src, vol, "prod", SEC).unwrap();
+
+        let rounds = 4 + (seed as usize % 3);
+        for round in 0..rounds {
+            // A few random writes (first round seeds a larger base).
+            let writes = if round == 0 {
+                6
+            } else {
+                1 + rng.gen_range(0..3)
+            };
+            for _ in 0..writes {
+                let len = SECTOR << rng.gen_range(0..6u32);
+                let off = rng.gen_range(0..(size - len) / SECTOR) * SECTOR;
+                let data = (0..len).map(|_| rng.gen()).collect::<Vec<u8>>();
+                src.write(vol, off as u64, &data).unwrap();
+                model[off..off + len].copy_from_slice(&data);
+            }
+            let report = fabric.ship_now(pg, &mut src, &mut dst).unwrap();
+            assert!(report.completed, "reliable link must not stall");
+            src.advance(10 * MS);
+        }
+
+        let g = fabric.group(pg).unwrap();
+        assert_eq!(g.lineage.len(), rounds);
+        let replica = g.replica_volume.unwrap();
+        let (got, _) = dst.read(replica, 0, size).unwrap();
+        assert_eq!(got, model, "seed {seed}: replica diverged from source");
+        assert_eq!(
+            fabric.verify_lineage(pg, &dst),
+            Vec::<String>::new(),
+            "seed {seed}"
+        );
+        // RPO lag is measured from the last completed ship.
+        assert!(fabric.rpo_lag(pg, src.now()) <= src.now());
+    }
+}
+
+/// The end-to-end DR drill from the issue: seed a replica, ship two
+/// incremental deltas with a link flap mid-transfer (resume from the
+/// persisted cursor — retransmit/resume counters prove no full
+/// restart), cut source power, promote the replica, and verify every
+/// sector of the promoted volume against the last fully-acked source
+/// snapshot.
+#[test]
+fn dr_drill_flap_resume_promote() {
+    let (mut src, mut dst) = pair();
+    let size = 2usize << 20;
+    let vol = src.create_volume("prod", size as u64).unwrap();
+    let mut model = vec![0u8; size];
+    let mut rng = StdRng::seed_from_u64(0xD2);
+
+    // 25 MB/s with long flaps: any transfer that meets a flap window
+    // exhausts its retry budget and must stall.
+    let cfg = LinkConfig::flaky(25 << 20, 11, 60 * MS, 900 * MS);
+    let mut fabric = ReplFabric::new(ReplicaLink::with_config(cfg));
+    let pg = fabric.protect(&src, vol, "prod", SEC).unwrap();
+
+    let mut write_round = |src: &mut FlashArray, model: &mut Vec<u8>, n: usize, big: bool| {
+        let mut r = StdRng::seed_from_u64(rng.gen());
+        for _ in 0..n {
+            let len = if big { 128 * 1024 } else { 16 * 1024 };
+            let off = r.gen_range(0..(size - len) / SECTOR) * SECTOR;
+            let data = (0..len).map(|_| r.gen()).collect::<Vec<u8>>();
+            src.write(vol, off as u64, &data).unwrap();
+            model[off..off + len].copy_from_slice(&data);
+        }
+    };
+
+    // Drive a ship (and its resumes) to completion, advancing virtual
+    // time between attempts so the link's flap windows pass.
+    let mut stalls = 0u64;
+    let mut resumed_mid_transfer = false;
+    let mut drive = |fabric: &mut ReplFabric, src: &mut FlashArray, dst: &mut FlashArray| {
+        let mut report = fabric.ship_now(pg, src, dst).unwrap();
+        let mut guard = 0;
+        while !report.completed {
+            stalls += 1;
+            assert!(
+                fabric.group(pg).unwrap().cursor().is_some(),
+                "stalled transfer must persist a cursor"
+            );
+            src.advance(100 * MS);
+            report = fabric.resume(pg, src, dst).unwrap();
+            if report.resumed_from_chunk > 0 {
+                resumed_mid_transfer = true;
+            }
+            guard += 1;
+            assert!(guard < 200, "transfer never completed");
+        }
+    };
+
+    // Seed + two incremental deltas, each large enough to span many
+    // chunks so flaps land mid-transfer.
+    write_round(&mut src, &mut model, 8, true);
+    drive(&mut fabric, &mut src, &mut dst);
+    for _ in 0..2 {
+        write_round(&mut src, &mut model, 6, true);
+        drive(&mut fabric, &mut src, &mut dst);
+    }
+
+    assert!(stalls > 0, "the flaky link never stalled a transfer");
+    assert!(
+        resumed_mid_transfer,
+        "at least one resume must pick up mid-transfer from the cursor"
+    );
+    let stats = fabric.stats();
+    assert!(stats.retransmits > 0, "flaps must cause retransmits");
+    assert!(stats.ships_stalled > 0);
+    // No full restarts: the chunks acked across the campaign equal the
+    // chunks planned (each acked exactly once despite stalls).
+    assert_eq!(stats.ships_completed, 3);
+
+    // Disaster: the source array loses power for good.
+    src.cut_power();
+    assert!(src.read(vol, 0, SECTOR).is_err());
+
+    // Promote the replica on the destination and verify bit-exactness
+    // against the last fully-acked source snapshot (== model, since
+    // every ship completed).
+    let promoted = fabric.promote(pg, &mut dst).unwrap();
+    let (got, _) = dst.read(promoted, 0, size).unwrap();
+    assert_eq!(
+        got, model,
+        "promoted volume diverged from last acked snapshot"
+    );
+
+    // The promoted volume is read-write on the destination.
+    dst.write(promoted, 0, &vec![0xAB; 4096]).unwrap();
+    let (after, _) = dst.read(promoted, 0, 4096).unwrap();
+    assert_eq!(after, vec![0xAB; 4096]);
+
+    // The lineage tip snapshot itself is untouched by post-promotion
+    // writes (promotion clones, never mutates).
+    let tip = fabric
+        .group(pg)
+        .unwrap()
+        .lineage
+        .last()
+        .unwrap()
+        .dst_snapshot;
+    let tip_bytes = dst.read_snapshot(tip, 0, 4096).unwrap();
+    assert_eq!(tip_bytes, model[..4096]);
+}
+
+/// Reprotect after promotion: the surviving data ships back to the
+/// recovered source, and dedup makes the reverse seed cheap (the old
+/// source still holds most of the blocks).
+#[test]
+fn reprotect_ships_back_dedup_aware() {
+    let (mut src, mut dst) = pair();
+    let size = 1usize << 20;
+    let vol = src.create_volume("prod", size as u64).unwrap();
+    let image = random_bytes(21, 512 * 1024);
+    src.write(vol, 0, &image).unwrap();
+
+    let mut fabric = ReplFabric::new(ReplicaLink::new(100 << 20));
+    let pg = fabric.protect(&src, vol, "prod", SEC).unwrap();
+    assert!(fabric.ship_now(pg, &mut src, &mut dst).unwrap().completed);
+
+    let promoted = fabric.promote(pg, &mut dst).unwrap();
+    // Failover writes land on the promoted volume.
+    let fresh = random_bytes(22, 64 * 1024);
+    dst.write(promoted, 0, &fresh).unwrap();
+
+    // The original source recovers (its data survived) and the
+    // promoted volume reprotects back onto it.
+    let (back_pg, report) = fabric.reprotect(pg, &mut dst, &mut src).unwrap();
+    assert!(report.completed);
+    assert!(
+        report.dedup_hit_sectors > 0,
+        "old source should satisfy unchanged sectors by hash: {report:?}"
+    );
+    let back = fabric.group(back_pg).unwrap().replica_volume.unwrap();
+    let (got, _) = src.read(back, 0, 64 * 1024).unwrap();
+    assert_eq!(got, fresh, "reverse replica must carry the failover writes");
+    let (tail, _) = src.read(back, 64 * 1024, 512 * 1024 - 64 * 1024).unwrap();
+    assert_eq!(tail, image[64 * 1024..], "unchanged data must survive");
+}
+
+/// Determinism regression (issue satellite): two same-seed two-array
+/// replication runs — including a mid-transfer flap and resume —
+/// export byte-identical telemetry JSON, and the export carries the
+/// `repl_*` series.
+#[test]
+fn same_seed_runs_export_identical_telemetry() {
+    let run = || {
+        let (mut src, mut dst) = pair();
+        let size = 1usize << 20;
+        let vol = src.create_volume("prod", size as u64).unwrap();
+        let mut rng = StdRng::seed_from_u64(0x7E1E);
+
+        let cfg = LinkConfig::flaky(25 << 20, 5, 40 * MS, 700 * MS);
+        let mut fabric = ReplFabric::new(ReplicaLink::with_config(cfg));
+        let pg = fabric.protect(&src, vol, "prod", SEC).unwrap();
+
+        let mut stalled = false;
+        for _ in 0..3 {
+            for _ in 0..4 {
+                let data = (0..96 * 1024).map(|_| rng.gen()).collect::<Vec<u8>>();
+                let off = rng.gen_range(0..(size - data.len()) / SECTOR) * SECTOR;
+                src.write(vol, off as u64, &data).unwrap();
+            }
+            let mut report = fabric.ship_now(pg, &mut src, &mut dst).unwrap();
+            let mut guard = 0;
+            while !report.completed {
+                stalled = true;
+                src.advance(80 * MS);
+                report = fabric.resume(pg, &mut src, &mut dst).unwrap();
+                guard += 1;
+                assert!(guard < 200);
+            }
+            src.advance(20 * MS);
+        }
+        assert!(stalled, "scenario must include a mid-transfer flap");
+        src.advance(SEC);
+        dst.advance(SEC);
+        (
+            src.export_observability_json(),
+            dst.export_observability_json(),
+        )
+    };
+    let (src_a, dst_a) = run();
+    let (src_b, dst_b) = run();
+    assert_eq!(src_a, src_b, "source telemetry must be seed-deterministic");
+    assert_eq!(
+        dst_a, dst_b,
+        "destination telemetry must be seed-deterministic"
+    );
+    for series in ["repl_bytes_on_wire", "repl_retransmits", "repl_rpo_lag_ns"] {
+        assert!(
+            src_a.contains(series),
+            "export must carry the {series} series"
+        );
+    }
 }

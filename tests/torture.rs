@@ -6,7 +6,9 @@
 //! `exp_torture` bench binary; any failure there prints a one-line
 //! repro that replays under `exp_torture --repro`.
 
-use purity_torture::{failing, run_campaign, shrink, CampaignSpec, CrashPhase};
+use purity_torture::{
+    failing, run_campaign, run_repl_campaign, shrink, CampaignSpec, CrashPhase, ReplCampaignSpec,
+};
 
 /// Runs one seed sweep for a phase; asserts zero violations everywhere
 /// and returns how many campaigns actually hit the targeted phase.
@@ -92,6 +94,49 @@ fn torture_with_host_stage() {
             out.violations
         );
     }
+}
+
+/// Crash-during-replication: destination power loss mid-ship (plus
+/// link flaps), then source loss, promotion and reprotect. The oracle:
+/// every lineage snapshot — and the promoted volume — is bit-exact
+/// some fully-acked source snapshot, never a torn mix.
+#[test]
+fn torture_replication_crash_consistency() {
+    let mut crashes = 0;
+    let mut resumes = 0;
+    for seed in 0..8u64 {
+        let spec = ReplCampaignSpec::new(seed);
+        let out = run_repl_campaign(&spec);
+        assert!(
+            out.violations.is_empty(),
+            "repl seed {seed} violated the replica-consistency contract:\n  {}",
+            out.violations.join("\n  ")
+        );
+        assert!(
+            out.ships_completed >= spec.rounds as u64,
+            "seed {seed}: {out:?}"
+        );
+        assert!(out.promoted_ok, "seed {seed}: promote drill did not verify");
+        crashes += out.dst_crashes;
+        resumes += out.cursor_resumes;
+    }
+    assert!(
+        crashes >= 8,
+        "destination crash trigger rarely fired across the sweep: {crashes}"
+    );
+    assert!(
+        resumes > 0,
+        "no transfer ever resumed from a persisted cursor"
+    );
+}
+
+/// Same replication spec, run twice: identical outcome.
+#[test]
+fn repl_campaign_is_deterministic() {
+    let spec = ReplCampaignSpec::new(5);
+    let a = format!("{:?}", run_repl_campaign(&spec));
+    let b = format!("{:?}", run_repl_campaign(&spec));
+    assert_eq!(a, b, "same replication spec must replay identically");
 }
 
 /// Same spec, run twice: byte-identical outcome. Violation strings,
