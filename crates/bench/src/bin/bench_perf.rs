@@ -1,0 +1,551 @@
+//! Canonical simulator-throughput benchmark: the perf trajectory every
+//! perf-affecting PR appends to.
+//!
+//! Runs a fixed matrix of representative workloads with the wall-clock
+//! profiler (`purity_obs::profiler`) enabled, and records what the
+//! *simulator itself* costs: events processed, wall milliseconds,
+//! events per wall second, simulated-seconds per wall-second, and the
+//! per-plane wall-time breakdown (shares of self time, summing to
+//! ~100%). Results merge into `BENCH_perf.json` at the repo root —
+//! entries are keyed by `(label, mode)`, so re-running with the same
+//! label replaces that entry while the rest of the trajectory is
+//! preserved. ROADMAP item 1 (the parallel engine) claims its speedup
+//! against this file.
+//!
+//! Wall time is nondeterministic, so `BENCH_perf.json` is a perf *log*,
+//! not a golden output: the self-check and the `--check` baseline
+//! comparison validate schema and deterministic quantities (workload
+//! names, plane sets, event counts) with tolerances, never absolute
+//! wall numbers.
+//!
+//! Usage:
+//!   bench_perf [--smoke] [--label NAME] [--check PATH]
+//!
+//! `--smoke` shrinks every workload for CI; `--check PATH` compares
+//! this run against the committed baseline at PATH (same mode) and
+//! fails on schema drift.
+
+use purity_bench::{drive, parse_json, print_table, JsonValue};
+use purity_core::{ArrayConfig, FlashArray, SECTOR};
+use purity_host::{HostConfig, HostEngine};
+use purity_obs::json::JsonWriter;
+use purity_obs::profiler::{self, ProfileSnapshot};
+use purity_repl::{LinkConfig, ReplFabric, ReplicaLink};
+use purity_sim::{MS, SEC};
+use purity_wkld::{AccessPattern, ContentModel, SizeMix, WorkloadGen};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Schema tag; bump on any breaking change to the entry layout.
+const SCHEMA: &str = "bench_perf/v1";
+
+/// Fields every workload object must carry (the ISSUE-6 schema).
+const REQUIRED_FIELDS: [&str; 6] = [
+    "workload",
+    "events",
+    "wall_ms",
+    "events_per_sec",
+    "sim_ratio",
+    "plane_breakdown",
+];
+
+/// One measured workload.
+struct WorkloadResult {
+    name: &'static str,
+    events: u64,
+    wall_ns: u64,
+    sim_ns: u64,
+    snapshot: ProfileSnapshot,
+}
+
+impl WorkloadResult {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 * 1e9 / self.wall_ns.max(1) as f64
+    }
+
+    fn sim_ratio(&self) -> f64 {
+        self.sim_ns as f64 / self.wall_ns.max(1) as f64
+    }
+
+    fn to_json(&self) -> String {
+        let mut breakdown = JsonWriter::array();
+        for stat in &self.snapshot.planes {
+            let mut p = JsonWriter::object();
+            p.str_field("plane", stat.plane)
+                .f64_field("share_pct", self.snapshot.share_pct(stat))
+                .f64_field("self_ms", stat.self_ns as f64 / 1e6)
+                .u64_field("events", stat.events);
+            breakdown.raw_element(&p.finish());
+        }
+        let mut w = JsonWriter::object();
+        w.str_field("workload", self.name)
+            .u64_field("events", self.events)
+            .f64_field("wall_ms", self.wall_ns as f64 / 1e6)
+            .f64_field("events_per_sec", self.events_per_sec())
+            .f64_field("sim_ratio", self.sim_ratio())
+            .raw_field("plane_breakdown", &breakdown.finish());
+        w.finish()
+    }
+}
+
+/// Runs `f` (which returns the virtual ns it advanced the clock by)
+/// with the profiler on, capturing wall time and the plane breakdown.
+fn measure(name: &'static str, f: impl FnOnce() -> u64) -> WorkloadResult {
+    profiler::reset();
+    profiler::enable();
+    let wall = Instant::now();
+    let sim_ns = f();
+    let wall_ns = wall.elapsed().as_nanos() as u64;
+    let snapshot = profiler::snapshot();
+    profiler::disable();
+    WorkloadResult {
+        name,
+        events: snapshot.events(),
+        wall_ns,
+        sim_ns,
+        snapshot,
+    }
+}
+
+/// W1: the E2 mini array — Zipfian 70/30 enterprise mix at moderate
+/// offered load. Exercises the read path, dedup/compression, and the
+/// per-die timelines; setup (volume preload) is not profiled.
+fn wl_tail(smoke: bool) -> WorkloadResult {
+    let mut a = FlashArray::new(ArrayConfig::bench_medium()).unwrap();
+    let vol_bytes: u64 = 96 << 20;
+    let vol = a.create_volume("db", vol_bytes).unwrap();
+    let mut loader = WorkloadGen::new(
+        3,
+        vol_bytes,
+        AccessPattern::Sequential,
+        SizeMix::fixed(128 * 1024),
+        0,
+        ContentModel::Rdbms,
+        50_000,
+    );
+    drive(&mut a, vol, &mut loader, 500, 0);
+    a.advance(10 * SEC);
+    let mut gen = WorkloadGen::new(
+        5,
+        vol_bytes,
+        AccessPattern::Zipfian(0.99),
+        SizeMix::enterprise(),
+        70,
+        ContentModel::Rdbms,
+        650_000,
+    );
+    let ops = if smoke { 1200 } else { 6000 };
+    measure("tail_mini_array", || {
+        let start = a.now();
+        drive(&mut a, vol, &mut gen, ops, 0);
+        a.now() - start
+    })
+}
+
+/// W2: closed-loop host front end at 32 outstanding ops (4 initiators
+/// × QD 8) against a cache-starved array, so dispatch, retries and
+/// per-die queueing all run.
+fn wl_host(smoke: bool) -> WorkloadResult {
+    let mut cfg = ArrayConfig::bench_medium();
+    cfg.cache_bytes = 1 << 20;
+    let mut a = FlashArray::new(cfg).unwrap();
+    let vol_bytes: u64 = if smoke { 16 << 20 } else { 48 << 20 };
+    let vol = a.create_volume("db", vol_bytes).unwrap();
+    let mut warm = vec![0u8; 1 << 20];
+    for c in 0..(vol_bytes >> 20) {
+        for (i, b) in warm.iter_mut().enumerate() {
+            *b = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(c) as u8;
+        }
+        a.write(vol, c << 20, &warm).unwrap();
+    }
+    let engine = HostEngine::new(HostConfig {
+        initiators: 4,
+        queue_depth: 8,
+        coalesce: false,
+        ..HostConfig::default()
+    });
+    let mut gen = WorkloadGen::new(
+        17,
+        vol_bytes,
+        AccessPattern::Uniform,
+        SizeMix::fixed(16 * 1024),
+        70,
+        ContentModel::Rdbms,
+        0,
+    );
+    let ops = if smoke { 800 } else { 4000 };
+    measure("host_qd32", || {
+        let start = a.now();
+        engine.run_closed_loop(&mut a, vol, &mut gen, ops, None);
+        a.now() - start
+    })
+}
+
+/// W3: overwrite churn with frequent GC passes — the write path's
+/// worst case (segment GC, FTL relocations, map flattening).
+fn wl_gc_storm(smoke: bool) -> WorkloadResult {
+    let mut a = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    let vol_bytes: u64 = 8 << 20;
+    let vol = a.create_volume("churn", vol_bytes).unwrap();
+    let mut gen = WorkloadGen::new(
+        29,
+        vol_bytes,
+        AccessPattern::Uniform,
+        SizeMix::fixed(64 * 1024),
+        10,
+        ContentModel::Rdbms,
+        100_000,
+    );
+    let ops = if smoke { 500 } else { 2500 };
+    measure("gc_storm", || {
+        let start = a.now();
+        drive(&mut a, vol, &mut gen, ops, 25);
+        a.now() - start
+    })
+}
+
+/// W4: DR replication — seed ship plus incremental deltas over a
+/// moderately flapping 25 MB/s WAN link, including the source writes
+/// that produce the deltas.
+fn wl_repl(smoke: bool) -> WorkloadResult {
+    let mut src = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    let mut dst = FlashArray::new(ArrayConfig::test_small()).unwrap();
+    let size = if smoke { 1usize << 20 } else { 2usize << 20 };
+    let vol = src.create_volume("prod", size as u64).unwrap();
+    let cfg = LinkConfig::flaky(25 << 20, 0xF1A9, 40 * MS, 10 * MS);
+    let mut fabric = ReplFabric::new(ReplicaLink::with_config(cfg));
+    let pg = fabric.protect(&src, vol, "prod", SEC).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xBE9C);
+    let rounds = if smoke { 1 } else { 3 };
+    measure("repl_ship", || {
+        let start = src.now();
+        for round in 0..=rounds {
+            let writes = if round == 0 { 24 } else { 8 };
+            for _ in 0..writes {
+                let len = SECTOR << rng.gen_range(0..6u32);
+                let off = rng.gen_range(0..(size - len) / SECTOR) * SECTOR;
+                let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+                src.write(vol, off as u64, &data).unwrap();
+            }
+            src.advance(5 * MS);
+            let mut report = fabric.ship_now(pg, &mut src, &mut dst).unwrap();
+            let mut guard = 0;
+            while !report.completed {
+                src.advance(100 * MS);
+                report = fabric.resume(pg, &mut src, &mut dst).unwrap();
+                guard += 1;
+                assert!(guard <= 500, "repl_ship: transfer never completed");
+            }
+        }
+        src.now() - start
+    })
+}
+
+/// Repo root (two levels up from the bench crate).
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Builds one trajectory entry.
+fn entry_json(label: &str, mode: &str, results: &[WorkloadResult]) -> String {
+    let mut workloads = JsonWriter::array();
+    for r in results {
+        workloads.raw_element(&r.to_json());
+    }
+    let mut w = JsonWriter::object();
+    w.str_field("label", label)
+        .str_field("mode", mode)
+        .raw_field("workloads", &workloads.finish());
+    w.finish()
+}
+
+/// Merges `new_entry` into the trajectory file: existing entries are
+/// preserved except any with the same `(label, mode)`, which the new
+/// entry replaces. Unreadable or mismatched-schema files start fresh.
+fn merge_trajectory(path: &PathBuf, label: &str, mode: &str, new_entry: &str) -> String {
+    let mut kept: Vec<String> = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(path) {
+        if let Ok(doc) = parse_json(&text) {
+            let schema_ok = doc.path("schema").and_then(|v| v.as_str()) == Some(SCHEMA);
+            if schema_ok {
+                for e in doc
+                    .path("entries")
+                    .and_then(|v| v.as_array())
+                    .unwrap_or(&[])
+                {
+                    let same = e.path("label").and_then(|v| v.as_str()) == Some(label)
+                        && e.path("mode").and_then(|v| v.as_str()) == Some(mode);
+                    if !same {
+                        kept.push(e.to_json_string());
+                    }
+                }
+            }
+        }
+    }
+    kept.push(new_entry.to_string());
+    let mut entries = JsonWriter::array();
+    for e in &kept {
+        entries.raw_element(e);
+    }
+    let mut w = JsonWriter::object();
+    w.str_field("schema", SCHEMA)
+        .raw_field("entries", &entries.finish());
+    w.finish()
+}
+
+/// Validates a whole trajectory document: schema tag, and every
+/// workload of every entry carries the required fields with sane
+/// values (shares summing to ~100%).
+fn validate_doc(doc: &JsonValue) -> Result<(), String> {
+    if doc.path("schema").and_then(|v| v.as_str()) != Some(SCHEMA) {
+        return Err(format!("schema tag is not {SCHEMA:?}"));
+    }
+    let entries = doc
+        .path("entries")
+        .and_then(|v| v.as_array())
+        .ok_or("missing entries array")?;
+    if entries.is_empty() {
+        return Err("entries array is empty".into());
+    }
+    for e in entries {
+        let label = e
+            .path("label")
+            .and_then(|v| v.as_str())
+            .ok_or("entry missing label")?;
+        e.path("mode")
+            .and_then(|v| v.as_str())
+            .ok_or("entry missing mode")?;
+        let workloads = e
+            .path("workloads")
+            .and_then(|v| v.as_array())
+            .ok_or("entry missing workloads")?;
+        if workloads.is_empty() {
+            return Err(format!("entry {label:?} has no workloads"));
+        }
+        for wl in workloads {
+            for field in REQUIRED_FIELDS {
+                if wl.get(field).is_none() {
+                    return Err(format!("entry {label:?}: workload missing {field:?}"));
+                }
+            }
+            let name = wl.path("workload").and_then(|v| v.as_str()).unwrap_or("?");
+            let events = wl.path("events").and_then(|v| v.as_u64()).unwrap_or(0);
+            if events == 0 {
+                return Err(format!("{label}/{name}: zero events"));
+            }
+            if wl.path("wall_ms").and_then(|v| v.as_f64()).unwrap_or(0.0) <= 0.0 {
+                return Err(format!("{label}/{name}: non-positive wall_ms"));
+            }
+            if wl
+                .path("events_per_sec")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0)
+                <= 0.0
+            {
+                return Err(format!("{label}/{name}: non-positive events_per_sec"));
+            }
+            if wl.path("sim_ratio").and_then(|v| v.as_f64()).unwrap_or(0.0) <= 0.0 {
+                return Err(format!("{label}/{name}: non-positive sim_ratio"));
+            }
+            let breakdown = wl
+                .path("plane_breakdown")
+                .and_then(|v| v.as_array())
+                .ok_or_else(|| format!("{label}/{name}: plane_breakdown not an array"))?;
+            if breakdown.is_empty() {
+                return Err(format!("{label}/{name}: empty plane_breakdown"));
+            }
+            let share_sum: f64 = breakdown
+                .iter()
+                .map(|p| p.path("share_pct").and_then(|v| v.as_f64()).unwrap_or(0.0))
+                .sum();
+            if (share_sum - 100.0).abs() > 2.0 {
+                return Err(format!(
+                    "{label}/{name}: plane shares sum to {share_sum:.2}%, expected ~100%"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Workload name → sorted plane names, from one entry.
+fn plane_map(entry: &JsonValue) -> Vec<(String, Vec<String>)> {
+    let mut out = Vec::new();
+    for wl in entry
+        .path("workloads")
+        .and_then(|v| v.as_array())
+        .unwrap_or(&[])
+    {
+        let name = wl
+            .path("workload")
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string();
+        let mut planes: Vec<String> = wl
+            .path("plane_breakdown")
+            .and_then(|v| v.as_array())
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|p| p.path("plane").and_then(|v| v.as_str()))
+            .map(str::to_string)
+            .collect();
+        planes.sort();
+        out.push((name, planes));
+    }
+    out.sort();
+    out
+}
+
+/// Tolerance-based baseline comparison: fails on schema drift (field
+/// sets, workload matrix, plane sets) and on deterministic quantities
+/// (event counts) moving beyond a generous band — never on wall time,
+/// which is machine-dependent by nature.
+fn check_against_baseline(
+    baseline_path: &str,
+    mode: &str,
+    fresh: &JsonValue,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let doc = parse_json(&text).map_err(|e| format!("baseline does not parse: {e}"))?;
+    validate_doc(&doc).map_err(|e| format!("baseline invalid: {e}"))?;
+    let entries = doc.path("entries").and_then(|v| v.as_array()).unwrap();
+    let base = entries
+        .iter()
+        .rfind(|e| e.path("mode").and_then(|v| v.as_str()) == Some(mode))
+        .ok_or_else(|| format!("baseline has no {mode:?}-mode entry"))?;
+
+    let base_planes = plane_map(base);
+    let fresh_planes = plane_map(fresh);
+    let base_names: Vec<&String> = base_planes.iter().map(|(n, _)| n).collect();
+    let fresh_names: Vec<&String> = fresh_planes.iter().map(|(n, _)| n).collect();
+    if base_names != fresh_names {
+        return Err(format!(
+            "workload matrix drifted: baseline {base_names:?} vs current {fresh_names:?}"
+        ));
+    }
+    for ((name, base_set), (_, fresh_set)) in base_planes.iter().zip(fresh_planes.iter()) {
+        if base_set != fresh_set {
+            return Err(format!(
+                "{name}: plane set drifted: baseline {base_set:?} vs current {fresh_set:?}"
+            ));
+        }
+    }
+    // Event counts are virtual-time-deterministic, so they should be
+    // stable per mode across machines; a >1.5× move means the workload
+    // or the instrumentation changed without a baseline refresh.
+    let events_of = |e: &JsonValue| -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = e
+            .path("workloads")
+            .and_then(|w| w.as_array())
+            .unwrap_or(&[])
+            .iter()
+            .map(|wl| {
+                (
+                    wl.path("workload")
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("?")
+                        .to_string(),
+                    wl.path("events").and_then(|v| v.as_u64()).unwrap_or(0),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    for ((name, base_ev), (_, fresh_ev)) in events_of(base).iter().zip(events_of(fresh).iter()) {
+        let ratio = *fresh_ev.max(&1) as f64 / *base_ev.max(&1) as f64;
+        if !(1.0 / 1.5..=1.5).contains(&ratio) {
+            return Err(format!(
+                "{name}: event count drifted {base_ev} -> {fresh_ev} (ratio {ratio:.2}); \
+                 refresh the baseline if the workload intentionally changed"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let label = flag_value("--label").unwrap_or_else(|| "baseline".to_string());
+    let check = flag_value("--check");
+    let mode = if smoke { "smoke" } else { "full" };
+
+    println!("=== bench_perf: simulator throughput matrix ({mode}) ===");
+    let results = vec![
+        wl_tail(smoke),
+        wl_host(smoke),
+        wl_gc_storm(smoke),
+        wl_repl(smoke),
+    ];
+
+    let mut rows = Vec::new();
+    for r in &results {
+        let top = r
+            .snapshot
+            .planes
+            .first()
+            .map(|p| format!("{} {:.0}%", p.plane, r.snapshot.share_pct(p)))
+            .unwrap_or_default();
+        rows.push(vec![
+            r.name.to_string(),
+            r.events.to_string(),
+            format!("{:.1}", r.wall_ns as f64 / 1e6),
+            format!("{:.0}", r.events_per_sec()),
+            format!("{:.1}", r.sim_ratio()),
+            top,
+        ]);
+    }
+    print_table(
+        "simulator cost per workload",
+        &[
+            "workload",
+            "events",
+            "wall ms",
+            "events/s",
+            "sim_s/wall_s",
+            "top plane",
+        ],
+        &rows,
+    );
+
+    let entry = entry_json(&label, mode, &results);
+    let fresh = parse_json(&entry).expect("entry must parse");
+
+    // Baseline comparison runs against the file as committed, before
+    // this run's entry is merged in.
+    if let Some(path) = check {
+        match check_against_baseline(&path, mode, &fresh) {
+            Ok(()) => println!("\nbaseline check OK against {path}"),
+            Err(e) => {
+                eprintln!("\nbaseline check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let out = repo_root().join("BENCH_perf.json");
+    let doc = merge_trajectory(&out, &label, mode, &entry);
+    std::fs::write(&out, &doc).expect("write BENCH_perf.json");
+    println!("\nwrote {}", out.display());
+
+    // Self-check: the merged file parses and every entry (old and new)
+    // satisfies the schema.
+    let parsed = parse_json(&std::fs::read_to_string(&out).expect("read back")).expect("parse");
+    if let Err(e) = validate_doc(&parsed) {
+        eprintln!("self-check FAILED: {e}");
+        std::process::exit(1);
+    }
+    println!("self-check OK: schema {SCHEMA}, shares sum to ~100% in every entry.");
+}

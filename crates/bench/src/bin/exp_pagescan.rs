@@ -1,10 +1,11 @@
 //! E10 (§4.9): dictionary-compressed metadata pages — size vs raw
 //! encoding, zero-bit constant fields, and equality scans that never
-//! decompress tuples.
+//! decompress tuples. Timing runs on the repo's one wall-clock idiom,
+//! the `purity_obs` profiler (planes `page_scan` / `page_decode`).
 
 use purity_bench::print_table;
 use purity_format::Page;
-use std::time::Instant;
+use purity_obs::profiler::{self, Plane};
 
 fn main() {
     // A realistic metadata page: map-table facts with clustered segments,
@@ -40,32 +41,44 @@ fn main() {
     );
     println!("constant fields (medium, stored_len, flags) cost 0 bits each (§4.9).");
 
-    // Compressed-domain scan vs decode-then-compare.
+    // Compressed-domain scan vs decode-then-compare, timed by the
+    // profiler: one scope per approach, one event per iteration.
     let probe_col = 3;
     let probe_val = 4;
-    let iters = 2000;
-    let t0 = Instant::now();
+    let iters = 2000u64;
+    profiler::reset();
+    profiler::enable();
     let mut hits = 0;
-    for _ in 0..iters {
-        hits += page.scan_col_eq(probe_col, probe_val).unwrap().len();
+    {
+        purity_obs::profile_scope!(Plane::PageScan);
+        profiler::add_events(Plane::PageScan, iters - 1);
+        for _ in 0..iters {
+            hits += page.scan_col_eq(probe_col, probe_val).unwrap().len();
+        }
     }
-    let scan_time = t0.elapsed();
-    let t1 = Instant::now();
     let mut hits2 = 0;
-    for _ in 0..iters {
-        hits2 += (0..page.n_rows())
-            .filter(|&r| page.get(r, probe_col).unwrap() == probe_val)
-            .count();
+    {
+        purity_obs::profile_scope!(Plane::PageDecode);
+        profiler::add_events(Plane::PageDecode, iters - 1);
+        for _ in 0..iters {
+            hits2 += (0..page.n_rows())
+                .filter(|&r| page.get(r, probe_col).unwrap() == probe_val)
+                .count();
+        }
     }
-    let decode_time = t1.elapsed();
+    let snap = profiler::snapshot();
+    profiler::disable();
     assert_eq!(hits, hits2);
+    let scan = snap.plane("page_scan").expect("scan plane timed");
+    let decode = snap.plane("page_decode").expect("decode plane timed");
+    assert_eq!(scan.events, iters, "one event per scan iteration");
     println!(
-        "\nequality scan, {} tuples x {} iters: compressed-domain {:?} vs decode-compare {:?} ({:.1}x faster)",
+        "\nequality scan, {} tuples x {} iters: compressed-domain {:.2}ms vs decode-compare {:.2}ms ({:.1}x faster)",
         page.n_rows(),
         iters,
-        scan_time,
-        decode_time,
-        decode_time.as_secs_f64() / scan_time.as_secs_f64()
+        scan.self_ns as f64 / 1e6,
+        decode.self_ns as f64 / 1e6,
+        decode.self_ns as f64 / scan.self_ns.max(1) as f64
     );
     println!("the scan compares encoded bit patterns at a fixed stride — no tuple is decompressed (§4.9).");
 }

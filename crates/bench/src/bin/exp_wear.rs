@@ -6,20 +6,26 @@
 //!
 //! We wear every block of every drive to its P/E rating, build an array
 //! on the worn shelf, write data, then age it in virtual years — with
-//! and without scrubbing.
+//! and without scrubbing. Emits `results/exp_wear.json` and parses it
+//! back as a self-check, like the newer exhibits.
 
+use purity_bench::{parse_json, write_results};
 use purity_core::{ArrayConfig, FlashArray};
+use purity_obs::json::JsonWriter;
 use purity_ssd::flash::RETENTION_AT_RATING;
 use purity_wkld::ContentModel;
+
+const RATED_PE: u64 = 100;
+const QUARTERS: u64 = 16;
 
 fn run(scrub: bool) -> (bool, u64, u64, u64) {
     let mut cfg = ArrayConfig::test_small();
     // Every block is at its rated P/E count before the array is even
     // formatted — the paper's exact procedure (§5.1).
     cfg.ssd_endurance = purity_ssd::latency::EnduranceModel {
-        rated_pe_cycles: 100,
+        rated_pe_cycles: RATED_PE,
     };
-    cfg.preage_cycles = 100;
+    cfg.preage_cycles = RATED_PE;
     let mut a = FlashArray::new(cfg).unwrap();
     let vol = a.create_volume("wear", 8 << 20).unwrap();
 
@@ -32,7 +38,7 @@ fn run(scrub: bool) -> (bool, u64, u64, u64) {
     let mut repairs = 0;
     let mut refreshed = 0;
     let mut unrecoverable = 0;
-    for _quarter in 0..16 {
+    for _quarter in 0..QUARTERS {
         a.advance(RETENTION_AT_RATING / 4);
         if scrub {
             let r = a.scrub().unwrap();
@@ -47,14 +53,60 @@ fn run(scrub: bool) -> (bool, u64, u64, u64) {
 
 fn main() {
     println!("=== §5.1: array built from worn-out flash, 4 virtual years of retention ===");
-    let (ok, repairs, refreshed, unrec) = run(true);
-    println!(
-        "with scrubbing:    data intact = {} ({} units repaired, {} refreshed, {} unrecoverable)",
-        ok, repairs, refreshed, unrec
+    let mut variants = JsonWriter::array();
+    let mut scrubbed_intact = false;
+    for scrub in [true, false] {
+        let (ok, repairs, refreshed, unrec) = run(scrub);
+        if scrub {
+            scrubbed_intact = ok;
+            println!(
+                "with scrubbing:    data intact = {} ({} units repaired, {} refreshed, {} unrecoverable)",
+                ok, repairs, refreshed, unrec
+            );
+        } else {
+            println!("without scrubbing: data intact = {}", ok);
+        }
+        let mut v = JsonWriter::object();
+        v.bool_field("scrub", scrub)
+            .bool_field("data_intact", ok)
+            .u64_field("units_repaired", repairs)
+            .u64_field("units_refreshed", refreshed)
+            .u64_field("unrecoverable", unrec);
+        variants.raw_element(&v.finish());
+    }
+    let mut root = JsonWriter::object();
+    root.str_field("experiment", "exp_wear")
+        .u64_field("rated_pe_cycles", RATED_PE)
+        .u64_field("retention_quarters", QUARTERS)
+        .raw_field("variants", &variants.finish());
+    let json = root.finish();
+    write_results("exp_wear", &json);
+
+    // Self-check: the document parses, carries both variants, and the
+    // scrubbed run preserved the data (the paper's §5.1 claim).
+    let doc = parse_json(&json).expect("emitted JSON must parse");
+    let parsed = doc
+        .path("variants")
+        .and_then(|v| v.as_array())
+        .expect("variants section");
+    assert_eq!(parsed.len(), 2, "one variant per scrub setting");
+    for v in parsed {
+        for field in [
+            "scrub",
+            "data_intact",
+            "units_repaired",
+            "units_refreshed",
+            "unrecoverable",
+        ] {
+            assert!(v.get(field).is_some(), "variant missing {field}");
+        }
+    }
+    assert!(
+        scrubbed_intact,
+        "scrubbed array must keep data intact past rated wear"
     );
-    let (ok2, _, _, _) = run(false);
-    println!("without scrubbing: data intact = {}", ok2);
-    println!("\npaper: worn flash leaks charge; periodic scrubbing rewrites data more often than");
+    println!("\nself-check OK: results/exp_wear.json parses with both variants.");
+    println!("paper: worn flash leaks charge; periodic scrubbing rewrites data more often than");
     println!(
         "the P/E retention assumptions require, so arrays run well past rated wear out (§5.1)."
     );

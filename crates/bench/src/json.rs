@@ -74,6 +74,63 @@ impl JsonValue {
         }
         Some(cur)
     }
+
+    /// Serializes back to compact JSON. Lets tools that edit a parsed
+    /// document (e.g. `bench_perf` merging a trajectory entry into
+    /// `BENCH_perf.json`) re-emit the parts they keep. Numbers use
+    /// Rust's shortest round-trip float formatting; non-finite numbers
+    /// become `null` (matching the writer's convention).
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) if n.is_finite() => out.push_str(&format!("{n}")),
+            JsonValue::Number(_) => out.push_str("null"),
+            JsonValue::String(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    JsonValue::String(k.clone()).write_into(out);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// Where and why parsing failed.
@@ -302,6 +359,16 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
             assert!(parse_json(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn serializer_round_trips_parsed_documents() {
+        let src = r#"{"a":[1,{"b":"x\ny"},[]],"c":{},"d":-2.5,"e":true,"f":null}"#;
+        let doc = parse_json(src).unwrap();
+        let emitted = doc.to_json_string();
+        assert_eq!(parse_json(&emitted).unwrap(), doc);
+        // Stable under a second round trip (BTreeMap order is fixed).
+        assert_eq!(parse_json(&emitted).unwrap().to_json_string(), emitted);
     }
 
     #[test]

@@ -770,6 +770,7 @@ impl FlashArray {
         if !obs.recorder.due(now) || !self.shelf.powered() {
             return;
         }
+        purity_obs::profile_scope!(purity_obs::Plane::Recorder);
         self.publish_metrics();
         let events = obs.recorder.sample(now, &obs.registry, &obs.tracer);
         for ev in events {

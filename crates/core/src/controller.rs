@@ -534,6 +534,7 @@ impl Controller {
         data: &[u8],
         now: Nanos,
     ) -> Result<Ack> {
+        purity_obs::profile_scope!(purity_obs::Plane::ArrayWrite);
         let vol = self
             .volumes
             .get(&volume.0)
@@ -824,6 +825,7 @@ impl Controller {
         len: usize,
         now: Nanos,
     ) -> Result<(Vec<u8>, Ack)> {
+        purity_obs::profile_scope!(purity_obs::Plane::ArrayRead);
         let vol = self
             .volumes
             .get(&volume.0)

@@ -60,6 +60,7 @@ pub struct GcReport {
 impl Controller {
     /// Runs one full garbage-collection pass.
     pub fn run_gc(&mut self, shelf: &mut Shelf, now: Nanos) -> Result<GcReport> {
+        purity_obs::profile_scope!(purity_obs::Plane::Gc);
         let mut report = GcReport::default();
 
         // ---- Liveness scan: *reachability*, not mere fact-existence.

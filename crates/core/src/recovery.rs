@@ -398,6 +398,7 @@ impl Controller {
             ctrl.next_segment = ctrl.next_segment.max(id + 1);
         }
 
+        purity_obs::profile_scope!(purity_obs::Plane::NvramReplay);
         let (records, t) = shelf.nvram().scan(now)?;
         done = done.max(t);
         let mut max_seq_seen = ctrl.seq.high_water();

@@ -353,6 +353,7 @@ impl<'a> Run<'a> {
 
     fn drive(&mut self) {
         while let Some(Reverse((t, _, event))) = self.events.pop() {
+            purity_obs::profile_scope!(purity_obs::Plane::HostDispatch);
             match event {
                 Event::OpenArrival => {
                     self.array.clock().advance_to(t);

@@ -107,6 +107,7 @@ impl<K: Ord + Clone, V: Clone> Pyramid<K, V> {
     /// Inserts one immutable fact. Duplicate or stale facts are harmless;
     /// this is what makes recovery a plain set union (§4.3).
     pub fn insert(&mut self, key: K, value: V, seq: Seq) {
+        purity_obs::profile_scope!(purity_obs::Plane::Lsm);
         self.memtable.entry(key).or_default().push((seq, value));
         self.mem_facts += 1;
         self.stats.inserts += 1;
@@ -124,6 +125,7 @@ impl<K: Ord + Clone, V: Clone> Pyramid<K, V> {
 
     /// Newest non-elided fact for `key`.
     pub fn get(&self, key: &K) -> Option<(V, Seq)> {
+        purity_obs::profile_scope!(purity_obs::Plane::Lsm);
         let newest = self.newest_fact(key)?;
         if self.is_elided(key, newest.1) {
             None
@@ -200,6 +202,7 @@ impl<K: Ord + Clone, V: Clone> Pyramid<K, V> {
     /// Freezes the memtable into a patch. Returns it (also kept in the
     /// pyramid) so the owner can persist its facts into segments.
     pub fn flush(&mut self) -> Option<Arc<Patch<K, V>>> {
+        purity_obs::profile_scope!(purity_obs::Plane::Lsm);
         if self.memtable.is_empty() {
             return None;
         }
@@ -220,6 +223,7 @@ impl<K: Ord + Clone, V: Clone> Pyramid<K, V> {
     /// Merges the two oldest patches (contiguous sequence ranges) into
     /// one, dropping superseded and elided facts.
     pub fn merge_oldest_pair(&mut self) {
+        purity_obs::profile_scope!(purity_obs::Plane::Lsm);
         let n = self.patches.len();
         if n < 2 {
             return;
@@ -236,6 +240,7 @@ impl<K: Ord + Clone, V: Clone> Pyramid<K, V> {
     /// Full flatten: collapses every patch (not the memtable) into one.
     /// GC uses this to bound read fan-out and reclaim elided space.
     pub fn flatten(&mut self) {
+        purity_obs::profile_scope!(purity_obs::Plane::Lsm);
         if self.patches.len() < 2 {
             // Still worth re-running a single-patch merge to drop newly
             // elided facts.

@@ -23,10 +23,12 @@
 //! not sampled, and runs are deterministic.
 
 pub mod json;
+pub mod profiler;
 pub mod recorder;
 pub mod registry;
 pub mod trace;
 
+pub use profiler::{Plane, PlaneStat, ProfileSnapshot};
 pub use recorder::{
     EvidenceSection, Incident, IntervalStats, Recorder, RecorderConfig, SloConfig, SloEvent,
 };
@@ -106,12 +108,21 @@ impl Obs {
     /// export consumed by the bench binaries. Every section is sorted
     /// by series name+labels (or id order for ring/incident entries),
     /// so same-seed runs export byte-identical documents.
+    ///
+    /// When the wall-clock [`profiler`] is enabled, a `"profile"`
+    /// section is appended as the final field. It is nondeterministic
+    /// (real time) by nature, so it lives *after* every deterministic
+    /// section; [`profiler::strip_profile_section`] recovers the
+    /// byte-identical deterministic prefix.
     pub fn export_json(&self) -> String {
         let mut w = json::JsonWriter::object();
         w.raw_field("metrics", &self.registry.snapshot().to_json());
         w.raw_field("slow_ops", &self.tracer.slow_ops_json());
         w.raw_field("timeseries", &self.recorder.timeseries_json());
         w.raw_field("incidents", &self.recorder.incidents_json());
+        if profiler::is_enabled() {
+            w.raw_field("profile", &profiler::snapshot().to_json(None));
+        }
         w.finish()
     }
 }

@@ -367,6 +367,22 @@ impl Recorder {
             .unwrap_or_default()
     }
 
+    /// Intervals evicted (or skipped over a long gap) since boot.
+    pub fn dropped_intervals(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Per-interval values of a gauge series (empty if unknown).
+    pub fn gauge_series(&self, name: &str, labels: &[(&str, &str)]) -> Vec<i64> {
+        let id = lookup_id(name, labels);
+        self.inner
+            .lock()
+            .gauges
+            .get(&id)
+            .map(|v| v.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
     /// Per-interval sketches of a histogram series (empty if unknown).
     pub fn hist_series(&self, name: &str, labels: &[(&str, &str)]) -> Vec<IntervalStats> {
         let id = lookup_id(name, labels);
@@ -695,6 +711,65 @@ mod tests {
         assert_eq!(rec.intervals(), 4);
         assert_eq!(rec.counter_series("ops", &[]), vec![1, 1, 1, 1]);
         assert_eq!(rec.first_interval_start(), 600);
+    }
+
+    #[test]
+    fn eviction_starts_exactly_one_past_the_window() {
+        let rec = recorder(100, 4);
+        let reg = MetricsRegistry::new();
+        let tr = Tracer::new(u64::MAX, 4);
+        let c = reg.counter("ops", &[]);
+        // Exactly `window_intervals` samples: the window is full but
+        // nothing may be evicted yet.
+        for i in 1..=4u64 {
+            c.set(i);
+            rec.sample(i * 100, &reg, &tr);
+        }
+        assert_eq!(rec.intervals(), 4);
+        assert_eq!(rec.dropped_intervals(), 0, "full window evicts nothing");
+        assert_eq!(rec.first_interval_start(), 0);
+        assert_eq!(rec.counter_series("ops", &[]), vec![1, 1, 1, 1]);
+        // One more interval: exactly one eviction, grid moves one step.
+        c.set(5);
+        rec.sample(500, &reg, &tr);
+        assert_eq!(rec.intervals(), 4);
+        assert_eq!(rec.dropped_intervals(), 1);
+        assert_eq!(rec.first_interval_start(), 100);
+        assert_eq!(rec.counter_series("ops", &[]), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_intervals_have_zero_quantiles_and_sticky_gauges() {
+        let rec = recorder(100, 16);
+        let reg = MetricsRegistry::new();
+        let tr = Tracer::new(u64::MAX, 4);
+        let mut h = LatencyHistogram::new();
+        for _ in 0..8 {
+            h.record(300_000);
+        }
+        reg.histogram("array_read_latency", &[]).set_from(&h);
+        reg.gauge("nvram_used_bytes", &[]).set(4096);
+        rec.sample(100, &reg, &tr);
+        // Two more ticks with no new samples: the histogram delta is
+        // empty, so the sketch is all-zero — count 0 and p50/p99/p99.9
+        // of 0, not a carry-over of the last real interval.
+        rec.sample(200, &reg, &tr);
+        rec.sample(300, &reg, &tr);
+        let series = rec.hist_series("array_read_latency", &[]);
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0].count, 8);
+        assert!(series[0].p999 > 0);
+        assert_eq!(series[1], IntervalStats::default());
+        assert_eq!(series[2], IntervalStats::default());
+        // Gauges are point-in-time: an idle interval re-reads the
+        // current value rather than zeroing.
+        assert_eq!(rec.gauge_series("nvram_used_bytes", &[]), vec![4096; 3]);
+        // The export renders the empty sketches as explicit zeros.
+        let json = rec.timeseries_json();
+        assert!(
+            json.contains("\"count\":[8,0,0]") && json.contains("\"p999_ns\":[300000,0,0]"),
+            "empty interval sketch exported: {json}"
+        );
     }
 
     #[test]

@@ -262,6 +262,7 @@ impl ReplFabric {
         src: &mut FlashArray,
         dst: &mut FlashArray,
     ) -> Result<ShipReport> {
+        purity_obs::profile_scope!(purity_obs::Plane::Repl);
         let g = self.groups.get_mut(&pg).expect("caller checked");
         let pending = g.pending.expect("caller ensured pending");
         let replica = match g.replica_volume {

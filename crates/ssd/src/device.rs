@@ -164,6 +164,7 @@ impl Ssd {
     /// Writes page-aligned bytes at a page-aligned byte offset.
     /// Returns the completion timestamp of the last page program.
     pub fn write(&mut self, offset: usize, data: &[u8], now: Nanos) -> Result<Nanos, DeviceError> {
+        purity_obs::profile_scope!(purity_obs::Plane::SsdTimeline);
         if self.failed {
             return Err(DeviceError::Failed);
         }
@@ -232,6 +233,7 @@ impl Ssd {
         len: usize,
         now: Nanos,
     ) -> Result<(Vec<u8>, Nanos), DeviceError> {
+        purity_obs::profile_scope!(purity_obs::Plane::SsdTimeline);
         if self.failed {
             return Err(DeviceError::Failed);
         }
@@ -259,6 +261,7 @@ impl Ssd {
         len: usize,
         now: Nanos,
     ) -> Result<DeviceRead, DeviceError> {
+        purity_obs::profile_scope!(purity_obs::Plane::SsdTimeline);
         if self.failed {
             return Err(DeviceError::Failed);
         }

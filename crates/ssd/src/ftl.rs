@@ -381,6 +381,7 @@ impl Ftl {
     /// Garbage-collects one victim block. Returns the completion time of
     /// the pass, or `None` when no sealed block is collectable.
     fn gc_once(&mut self, now: Nanos) -> Result<Option<Nanos>, FtlError> {
+        purity_obs::profile_scope!(purity_obs::Plane::Gc);
         // Greedy: sealed block with fewest valid pages. A fully-valid
         // block yields no space, so it is never a victim (collecting it
         // would spin forever on a truly full device).
