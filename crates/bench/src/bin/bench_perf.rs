@@ -26,6 +26,7 @@
 //! fails on schema drift.
 
 use purity_bench::{drive, parse_json, print_table, JsonValue};
+use purity_cluster::{Cluster, ClusterSpec};
 use purity_core::{ArrayConfig, FlashArray, SECTOR};
 use purity_host::{HostConfig, HostEngine};
 use purity_obs::json::JsonWriter;
@@ -242,6 +243,38 @@ fn wl_repl(smoke: bool) -> WorkloadResult {
             }
         }
         src.now() - start
+    })
+}
+
+/// W5: cluster-wide rebuild — a 3-array cluster loses one member
+/// mid-traffic; SWIM detection, placement rehoming and dedup-aware
+/// shard re-shipping all run against continuing foreground writes.
+fn wl_cluster(smoke: bool) -> WorkloadResult {
+    let mut c = Cluster::new(ClusterSpec::test_small(3, 0xC15)).unwrap();
+    let size = if smoke { 1usize << 20 } else { 2usize << 20 };
+    let vol = c.create_volume("db", size as u64).unwrap();
+    let mut client = c.client();
+    let mut rng = StdRng::seed_from_u64(0xC15_7E12);
+    let ops = if smoke { 24 } else { 96 };
+    measure("cluster_rebuild", || {
+        let start = c.now();
+        for op in 0..ops {
+            if op == ops / 3 {
+                c.kill(1);
+            }
+            let len = SECTOR << rng.gen_range(0..4u32);
+            let off = rng.gen_range(0..(size - len) / SECTOR) * SECTOR;
+            let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            c.write(&mut client, vol, off as u64, &data).unwrap();
+            c.tick(40 * MS);
+        }
+        let mut guard = 0;
+        while !(c.epoch() > 1 && c.fully_redundant()) {
+            c.tick(100 * MS);
+            guard += 1;
+            assert!(guard <= 1200, "cluster_rebuild: never stabilized");
+        }
+        c.now() - start
     })
 }
 
@@ -488,6 +521,7 @@ fn main() {
         wl_host(smoke),
         wl_gc_storm(smoke),
         wl_repl(smoke),
+        wl_cluster(smoke),
     ];
 
     let mut rows = Vec::new();

@@ -1,0 +1,243 @@
+//! Deterministic shard placement by rendezvous (highest-random-weight)
+//! hashing.
+//!
+//! Every `(shard, node)` pair gets a pseudo-random score that is a pure
+//! function of the placement seed; a shard's owners are the `replicas`
+//! live nodes with the highest scores. Two properties fall out for
+//! free and carry the whole cluster design:
+//!
+//! * **Determinism** — same seed + same membership ⇒ byte-identical
+//!   map, on any node, in any order of queries. Nodes never exchange
+//!   the map itself, only the (tiny) membership list.
+//! * **Minimal reshuffle** — when a node dies, only the shards it
+//!   owned move (each to its next-highest survivor); when a node
+//!   joins, it steals only the shards on which it now scores in the
+//!   top `replicas` — in expectation `replicas/N` of them. No global
+//!   rehash, ever.
+
+/// splitmix64 finalizer: cheap, stateless, avalanching.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The HRW score of `node` for `shard` under `seed`.
+pub fn score(seed: u64, shard: u64, node: u64) -> u64 {
+    mix(seed ^ mix(shard).wrapping_mul(0xA24B_AED4_963E_E407) ^ mix(node))
+}
+
+/// A placement map: the current live membership plus the seed. Nothing
+/// else — ownership is recomputed on demand, so the "map" can never go
+/// stale relative to the membership it was built from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementMap {
+    seed: u64,
+    version: u64,
+    /// Live node ids, ascending and deduplicated.
+    members: Vec<u64>,
+}
+
+impl PlacementMap {
+    /// A map over the given live members (order-insensitive).
+    pub fn new(seed: u64, members: &[u64]) -> Self {
+        let mut m = members.to_vec();
+        m.sort_unstable();
+        m.dedup();
+        Self {
+            seed,
+            version: 1,
+            members: m,
+        }
+    }
+
+    /// The placement seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Monotone version, bumped on every membership change.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Current live members, ascending.
+    pub fn members(&self) -> &[u64] {
+        &self.members
+    }
+
+    /// Replaces the live membership; bumps the version iff it actually
+    /// changed.
+    pub fn set_members(&mut self, members: &[u64]) {
+        let mut m = members.to_vec();
+        m.sort_unstable();
+        m.dedup();
+        if m != self.members {
+            self.members = m;
+            self.version += 1;
+        }
+    }
+
+    /// The `replicas` owners of `shard`, highest score first. Fewer
+    /// than `replicas` members yields all of them.
+    pub fn owners(&self, shard: u64, replicas: usize) -> Vec<u64> {
+        let mut scored: Vec<(u64, u64)> = self
+            .members
+            .iter()
+            .map(|&n| (score(self.seed, shard, n), n))
+            .collect();
+        // Descending score; node id breaks (astronomically unlikely)
+        // score ties so the order is still total and deterministic.
+        scored.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.truncate(replicas);
+        scored.into_iter().map(|(_, n)| n).collect()
+    }
+
+    /// The highest-scoring owner of `shard`.
+    pub fn primary(&self, shard: u64) -> Option<u64> {
+        self.owners(shard, 1).first().copied()
+    }
+
+    /// Order-sensitive digest of the full map over `shards` shards —
+    /// what the byte-identity tests and the exhibit export compare.
+    pub fn fingerprint(&self, shards: u64, replicas: usize) -> u64 {
+        let mut acc = mix(self.seed ^ shards ^ ((replicas as u64) << 32));
+        for shard in 0..shards {
+            for owner in self.owners(shard, replicas) {
+                acc = mix(acc ^ owner.wrapping_add(shard << 20));
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const SHARDS: u64 = 512;
+
+    fn full_map(p: &PlacementMap, replicas: usize) -> Vec<Vec<u64>> {
+        (0..SHARDS).map(|s| p.owners(s, replicas)).collect()
+    }
+
+    #[test]
+    fn same_seed_same_membership_is_byte_identical() {
+        // Proptest over random seeds and memberships: two maps built
+        // independently (and one built in scrambled member order) must
+        // agree on every shard.
+        let mut rng = StdRng::seed_from_u64(0x9A7);
+        for _ in 0..50 {
+            let seed: u64 = rng.gen();
+            let n = rng.gen_range(2..12usize);
+            let members: Vec<u64> = (0..n as u64).collect();
+            let mut scrambled = members.clone();
+            use rand::seq::SliceRandom;
+            scrambled.shuffle(&mut rng);
+            let a = PlacementMap::new(seed, &members);
+            let b = PlacementMap::new(seed, &scrambled);
+            assert_eq!(full_map(&a, 2), full_map(&b, 2));
+            assert_eq!(a.fingerprint(SHARDS, 2), b.fingerprint(SHARDS, 2));
+        }
+    }
+
+    #[test]
+    fn leave_moves_only_the_leavers_shards() {
+        // HRW's defining property: removing one node never changes the
+        // relative order of the survivors, so a shard's owner set only
+        // changes if the leaver was in it.
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..25 {
+            let seed: u64 = rng.gen();
+            let n = rng.gen_range(4..10u64);
+            let members: Vec<u64> = (0..n).collect();
+            let replicas = 2usize;
+            let before = PlacementMap::new(seed, &members);
+            let leaver = rng.gen_range(0..n);
+            let survivors: Vec<u64> = members.iter().copied().filter(|&m| m != leaver).collect();
+            let after = PlacementMap::new(seed, &survivors);
+            for shard in 0..SHARDS {
+                let b = before.owners(shard, replicas);
+                let a = after.owners(shard, replicas);
+                if b.contains(&leaver) {
+                    // Survivor owners keep their slots; one new node
+                    // fills the leaver's.
+                    for o in b.iter().filter(|&&o| o != leaver) {
+                        assert!(a.contains(o), "survivor owner displaced");
+                    }
+                } else {
+                    assert_eq!(a, b, "shard without the leaver must not move");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_moves_at_most_a_fair_share() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..25 {
+            let seed: u64 = rng.gen();
+            let n = rng.gen_range(4..10u64);
+            let members: Vec<u64> = (0..n).collect();
+            let replicas = 2usize;
+            let before = PlacementMap::new(seed, &members);
+            let joined: Vec<u64> = (0..=n).collect();
+            let after = PlacementMap::new(seed, &joined);
+            let mut moved = 0u64;
+            for shard in 0..SHARDS {
+                let b = before.owners(shard, replicas);
+                let a = after.owners(shard, replicas);
+                moved += a.iter().filter(|o| !b.contains(o)).count() as u64;
+                // The only possible newcomer in any owner set is the
+                // joining node itself.
+                for o in &a {
+                    assert!(b.contains(o) || *o == n, "unrelated reshuffle on join");
+                }
+            }
+            let total = SHARDS * replicas as u64;
+            let fair = total / (n + 1);
+            assert!(
+                moved <= 2 * fair + 8,
+                "join moved {moved} of {total} replica slots, fair share {fair}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_bumps_only_on_real_change() {
+        let mut p = PlacementMap::new(1, &[0, 1, 2]);
+        assert_eq!(p.version(), 1);
+        p.set_members(&[2, 1, 0]);
+        assert_eq!(p.version(), 1, "same set, different order: no bump");
+        p.set_members(&[0, 1]);
+        assert_eq!(p.version(), 2);
+        p.set_members(&[0, 1, 3]);
+        assert_eq!(p.version(), 3);
+    }
+
+    #[test]
+    fn owners_are_distinct_and_balanced() {
+        let p = PlacementMap::new(99, &[0, 1, 2, 3, 4]);
+        let mut per_node = [0u64; 5];
+        for shard in 0..SHARDS {
+            let o = p.owners(shard, 3);
+            assert_eq!(o.len(), 3);
+            let mut d = o.clone();
+            d.dedup();
+            assert_eq!(d.len(), 3, "owners must be distinct");
+            for n in o {
+                per_node[n as usize] += 1;
+            }
+        }
+        let expect = SHARDS * 3 / 5;
+        for (n, &c) in per_node.iter().enumerate() {
+            assert!(
+                c > expect / 2 && c < expect * 2,
+                "node {n} owns {c} shards, expected ~{expect}"
+            );
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The cluster rebuild/stabilization queue.
+//!
+//! When a member is confirmed dead (or a rejoiner needs to be brought
+//! back in sync), every shard replica it owned is re-shipped to its
+//! replacement owner from a surviving in-sync replica, using the
+//! dedup-aware resumable delta engine from `purity-repl`. Tasks run
+//! one at a time per tick so rebuild traffic interleaves with — and
+//! competes against — foreground I/O in virtual time instead of
+//! monopolizing it.
+//!
+//! A task's life:
+//!
+//! 1. **Base ship** — snapshot the source replica, ship it whole
+//!    (hash-probe first, so a rejoiner that already holds most of the
+//!    data pays ~8 bytes per unchanged sector). May stall on a link
+//!    flap and resume across ticks via the persisted cursor.
+//! 2. **Catch-up** — foreground writes that landed during the base
+//!    ship are shipped as a snapshot delta. Repeats until a delta
+//!    completes without stalling.
+//! 3. **Install** — the destination replica is marked in-sync in the
+//!    same tick the final delta completed, so no foreground write can
+//!    slip between catch-up and install (the driver is single-
+//!    threaded; writes only happen between ticks).
+
+use purity_core::SnapshotId;
+use std::collections::VecDeque;
+
+/// One shard replica to reconstruct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebuildTask {
+    /// Cluster volume index.
+    pub volume: usize,
+    /// Shard index within the volume.
+    pub shard: usize,
+    /// Node that must end up with an in-sync replica.
+    pub dst: usize,
+    /// Membership epoch that scheduled the task (stale tasks whose
+    /// shard no longer places on `dst` are dropped when dequeued).
+    pub epoch: u64,
+}
+
+/// Progress of the task currently being shipped.
+#[derive(Debug)]
+pub struct ActiveRebuild {
+    /// The task itself.
+    pub task: RebuildTask,
+    /// Source node chosen for this attempt.
+    pub src: usize,
+    /// Unique ship id (feeds the cursor's `pg` field so a resumed
+    /// cursor can never match a different task's transfer).
+    pub ship_id: u64,
+    /// Base snapshot on the source for the current ship leg.
+    pub base: Option<SnapshotId>,
+    /// The snapshot currently being shipped.
+    pub newer: Option<SnapshotId>,
+    /// Persisted resume cursor for the in-flight leg.
+    pub cursor: Option<Vec<u8>>,
+}
+
+/// Cumulative rebuild counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RebuildStats {
+    /// Tasks ever enqueued.
+    pub queued: u64,
+    /// Tasks completed (replica installed in-sync).
+    pub done: u64,
+    /// Tasks dropped as stale (membership moved on before they ran).
+    pub dropped_stale: u64,
+    /// Ship legs that stalled on the WAN and persisted a cursor.
+    pub stalls: u64,
+    /// Catch-up delta legs shipped.
+    pub catchup_legs: u64,
+    /// Ticks where a task wanted to run but no in-sync source replica
+    /// was powered (rebuild is stuck until one returns).
+    pub starved_ticks: u64,
+}
+
+/// FIFO of pending tasks plus the single in-flight one.
+#[derive(Debug, Default)]
+pub struct RebuildQueue {
+    queue: VecDeque<RebuildTask>,
+    active: Option<ActiveRebuild>,
+    next_ship_id: u64,
+    stats: RebuildStats,
+}
+
+impl RebuildQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a task unless an identical one is already queued or
+    /// active.
+    pub fn push(&mut self, task: RebuildTask) {
+        let dup = self
+            .queue
+            .iter()
+            .any(|t| t.volume == task.volume && t.shard == task.shard && t.dst == task.dst)
+            || self.active.as_ref().is_some_and(|a| {
+                a.task.volume == task.volume && a.task.shard == task.shard && a.task.dst == task.dst
+            });
+        if !dup {
+            self.queue.push_back(task);
+            self.stats.queued += 1;
+        }
+    }
+
+    /// Pops the next task into the active slot (no-op when one is
+    /// already active). Returns whether there is now an active task.
+    pub fn activate(&mut self) -> bool {
+        if self.active.is_some() {
+            return true;
+        }
+        if let Some(task) = self.queue.pop_front() {
+            let ship_id = self.next_ship_id;
+            self.next_ship_id += 1;
+            self.active = Some(ActiveRebuild {
+                task,
+                src: usize::MAX,
+                ship_id,
+                base: None,
+                newer: None,
+                cursor: None,
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The in-flight task, if any.
+    pub fn active(&mut self) -> Option<&mut ActiveRebuild> {
+        self.active.as_mut()
+    }
+
+    /// Clears the active slot after completion or drop.
+    pub fn finish_active(&mut self, completed: bool) {
+        debug_assert!(self.active.is_some());
+        self.active = None;
+        if completed {
+            self.stats.done += 1;
+        } else {
+            self.stats.dropped_stale += 1;
+        }
+    }
+
+    /// Pending + active task count.
+    pub fn backlog(&self) -> usize {
+        self.queue.len() + usize::from(self.active.is_some())
+    }
+
+    /// Counters (callers may also bump them directly).
+    pub fn stats(&self) -> RebuildStats {
+        self.stats
+    }
+
+    /// Mutable counters for the pump loop.
+    pub fn stats_mut(&mut self) -> &mut RebuildStats {
+        &mut self.stats
+    }
+}

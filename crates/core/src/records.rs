@@ -582,6 +582,124 @@ pub fn decode_repl_cursor(input: &[u8]) -> Option<ReplCursor> {
     })
 }
 
+const CLUSTER_CONFIG_TAG: u8 = 0xAB;
+
+/// Lifecycle status of one cluster member as recorded in a
+/// [`ClusterConfigRecord`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberStatus {
+    /// Participating: owns shards, serves I/O, probes peers.
+    Alive,
+    /// Failure detector suspects it; still owns shards.
+    Suspect,
+    /// Confirmed dead: placement excludes it, rebuild re-ships its
+    /// shards to survivors.
+    Dead,
+}
+
+impl MemberStatus {
+    fn to_u64(self) -> u64 {
+        match self {
+            MemberStatus::Alive => 0,
+            MemberStatus::Suspect => 1,
+            MemberStatus::Dead => 2,
+        }
+    }
+
+    fn from_u64(v: u64) -> Option<Self> {
+        match v {
+            0 => Some(MemberStatus::Alive),
+            1 => Some(MemberStatus::Suspect),
+            2 => Some(MemberStatus::Dead),
+            _ => None,
+        }
+    }
+}
+
+/// One member row of a [`ClusterConfigRecord`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterMember {
+    /// Cluster-wide node id.
+    pub node: u64,
+    /// Membership status at this epoch.
+    pub status: MemberStatus,
+    /// SWIM incarnation: bumped every time the node rejoins or refutes
+    /// a suspicion, so stale suspicion can never override a newer
+    /// alive claim.
+    pub incarnation: u64,
+}
+
+/// The replicated cluster configuration: membership epoch, the
+/// placement-map version derived from it, and per-member status.
+/// Every member persists the latest record through the same checksummed
+/// record machinery as write intents and replication cursors — a torn
+/// or bit-flipped copy decodes to `None` and the node re-syncs its
+/// config from a surviving peer instead of trusting garbage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfigRecord {
+    /// Membership epoch; bumped on every join, confirmed death, or
+    /// recovery.
+    pub epoch: u64,
+    /// Placement-map version in force at this epoch.
+    pub placement_version: u64,
+    /// Seed the placement map hashes with (cluster-lifetime constant).
+    pub placement_seed: u64,
+    /// Member rows, ascending by node id.
+    pub members: Vec<ClusterMember>,
+}
+
+/// Serializes a cluster config record (checksummed).
+pub fn encode_cluster_config(c: &ClusterConfigRecord) -> Vec<u8> {
+    let mut out = vec![CLUSTER_CONFIG_TAG];
+    varint::encode(c.epoch, &mut out);
+    varint::encode(c.placement_version, &mut out);
+    varint::encode(c.placement_seed, &mut out);
+    varint::encode(c.members.len() as u64, &mut out);
+    for m in &c.members {
+        varint::encode(m.node, &mut out);
+        varint::encode(m.status.to_u64(), &mut out);
+        varint::encode(m.incarnation, &mut out);
+    }
+    put_checksum(&mut out, 0);
+    out
+}
+
+/// Deserializes a cluster config record. `None` on truncation, a
+/// foreign tag, an unknown status, or any bit flip.
+pub fn decode_cluster_config(input: &[u8]) -> Option<ClusterConfigRecord> {
+    if *input.first()? != CLUSTER_CONFIG_TAG {
+        return None;
+    }
+    let mut at = 1;
+    let next = |at: &mut usize| -> Option<u64> {
+        let (v, n) = varint::decode(&input[*at..])?;
+        *at += n;
+        Some(v)
+    };
+    let epoch = next(&mut at)?;
+    let placement_version = next(&mut at)?;
+    let placement_seed = next(&mut at)?;
+    let n = next(&mut at)? as usize;
+    let mut members = Vec::with_capacity(n.min(input.len()));
+    for _ in 0..n {
+        let node = next(&mut at)?;
+        let status = MemberStatus::from_u64(next(&mut at)?)?;
+        let incarnation = next(&mut at)?;
+        members.push(ClusterMember {
+            node,
+            status,
+            incarnation,
+        });
+    }
+    check_checksum(input, at)?;
+    Some(ClusterConfigRecord {
+        epoch,
+        placement_version,
+        placement_seed,
+        members,
+    })
+}
+
 const INTENT_TAG: u8 = 0xA7;
 const SEAL_TAG: u8 = 0xAA;
 
@@ -895,6 +1013,52 @@ mod meta_tests {
             bad[2] ^= 0x40;
             assert_eq!(decode_repl_cursor(&bad), None, "bit flip must be caught");
         }
+    }
+
+    #[test]
+    fn cluster_config_round_trips_and_rejects_corruption() {
+        let c = ClusterConfigRecord {
+            epoch: 12,
+            placement_version: 9,
+            placement_seed: 0xDEAD_BEEF,
+            members: vec![
+                ClusterMember {
+                    node: 0,
+                    status: MemberStatus::Alive,
+                    incarnation: 3,
+                },
+                ClusterMember {
+                    node: 1,
+                    status: MemberStatus::Dead,
+                    incarnation: 0,
+                },
+                ClusterMember {
+                    node: 2,
+                    status: MemberStatus::Suspect,
+                    incarnation: 7,
+                },
+            ],
+        };
+        let bytes = encode_cluster_config(&c);
+        assert_eq!(decode_cluster_config(&bytes), Some(c.clone()));
+        assert_eq!(decode_cluster_config(&bytes[..bytes.len() - 1]), None);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert_eq!(
+                decode_cluster_config(&bad),
+                None,
+                "bit flip at byte {i} must be caught"
+            );
+        }
+        let empty = ClusterConfigRecord {
+            epoch: 0,
+            placement_version: 0,
+            placement_seed: 0,
+            members: vec![],
+        };
+        let bytes = encode_cluster_config(&empty);
+        assert_eq!(decode_cluster_config(&bytes), Some(empty));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! once, with zero lost or duplicated acks, which the end-to-end tests
 //! assert.
 
+use crate::audit::AckAudit;
 use crate::multipath::{Multipath, PathId};
 use crate::qos::{DispatchQueue, PopOutcome, QosSpec};
 use crate::report::HostReport;
@@ -137,9 +138,6 @@ struct Request {
     first_dispatch: Option<Nanos>,
     /// Requests coalesced into this one's current dispatch.
     riders: Vec<u64>,
-    /// Acks delivered to the application for this request (audited:
-    /// exactly 1 on a clean run).
-    acks: u32,
 }
 
 /// Event kinds, processed in (time, sequence) order. The `Ord` derive
@@ -186,6 +184,8 @@ struct Run<'a> {
     target: u64,
     /// Array op id -> engine request, for mapping failover aborts.
     dispatched_ops: Vec<(u64, u64)>,
+    /// Exactly-once ack audit keyed by request index.
+    audit: AckAudit,
 
     report: HostReport,
     start: Nanos,
@@ -263,6 +263,7 @@ impl HostEngine {
             issued: 0,
             target: total_ops,
             dispatched_ops: Vec::new(),
+            audit: AckAudit::new(),
             report: HostReport::new(self.cfg.initiators),
             start,
             last_completion: start,
@@ -330,8 +331,8 @@ impl<'a> Run<'a> {
             dispatched_at: 0,
             first_dispatch: None,
             riders: Vec::new(),
-            acks: 0,
         });
+        self.audit.register(id);
         self.outstanding[initiator] += 1;
         self.admit(id, now);
     }
@@ -562,12 +563,11 @@ impl<'a> Run<'a> {
 
     /// Marks one request completed and records its latencies.
     fn deliver_ack(&mut self, req: u64, t: Nanos) {
-        let r = &mut self.requests[req as usize];
-        r.state = ReqState::Completed;
-        r.acks += 1;
-        if r.acks > 1 {
+        if self.audit.ack(req) > 1 {
             self.report.duplicate_acks += 1;
         }
+        let r = &mut self.requests[req as usize];
+        r.state = ReqState::Completed;
         let e2e = t.saturating_sub(r.arrival);
         let service = t.saturating_sub(if r.dispatched_at > 0 {
             r.dispatched_at
@@ -628,6 +628,7 @@ impl<'a> Run<'a> {
     }
 
     fn fail_request(&mut self, req: u64, _t: Nanos, _why: &str) {
+        self.audit.fail(req);
         let r = &mut self.requests[req as usize];
         r.state = ReqState::Failed;
         let initiator = r.initiator;
@@ -671,20 +672,19 @@ impl<'a> Run<'a> {
     fn finish(mut self) -> HostReport {
         self.report.elapsed = self.last_completion.saturating_sub(self.start);
         self.report.qos_throttled = self.queue.throttled;
-        // Ack audit: every issued request must have exactly one ack
-        // unless it permanently failed.
+        // Close the exactly-once audit: every issued request must have
+        // exactly one ack unless it permanently failed.
         for r in &self.requests {
-            match r.state {
-                ReqState::Completed => debug_assert_eq!(r.acks, 1),
-                ReqState::Failed => {}
-                other => {
-                    debug_assert!(false, "request left in state {other:?}");
-                }
-            }
-            if r.state != ReqState::Completed && r.state != ReqState::Failed {
-                self.report.stranded_ops += 1;
-            }
+            debug_assert!(
+                matches!(r.state, ReqState::Completed | ReqState::Failed),
+                "request left in state {:?}",
+                r.state
+            );
         }
+        let audit = self.audit.report();
+        debug_assert_eq!(audit.acks_delivered, self.report.acks_delivered);
+        debug_assert_eq!(audit.duplicate_acks, self.report.duplicate_acks);
+        self.report.stranded_ops = audit.stranded_ops;
         self.report
     }
 }

@@ -11,6 +11,8 @@
 //!   coalescing for adjacent writes, host timeout/retry with
 //!   exponential backoff, and an ack audit (every request completes
 //!   exactly once, even across controller failover).
+//! * [`audit`] — the exactly-once ack oracle itself, shared with the
+//!   torture campaigns and extended cluster-wide by `purity-cluster`.
 //! * [`qos`] — per-volume submission queues: admission control, IOPS
 //!   and bandwidth caps per accounting window, and an earliest-
 //!   deadline-first dispatch order that is FIFO within equal deadlines.
@@ -26,11 +28,13 @@
 //! latency/throughput curves emerge from the array's internal per-die
 //! timelines rather than from a fitted model.
 
+pub mod audit;
 pub mod engine;
 pub mod multipath;
 pub mod qos;
 pub mod report;
 
+pub use audit::{AckAudit, AckAuditReport};
 pub use engine::{HostConfig, HostEngine};
 pub use multipath::{Multipath, PathId, PathState};
 pub use qos::{DispatchQueue, Pending, PopOutcome, QosSpec};

@@ -64,10 +64,13 @@ pub enum Plane {
     PageScan,
     /// Columnar page decode-then-compare benchmarks (exp_pagescan).
     PageDecode,
+    /// Cluster plane: SWIM probing, placement updates, and rebuild
+    /// shipping minus nested array / repl work.
+    Cluster,
 }
 
 /// Number of planes (length of [`Plane::ALL`]).
-pub const PLANE_COUNT: usize = 11;
+pub const PLANE_COUNT: usize = 12;
 
 impl Plane {
     /// Every plane, in declaration order.
@@ -83,6 +86,7 @@ impl Plane {
         Plane::Recorder,
         Plane::PageScan,
         Plane::PageDecode,
+        Plane::Cluster,
     ];
 
     /// Stable snake_case name used in exports.
@@ -99,6 +103,7 @@ impl Plane {
             Plane::Recorder => "recorder",
             Plane::PageScan => "page_scan",
             Plane::PageDecode => "page_decode",
+            Plane::Cluster => "cluster",
         }
     }
 }

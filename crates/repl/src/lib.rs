@@ -11,7 +11,9 @@
 //!   deterministic loss/partition "flap" windows, with per-message
 //!   timeout, retry and exponential backoff. Fully deterministic in
 //!   virtual time: the flap schedule is a pure function of the link
-//!   seed, independent of traffic.
+//!   seed, independent of traffic. [`LinkMesh`] generalizes it to an
+//!   N-node full mesh with seed-derived, pairwise-independent flap
+//!   schedules (the `purity-cluster` plane runs on this).
 //! * [`ship_snapshot`] — the transfer engine. Enumerates the sector
 //!   runs that differ between two snapshots straight from the source's
 //!   medium table, ships them in fixed-size chunks with sequence
@@ -48,10 +50,12 @@
 
 pub mod fabric;
 pub mod link;
+pub mod mesh;
 pub mod transfer;
 
 pub use fabric::{FabricStats, LineageEntry, ProtectionGroup, ReplFabric};
-pub use link::{LinkConfig, LinkStats, ReplicaLink, WireOutcome};
+pub use link::{LinkConfig, LinkStats, ReplicaLink, SendResult, WireOutcome};
+pub use mesh::{pair_seed, LinkMesh};
 pub use transfer::{ship_snapshot, ShipReport, CHUNK_SECTORS, HASH_BYTES, MSG_HEADER_BYTES};
 
 use purity_core::{FlashArray, Result, SnapshotId, VolumeId, SECTOR};

@@ -75,10 +75,11 @@ impl LinkConfig {
 
 /// Outcome of a single send attempt.
 #[derive(Debug, Clone, Copy)]
-enum SendResult {
+pub enum SendResult {
     /// Ack observed by the sender at `acked_at`.
     Delivered { acked_at: Nanos },
-    /// Lost to a flap; the sender's timeout fires at `timeout_at`.
+    /// Lost to a flap or partition; the sender's timeout fires at
+    /// `timeout_at`.
     Lost { timeout_at: Nanos },
 }
 
@@ -114,6 +115,12 @@ pub struct ReplicaLink {
     windows: Vec<(Nanos, Nanos)>,
     /// Virtual time up to which `windows` is complete.
     horizon: Nanos,
+    /// Administrative partition: while set, every send is lost. Unlike
+    /// flap windows this is driver-controlled state, not part of the
+    /// seeded schedule — torture campaigns toggle it at fixed virtual
+    /// times, which keeps runs deterministic because the single-threaded
+    /// driver orders every toggle against every send.
+    partitioned: bool,
     stats: LinkStats,
 }
 
@@ -133,8 +140,21 @@ impl ReplicaLink {
             rng: StdRng::seed_from_u64(cfg.flap_seed ^ 0x57AB_1E5E_ED00_F1A9),
             windows: Vec::new(),
             horizon: 0,
+            partitioned: false,
             stats: LinkStats::default(),
         }
+    }
+
+    /// Sets or clears the administrative partition. While partitioned
+    /// every send attempt is lost (the bytes still burn wire bandwidth,
+    /// exactly like a flap loss).
+    pub fn set_partitioned(&mut self, partitioned: bool) {
+        self.partitioned = partitioned;
+    }
+
+    /// Whether the link is administratively partitioned.
+    pub fn partitioned(&self) -> bool {
+        self.partitioned
     }
 
     /// The link's configuration.
@@ -179,21 +199,25 @@ impl ReplicaLink {
         self.windows.iter().any(|&(s, e)| s < to && e > from)
     }
 
-    /// Whether the link is inside a flap window at `t`.
+    /// Whether the link is inside a flap window (or administratively
+    /// partitioned) at `t`.
     pub fn is_down(&mut self, t: Nanos) -> bool {
-        self.flap_overlaps(t, t + 1)
+        self.partitioned || self.flap_overlaps(t, t + 1)
     }
 
     /// One send attempt: serialize, propagate, ack. The bytes occupy
     /// the wire even when lost — a flap does not refund bandwidth.
-    fn send(&mut self, bytes: u64, now: Nanos) -> SendResult {
+    /// Public so single-shot protocols (SWIM probes) can pay exactly
+    /// one attempt and treat a loss as a missed ack instead of
+    /// retrying inline.
+    pub fn send_once(&mut self, bytes: u64, now: Nanos) -> SendResult {
         let duration =
             (bytes as u128 * SEC as u128 / self.cfg.bandwidth_bytes_per_sec as u128) as Nanos;
         let r = self.timeline.reserve(now, duration);
         self.stats.bytes_on_wire += bytes;
         self.stats.sends += 1;
         let acked_at = r.end + 2 * self.cfg.latency;
-        if self.flap_overlaps(r.start, acked_at) {
+        if self.partitioned || self.flap_overlaps(r.start, acked_at) {
             self.stats.losses += 1;
             SendResult::Lost {
                 timeout_at: r.end + self.cfg.ack_timeout,
@@ -208,7 +232,7 @@ impl ReplicaLink {
         let mut attempts = 0u32;
         loop {
             attempts += 1;
-            match self.send(bytes, now) {
+            match self.send_once(bytes, now) {
                 SendResult::Delivered { acked_at } => {
                     return WireOutcome::Delivered { acked_at, attempts }
                 }
@@ -269,6 +293,24 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.iter().any(|&d| d), "flaps must actually occur");
         assert!(a.iter().any(|&d| !d), "link must come back up");
+    }
+
+    #[test]
+    fn admin_partition_loses_sends_until_healed() {
+        let mut link = ReplicaLink::new(1 << 30);
+        link.set_partitioned(true);
+        assert!(link.is_down(0));
+        match link.send_once(4096, 0) {
+            SendResult::Lost { .. } => {}
+            other => panic!("partitioned send must be lost, got {other:?}"),
+        }
+        link.set_partitioned(false);
+        assert!(!link.is_down(SEC));
+        match link.send_once(4096, SEC) {
+            SendResult::Delivered { .. } => {}
+            other => panic!("healed send must deliver, got {other:?}"),
+        }
+        assert_eq!(link.stats().losses, 1);
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! Cluster-plane torture: a seeded multi-array campaign that kills or
+//! partitions one member of an N-node cluster mid-traffic and holds
+//! the survivors to the cluster contract.
+//!
+//! The contract is the single-array durability oracle lifted to the
+//! fleet, with two cluster-specific clauses:
+//!
+//! 1. **Exactly-once acks, cluster-wide.** Every client op is
+//!    registered with the shared [`AckAudit`] before issue and either
+//!    acked once or failed once — never both, never twice, never
+//!    stranded — across detection, epoch changes and rebuild.
+//! 2. **Acked data survives the fault.** After SWIM confirms the
+//!    victim and rebuild restores full redundancy, every acked write
+//!    reads back bit-exact from the surviving owners, and every
+//!    replica of every shard agrees byte-for-byte.
+//!
+//! A run is a pure function of its [`ClusterCampaignSpec`]: same spec,
+//! same ops, same detection instant, same outcome — which is what lets
+//! CI sweep seeds and replay any failure exactly.
+
+use purity_cluster::{Cluster, ClusterSpec};
+use purity_core::{PurityError, SECTOR};
+use purity_host::{AckAudit, AckAuditReport};
+use purity_repl::LinkConfig;
+use purity_sim::MS;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which fault the campaign injects on the victim node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterFault {
+    /// Power loss: SWIM must confirm the death and rebuild must
+    /// re-establish full redundancy on the survivors.
+    Kill,
+    /// WAN partition (power stays on): the victim's links drop until
+    /// the heal point. Depending on timing SWIM either refutes the
+    /// suspicion (short partition) or confirms and evicts (long one);
+    /// the data contract must hold either way.
+    Partition {
+        /// Ops after the fault before the partition heals.
+        heal_after_ops: usize,
+    },
+}
+
+/// Everything that determines a cluster campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterCampaignSpec {
+    /// Seed for the op mix, fault staging and every link schedule.
+    pub seed: u64,
+    /// Cluster size (>= 3 so a single fault leaves quorum).
+    pub nodes: usize,
+    /// Foreground client ops issued across the campaign.
+    pub ops: usize,
+    /// The injected fault.
+    pub fault: ClusterFault,
+    /// After stabilization, revive the victim and require a second
+    /// (dedup-cheap) rebuild back to full redundancy. Kill only.
+    pub revive: bool,
+    /// Run the WAN mesh with flapping links instead of reliable ones,
+    /// so rebuild must resume across stalls while the oracle watches.
+    pub flaky_links: bool,
+}
+
+impl ClusterCampaignSpec {
+    /// Derives a varied campaign personality from one seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            nodes: 3 + (seed % 2) as usize,
+            ops: 96,
+            fault: if seed % 3 == 2 {
+                ClusterFault::Partition {
+                    heal_after_ops: 8 + (seed % 17) as usize,
+                }
+            } else {
+                ClusterFault::Kill
+            },
+            revive: seed.is_multiple_of(3),
+            flaky_links: seed % 2 == 1,
+        }
+    }
+}
+
+/// What a cluster campaign did.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterCampaignOutcome {
+    /// Contract violations; empty means the cluster held.
+    pub violations: Vec<String>,
+    /// Cluster-wide exactly-once ack accounting.
+    pub audit: AckAuditReport,
+    /// Client writes acked.
+    pub acked_writes: u64,
+    /// Client reads served.
+    pub acked_reads: u64,
+    /// Ops refused with `Unavailable` (failed, never acked).
+    pub unavailable_ops: u64,
+    /// Writes acked while a touched replica was dead or rebuilding.
+    pub degraded_writes: u64,
+    /// SWIM death confirmations.
+    pub confirms: u64,
+    /// SWIM refutations (partition healed in time).
+    pub refutations: u64,
+    /// Rebuild tasks completed.
+    pub rebuilds_done: u64,
+    /// Virtual ns from fault injection to membership epoch change
+    /// (`None` when the fault was refuted instead of confirmed).
+    pub detection_ns: Option<u64>,
+    /// Final membership epoch.
+    pub final_epoch: u64,
+}
+
+const VOLUME_BYTES: usize = 2 << 20;
+
+/// Runs one seeded cluster fault campaign.
+pub fn run_cluster_campaign(spec: &ClusterCampaignSpec) -> ClusterCampaignOutcome {
+    let mut out = ClusterCampaignOutcome::default();
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xC1A5_7E12_5EED_0001);
+
+    let mut cspec = ClusterSpec::test_small(spec.nodes, spec.seed);
+    if spec.flaky_links {
+        cspec.link = LinkConfig::flaky(100 << 20, 0, 700 * MS, 120 * MS);
+    }
+    let mut c = match Cluster::new(cspec) {
+        Ok(c) => c,
+        Err(e) => {
+            out.violations
+                .push(format!("cluster bring-up failed: {e:?}"));
+            return out;
+        }
+    };
+    let vol = match c.create_volume("torture", VOLUME_BYTES as u64) {
+        Ok(v) => v,
+        Err(e) => {
+            out.violations.push(format!("create_volume failed: {e:?}"));
+            return out;
+        }
+    };
+    let mut client = c.client();
+
+    // Golden model of acked bytes. Unwritten sectors read back as
+    // zeros, so the model starts all-zero and a full-image compare is
+    // exact.
+    let mut model = vec![0u8; VOLUME_BYTES];
+    let mut audit = AckAudit::new();
+    let mut next_op: u64 = 0;
+
+    let victim = rng.gen_range(0..spec.nodes);
+    let fault_at = spec.ops / 4 + rng.gen_range(0..spec.ops / 4);
+    let mut fault_injected_at = None;
+    let mut healed = false;
+    let mut confirmed_at = None;
+
+    for op in 0..spec.ops {
+        if op == fault_at {
+            match spec.fault {
+                ClusterFault::Kill => c.kill(victim),
+                ClusterFault::Partition { .. } => c.partition(victim, true),
+            }
+            fault_injected_at = Some(c.now());
+        }
+        if let ClusterFault::Partition { heal_after_ops } = spec.fault {
+            if !healed && op >= fault_at + heal_after_ops && fault_injected_at.is_some() {
+                c.partition(victim, false);
+                healed = true;
+            }
+        }
+
+        let id = next_op;
+        next_op += 1;
+        audit.register(id);
+        if rng.gen_bool(0.7) {
+            let sectors = 1usize << rng.gen_range(0..5u32);
+            let len = sectors * SECTOR;
+            let off = rng.gen_range(0..(VOLUME_BYTES - len) / SECTOR) * SECTOR;
+            let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            match c.write(&mut client, vol, off as u64, &data) {
+                Ok(()) => {
+                    audit.ack(id);
+                    model[off..off + len].copy_from_slice(&data);
+                    out.acked_writes += 1;
+                }
+                Err(PurityError::Unavailable(_)) => {
+                    audit.fail(id);
+                    out.unavailable_ops += 1;
+                }
+                Err(e) => {
+                    audit.fail(id);
+                    out.violations
+                        .push(format!("op {op}: write failed unexpectedly: {e:?}"));
+                }
+            }
+        } else {
+            let sectors = 1usize << rng.gen_range(0..5u32);
+            let len = sectors * SECTOR;
+            let off = rng.gen_range(0..(VOLUME_BYTES - len) / SECTOR) * SECTOR;
+            match c.read(&mut client, vol, off as u64, len) {
+                Ok(got) => {
+                    audit.ack(id);
+                    out.acked_reads += 1;
+                    if got != model[off..off + len] {
+                        out.violations.push(format!(
+                            "op {op}: read at sector {} diverged from acked writes",
+                            off / SECTOR
+                        ));
+                    }
+                }
+                Err(PurityError::Unavailable(_)) => {
+                    audit.fail(id);
+                    out.unavailable_ops += 1;
+                }
+                Err(e) => {
+                    audit.fail(id);
+                    out.violations
+                        .push(format!("op {op}: read failed unexpectedly: {e:?}"));
+                }
+            }
+        }
+
+        c.tick(40 * MS);
+        if confirmed_at.is_none() && c.epoch() > 1 {
+            confirmed_at = Some(c.now());
+        }
+    }
+
+    // Heal a partition that outlived the op stream so stabilization
+    // does not wait on a fault nobody will clear.
+    if let ClusterFault::Partition { .. } = spec.fault {
+        if !healed && fault_injected_at.is_some() {
+            c.partition(victim, false);
+        }
+    }
+
+    // Drive to stability: rebuild (if the victim was confirmed dead)
+    // must restore full redundancy.
+    for _ in 0..800 {
+        if confirmed_at.is_none() && c.epoch() > 1 {
+            confirmed_at = Some(c.now());
+        }
+        if c.fully_redundant() && c.rebuild_backlog() == 0 {
+            break;
+        }
+        c.tick(100 * MS);
+    }
+    if !c.fully_redundant() {
+        out.violations
+            .push("cluster never returned to full redundancy".into());
+    }
+    if let (Some(injected), Some(confirmed)) = (fault_injected_at, confirmed_at) {
+        out.detection_ns = Some(confirmed - injected);
+    }
+    if matches!(spec.fault, ClusterFault::Kill) && confirmed_at.is_none() {
+        out.violations.push("death was never confirmed".into());
+    }
+
+    // Optional rejoin drill: the victim comes back, re-syncs its
+    // durable config slot, and a second rebuild must complete.
+    if spec.revive && matches!(spec.fault, ClusterFault::Kill) {
+        if let Err(e) = c.revive(victim) {
+            out.violations.push(format!("revive failed: {e:?}"));
+        } else {
+            for _ in 0..800 {
+                if c.fully_redundant() && c.rebuild_backlog() == 0 {
+                    break;
+                }
+                c.tick(100 * MS);
+            }
+            if !c.fully_redundant() {
+                out.violations
+                    .push("post-revive rebuild never completed".into());
+            }
+            if !c.live_members().contains(&victim) {
+                out.violations.push("revived node not live".into());
+            }
+        }
+    }
+
+    // Post-fault traffic still acks exactly once.
+    for _ in 0..8 {
+        let id = next_op;
+        next_op += 1;
+        audit.register(id);
+        let off = rng.gen_range(0..(VOLUME_BYTES - SECTOR) / SECTOR) * SECTOR;
+        let data: Vec<u8> = (0..SECTOR).map(|_| rng.gen()).collect();
+        match c.write(&mut client, vol, off as u64, &data) {
+            Ok(()) => {
+                audit.ack(id);
+                model[off..off + SECTOR].copy_from_slice(&data);
+                out.acked_writes += 1;
+            }
+            Err(e) => {
+                audit.fail(id);
+                out.violations
+                    .push(format!("post-fault write failed: {e:?}"));
+            }
+        }
+        c.tick(40 * MS);
+    }
+
+    // Clause 1: exactly-once acks.
+    out.audit = audit.report();
+    for v in audit.violations() {
+        out.violations.push(v);
+    }
+    if out.audit.stranded_ops > 0 {
+        out.violations.push(format!(
+            "{} ops stranded without ack or fail",
+            out.audit.stranded_ops
+        ));
+    }
+
+    // Clause 2: every acked byte reads back bit-exact, and all
+    // replicas of every shard agree.
+    match c.read(&mut client, vol, 0, VOLUME_BYTES) {
+        Ok(got) => {
+            if got != model {
+                let first = got
+                    .iter()
+                    .zip(model.iter())
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(0);
+                out.violations.push(format!(
+                    "acked data corrupted (first bad sector {})",
+                    first / SECTOR
+                ));
+            }
+        }
+        Err(e) => out
+            .violations
+            .push(format!("final image unreadable: {e:?}")),
+    }
+    let nshards = c.volume(vol).map(|v| v.shards.len()).unwrap_or(0);
+    let shard_len = c.spec().shard_sectors as usize * SECTOR;
+    for s in 0..nshards {
+        let shard = c.volume(vol).unwrap().shards[s].clone();
+        let mut copies = Vec::new();
+        for (i, &o) in shard.owners.iter().enumerate() {
+            if !shard.in_sync[i] {
+                out.violations
+                    .push(format!("shard {s} replica on node {o} left out of sync"));
+                continue;
+            }
+            let Some(b) = shard.backing(o) else {
+                out.violations
+                    .push(format!("shard {s} owner {o} has no backing volume"));
+                continue;
+            };
+            match c.array_mut(o).read(b, 0, shard_len) {
+                Ok((bytes, _)) => copies.push((o, bytes)),
+                Err(e) => out
+                    .violations
+                    .push(format!("shard {s} replica on node {o} unreadable: {e:?}")),
+            }
+        }
+        for w in copies.windows(2) {
+            if w[0].1 != w[1].1 {
+                out.violations.push(format!(
+                    "shard {s} replicas on nodes {} and {} diverge",
+                    w[0].0, w[1].0
+                ));
+            }
+        }
+    }
+
+    // Every surviving array passes its own integrity scan.
+    for node in c.live_members() {
+        for p in c.array_mut(node).verify_integrity() {
+            out.violations.push(format!("node {node}: {p}"));
+        }
+    }
+
+    out.degraded_writes = c.stats().degraded_writes;
+    out.confirms = c.swim_stats().confirms;
+    out.refutations = c.swim_stats().refutations;
+    out.rebuilds_done = c.rebuild_stats().done;
+    out.final_epoch = c.epoch();
+    out
+}

@@ -17,17 +17,24 @@
 //!   run; a pure function of its [`campaign::CampaignSpec`].
 //! - [`shrink::shrink`] — greedy minimizer for failing specs, with a
 //!   one-line repro command ([`shrink::repro_line`]).
+//! - [`cluster::run_cluster_campaign`] — the fleet-level drill: kill
+//!   or partition one of N arrays mid-traffic and hold detection,
+//!   rebuild and the cluster-wide exactly-once ack audit to account.
 //!
 //! The `torture` integration test (`tests/torture.rs` at the workspace
 //! root) runs bounded seed sweeps in CI; the `exp_torture` bench binary
 //! runs wider sweeps and replays repro lines.
 
 pub mod campaign;
+pub mod cluster;
 pub mod oracle;
 pub mod repl;
 pub mod shrink;
 
 pub use campaign::{failing, run_campaign, CampaignOutcome, CampaignSpec, CrashPhase};
+pub use cluster::{
+    run_cluster_campaign, ClusterCampaignOutcome, ClusterCampaignSpec, ClusterFault,
+};
 pub use oracle::DurabilityOracle;
 pub use repl::{run_repl_campaign, ReplCampaignOutcome, ReplCampaignSpec};
 pub use shrink::{parse_repro, repro_line, shrink, Shrunk};

@@ -49,6 +49,13 @@ cargo run -q --release -p purity-bench --bin fig7_fiveminute -- --smoke
 step "replication fabric smoke (exp_replication)"
 cargo run -q --release -p purity-bench --bin exp_replication -- --smoke
 
+# Cluster plane smoke: the size x link-profile grid must keep acking
+# 100% of client ops while one member is killed mid-traffic, confirm
+# the death over SWIM, rebuild back to full redundancy, and export
+# byte-identical cluster_* telemetry across same-seed sweeps.
+step "cluster plane smoke (exp_cluster)"
+cargo run -q --release -p purity-bench --bin exp_cluster -- --smoke
+
 if [[ $quick -eq 1 ]]; then
   echo "--quick: skipping fmt/clippy"
   exit 0

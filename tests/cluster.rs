@@ -1,0 +1,365 @@
+//! End-to-end cluster-plane suite: placement-routed I/O, SWIM
+//! detection of a killed array, cluster-wide rebuild back to full
+//! redundancy, rejoin, config-record replication, and same-seed
+//! determinism.
+
+use purity_cluster::{Cluster, ClusterSpec, SwimEvent};
+use purity_core::records::{decode_cluster_config, MemberStatus};
+use purity_core::SECTOR;
+use purity_obs::profiler::strip_profile_section;
+use purity_repl::LinkConfig;
+use purity_sim::{MS, SEC};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic pseudo-random sector block.
+fn block(seed: u64, sectors: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = vec![0u8; sectors * SECTOR];
+    rng.fill(&mut b[..]);
+    b
+}
+
+#[test]
+fn cluster_volume_round_trips_across_shards() {
+    let mut c = Cluster::new(ClusterSpec::test_small(3, 11)).unwrap();
+    let shard_bytes = c.spec().shard_sectors * SECTOR as u64;
+    let vol = c.create_volume("db", 4 * shard_bytes).unwrap();
+    let mut client = c.client();
+
+    // A write spanning a shard boundary must reassemble bit-exact.
+    let data = block(1, 8);
+    let offset = shard_bytes - 4 * SECTOR as u64;
+    c.write(&mut client, vol, offset, &data).unwrap();
+    assert_eq!(c.read(&mut client, vol, offset, data.len()).unwrap(), data);
+
+    // Unaligned and out-of-range I/O is refused.
+    assert!(c.write(&mut client, vol, 7, &data).is_err());
+    assert!(c.read(&mut client, vol, 4 * shard_bytes, SECTOR).is_err());
+    assert!(c.fully_redundant());
+}
+
+/// Consumer misuse returns typed errors, never a panic — and losing a
+/// write quorum refuses the op *before* mutating any replica.
+#[test]
+fn misuse_and_quorum_loss_return_typed_errors() {
+    let mut c = Cluster::new(ClusterSpec::test_small(3, 42)).unwrap();
+    let vol = c.create_volume("v", 1 << 20).unwrap();
+    let mut client = c.client();
+    let data = block(3, 1);
+
+    assert!(c.read(&mut client, vol, 0, 100).is_err());
+    assert!(c.read(&mut client, 9999, 0, SECTOR).is_err());
+    assert!(c.write(&mut client, 9999, 0, &data).is_err());
+    assert!(c
+        .write(&mut client, vol, (1 << 20) - SECTOR as u64, &block(4, 2))
+        .is_err());
+
+    // Establish a baseline, then kill both non-seed members: every
+    // shard loses its full replica set, so I/O must fail cleanly and
+    // the surviving image must be untouched by the refused write.
+    c.write(&mut client, vol, 0, &data).unwrap();
+    c.kill(1);
+    c.kill(2);
+    for _ in 0..200 {
+        c.tick(100 * MS);
+    }
+    assert_eq!(c.live_members(), vec![0]);
+    let refused = c.write(&mut client, vol, 0, &block(5, 1));
+    if refused.is_err() {
+        // Quorum refusal is all-or-nothing: the old bytes still win
+        // on any owner that node 0 still backs.
+        if let Ok(bytes) = c.read(&mut client, vol, 0, SECTOR) {
+            assert_eq!(bytes, data);
+        }
+    }
+}
+
+#[test]
+fn replicas_hold_identical_bytes() {
+    let mut c = Cluster::new(ClusterSpec::test_small(4, 5)).unwrap();
+    let vol = c.create_volume("db", 2 << 20).unwrap();
+    let mut client = c.client();
+    let data = block(9, 16);
+    c.write(&mut client, vol, 0, &data).unwrap();
+
+    let shard = c.volume(vol).unwrap().shards[0].clone();
+    assert_eq!(shard.owners.len(), 2);
+    for &o in &shard.owners {
+        let b = shard.backing(o).unwrap();
+        let (bytes, _) = c.array_mut(o).read(b, 0, data.len()).unwrap();
+        assert_eq!(bytes, data, "replica on node {o} diverged");
+    }
+}
+
+#[test]
+fn killed_array_is_detected_rebuilt_and_data_survives() {
+    let mut c = Cluster::new(ClusterSpec::test_small(3, 21)).unwrap();
+    let vol = c.create_volume("db", 4 << 20).unwrap();
+    let mut client = c.client();
+
+    // Seed every shard with known data in disjoint 8-sector slots.
+    let mut golden: Vec<(u64, Vec<u8>)> = Vec::new();
+    for i in 0..48u64 {
+        let start = i * 8;
+        let data = block(1000 + i, 8);
+        c.write(&mut client, vol, start * SECTOR as u64, &data)
+            .unwrap();
+        golden.push((start, data));
+    }
+
+    // Kill node 1 mid-traffic, keep writing and ticking.
+    c.kill(1);
+    let epoch_before = c.epoch();
+    for i in 0..200u64 {
+        c.tick(100 * MS);
+        if i % 10 == 0 {
+            // Degraded-mode writes must still ack while >= 1 in-sync
+            // replica per shard is live. Overwrite slot i/10.
+            let slot = i / 10;
+            let data = block(5000 + slot, 8);
+            c.write(&mut client, vol, slot * 8 * SECTOR as u64, &data)
+                .unwrap();
+            golden[slot as usize] = (slot * 8, data);
+        }
+        if c.epoch() > epoch_before && c.fully_redundant() {
+            break;
+        }
+    }
+
+    // Detection happened, placement moved on, rebuild completed.
+    assert!(c.epoch() > epoch_before, "death never confirmed");
+    assert!(c.fully_redundant(), "rebuild never restored redundancy");
+    assert!(c.swim_stats().confirms > 0);
+    assert!(c.rebuild_stats().done > 0, "no rebuild tasks ran");
+    assert!(!c.live_members().contains(&1));
+
+    // Every golden write reads back bit-exact.
+    for (start, data) in &golden {
+        let got = c
+            .read(&mut client, vol, start * SECTOR as u64, data.len())
+            .unwrap();
+        assert_eq!(&got, data, "acked write at sector {start} corrupted");
+    }
+    // Every surviving replica of every shard agrees bit-exact.
+    let nshards = c.volume(vol).unwrap().shards.len();
+    let shard_len = c.spec().shard_sectors as usize * SECTOR;
+    for s in 0..nshards {
+        let shard = c.volume(vol).unwrap().shards[s].clone();
+        assert!(!shard.owners.contains(&1), "dead node still owns shard {s}");
+        let mut copies = Vec::new();
+        for (i, &o) in shard.owners.iter().enumerate() {
+            assert!(shard.in_sync[i], "shard {s} replica on {o} not in sync");
+            let b = shard.backing(o).unwrap();
+            let bytes = c.array_mut(o).read(b, 0, shard_len).unwrap().0;
+            copies.push(bytes);
+        }
+        for w in copies.windows(2) {
+            assert_eq!(w[0], w[1], "shard {s} replicas diverge after rebuild");
+        }
+    }
+}
+
+#[test]
+fn revived_node_rejoins_with_dedup_cheap_rebuild() {
+    let mut c = Cluster::new(ClusterSpec::test_small(3, 31)).unwrap();
+    let vol = c.create_volume("db", 2 << 20).unwrap();
+    let mut client = c.client();
+    for i in 0..16u64 {
+        let data = block(100 + i, 4);
+        c.write(&mut client, vol, i * 4 * SECTOR as u64, &data)
+            .unwrap();
+    }
+
+    c.kill(2);
+    for _ in 0..200 {
+        c.tick(100 * MS);
+        if c.fully_redundant() && !c.live_members().contains(&2) {
+            break;
+        }
+    }
+    assert!(c.fully_redundant(), "post-kill rebuild incomplete");
+
+    let hash_hits_before = c.fabric_stats().dedup_hit_sectors;
+    c.revive(2).unwrap();
+    assert!(c.live_members().contains(&2));
+    for _ in 0..300 {
+        c.tick(100 * MS);
+        if c.fully_redundant() {
+            break;
+        }
+    }
+    assert!(c.fully_redundant(), "rejoin rebuild incomplete");
+    // The rejoiner still held most of its old data: the hash-probe
+    // pass must have satisfied sectors without re-shipping payload.
+    assert!(
+        c.fabric_stats().dedup_hit_sectors > hash_hits_before,
+        "rejoin shipped everything as payload; dedup-aware path broken"
+    );
+
+    // Incarnation bumped and recorded in the replicated config.
+    let m = &c.config().members[2];
+    assert_eq!(m.status, MemberStatus::Alive);
+    assert!(m.incarnation >= 2);
+
+    // All data still correct.
+    for i in 0..16u64 {
+        let got = c
+            .read(&mut client, vol, i * 4 * SECTOR as u64, 4 * SECTOR)
+            .unwrap();
+        assert_eq!(got, block(100 + i, 4));
+    }
+}
+
+#[test]
+fn config_record_replicates_to_live_slots() {
+    let mut c = Cluster::new(ClusterSpec::test_small(3, 41)).unwrap();
+    for node in c.live_members() {
+        let rec = decode_cluster_config(c.config_slot(node).expect("slot empty"))
+            .expect("slot undecodable");
+        assert_eq!(rec.epoch, 1);
+        assert_eq!(rec.members.len(), 3);
+    }
+    c.kill(0);
+    for _ in 0..100 {
+        c.tick(100 * MS);
+        if c.epoch() > 1 {
+            break;
+        }
+    }
+    assert!(c.epoch() > 1);
+    for node in c.live_members() {
+        let rec = decode_cluster_config(c.config_slot(node).unwrap()).unwrap();
+        assert_eq!(rec.epoch, c.epoch(), "node {node} has a stale config");
+        assert_eq!(rec.members[0].status, MemberStatus::Dead);
+        assert_eq!(rec.placement_version, c.placement().version());
+    }
+}
+
+#[test]
+fn stale_client_pays_exactly_one_redirect() {
+    let mut c = Cluster::new(ClusterSpec::test_small(3, 51)).unwrap();
+    let vol = c.create_volume("db", 1 << 20).unwrap();
+    let mut client = c.client();
+    let data = block(3, 2);
+    c.write(&mut client, vol, 0, &data).unwrap();
+    assert_eq!(c.stats().redirects, 0);
+
+    c.kill(2);
+    for _ in 0..100 {
+        c.tick(100 * MS);
+        if c.epoch() > 1 {
+            break;
+        }
+    }
+    // Membership changed: the next op redirects once, then settles.
+    c.write(&mut client, vol, 0, &data).unwrap();
+    assert_eq!(c.stats().redirects, 1);
+    c.write(&mut client, vol, 0, &data).unwrap();
+    c.read(&mut client, vol, 0, data.len()).unwrap();
+    assert_eq!(c.stats().redirects, 1, "refreshed client redirected again");
+}
+
+#[test]
+fn flaky_mesh_rebuild_resumes_and_completes() {
+    let mut spec = ClusterSpec::test_small(3, 61);
+    spec.link = LinkConfig::flaky(50 << 20, 0, 800 * MS, 150 * MS);
+    let mut c = Cluster::new(spec).unwrap();
+    let vol = c.create_volume("db", 2 << 20).unwrap();
+    let mut client = c.client();
+    for i in 0..16u64 {
+        let data = block(200 + i, 4);
+        c.write(&mut client, vol, i * 4 * SECTOR as u64, &data)
+            .unwrap();
+    }
+    c.kill(1);
+    for _ in 0..600 {
+        c.tick(100 * MS);
+        if c.fully_redundant() && !c.live_members().contains(&1) {
+            break;
+        }
+    }
+    assert!(
+        c.fully_redundant(),
+        "rebuild never completed over flaky WAN"
+    );
+    for i in 0..16u64 {
+        let got = c
+            .read(&mut client, vol, i * 4 * SECTOR as u64, 4 * SECTOR)
+            .unwrap();
+        assert_eq!(got, block(200 + i, 4));
+    }
+}
+
+#[test]
+fn same_seed_runs_are_byte_identical() {
+    let run = || {
+        let mut spec = ClusterSpec::test_small(3, 71);
+        spec.link = LinkConfig::flaky(100 << 20, 0, 600 * MS, 100 * MS);
+        let mut c = Cluster::new(spec).unwrap();
+        let vol = c.create_volume("db", 2 << 20).unwrap();
+        let mut client = c.client();
+        for i in 0..12u64 {
+            let data = block(300 + i, 4);
+            c.write(&mut client, vol, i * 4 * SECTOR as u64, &data)
+                .unwrap();
+        }
+        c.kill(0);
+        for _ in 0..300 {
+            c.tick(100 * MS);
+        }
+        c.publish_metrics();
+        let exports: Vec<String> = (0..3)
+            .map(|n| strip_profile_section(&c.array(n).export_observability_json()).to_string())
+            .collect();
+        (
+            exports,
+            c.epoch(),
+            c.swim_stats().confirms,
+            c.rebuild_stats().done,
+            c.fabric_stats().bytes_on_wire,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3);
+    assert_eq!(a.4, b.4);
+    for (x, y) in a.0.iter().zip(&b.0) {
+        assert_eq!(x, y, "same-seed export diverged");
+    }
+}
+
+#[test]
+fn swim_confirmation_time_is_bounded() {
+    let mut c = Cluster::new(ClusterSpec::test_small(4, 81)).unwrap();
+    c.create_volume("db", 1 << 20).unwrap();
+    let killed_at = c.now();
+    c.kill(3);
+    let mut confirmed_at = None;
+    for _ in 0..400 {
+        c.tick(50 * MS);
+        if c.epoch() > 1 {
+            confirmed_at = Some(c.now());
+            break;
+        }
+    }
+    let at = confirmed_at.expect("never confirmed");
+    let cfg = c.spec().swim;
+    let bound = (c.spec().nodes as u64 + 1) * cfg.probe_interval + cfg.suspicion_timeout + 2 * SEC;
+    assert!(
+        at - killed_at <= bound,
+        "confirm took {} ns, bound {} ns",
+        at - killed_at,
+        bound
+    );
+    // The detector's own event stream must carry the confirmation.
+    let confirms = c.swim_stats().confirms;
+    assert!(confirms >= 1, "no Confirmed event recorded");
+    let _ = SwimEvent::Confirmed {
+        observer: 0,
+        subject: 3,
+        at,
+    };
+}

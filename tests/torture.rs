@@ -7,7 +7,8 @@
 //! repro that replays under `exp_torture --repro`.
 
 use purity_torture::{
-    failing, run_campaign, run_repl_campaign, shrink, CampaignSpec, CrashPhase, ReplCampaignSpec,
+    failing, run_campaign, run_cluster_campaign, run_repl_campaign, shrink, CampaignSpec,
+    ClusterCampaignSpec, ClusterFault, CrashPhase, ReplCampaignSpec,
 };
 
 /// Runs one seed sweep for a phase; asserts zero violations everywhere
@@ -128,6 +129,80 @@ fn torture_replication_crash_consistency() {
         resumes > 0,
         "no transfer ever resumed from a persisted cursor"
     );
+}
+
+/// Cluster-plane torture: kill or partition one of N >= 3 arrays
+/// mid-traffic. The fleet contract — exactly-once acks cluster-wide,
+/// acked data bit-exact after rebuild, replicas byte-identical, full
+/// redundancy restored — must hold for every seed.
+#[test]
+fn torture_cluster_fault_sweep() {
+    let mut kills = 0;
+    let mut partitions = 0;
+    let mut revives = 0;
+    for seed in 0..6u64 {
+        let spec = ClusterCampaignSpec::new(seed);
+        let out = run_cluster_campaign(&spec);
+        assert!(
+            out.violations.is_empty(),
+            "cluster seed {seed} ({:?}) violated the fleet contract:\n  {}",
+            spec.fault,
+            out.violations.join("\n  ")
+        );
+        assert!(
+            out.audit.clean(),
+            "cluster seed {seed}: ack audit dirty: {:?}",
+            out.audit
+        );
+        assert!(
+            out.acked_writes > 0 && out.acked_reads > 0,
+            "cluster seed {seed}: campaign did no real work"
+        );
+        match spec.fault {
+            ClusterFault::Kill => {
+                kills += 1;
+                assert!(
+                    out.confirms > 0 && out.rebuilds_done > 0,
+                    "cluster seed {seed}: kill was never confirmed/rebuilt: {out:?}"
+                );
+                assert!(
+                    out.detection_ns.is_some(),
+                    "cluster seed {seed}: no detection"
+                );
+                if spec.revive {
+                    revives += 1;
+                }
+            }
+            ClusterFault::Partition { .. } => {
+                partitions += 1;
+                // Short partitions refute, long ones confirm + rebuild;
+                // either way SWIM must have reacted.
+                assert!(
+                    out.confirms > 0 || out.refutations > 0,
+                    "cluster seed {seed}: partition went unnoticed: {out:?}"
+                );
+            }
+        }
+    }
+    assert!(
+        kills >= 2 && partitions >= 1 && revives >= 1,
+        "sweep personalities skewed: kills={kills} partitions={partitions} revives={revives}"
+    );
+}
+
+/// Same cluster spec, run twice: identical outcome — violation
+/// strings, counters, detection instants, everything.
+#[test]
+fn cluster_campaign_is_deterministic() {
+    for seed in [1u64, 2] {
+        let spec = ClusterCampaignSpec::new(seed);
+        let a = format!("{:?}", run_cluster_campaign(&spec));
+        let b = format!("{:?}", run_cluster_campaign(&spec));
+        assert_eq!(
+            a, b,
+            "seed {seed}: same cluster spec must replay identically"
+        );
+    }
 }
 
 /// Same replication spec, run twice: identical outcome.
