@@ -19,11 +19,13 @@
 //! wall numbers.
 //!
 //! Usage:
-//!   bench_perf [--smoke] [--label NAME] [--check PATH]
+//!   bench_perf [--smoke] [--label NAME] [--check PATH] [--threads N]
 //!
 //! `--smoke` shrinks every workload for CI; `--check PATH` compares
 //! this run against the committed baseline at PATH (same mode) and
-//! fails on schema drift.
+//! fails on schema drift. `--threads N` pins the parallel engine's
+//! worker-pool width (1 = serial); each entry records the count so
+//! the trajectory distinguishes serial from parallel points.
 
 use purity_bench::{drive, parse_json, print_table, JsonValue};
 use purity_cluster::{Cluster, ClusterSpec};
@@ -284,7 +286,7 @@ fn repo_root() -> PathBuf {
 }
 
 /// Builds one trajectory entry.
-fn entry_json(label: &str, mode: &str, results: &[WorkloadResult]) -> String {
+fn entry_json(label: &str, mode: &str, threads: usize, results: &[WorkloadResult]) -> String {
     let mut workloads = JsonWriter::array();
     for r in results {
         workloads.raw_element(&r.to_json());
@@ -292,6 +294,7 @@ fn entry_json(label: &str, mode: &str, results: &[WorkloadResult]) -> String {
     let mut w = JsonWriter::object();
     w.str_field("label", label)
         .str_field("mode", mode)
+        .u64_field("threads", threads as u64)
         .raw_field("workloads", &workloads.finish());
     w.finish()
 }
@@ -513,9 +516,16 @@ fn main() {
     };
     let label = flag_value("--label").unwrap_or_else(|| "baseline".to_string());
     let check = flag_value("--check");
+    // A bare `--check` (no path, or the "path" is the next flag) used
+    // to skip the comparison silently — a vacuous pass. Fail loudly.
+    if args.iter().any(|a| a == "--check") && check.as_deref().is_none_or(|p| p.starts_with("--")) {
+        eprintln!("--check requires a baseline path (e.g. --check BENCH_perf.json)");
+        std::process::exit(2);
+    }
     let mode = if smoke { "smoke" } else { "full" };
+    let threads = purity_bench::init_threads(&args);
 
-    println!("=== bench_perf: simulator throughput matrix ({mode}) ===");
+    println!("=== bench_perf: simulator throughput matrix ({mode}, {threads} thread(s)) ===");
     let results = vec![
         wl_tail(smoke),
         wl_host(smoke),
@@ -554,7 +564,7 @@ fn main() {
         &rows,
     );
 
-    let entry = entry_json(&label, mode, &results);
+    let entry = entry_json(&label, mode, threads, &results);
     let fresh = parse_json(&entry).expect("entry must parse");
 
     // Baseline comparison runs against the file as committed, before
@@ -582,4 +592,79 @@ fn main() {
         std::process::exit(1);
     }
     println!("self-check OK: schema {SCHEMA}, shares sum to ~100% in every entry.");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_baseline(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(format!("bench_perf_test_{name}.json"));
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn minimal_workload(name: &str, events: u64) -> String {
+        format!(
+            r#"{{"workload":"{name}","events":{events},"wall_ms":1.0,
+               "events_per_sec":1000.0,"sim_ratio":1.0,
+               "plane_breakdown":[{{"plane":"lsm","share_pct":100.0,
+               "self_ms":1.0,"events":{events}}}]}}"#
+        )
+    }
+
+    fn entry(label: &str, mode: &str, events: u64) -> String {
+        format!(
+            r#"{{"label":"{label}","mode":"{mode}","workloads":[{}]}}"#,
+            minimal_workload("tail_mini_array", events)
+        )
+    }
+
+    fn doc(entries: &[String]) -> String {
+        format!(
+            r#"{{"schema":"{SCHEMA}","entries":[{}]}}"#,
+            entries.join(",")
+        )
+    }
+
+    #[test]
+    fn check_fails_on_missing_baseline_file() {
+        let fresh = parse_json(&entry("x", "full", 10)).unwrap();
+        let err = check_against_baseline("/nonexistent/bench_perf_baseline.json", "full", &fresh)
+            .unwrap_err();
+        assert!(err.contains("cannot read baseline"), "got: {err}");
+    }
+
+    #[test]
+    fn check_fails_when_trajectory_is_empty() {
+        // The "flat trajectory" case: a schema-valid file with zero
+        // entries must fail the check, not pass vacuously.
+        let path = temp_baseline("empty", &doc(&[]));
+        let fresh = parse_json(&entry("x", "full", 10)).unwrap();
+        let err = check_against_baseline(&path, "full", &fresh).unwrap_err();
+        assert!(err.contains("empty"), "got: {err}");
+    }
+
+    #[test]
+    fn check_fails_when_no_comparable_mode_entry() {
+        let path = temp_baseline("mode", &doc(&[entry("base", "smoke", 10)]));
+        let fresh = parse_json(&entry("x", "full", 10)).unwrap();
+        let err = check_against_baseline(&path, "full", &fresh).unwrap_err();
+        assert!(err.contains("no \"full\"-mode entry"), "got: {err}");
+    }
+
+    #[test]
+    fn check_passes_against_a_comparable_entry() {
+        let path = temp_baseline("ok", &doc(&[entry("base", "full", 10)]));
+        let fresh = parse_json(&entry("x", "full", 12)).unwrap();
+        check_against_baseline(&path, "full", &fresh).unwrap();
+    }
+
+    #[test]
+    fn check_fails_on_event_count_drift() {
+        let path = temp_baseline("drift", &doc(&[entry("base", "full", 10)]));
+        let fresh = parse_json(&entry("x", "full", 100)).unwrap();
+        let err = check_against_baseline(&path, "full", &fresh).unwrap_err();
+        assert!(err.contains("drifted"), "got: {err}");
+    }
 }

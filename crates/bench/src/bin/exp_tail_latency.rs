@@ -17,12 +17,20 @@ use purity_wkld::{AccessPattern, ContentModel, SizeMix, WorkloadGen};
 
 fn run(
     read_around: bool,
+    fa450: bool,
 ) -> (
     purity_bench::DriveReport,
     FlashArray,
     purity_wkld::OfferedLoad,
 ) {
-    let mut cfg = ArrayConfig::bench_medium();
+    // `--fa450` swaps the mini-array shelf for the full 2816-die
+    // FA-450 geometry (22 drives × 128 dies) — the scale the paper's
+    // tail-latency claims were measured at. Same workload either way.
+    let mut cfg = if fa450 {
+        ArrayConfig::fa450()
+    } else {
+        ArrayConfig::bench_medium()
+    };
     cfg.read_around_writes = read_around;
     let mut a = FlashArray::new(cfg).unwrap();
     let vol_bytes: u64 = 96 << 20;
@@ -92,13 +100,23 @@ fn variant_json(
 }
 
 fn main() {
-    println!("=== E2: tail latency (mixed 70/30 enterprise workload) ===");
+    let args: Vec<String> = std::env::args().collect();
+    let threads = purity_bench::init_threads(&args);
+    let fa450 = args.iter().any(|a| a == "--fa450");
+    let geometry = if fa450 {
+        "full FA-450, 2816 dies"
+    } else {
+        "mini array, 88 dies"
+    };
+    println!(
+        "=== E2: tail latency (mixed 70/30 enterprise workload; {geometry}; {threads} thread(s)) ==="
+    );
     let mut variants = JsonWriter::array();
     for (label, on) in [
         ("scheduler ON (read around writes)", true),
         ("scheduler OFF", false),
     ] {
-        let (r, a, offered) = run(on);
+        let (r, a, offered) = run(on, fa450);
         println!("\n{}:", label);
         println!("  reads:  {}", r.read_latency.summary());
         println!("  writes: {}", r.write_latency.summary());
@@ -119,6 +137,7 @@ fn main() {
     }
     let mut root = JsonWriter::object();
     root.str_field("experiment", "exp_tail_latency")
+        .bool_field("fa450_geometry", fa450)
         .u64_field("tail_budget_ns", MS)
         .raw_field("variants", &variants.finish());
     write_results("exp_tail_latency", &root.finish());

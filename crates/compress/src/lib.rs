@@ -52,59 +52,145 @@ impl std::fmt::Display for CompressError {
 impl std::error::Error for CompressError {}
 
 #[inline]
-fn hash4(bytes: &[u8]) -> usize {
-    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+fn read_u32(data: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(data[at..at + 4].try_into().unwrap())
+}
+
+#[inline]
+fn hash4(v: u32) -> usize {
     (v.wrapping_mul(2654435761) >> 18) as usize & (HASH_SIZE - 1)
 }
 
 const HASH_SIZE: usize = 1 << 14;
 
+/// After `1 << SKIP_TRIGGER` consecutive missed probes the literal scan
+/// starts striding (LZ4-style acceleration): incompressible regions are
+/// skipped over instead of probed byte-by-byte, which is where most of
+/// the compressor's time goes on low-redundancy blocks.
+const SKIP_TRIGGER: u32 = 6;
+
+/// Per-thread match table, generation-stamped so reuse costs nothing:
+/// an entry is live only when its stamp equals the current call's
+/// generation, which replaces a 128 KiB zeroing memset per [`compress`]
+/// call with a single counter bump. Stamp and position share one word
+/// (stamp in the high half) so a probe touches a single cache line, and
+/// the fixed-size boxed array lets slot indexing skip bounds checks.
+struct MatchTable {
+    slots: Box<[u64; HASH_SIZE]>,
+    gen: u32,
+}
+
+impl MatchTable {
+    fn new() -> Self {
+        Self {
+            slots: vec![0u64; HASH_SIZE].into_boxed_slice().try_into().unwrap(),
+            gen: 0,
+        }
+    }
+
+    #[inline]
+    fn next_gen(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Wrapped: stale stamps could alias generation 0.
+            self.slots.iter_mut().for_each(|s| *s = u64::MAX << 32);
+            self.gen = 1;
+        }
+    }
+
+    /// Returns the previous position stored in slot `h` (if current) and
+    /// stores `pos` there.
+    #[inline]
+    fn swap(&mut self, h: usize, pos: usize) -> Option<usize> {
+        let slot = self.slots[h & (HASH_SIZE - 1)];
+        let prev = ((slot >> 32) as u32 == self.gen).then_some(slot as u32 as usize);
+        self.slots[h & (HASH_SIZE - 1)] = ((self.gen as u64) << 32) | pos as u64;
+        prev
+    }
+
+    #[inline]
+    fn put(&mut self, h: usize, pos: usize) {
+        self.slots[h & (HASH_SIZE - 1)] = ((self.gen as u64) << 32) | pos as u64;
+    }
+}
+
+std::thread_local! {
+    static TABLE: std::cell::RefCell<MatchTable> = std::cell::RefCell::new(MatchTable::new());
+}
+
+/// Length of the common prefix of `a[a_at..]` and `a[b_at..]` (b_at >
+/// a_at), compared a word at a time.
+#[inline]
+fn common_prefix(data: &[u8], a_at: usize, b_at: usize) -> usize {
+    let max = data.len() - b_at;
+    let mut len = 0;
+    while len + 8 <= max {
+        let x = u64::from_le_bytes(data[a_at + len..a_at + len + 8].try_into().unwrap());
+        let y = u64::from_le_bytes(data[b_at + len..b_at + len + 8].try_into().unwrap());
+        let diff = x ^ y;
+        if diff != 0 {
+            return len + (diff.trailing_zeros() / 8) as usize;
+        }
+        len += 8;
+    }
+    while len < max && data[a_at + len] == data[b_at + len] {
+        len += 1;
+    }
+    len
+}
+
 /// Compresses a block. Output always begins with a format byte and the
 /// varint original length; incompressible input is stored raw.
 pub fn compress(input: &[u8]) -> Vec<u8> {
+    TABLE.with(|t| compress_with(&mut t.borrow_mut(), input))
+}
+
+fn compress_with(table: &mut MatchTable, input: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
     out.push(FORMAT_LZ);
     varint::encode(input.len() as u64, &mut out);
     let body_start = out.len();
 
-    let mut table = [usize::MAX; HASH_SIZE];
+    table.next_gen();
     let mut pos = 0;
     let mut literal_start = 0;
+    let mut search = 1u32 << SKIP_TRIGGER;
 
     while pos + MIN_MATCH <= input.len() {
-        let h = hash4(&input[pos..]);
-        let candidate = table[h];
-        table[h] = pos;
+        let cur = read_u32(input, pos);
+        let candidate = table.swap(hash4(cur), pos);
 
-        let found = if candidate != usize::MAX
-            && pos - candidate <= MAX_OFFSET
-            && input[candidate..candidate + MIN_MATCH] == input[pos..pos + MIN_MATCH]
-        {
-            // Extend the match greedily.
-            let mut len = MIN_MATCH;
-            while pos + len < input.len() && input[candidate + len] == input[pos + len] {
-                len += 1;
+        let found = match candidate {
+            Some(candidate)
+                if pos - candidate <= MAX_OFFSET && read_u32(input, candidate) == cur =>
+            {
+                // Extend the match greedily (word-at-a-time).
+                let len = MIN_MATCH + common_prefix(input, candidate + MIN_MATCH, pos + MIN_MATCH);
+                Some((pos - candidate, len))
             }
-            Some((pos - candidate, len))
-        } else {
-            None
+            _ => None,
         };
 
         match found {
             Some((offset, len)) => {
                 emit_token(&mut out, &input[literal_start..pos], Some((offset, len)));
-                // Seed a few positions inside the match to keep the table
-                // warm without paying full per-byte cost.
+                // Seed the table at the match tail only (LZ4-style): the
+                // next occurrence of a repeated region matches against
+                // its end just as well as its middle, and skipping the
+                // interior probes is most of the match-path cost.
                 let end = pos + len;
-                let mut p = pos + 1;
-                while p + MIN_MATCH <= input.len() && p < end {
-                    table[hash4(&input[p..])] = p;
-                    p += 2;
+                if end >= 2 && end - 2 + MIN_MATCH <= input.len() {
+                    let p = end - 2;
+                    table.put(hash4(read_u32(input, p)), p);
                 }
                 pos = end;
                 literal_start = pos;
+                search = 1 << SKIP_TRIGGER;
             }
-            None => pos += 1,
+            None => {
+                pos += (search >> SKIP_TRIGGER) as usize;
+                search += 1;
+            }
         }
     }
     // Trailing literals.
@@ -201,10 +287,22 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CompressError> {
                         return Err(CompressError::BadMatchOffset);
                     }
                     let start = out.len() - offset;
-                    // Byte-by-byte: matches may overlap their own output.
-                    for i in 0..match_len {
-                        let b = out[start + i];
-                        out.push(b);
+                    if offset >= match_len {
+                        // Non-overlapping: one memcpy.
+                        out.extend_from_within(start..start + match_len);
+                    } else if offset == 1 {
+                        // Run-length: repeat the last byte.
+                        let b = out[start];
+                        out.resize(out.len() + match_len, b);
+                    } else {
+                        // Overlapping: copy in offset-sized strides (each
+                        // stride's source is fully materialized).
+                        let mut remaining = match_len;
+                        while remaining > 0 {
+                            let n = remaining.min(out.len() - start);
+                            out.extend_from_within(start..start + n);
+                            remaining -= n;
+                        }
                     }
                 }
             }

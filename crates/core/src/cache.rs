@@ -7,13 +7,50 @@
 
 use crate::types::Pba;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+
+/// Multiply-mix hasher for `Pba` keys (a few machine words each). The
+/// cache sits on the read and dedup-verify hot paths, where the default
+/// SipHash costs more than the probe.
+#[derive(Default)]
+pub struct PbaHasher(u64);
+
+impl Hasher for PbaHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        // Fibonacci-multiply mix; plenty for power-of-two table sizing.
+        self.0 = (self.0.rotate_left(26) ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type PbaMap<V> = HashMap<Pba, V, BuildHasherDefault<PbaHasher>>;
+
+/// Cached payload plus its last-touch stamp (LRU victim selection).
+type CacheSlot = (Arc<Vec<u8>>, u64);
 
 /// A byte-capacity-bounded LRU of decompressed cblock payloads.
 #[derive(Debug)]
 pub struct CblockCache {
     capacity_bytes: usize,
     used_bytes: usize,
-    entries: HashMap<Pba, (Vec<u8>, u64)>,
+    entries: PbaMap<CacheSlot>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -25,15 +62,17 @@ impl CblockCache {
         Self {
             capacity_bytes,
             used_bytes: 0,
-            entries: HashMap::new(),
+            entries: PbaMap::default(),
             tick: 0,
             hits: 0,
             misses: 0,
         }
     }
 
-    /// Looks up the uncompressed payload of a cblock.
-    pub fn get(&mut self, pba: &Pba) -> Option<Vec<u8>> {
+    /// Looks up the uncompressed payload of a cblock. The payload is
+    /// shared, not copied — a hit costs a refcount bump, which matters
+    /// when dedup verification fetches a 32 KiB cblock per 512 B compare.
+    pub fn get(&mut self, pba: &Pba) -> Option<Arc<Vec<u8>>> {
         self.tick += 1;
         match self.entries.get_mut(pba) {
             Some((data, stamp)) => {
@@ -49,7 +88,7 @@ impl CblockCache {
     }
 
     /// Inserts a payload, evicting least-recently-used entries to fit.
-    pub fn put(&mut self, pba: Pba, payload: Vec<u8>) {
+    pub fn put(&mut self, pba: Pba, payload: Arc<Vec<u8>>) {
         if payload.len() > self.capacity_bytes {
             return;
         }
@@ -86,7 +125,7 @@ impl CblockCache {
     /// Clones the hot set into another cache (secondary warming). Only
     /// entries that fit are copied.
     pub fn warm_into(&self, other: &mut CblockCache) {
-        let mut entries: Vec<(&Pba, &(Vec<u8>, u64))> = self.entries.iter().collect();
+        let mut entries: Vec<(&Pba, &CacheSlot)> = self.entries.iter().collect();
         entries.sort_by_key(|(_, (_, stamp))| std::cmp::Reverse(*stamp));
         for (pba, (data, _)) in entries {
             if other.used_bytes + data.len() > other.capacity_bytes {
@@ -124,18 +163,18 @@ mod tests {
     fn get_put_and_stats() {
         let mut c = CblockCache::new(1024);
         assert_eq!(c.get(&pba(1, 0)), None);
-        c.put(pba(1, 0), vec![1, 2, 3]);
-        assert_eq!(c.get(&pba(1, 0)), Some(vec![1, 2, 3]));
+        c.put(pba(1, 0), Arc::new(vec![1, 2, 3]));
+        assert_eq!(c.get(&pba(1, 0)), Some(Arc::new(vec![1, 2, 3])));
         assert_eq!(c.stats(), (1, 1));
     }
 
     #[test]
     fn lru_eviction_keeps_recently_used() {
         let mut c = CblockCache::new(1000);
-        c.put(pba(1, 0), vec![0; 400]);
-        c.put(pba(1, 1), vec![0; 400]);
+        c.put(pba(1, 0), Arc::new(vec![0; 400]));
+        c.put(pba(1, 1), Arc::new(vec![0; 400]));
         c.get(&pba(1, 0)); // touch 0 so 1 is LRU
-        c.put(pba(1, 2), vec![0; 400]); // evicts (1,1)
+        c.put(pba(1, 2), Arc::new(vec![0; 400])); // evicts (1,1)
         assert!(c.get(&pba(1, 0)).is_some());
         assert!(c.get(&pba(1, 1)).is_none());
         assert!(c.get(&pba(1, 2)).is_some());
@@ -145,15 +184,15 @@ mod tests {
     #[test]
     fn oversized_payloads_are_skipped() {
         let mut c = CblockCache::new(10);
-        c.put(pba(1, 0), vec![0; 100]);
+        c.put(pba(1, 0), Arc::new(vec![0; 100]));
         assert_eq!(c.used_bytes(), 0);
     }
 
     #[test]
     fn segment_invalidation() {
         let mut c = CblockCache::new(1024);
-        c.put(pba(1, 0), vec![1]);
-        c.put(pba(2, 0), vec![2]);
+        c.put(pba(1, 0), Arc::new(vec![1]));
+        c.put(pba(2, 0), Arc::new(vec![2]));
         c.invalidate_segment(SegmentId(1));
         assert!(c.get(&pba(1, 0)).is_none());
         assert!(c.get(&pba(2, 0)).is_some());
@@ -162,9 +201,9 @@ mod tests {
     #[test]
     fn warming_copies_hottest_first() {
         let mut primary = CblockCache::new(1000);
-        primary.put(pba(1, 0), vec![0; 300]);
-        primary.put(pba(1, 1), vec![0; 300]);
-        primary.put(pba(1, 2), vec![0; 300]);
+        primary.put(pba(1, 0), Arc::new(vec![0; 300]));
+        primary.put(pba(1, 1), Arc::new(vec![0; 300]));
+        primary.put(pba(1, 2), Arc::new(vec![0; 300]));
         primary.get(&pba(1, 0)); // hottest
         let mut secondary = CblockCache::new(500);
         primary.warm_into(&mut secondary);
@@ -175,8 +214,8 @@ mod tests {
     #[test]
     fn replacing_an_entry_adjusts_usage() {
         let mut c = CblockCache::new(100);
-        c.put(pba(1, 0), vec![0; 60]);
-        c.put(pba(1, 0), vec![0; 40]);
+        c.put(pba(1, 0), Arc::new(vec![0; 60]));
+        c.put(pba(1, 0), Arc::new(vec![0; 40]));
         assert_eq!(c.used_bytes(), 40);
     }
 }

@@ -130,6 +130,25 @@ impl ArrayConfig {
         }
     }
 
+    /// The full FA-450 geometry: 22 drives of 128 dies each — 2816
+    /// flash dies operating in parallel, the scale the paper's headline
+    /// claims were measured at. Production-like reduction ratios ride on
+    /// [`ArrayConfig::bench_medium`]'s policy knobs; only the shelf
+    /// shape changes.
+    pub fn fa450() -> Self {
+        Self {
+            n_drives: 22,
+            write_group: 11,
+            ssd_geometry: SsdGeometry::fa450_drive(),
+            ..Self::bench_medium()
+        }
+    }
+
+    /// Total flash dies across the shelf.
+    pub fn total_dies(&self) -> usize {
+        self.n_drives * self.ssd_geometry.dies
+    }
+
     /// The observability-hub configuration these knobs describe.
     pub fn obs_config(&self) -> purity_obs::ObsConfig {
         purity_obs::ObsConfig {
@@ -235,6 +254,14 @@ mod tests {
     fn test_config_is_valid() {
         ArrayConfig::test_small().validate().unwrap();
         ArrayConfig::bench_medium().validate().unwrap();
+        ArrayConfig::fa450().validate().unwrap();
+    }
+
+    #[test]
+    fn fa450_reaches_the_paper_die_count() {
+        let c = ArrayConfig::fa450();
+        assert!(c.total_dies() >= 2800, "got {} dies", c.total_dies());
+        assert_eq!(c.n_drives, 22);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use crate::controller::{Controller, CtrlFetcher, MapVal};
 use crate::error::Result;
-use crate::records::{encode_log_record, LogRecord, MapFact, SegmentState, TableId};
+use crate::records::{encode_log_record_rows, MapFact, SegmentState, TableId};
 use crate::shelf::Shelf;
 use crate::types::{BlockLoc, MediumId, Pba, SECTOR};
 use purity_dedup::engine::Outcome;
@@ -199,18 +199,48 @@ impl Controller {
             // would break byte-identical seed replay.
             let mut candidates: Vec<u64> = candidates.into_iter().collect();
             candidates.sort_unstable();
-            for x in candidates {
-                if !claimed.insert((root.0, x, 0)) {
-                    continue;
-                }
-                if let Some((key, val)) = self.resolve_sector_entry(root, x) {
-                    out.push((key, val));
-                }
+            candidates.retain(|&x| claimed.insert((root.0, x, 0)));
+            for (_x, key, val) in self.resolve_sorted_candidates(root, &candidates) {
+                out.push((key, val));
             }
         }
         // The same winning key may be reached from several roots; dedup.
         out.sort_by_key(|(k, _)| *k);
         out.dedup_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Resolves a sorted, deduplicated candidate-sector list through the
+    /// chain by grouping it into maximal contiguous runs and issuing one
+    /// batched [`Controller::resolve_range_entries`] per run — GC
+    /// candidate sets are dense, so this turns a per-sector chain walk
+    /// plus pyramid point-get into a handful of range queries. Returns
+    /// `(root_sector, winning key, value)` in ascending sector order.
+    fn resolve_sorted_candidates(
+        &self,
+        root: MediumId,
+        candidates: &[u64],
+    ) -> Vec<(u64, (u64, u64), MapVal)> {
+        let mut out = Vec::with_capacity(candidates.len());
+        let mut i = 0;
+        while i < candidates.len() {
+            let start = candidates[i];
+            let mut j = i + 1;
+            while j < candidates.len() && candidates[j] == candidates[j - 1] + 1 {
+                j += 1;
+            }
+            let n = (candidates[j - 1] - start + 1) as usize;
+            for (k, entry) in self
+                .resolve_range_entries(root, start, n)
+                .into_iter()
+                .enumerate()
+            {
+                if let Some((key, val)) = entry {
+                    out.push((start + k as u64, key, val));
+                }
+            }
+            i = j;
+        }
         out
     }
 
@@ -230,15 +260,16 @@ impl Controller {
         if depth > 64 || lo >= hi {
             return;
         }
-        for (key, _val, _seq) in self.map.range(
+        self.map.range_for_each(
             Bound::Included(&(medium.0, lo)),
             Bound::Excluded(&(medium.0, hi)),
-        ) {
-            let root_x = key.1 as i128 + delta;
-            if root_x >= 0 {
-                out.insert(root_x as u64);
-            }
-        }
+            |key, _val, _seq| {
+                let root_x = key.1 as i128 + delta;
+                if root_x >= 0 {
+                    out.insert(root_x as u64);
+                }
+            },
+        );
         for (start, row) in self.mediums.rows_of(medium) {
             let Some(target) = row.target else { continue };
             let ilo = lo.max(start);
@@ -356,31 +387,24 @@ impl Controller {
     /// Rewrites the flattened map as a compact set of patch records in
     /// the current segment and swaps the checkpoint patch list to them.
     fn rewrite_map_patches(&mut self, shelf: &mut Shelf, now: Nanos) -> Result<()> {
-        let facts: Vec<Vec<u64>> = self
-            .map
-            .iter_live()
-            .into_iter()
-            .map(|((medium, sector), val, seq)| {
-                MapFact {
-                    medium: MediumId(medium),
-                    sector,
-                    loc: val.loc,
-                    deduped: val.deduped,
-                    seq,
-                }
-                .to_row()
-            })
-            .collect();
+        let mut facts: Vec<[u64; MapFact::COLS]> = Vec::with_capacity(self.map.total_facts());
+        self.map
+            .range_for_each(Bound::Unbounded, Bound::Unbounded, |key, val, seq| {
+                facts.push(
+                    MapFact {
+                        medium: MediumId(key.0),
+                        sector: key.1,
+                        loc: val.loc,
+                        deduped: val.deduped,
+                        seq,
+                    }
+                    .to_row_fixed(),
+                );
+            });
         let mut new_patches = Vec::new();
-        for chunk in facts.chunks(PATCH_CHUNK_FACTS) {
-            let mut bytes = Vec::new();
-            encode_log_record(
-                &LogRecord {
-                    table: TableId::Map,
-                    rows: chunk.to_vec(),
-                },
-                &mut bytes,
-            );
+        for rows in facts.chunks(PATCH_CHUNK_FACTS) {
+            let mut bytes = Vec::with_capacity(rows.len() * MapFact::COLS * 4 + 64);
+            encode_log_record_rows(TableId::Map, MapFact::COLS, rows.len(), rows, &mut bytes);
             new_patches.push(self.append_log_record(shelf, &bytes, now)?);
         }
         self.map_patches = new_patches;
@@ -421,18 +445,18 @@ impl Controller {
             // runs of the same seed diverge.
             let mut candidates: Vec<u64> = candidates.into_iter().collect();
             candidates.sort_unstable();
-            let mut to_materialize = Vec::new();
-            for x in candidates {
-                if let Some((key, val)) = self.resolve_sector_entry(root, x) {
-                    if key.0 != root.0 {
-                        to_materialize.push((x, val));
-                    }
-                }
-            }
+            let to_materialize: Vec<(u64, MapVal)> = self
+                .resolve_sorted_candidates(root, &candidates)
+                .into_iter()
+                .filter(|(_, key, _)| key.0 != root.0)
+                .map(|(x, _, val)| (x, val))
+                .collect();
             let seq = self.seq.next();
-            for (x, val) in to_materialize {
-                self.map.insert((root.0, x), val, seq);
-            }
+            self.map.insert_many(
+                to_materialize
+                    .into_iter()
+                    .map(|(x, val)| ((root.0, x), val, seq)),
+            );
             // Terminate the root's rows: everything it can see is now a
             // direct fact; unwritten sectors read zero without a walk.
             let writable = self.mediums.is_writable(root, 0);
@@ -522,8 +546,7 @@ impl Controller {
             let Self { map, mediums, .. } = self;
             let n = mediums.shortcut_pass(
                 |m: MediumId, start: u64, end: u64| {
-                    !map.range(Bound::Included(&(m.0, start)), Bound::Excluded(&(m.0, end)))
-                        .is_empty()
+                    map.range_any(Bound::Included(&(m.0, start)), Bound::Excluded(&(m.0, end)))
                 },
                 seq,
             );

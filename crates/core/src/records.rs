@@ -60,7 +60,14 @@ impl MapFact {
 
     /// Encodes to a page row.
     pub fn to_row(&self) -> Vec<u64> {
-        vec![
+        self.to_row_fixed().to_vec()
+    }
+
+    /// Encodes to a fixed-arity row without allocating — the bulk
+    /// encoders (map-patch flush, GC patch rewrite) stream millions of
+    /// these, where a heap `Vec` per row dominates the cost.
+    pub fn to_row_fixed(&self) -> [u64; Self::COLS] {
+        [
             self.medium.0,
             self.sector,
             self.seq,
@@ -263,20 +270,43 @@ pub struct LogRecord {
 /// Serializes a log record: tag, row count, arity, the row-major varint
 /// stream, then an 8-byte checksum over all of it.
 pub fn encode_log_record(rec: &LogRecord, out: &mut Vec<u8>) {
-    let start = out.len();
-    varint::encode(rec.table as u64, out);
-    varint::encode(rec.rows.len() as u64, out);
     let arity = rec.rows.first().map(|r| r.len()).unwrap_or(0);
+    encode_log_record_rows(
+        rec.table,
+        arity,
+        rec.rows.len(),
+        rec.rows.iter().map(|r| r.as_slice()),
+        out,
+    );
+}
+
+/// Streaming form of [`encode_log_record`]: encodes `n_rows` fixed-arity
+/// rows straight into `out` without materializing a `Vec<Vec<u64>>`.
+/// Byte-identical to the non-streaming form for the same rows.
+pub fn encode_log_record_rows<R: AsRef<[u64]>, I: IntoIterator<Item = R>>(
+    table: TableId,
+    arity: usize,
+    n_rows: usize,
+    rows: I,
+    out: &mut Vec<u8>,
+) {
+    let start = out.len();
+    varint::encode(table as u64, out);
+    varint::encode(n_rows as u64, out);
     varint::encode(arity as u64, out);
     // Row-major varint stream; the Page form is used for in-memory scans,
     // varints are friendlier for a byte log. Dictionary compression of
     // persisted patches is applied by measuring Page size for stats.
-    for row in &rec.rows {
+    let mut seen = 0usize;
+    for row in rows {
+        let row = row.as_ref();
         debug_assert_eq!(row.len(), arity);
         for &v in row {
             varint::encode(v, out);
         }
+        seen += 1;
     }
+    debug_assert_eq!(seen, n_rows, "row iterator length must match n_rows");
     put_checksum(out, start);
 }
 
@@ -747,13 +777,20 @@ pub fn decode_recovery_seal(input: &[u8]) -> Option<u64> {
 
 /// Serializes a write intent for the NVRAM log.
 pub fn encode_intent(intent: &WriteIntent) -> Vec<u8> {
-    let mut out = Vec::with_capacity(intent.data.len() + 32);
+    encode_intent_parts(intent.seq, intent.medium, intent.start_sector, &intent.data)
+}
+
+/// Encodes a write intent straight from its parts — the foreground
+/// write path journals every chunk, and building a `WriteIntent` first
+/// would copy the payload an extra time.
+pub fn encode_intent_parts(seq: Seq, medium: MediumId, start_sector: u64, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + 32);
     out.push(INTENT_TAG);
-    varint::encode(intent.seq, &mut out);
-    varint::encode(intent.medium.0, &mut out);
-    varint::encode(intent.start_sector, &mut out);
-    varint::encode(intent.data.len() as u64, &mut out);
-    out.extend_from_slice(&intent.data);
+    varint::encode(seq, &mut out);
+    varint::encode(medium.0, &mut out);
+    varint::encode(start_sector, &mut out);
+    varint::encode(data.len() as u64, &mut out);
+    out.extend_from_slice(data);
     put_checksum(&mut out, 0);
     out
 }

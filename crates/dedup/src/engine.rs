@@ -17,6 +17,15 @@ pub trait BlockFetcher<L> {
 
     /// The location `delta` blocks away from `loc`, if addressable.
     fn displace(&self, loc: &L, delta: i64) -> Option<L>;
+
+    /// Whether the stored block at `loc + delta` equals `expect`.
+    /// `None` when the block is unreadable. Implementations that can
+    /// compare against cached payload in place should override this —
+    /// the engine byte-verifies every hash hit and every anchor step, so
+    /// the default `fetch` path pays an allocation per comparison.
+    fn matches(&mut self, loc: &L, delta: i64, expect: &[u8]) -> Option<bool> {
+        self.fetch(loc, delta).map(|block| block == expect)
+    }
 }
 
 /// Per-block dedup outcome.
@@ -129,8 +138,8 @@ impl<L: Copy + Eq> DedupEngine<L> {
                 continue;
             }
             verifies_left -= 1;
-            match fetcher.fetch(&loc, 0) {
-                Some(existing) if existing == block(i) => {
+            match fetcher.matches(&loc, 0, block(i)) {
+                Some(true) => {
                     self.stats.verified_dups += 1;
                     self.index.promote(h, loc);
                     out[i] = Some(Outcome::Dup {
@@ -181,12 +190,13 @@ impl<L: Copy + Eq> DedupEngine<L> {
                 break; // already decided (e.g. an earlier anchor claimed it)
             }
             let here = &data[j * DEDUP_BLOCK..(j + 1) * DEDUP_BLOCK];
-            let (Some(there), Some(there_loc)) =
-                (fetcher.fetch(&loc, delta), fetcher.displace(&loc, delta))
-            else {
+            let (Some(same), Some(there_loc)) = (
+                fetcher.matches(&loc, delta, here),
+                fetcher.displace(&loc, delta),
+            ) else {
                 break;
             };
-            if there != here {
+            if !same {
                 break;
             }
             out[j] = Some(Outcome::Dup {

@@ -15,6 +15,32 @@
 //! the array's segment addressing.
 
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Pass-through hasher for keys that are already uniform 64-bit hashes
+/// (every key in this index is an XXH64 block hash). Re-hashing them
+/// through SipHash costs more than the probe itself; three tiers are
+/// probed per block on the inline write path.
+#[derive(Default)]
+pub struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("identity hasher only accepts u64 keys");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+type HashKeyMap<V> = HashMap<u64, V, BuildHasherDefault<IdentityHasher>>;
 
 /// Hit/miss counters per tier.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,11 +59,11 @@ pub struct IndexStats {
 
 /// The three-tier dedup index.
 pub struct DedupIndex<L> {
-    sampled: HashMap<u64, L>,
-    recent: HashMap<u64, L>,
+    sampled: HashKeyMap<L>,
+    recent: HashKeyMap<L>,
     recent_order: VecDeque<u64>,
     recent_capacity: usize,
-    hot: HashMap<u64, (L, u64)>,
+    hot: HashKeyMap<(L, u64)>,
     hot_capacity: usize,
     sample_rate: u64,
     written: u64,
@@ -49,11 +75,11 @@ impl<L: Copy> DedupIndex<L> {
     /// window (in blocks); `hot_capacity` bounds the hot cache.
     pub fn new(recent_capacity: usize, hot_capacity: usize) -> Self {
         Self {
-            sampled: HashMap::new(),
-            recent: HashMap::new(),
+            sampled: HashKeyMap::default(),
+            recent: HashKeyMap::default(),
             recent_order: VecDeque::with_capacity(recent_capacity),
             recent_capacity,
-            hot: HashMap::new(),
+            hot: HashKeyMap::default(),
             hot_capacity,
             sample_rate: crate::SAMPLE_RATE,
             written: 0,

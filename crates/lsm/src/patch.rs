@@ -78,6 +78,13 @@ impl<K: Ord + Clone, V: Clone> Patch<K, V> {
 
     /// Facts whose keys fall in `\[lo, hi\]`.
     pub fn range(&self, lo: Bound<&K>, hi: Bound<&K>) -> impl Iterator<Item = &(K, Seq, V)> {
+        self.range_slice(lo, hi).iter()
+    }
+
+    /// The contiguous entry slice whose keys fall in the bounds (entries
+    /// are (key asc, seq asc); same-key runs are contiguous). Exposed so
+    /// the pyramid can run cursor-based k-way merges over patches.
+    pub fn range_slice(&self, lo: Bound<&K>, hi: Bound<&K>) -> &[(K, Seq, V)] {
         let start = match lo {
             Bound::Included(k) => self.entries.partition_point(|e| e.0 < *k),
             Bound::Excluded(k) => self.entries.partition_point(|e| e.0 <= *k),
@@ -88,7 +95,7 @@ impl<K: Ord + Clone, V: Clone> Patch<K, V> {
             Bound::Excluded(k) => self.entries.partition_point(|e| e.0 < *k),
             Bound::Unbounded => self.entries.len(),
         };
-        self.entries[start..end.max(start)].iter()
+        &self.entries[start..end.max(start)]
     }
 
     /// Merges seq-ordered patches (newest first) into one, keeping only
@@ -96,26 +103,51 @@ impl<K: Ord + Clone, V: Clone> Patch<K, V> {
     /// returns true. Idempotent: merging the output with itself or
     /// re-running the merge produces the same facts.
     pub fn merge(patches: &[Arc<Patch<K, V>>], elided: impl Fn(&K, Seq) -> bool) -> Patch<K, V> {
-        let mut all: Vec<(K, Seq, V)> = patches
-            .iter()
-            .flat_map(|p| p.entries.iter().cloned())
-            .collect();
-        // Sort (key asc, seq desc) so the newest fact per key comes first.
-        all.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
-        let mut out: Vec<(K, Seq, V)> = Vec::with_capacity(all.len());
-        let mut last_key: Option<&K> = None;
-        let mut kept = Vec::with_capacity(all.len());
-        for entry in &all {
-            let is_new_key = last_key.map(|k| *k != entry.0).unwrap_or(true);
-            if is_new_key {
-                last_key = Some(&entry.0);
-                if !elided(&entry.0, entry.1) {
-                    kept.push(entry.clone());
+        // Patch entries are already (key asc, seq asc) sorted runs, so a
+        // linear k-way merge beats concatenate-and-resort: advance one
+        // cursor per patch, and for each distinct key keep the newest
+        // fact across every run (within a run the last same-key entry is
+        // the newest; across runs ties go to the later patch — exact
+        // duplicates carry equal values, so the choice is immaterial).
+        let total: usize = patches.iter().map(|p| p.len()).sum();
+        let mut idx: Vec<usize> = vec![0; patches.len()];
+        let mut out: Vec<(K, Seq, V)> = Vec::with_capacity(total);
+        loop {
+            let mut best_key: Option<&K> = None;
+            for (p, &i) in patches.iter().zip(&idx) {
+                if let Some(e) = p.entries.get(i) {
+                    if best_key.map(|k| e.0 < *k).unwrap_or(true) {
+                        best_key = Some(&e.0);
+                    }
                 }
             }
+            let Some(key) = best_key else { break };
+            let mut newest: Option<(Seq, &V)> = None;
+            for (p, i) in patches.iter().zip(idx.iter_mut()) {
+                while let Some(e) = p.entries.get(*i) {
+                    if e.0 != *key {
+                        break;
+                    }
+                    if newest.map(|(s, _)| e.1 >= s).unwrap_or(true) {
+                        newest = Some((e.1, &e.2));
+                    }
+                    *i += 1;
+                }
+            }
+            let (seq, value) = newest.expect("key came from a non-empty front");
+            if !elided(key, seq) {
+                out.push((key.clone(), seq, value.clone()));
+            }
         }
-        out.extend(kept);
-        Patch::from_entries(out)
+        // `out` is key-sorted with one fact per key: already in
+        // (key asc, seq asc) order, no re-sort needed.
+        let min_seq = out.iter().map(|e| e.1).min().unwrap_or(0);
+        let max_seq = out.iter().map(|e| e.1).max().unwrap_or(0);
+        Self {
+            entries: out,
+            min_seq,
+            max_seq,
+        }
     }
 }
 

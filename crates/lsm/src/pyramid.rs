@@ -58,6 +58,74 @@ impl PyramidStats {
     }
 }
 
+/// The facts buffered for one key in the memtable. Nearly every key
+/// holds exactly one fact between flushes, so that case is stored
+/// inline — a heap `Vec` per key would dominate insert cost on the
+/// write path.
+enum Versions<V> {
+    One((Seq, V)),
+    Many(Vec<(Seq, V)>),
+}
+
+impl<V> Versions<V> {
+    #[inline]
+    fn push(&mut self, fact: (Seq, V)) {
+        match self {
+            Versions::Many(v) => v.push(fact),
+            Versions::One(_) => {
+                let Versions::One(first) =
+                    std::mem::replace(self, Versions::Many(Vec::with_capacity(2)))
+                else {
+                    unreachable!()
+                };
+                let Versions::Many(v) = self else {
+                    unreachable!()
+                };
+                v.push(first);
+                v.push(fact);
+            }
+        }
+    }
+
+    #[inline]
+    fn iter(&self) -> std::slice::Iter<'_, (Seq, V)> {
+        match self {
+            Versions::One(f) => std::slice::from_ref(f).iter(),
+            Versions::Many(v) => v.iter(),
+        }
+    }
+}
+
+/// By-value iteration without boxing either arm (flush drains the whole
+/// memtable through this).
+enum VersionsIntoIter<V> {
+    One(std::option::IntoIter<(Seq, V)>),
+    Many(std::vec::IntoIter<(Seq, V)>),
+}
+
+impl<V> Iterator for VersionsIntoIter<V> {
+    type Item = (Seq, V);
+
+    fn next(&mut self) -> Option<(Seq, V)> {
+        match self {
+            VersionsIntoIter::One(i) => i.next(),
+            VersionsIntoIter::Many(i) => i.next(),
+        }
+    }
+}
+
+impl<V> IntoIterator for Versions<V> {
+    type Item = (Seq, V);
+    type IntoIter = VersionsIntoIter<V>;
+
+    fn into_iter(self) -> VersionsIntoIter<V> {
+        match self {
+            Versions::One(f) => VersionsIntoIter::One(Some(f).into_iter()),
+            Versions::Many(v) => VersionsIntoIter::Many(v.into_iter()),
+        }
+    }
+}
+
 /// A log-structured merge index over immutable facts.
 ///
 /// Readers see the union of the memtable and all patches, newest sequence
@@ -67,7 +135,7 @@ impl PyramidStats {
 /// exist" with no ill effect).
 pub struct Pyramid<K: Ord + Clone, V: Clone> {
     /// Key -> seq-ascending facts.
-    memtable: BTreeMap<K, Vec<(Seq, V)>>,
+    memtable: BTreeMap<K, Versions<V>>,
     mem_facts: usize,
     /// Newest-first immutable patches.
     patches: Vec<Arc<Patch<K, V>>>,
@@ -108,7 +176,32 @@ impl<K: Ord + Clone, V: Clone> Pyramid<K, V> {
     /// this is what makes recovery a plain set union (§4.3).
     pub fn insert(&mut self, key: K, value: V, seq: Seq) {
         purity_obs::profile_scope!(purity_obs::Plane::Lsm);
-        self.memtable.entry(key).or_default().push((seq, value));
+        self.insert_unprofiled(key, value, seq);
+    }
+
+    /// Inserts a batch of facts under one profiling scope (the per-fact
+    /// event count is preserved via `add_events`, so the perf trajectory
+    /// stays comparable while the hot write path pays the scope cost
+    /// once per cblock instead of once per sector).
+    pub fn insert_many<I: IntoIterator<Item = (K, V, Seq)>>(&mut self, facts: I) {
+        purity_obs::profile_scope!(purity_obs::Plane::Lsm);
+        let mut extra = 0u64;
+        for (key, value, seq) in facts {
+            self.insert_unprofiled(key, value, seq);
+            extra += 1;
+        }
+        purity_obs::profiler::add_events(purity_obs::Plane::Lsm, extra.saturating_sub(1));
+    }
+
+    fn insert_unprofiled(&mut self, key: K, value: V, seq: Seq) {
+        match self.memtable.entry(key) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(Versions::One((seq, value)));
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                e.get_mut().push((seq, value));
+            }
+        }
         self.mem_facts += 1;
         self.stats.inserts += 1;
         if self.mem_facts >= self.flush_threshold {
@@ -159,44 +252,117 @@ impl<K: Ord + Clone, V: Clone> Pyramid<K, V> {
 
     /// Newest non-elided fact per key in `[lo, hi]`, in key order.
     pub fn range(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V, Seq)> {
-        let mut newest: BTreeMap<K, (V, Seq)> = BTreeMap::new();
-        let in_bounds = |k: &K| {
-            (match lo {
-                Bound::Included(b) => k >= b,
-                Bound::Excluded(b) => k > b,
-                Bound::Unbounded => true,
-            }) && (match hi {
-                Bound::Included(b) => k <= b,
-                Bound::Excluded(b) => k < b,
-                Bound::Unbounded => true,
-            })
-        };
-        for (k, versions) in self.memtable.range((lo.cloned(), hi.cloned())) {
-            if let Some((seq, v)) = versions.iter().max_by_key(|(s, _)| *s) {
-                newest.insert(k.clone(), (v.clone(), *seq));
-            }
-        }
-        for patch in &self.patches {
-            for (k, seq, v) in patch.range(lo, hi) {
-                debug_assert!(in_bounds(k));
-                match newest.get(k) {
-                    Some((_, existing)) if *existing >= *seq => {}
-                    _ => {
-                        newest.insert(k.clone(), (v.clone(), *seq));
+        let mut out = Vec::new();
+        self.range_for_each(lo, hi, |k, v, seq| out.push((k.clone(), v.clone(), seq)));
+        out
+    }
+
+    /// Streams the newest non-elided fact per key in the bounds, in key
+    /// order, without materializing a map: a cursor-based k-way merge
+    /// over the memtable and the sorted patch runs. This is the engine
+    /// under [`Pyramid::range`]; GC's liveness scans and patch rewrites
+    /// call it directly to skip the intermediate `Vec` as well.
+    pub fn range_for_each(&self, lo: Bound<&K>, hi: Bound<&K>, mut f: impl FnMut(&K, &V, Seq)) {
+        let mut mem = self.memtable.range((lo.cloned(), hi.cloned())).peekable();
+        let mut cursors: Vec<&[(K, Seq, V)]> =
+            self.patches.iter().map(|p| p.range_slice(lo, hi)).collect();
+        loop {
+            // Smallest key across all fronts (cloned so every cursor can
+            // advance while it is held — keys are small in practice).
+            let mut key: Option<&K> = mem.peek().map(|(k, _)| *k);
+            for c in &cursors {
+                if let Some((k, _, _)) = c.first() {
+                    if key.map(|b| k < b).unwrap_or(true) {
+                        key = Some(k);
                     }
                 }
             }
+            let Some(key) = key.cloned() else { break };
+            // Newest fact for that key: memtable first, then patches in
+            // newest-first order; later sources win only on strictly
+            // greater seq (matching point-get semantics).
+            let mut best: Option<(Seq, &V)> = None;
+            if let Some(&(k, versions)) = mem.peek() {
+                if *k == key {
+                    for (seq, v) in versions.iter() {
+                        if best.map(|(s, _)| *seq > s).unwrap_or(true) {
+                            best = Some((*seq, v));
+                        }
+                    }
+                    mem.next();
+                }
+            }
+            for c in cursors.iter_mut() {
+                let run = c.iter().take_while(|(k, _, _)| *k == key).count();
+                for (_, seq, v) in &c[..run] {
+                    if best.map(|(s, _)| *seq > s).unwrap_or(true) {
+                        best = Some((*seq, v));
+                    }
+                }
+                *c = &c[run..];
+            }
+            let (seq, v) = best.expect("key came from a non-empty front");
+            if !self.is_elided(&key, seq) {
+                f(&key, v, seq);
+            }
         }
-        newest
-            .into_iter()
-            .filter(|(k, (_, seq))| !self.is_elided(k, *seq))
-            .map(|(k, (v, seq))| (k, v, seq))
-            .collect()
     }
 
     /// Every live (non-elided, newest-per-key) fact.
     pub fn iter_live(&self) -> Vec<(K, V, Seq)> {
         self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// True when at least one live fact exists in the bounds — the
+    /// emptiness probe [`Pyramid::range`] would answer, without cloning
+    /// the whole range into a map (GC's chain-shortcut fixpoint asks
+    /// this for every medium row on every pass).
+    pub fn range_any(&self, lo: Bound<&K>, hi: Bound<&K>) -> bool {
+        fn as_ref<K>(b: &Bound<K>) -> Bound<&K> {
+            match b {
+                Bound::Included(k) => Bound::Included(k),
+                Bound::Excluded(k) => Bound::Excluded(k),
+                Bound::Unbounded => Bound::Unbounded,
+            }
+        }
+        if self.elide.is_none() {
+            // Any stored fact counts (superseded facts imply a newest
+            // fact for the same in-bounds key).
+            return self
+                .memtable
+                .range((lo.cloned(), hi.cloned()))
+                .next()
+                .is_some()
+                || self
+                    .patches
+                    .iter()
+                    .any(|p| p.range(lo, hi).next().is_some());
+        }
+        // With elision, walk candidate keys in ascending order and stop
+        // at the first whose newest fact survives the filter; elided
+        // prefixes are skipped one key at a time (rare in practice).
+        let mut cur: Bound<K> = lo.cloned();
+        loop {
+            let mut best: Option<&K> = None;
+            if let Some((k, _)) = self.memtable.range((as_ref(&cur), hi)).next() {
+                best = Some(k);
+            }
+            for p in &self.patches {
+                if let Some((k, _, _)) = p.range(as_ref(&cur), hi).next() {
+                    if best.map(|b| k < b).unwrap_or(true) {
+                        best = Some(k);
+                    }
+                }
+            }
+            let Some(key) = best.cloned() else {
+                return false;
+            };
+            let newest = self.newest_fact(&key).expect("key observed in range").1;
+            if !self.is_elided(&key, newest) {
+                return true;
+            }
+            cur = Bound::Excluded(key);
+        }
     }
 
     /// Freezes the memtable into a patch. Returns it (also kept in the
@@ -215,9 +381,41 @@ impl<K: Ord + Clone, V: Clone> Pyramid<K, V> {
         self.patches.insert(0, patch.clone());
         self.stats.flushes += 1;
         if self.patches.len() > self.max_patches {
-            self.merge_oldest_pair();
+            self.merge_cheapest_adjacent_pair();
         }
         Some(patch)
+    }
+
+    /// Merges the adjacent pair with the smallest combined size (ties
+    /// broken toward the newest pair, deterministically). Tiered
+    /// maintenance: repeatedly merging the two *oldest* patches re-walks
+    /// the biggest patch on almost every flush — O(n²/threshold) fact
+    /// moves over a run — while the cheapest adjacent pair yields the
+    /// classic logarithmic schedule with identical read semantics
+    /// (adjacent merges keep sequence ranges contiguous and the
+    /// newest-first patch order intact).
+    pub fn merge_cheapest_adjacent_pair(&mut self) {
+        let n = self.patches.len();
+        if n < 2 {
+            return;
+        }
+        purity_obs::profile_scope!(purity_obs::Plane::Lsm);
+        let mut at = 0usize;
+        let mut best = usize::MAX;
+        for i in 0..n - 1 {
+            let cost = self.patches[i].len() + self.patches[i + 1].len();
+            if cost < best {
+                best = cost;
+                at = i;
+            }
+        }
+        let pair = [self.patches[at].clone(), self.patches[at + 1].clone()];
+        let before = pair[0].len() + pair[1].len();
+        let merged = self.run_merge(&pair);
+        let after = merged.len();
+        self.patches[at] = Arc::new(merged);
+        self.patches.remove(at + 1);
+        self.record_merge(before, after);
     }
 
     /// Merges the two oldest patches (contiguous sequence ranges) into

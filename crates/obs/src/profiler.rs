@@ -156,9 +156,16 @@ thread_local! {
     static STACK: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
 }
 
+/// One-time wiring: parallel regions (`purity_sim::parallel::par_run`)
+/// report their wall time here so a caller's open scope counts the
+/// region as child time instead of double-counting the nanoseconds the
+/// workers already attributed to their own planes.
+static REGION_SINK: std::sync::Once = std::sync::Once::new();
+
 /// Turns profiling on. Idempotent; scopes opened while disabled stay
 /// inert even if they close after enabling.
 pub fn enable() {
+    REGION_SINK.call_once(|| purity_sim::parallel::set_region_sink(note_child_time));
     let mut wall = WALL.lock();
     if wall.enabled_at.is_none() {
         wall.enabled_at = Some(Instant::now());
@@ -194,6 +201,23 @@ pub fn reset() {
     if wall.enabled_at.is_some() {
         wall.enabled_at = Some(Instant::now());
     }
+}
+
+/// Credits `ns` of child time to the calling thread's innermost open
+/// scope, as if a nested scope had consumed it. Parallel regions call
+/// this at their barrier: each worker's scoped time was already
+/// absorbed into the global plane cells while it ran, so the parent
+/// scope must *exclude* the region's wall time from its own self time.
+/// No-op with no open scope or while disabled.
+pub fn note_child_time(ns: u64) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    STACK.with(|s| {
+        if let Some(top) = s.borrow_mut().last_mut() {
+            top.1 += ns;
+        }
+    });
 }
 
 /// Adds `n` events to a plane without timing anything — for bulk work

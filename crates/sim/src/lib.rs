@@ -16,11 +16,13 @@
 pub mod clock;
 pub mod dist;
 pub mod hist;
+pub mod parallel;
 pub mod timeline;
 pub mod units;
 
 pub use clock::Clock;
 pub use dist::Zipf;
 pub use hist::LatencyHistogram;
+pub use parallel::{par_map, par_run, SafeHorizon, ShardedRun};
 pub use timeline::Timeline;
 pub use units::{Nanos, GIB, KIB, MIB, MS, SEC, US};

@@ -1,0 +1,167 @@
+//! Property tests for the conservative-lookahead engine (DESIGN.md §7):
+//!
+//! 1. **Safe horizon**: no event executes before every event stamped
+//!    more than one latency floor earlier has executed — the
+//!    conservative-lookahead release rule, observed from the execution
+//!    log itself.
+//! 2. **No intra-shard reorder**: `Timeline::reserve` issued through a
+//!    `ShardedRun` grants exactly the reservations a serial replay of
+//!    that shard's sequence grants, at any thread count.
+//! 3. **Permutation independence**: the merged output is a pure
+//!    function of the input — worker completion order (perturbed with
+//!    busy-spins) and thread count never leak into it.
+//!
+//! The worker-pool width is process-global, so every test serializes
+//! on one mutex before flipping it.
+
+use proptest::prelude::*;
+use purity_sim::parallel::{self, SafeHorizon, ShardedRun};
+use purity_sim::Timeline;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+const SHARDS: usize = 4;
+
+fn pool_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Builds a run from (shard, inter-arrival, payload) triples; per-shard
+/// timestamps accumulate, so they are non-decreasing by construction.
+fn build_run<E: Clone + Send>(events: &[(usize, u64, E)]) -> (ShardedRun<E>, Vec<u64>) {
+    let mut run = ShardedRun::new(SHARDS);
+    let mut clocks = [0u64; SHARDS];
+    let mut stamps = Vec::with_capacity(events.len());
+    for (shard, dt, payload) in events {
+        clocks[*shard] += dt;
+        run.push(*shard, clocks[*shard], payload.clone());
+        stamps.push(clocks[*shard]);
+    }
+    (run, stamps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// At one worker the execution log is the true execution order, so
+    /// the release rule is directly observable: when an event stamped
+    /// `t` runs, every event stamped strictly below `t - floor` must
+    /// already have run (it cannot share a round with `t`, because a
+    /// round's horizon is earliest_pending + floor).
+    #[test]
+    fn no_event_runs_before_the_safe_horizon(
+        floor in 0u64..5_000,
+        events in proptest::collection::vec((0usize..SHARDS, 0u64..2_000), 1..60),
+    ) {
+        let _guard = pool_lock();
+        parallel::set_threads(1);
+        let tagged: Vec<(usize, u64, usize)> = events
+            .iter()
+            .enumerate()
+            .map(|(id, &(s, dt))| (s, dt, id))
+            .collect();
+        let (run, stamps) = build_run(&tagged);
+        let log: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        run.run(SafeHorizon::new(floor), |_, t, _| {
+            log.lock().unwrap().push(t);
+        });
+        let log = log.into_inner().unwrap();
+        prop_assert_eq!(log.len(), stamps.len());
+        for (i, &t) in log.iter().enumerate() {
+            let must_precede = stamps.iter().filter(|&&u| u + floor < t).count();
+            let did_precede = log[..i].iter().filter(|&&u| u + floor < t).count();
+            prop_assert_eq!(
+                did_precede, must_precede,
+                "event at t={} ran while an event older than t - floor ({}) was still pending",
+                t, floor
+            );
+        }
+    }
+
+    /// Reservations granted through the parallel engine are exactly the
+    /// reservations a serial replay of each shard's own sequence
+    /// grants: same starts, same ends, same order — per-die timeline
+    /// state never depends on the worker count.
+    #[test]
+    fn timeline_reserve_never_reorders_within_a_shard(
+        floor in 0u64..3_000,
+        events in proptest::collection::vec((0usize..SHARDS, 0u64..2_000, 1u64..500), 1..80),
+    ) {
+        let _guard = pool_lock();
+        let mut per_shard: Vec<Vec<(u64, u64)>> = vec![Vec::new(); SHARDS];
+        {
+            let mut clocks = [0u64; SHARDS];
+            for &(s, dt, dur) in &events {
+                clocks[s] += dt;
+                per_shard[s].push((clocks[s], dur));
+            }
+        }
+        for &n in &[1usize, 2, 8] {
+            parallel::set_threads(n);
+            let (run, _) = build_run(&events);
+            let timelines: Vec<Timeline> = (0..SHARDS).map(|_| Timeline::new()).collect();
+            let out = run.run(SafeHorizon::new(floor), |s, t, dur| {
+                let r = timelines[s].reserve(t, dur);
+                (s, r.start, r.end)
+            });
+            for (s, expect_seq) in per_shard.iter().enumerate() {
+                let reference = Timeline::new();
+                let expect: Vec<(u64, u64)> = expect_seq
+                    .iter()
+                    .map(|&(t, d)| {
+                        let r = reference.reserve(t, d);
+                        (r.start, r.end)
+                    })
+                    .collect();
+                let got: Vec<(u64, u64)> = out
+                    .iter()
+                    .filter(|&&(os, _, _)| os == s)
+                    .map(|&(_, start, end)| (start, end))
+                    .collect();
+                prop_assert_eq!(&got, &expect, "shard {} diverged at {} threads", s, n);
+                prop_assert!(
+                    got.windows(2).all(|w| w[0].0 <= w[1].0),
+                    "shard {} starts regressed at {} threads", s, n
+                );
+            }
+        }
+        parallel::set_threads(1);
+    }
+
+    /// The merged output is identical across thread counts even when
+    /// per-event busy-spins shuffle which worker finishes first — the
+    /// barrier merge is by (shard id, insertion order), never by
+    /// completion order.
+    #[test]
+    fn barrier_merge_is_permutation_independent(
+        floor in 0u64..3_000,
+        events in proptest::collection::vec((0usize..SHARDS, 0u64..2_000), 1..60),
+    ) {
+        let _guard = pool_lock();
+        let tagged: Vec<(usize, u64, usize)> = events
+            .iter()
+            .enumerate()
+            .map(|(id, &(s, dt))| (s, dt, id))
+            .collect();
+        let mut outputs: Vec<Vec<(usize, u64, usize)>> = Vec::new();
+        for &n in &[1usize, 2, 8] {
+            parallel::set_threads(n);
+            let (run, _) = build_run(&tagged);
+            let out = run.run(SafeHorizon::new(floor), |s, t, id| {
+                // Deterministic but id-dependent delay: late-inserted
+                // events often finish *first*, so completion order is
+                // actively adversarial to insertion order.
+                for _ in 0..((id as u64 * 7919) % 400) {
+                    std::hint::spin_loop();
+                }
+                (s, t, id)
+            });
+            outputs.push(out);
+        }
+        prop_assert_eq!(&outputs[0], &outputs[1], "1 vs 2 threads");
+        prop_assert_eq!(&outputs[0], &outputs[2], "1 vs 8 threads");
+        parallel::set_threads(1);
+    }
+}

@@ -171,12 +171,12 @@ impl Ssd {
         if !offset.is_multiple_of(self.page_size) || !data.len().is_multiple_of(self.page_size) {
             return Err(DeviceError::Misaligned);
         }
-        let mut done = now;
-        for (i, chunk) in data.chunks(self.page_size).enumerate() {
-            let lpn = offset / self.page_size + i;
-            done = done.max(self.ftl.write(lpn, chunk, now)?);
-        }
-        Ok(done)
+        let ops: Vec<(usize, &[u8])> = data
+            .chunks(self.page_size)
+            .enumerate()
+            .map(|(i, chunk)| (offset / self.page_size + i, chunk))
+            .collect();
+        Ok(self.ftl.write_many(&ops, now)?)
     }
 
     /// Power-loss hook: performs a write that power loss interrupts
@@ -242,12 +242,13 @@ impl Ssd {
         }
         let first = offset / self.page_size;
         let last = (offset + len - 1) / self.page_size;
+        let lpns: Vec<usize> = (first..=last).collect();
+        let pages = self.ftl.read_many(&lpns, now)?;
         let mut buf = Vec::with_capacity((last - first + 1) * self.page_size);
         let mut done = now;
-        for lpn in first..=last {
-            let (page, t) = self.ftl.read(lpn, now)?;
-            buf.extend_from_slice(&page);
-            done = done.max(t);
+        for page in pages {
+            buf.extend_from_slice(&page.data);
+            done = done.max(page.done);
         }
         let start = offset - first * self.page_size;
         Ok((buf[start..start + len].to_vec(), done))
@@ -277,6 +278,8 @@ impl Ssd {
         }
         let first = offset / self.page_size;
         let last = (offset + len - 1) / self.page_size;
+        let lpns: Vec<usize> = (first..=last).collect();
+        let pages = self.ftl.read_many(&lpns, now)?;
         let mut buf = Vec::with_capacity((last - first + 1) * self.page_size);
         let mut crit = DeviceRead {
             data: Vec::new(),
@@ -286,8 +289,7 @@ impl Ssd {
             die: 0,
             stall: None,
         };
-        for lpn in first..=last {
-            let page = self.ftl.read_traced(lpn, now)?;
+        for page in pages {
             buf.extend_from_slice(&page.data);
             if page.done >= crit.done {
                 crit.done = page.done;

@@ -13,6 +13,7 @@
 
 use crate::geometry::{Ppa, SsdGeometry};
 use crate::latency::{EnduranceModel, LatencyModel};
+use purity_sim::parallel::{disjoint_muts, par_run, threads, SafeHorizon};
 use purity_sim::{Clock, Nanos, Timeline};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -165,6 +166,124 @@ pub struct FlashCounters {
     pub read_stall_ns: u64,
 }
 
+impl FlashCounters {
+    /// Folds a per-die delta into the device totals. Every field is a
+    /// plain sum, so the merged result is independent of merge order —
+    /// part of the parallel engine's determinism argument.
+    fn absorb(&mut self, d: &FlashCounters) {
+        self.reads += d.reads;
+        self.programs += d.programs;
+        self.erases += d.erases;
+        self.bad_blocks += d.bad_blocks;
+        self.read_stalls_program += d.read_stalls_program;
+        self.read_stalls_erase += d.read_stalls_erase;
+        self.read_stalls_read += d.read_stalls_read;
+        self.read_stall_ns += d.read_stall_ns;
+    }
+}
+
+/// Programs one pre-validated page on its die: timeline reservation,
+/// cell write, wear bookkeeping. Confined to one die's state so batched
+/// programs against different dies may run on different workers; within
+/// a die the caller preserves batch order, making the reservation
+/// sequence — and therefore every timestamp — identical to issuing the
+/// ops one at a time.
+fn program_on_die(
+    die: &mut Die,
+    latency: &LatencyModel,
+    ppa: Ppa,
+    data: &[u8],
+    virtual_now: Nanos,
+    now: Nanos,
+) -> Nanos {
+    let service = latency.page_program(data.len());
+    let res = die.timeline.reserve(now, service);
+    die.last_program_end = die.last_program_end.max(res.end);
+    let block = &mut die.blocks[ppa.block];
+    block.data[ppa.page] = Some(data.to_vec().into_boxed_slice());
+    block.programmed_at[ppa.page] = virtual_now;
+    block.corrupt[ppa.page] = false;
+    block.write_cursor += 1;
+    res.end
+}
+
+/// Reads one page from its die, accumulating counter deltas into
+/// `delta` instead of the shared device counters (merged at the
+/// barrier). Identical semantics to the one-at-a-time path, including
+/// charging the die timeline before the corruption check.
+fn read_on_die(
+    die: &mut Die,
+    latency: &LatencyModel,
+    ppa: Ppa,
+    virtual_now: Nanos,
+    now: Nanos,
+    delta: &mut FlashCounters,
+) -> Result<PageRead, FlashError> {
+    let service = {
+        let block = &die.blocks[ppa.block];
+        if block.bad {
+            return Err(FlashError::BadBlock);
+        }
+        let data = block.data[ppa.page]
+            .as_ref()
+            .ok_or(FlashError::NotProgrammed)?;
+        latency.page_read(data.len())
+    };
+    let res = die.timeline.reserve(now, service);
+    delta.reads += 1;
+    let queued = res.queueing(now);
+    let stall = if queued == 0 {
+        None
+    } else {
+        let prog_pending = die.last_program_end > now;
+        let erase_pending = die.last_erase_end > now;
+        let cause = match (prog_pending, erase_pending) {
+            (_, true) if die.last_erase_end >= die.last_program_end => StallCause::Erase,
+            (true, _) => StallCause::Program,
+            (false, true) => StallCause::Erase,
+            (false, false) => StallCause::Read,
+        };
+        match cause {
+            StallCause::Program => delta.read_stalls_program += 1,
+            StallCause::Erase => delta.read_stalls_erase += 1,
+            StallCause::Read => delta.read_stalls_read += 1,
+        }
+        delta.read_stall_ns += queued;
+        Some(cause)
+    };
+    let retention = retention_limit_on(die, ppa);
+    let block = &mut die.blocks[ppa.block];
+    if block.corrupt[ppa.page] {
+        return Err(FlashError::Corrupt);
+    }
+    if virtual_now.saturating_sub(block.programmed_at[ppa.page]) > retention {
+        block.corrupt[ppa.page] = true;
+        return Err(FlashError::Corrupt);
+    }
+    Ok(PageRead {
+        data: block.data[ppa.page].as_ref().unwrap().to_vec(),
+        done: res.end,
+        queued,
+        service: res.service(),
+        die: ppa.die,
+        stall,
+    })
+}
+
+/// Retention horizon for the block owning `ppa`: a fresh block holds
+/// data for many virtual years; a block at its *rating* holds it for
+/// roughly [`RETENTION_AT_RATING`]; beyond that it decays inversely
+/// with wear. The horizon scales with the block's true (randomly
+/// drawn) endurance, so equally-worn blocks fail at *different* times —
+/// the variance real arrays rely on to scrub-repair ahead of
+/// correlated loss (§5.1).
+fn retention_limit_on(die: &Die, ppa: Ppa) -> Nanos {
+    let b = &die.blocks[ppa.block];
+    let wear = b.erase_count.max(1);
+    ((RETENTION_AT_RATING as u128 * b.true_endurance as u128) / (wear as u128 * 2))
+        .min(Nanos::MAX as u128) as Nanos
+}
+
 /// A raw NAND device: dies operating in parallel, each with its own
 /// timeline.
 pub struct Flash {
@@ -274,63 +393,202 @@ impl Flash {
     /// (program / erase / other reads) — the per-die attribution the
     /// observability layer surfaces for tail samples.
     pub fn read_page_traced(&mut self, ppa: Ppa, now: Nanos) -> Result<PageRead, FlashError> {
-        let retention = self.retention_limit(ppa);
         let virtual_now = self.clock.now();
-        // Determine service time first; charge it before looking at
-        // corruption — the device works just as hard to read a bad page.
-        let service = {
-            let block = &self.dies[ppa.die].blocks[ppa.block];
-            if block.bad {
-                return Err(FlashError::BadBlock);
+        let mut delta = FlashCounters::default();
+        let r = read_on_die(
+            &mut self.dies[ppa.die],
+            &self.latency,
+            ppa,
+            virtual_now,
+            now,
+            &mut delta,
+        );
+        self.counters.absorb(&delta);
+        r
+    }
+
+    /// The device's conservative-lookahead bound: no flash primitive
+    /// completes in less than the fastest op class, so a batch of ops
+    /// issued at one instant can run per-die without synchronizing —
+    /// nothing a die does can affect another die before the horizon.
+    pub fn safe_horizon(&self) -> SafeHorizon {
+        SafeHorizon::from_floors([
+            self.latency.read_ns,
+            self.latency.program_ns,
+            self.latency.erase_ns,
+        ])
+    }
+
+    /// Programs a batch of pre-validated pages issued at one instant,
+    /// sharded per die. The caller (the FTL) guarantees every target is
+    /// erased, in program order, and on a good block — the same
+    /// preconditions [`Flash::program_page`] enforces. Per-die suborder
+    /// follows batch order, so every reservation (and so every returned
+    /// timestamp) is identical to issuing the ops one at a time, at any
+    /// worker count.
+    pub fn program_pages(&mut self, ops: &[(Ppa, &[u8])], now: Nanos) -> Vec<Nanos> {
+        let virtual_now = self.clock.now().max(now);
+        debug_assert!(
+            now <= self.safe_horizon().horizon(now),
+            "batch issue time must sit inside the lookahead window"
+        );
+        self.counters.programs += ops.len() as u64;
+        let mut out = vec![0 as Nanos; ops.len()];
+        if ops.len() <= 1 || threads() == 1 {
+            for (i, (ppa, data)) in ops.iter().enumerate() {
+                debug_assert_eq!(data.len(), self.geo.page_size);
+                out[i] = program_on_die(
+                    &mut self.dies[ppa.die],
+                    &self.latency,
+                    *ppa,
+                    data,
+                    virtual_now,
+                    now,
+                );
             }
-            let data = block.data[ppa.page]
-                .as_ref()
-                .ok_or(FlashError::NotProgrammed)?;
-            self.latency.page_read(data.len())
-        };
-        let res = self.dies[ppa.die].timeline.reserve(now, service);
-        self.counters.reads += 1;
-        let queued = res.queueing(now);
-        let stall = if queued == 0 {
-            None
-        } else {
-            // Blame whichever write-class op was still pending at issue
-            // time; when both were, the one finishing later was directly
-            // ahead of us in the queue.
+            return out;
+        }
+        // Group ops by die, preserving batch order within each die; the
+        // group list is in ascending die order, which is both the
+        // deterministic merge order and what `disjoint_muts` requires.
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut slot_of_die: Vec<Option<usize>> = vec![None; self.geo.dies];
+        for (i, (ppa, data)) in ops.iter().enumerate() {
+            debug_assert_eq!(data.len(), self.geo.page_size);
+            match slot_of_die[ppa.die] {
+                Some(g) => groups[g].1.push(i),
+                None => {
+                    slot_of_die[ppa.die] = Some(groups.len());
+                    groups.push((ppa.die, vec![i]));
+                }
+            }
+        }
+        groups.sort_by_key(|(die, _)| *die);
+        let die_ids: Vec<usize> = groups.iter().map(|(die, _)| *die).collect();
+        let latency = self.latency;
+        let die_refs = disjoint_muts(&mut self.dies, &die_ids);
+        let per_die = par_run(
+            die_refs.into_iter().zip(groups.iter()).collect(),
+            |_, (die, (_, idxs))| {
+                idxs.iter()
+                    .map(|&i| {
+                        let (ppa, data) = &ops[i];
+                        (
+                            i,
+                            program_on_die(die, &latency, *ppa, data, virtual_now, now),
+                        )
+                    })
+                    .collect::<Vec<(usize, Nanos)>>()
+            },
+        );
+        for group in per_die {
+            for (i, t) in group {
+                out[i] = t;
+            }
+        }
+        out
+    }
+
+    /// Reads a batch of pages issued at one instant, sharded per die.
+    /// On error, every page up to the first failure has charged its die
+    /// timeline exactly as the one-at-a-time loop would have (a corrupt
+    /// or leaked page still charges service time; a not-programmed or
+    /// bad-block page charges nothing), and pages after the failure are
+    /// never attempted.
+    pub fn read_pages(&mut self, ppas: &[Ppa], now: Nanos) -> Result<Vec<PageRead>, FlashError> {
+        let virtual_now = self.clock.now();
+        // Pre-scan in batch order for the first page that will fail, so
+        // the parallel path truncates exactly where a serial loop stops.
+        let mut take = ppas.len();
+        let mut fail: Option<FlashError> = None;
+        for (i, ppa) in ppas.iter().enumerate() {
             let die = &self.dies[ppa.die];
-            let prog_pending = die.last_program_end > now;
-            let erase_pending = die.last_erase_end > now;
-            let cause = match (prog_pending, erase_pending) {
-                (_, true) if die.last_erase_end >= die.last_program_end => StallCause::Erase,
-                (true, _) => StallCause::Program,
-                (false, true) => StallCause::Erase,
-                (false, false) => StallCause::Read,
+            let block = &die.blocks[ppa.block];
+            // (error, whether the failing read still charges the die)
+            let found = if block.bad {
+                Some((FlashError::BadBlock, false))
+            } else if block.data[ppa.page].is_none() {
+                Some((FlashError::NotProgrammed, false))
+            } else if block.corrupt[ppa.page]
+                || virtual_now.saturating_sub(block.programmed_at[ppa.page])
+                    > retention_limit_on(die, *ppa)
+            {
+                Some((FlashError::Corrupt, true))
+            } else {
+                None
             };
-            match cause {
-                StallCause::Program => self.counters.read_stalls_program += 1,
-                StallCause::Erase => self.counters.read_stalls_erase += 1,
-                StallCause::Read => self.counters.read_stalls_read += 1,
+            if let Some((e, charged)) = found {
+                take = if charged { i + 1 } else { i };
+                fail = Some(e);
+                break;
             }
-            self.counters.read_stall_ns += queued;
-            Some(cause)
-        };
-        let block = &mut self.dies[ppa.die].blocks[ppa.block];
-        if block.corrupt[ppa.page] {
-            return Err(FlashError::Corrupt);
         }
-        // Retention: worn blocks leak; data older than the limit is gone.
-        if virtual_now.saturating_sub(block.programmed_at[ppa.page]) > retention {
-            block.corrupt[ppa.page] = true;
-            return Err(FlashError::Corrupt);
+        let ppas = &ppas[..take];
+        let mut out: Vec<Option<PageRead>> = (0..ppas.len()).map(|_| None).collect();
+        if ppas.len() <= 1 || threads() == 1 {
+            let mut delta = FlashCounters::default();
+            for (i, ppa) in ppas.iter().enumerate() {
+                out[i] = read_on_die(
+                    &mut self.dies[ppa.die],
+                    &self.latency,
+                    *ppa,
+                    virtual_now,
+                    now,
+                    &mut delta,
+                )
+                .ok();
+            }
+            self.counters.absorb(&delta);
+        } else {
+            let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+            let mut slot_of_die: Vec<Option<usize>> = vec![None; self.geo.dies];
+            for (i, ppa) in ppas.iter().enumerate() {
+                match slot_of_die[ppa.die] {
+                    Some(g) => groups[g].1.push(i),
+                    None => {
+                        slot_of_die[ppa.die] = Some(groups.len());
+                        groups.push((ppa.die, vec![i]));
+                    }
+                }
+            }
+            groups.sort_by_key(|(die, _)| *die);
+            let die_ids: Vec<usize> = groups.iter().map(|(die, _)| *die).collect();
+            let latency = self.latency;
+            let die_refs = disjoint_muts(&mut self.dies, &die_ids);
+            let per_die = par_run(
+                die_refs.into_iter().zip(groups.iter()).collect(),
+                |_, (die, (_, idxs))| {
+                    let mut delta = FlashCounters::default();
+                    let reads: Vec<(usize, Option<PageRead>)> = idxs
+                        .iter()
+                        .map(|&i| {
+                            (
+                                i,
+                                read_on_die(die, &latency, ppas[i], virtual_now, now, &mut delta)
+                                    .ok(),
+                            )
+                        })
+                        .collect();
+                    (reads, delta)
+                },
+            );
+            // Deterministic merge: ascending die order, then batch order
+            // within each die. Counter deltas are sums, so the totals are
+            // independent of merge order anyway.
+            for (reads, delta) in per_die {
+                self.counters.absorb(&delta);
+                for (i, r) in reads {
+                    out[i] = r;
+                }
+            }
         }
-        Ok(PageRead {
-            data: block.data[ppa.page].as_ref().unwrap().to_vec(),
-            done: res.end,
-            queued,
-            service: res.service(),
-            die: ppa.die,
-            stall,
-        })
+        if let Some(e) = fail {
+            return Err(e);
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("no failure pre-scanned, so every read succeeded"))
+            .collect())
     }
 
     /// Programs one page. Pages must be erased and programmed in order.
@@ -350,16 +608,16 @@ impl Flash {
                 return Err(FlashError::OutOfOrderProgram);
             }
         }
-        let service = self.latency.page_program(data.len());
-        let res = self.dies[ppa.die].timeline.reserve(now, service);
-        self.dies[ppa.die].last_program_end = self.dies[ppa.die].last_program_end.max(res.end);
-        let block = &mut self.dies[ppa.die].blocks[ppa.block];
-        block.data[ppa.page] = Some(data.to_vec().into_boxed_slice());
-        block.programmed_at[ppa.page] = virtual_now;
-        block.corrupt[ppa.page] = false;
-        block.write_cursor += 1;
+        let end = program_on_die(
+            &mut self.dies[ppa.die],
+            &self.latency,
+            ppa,
+            data,
+            virtual_now,
+            now,
+        );
         self.counters.programs += 1;
-        Ok(res.end)
+        Ok(end)
     }
 
     /// Erases a whole block. Wears the block; past its true endurance the
@@ -402,20 +660,6 @@ impl Flash {
     /// Fault injection: marks a single page corrupt (bit rot / UBER event).
     pub fn corrupt_page(&mut self, ppa: Ppa) {
         self.dies[ppa.die].blocks[ppa.block].corrupt[ppa.page] = true;
-    }
-
-    /// Retention horizon for the block owning `ppa`: a fresh block holds
-    /// data for many virtual years; a block at its *rating* holds it for
-    /// roughly [`RETENTION_AT_RATING`]; beyond that it decays inversely
-    /// with wear. The horizon scales with the block's true (randomly
-    /// drawn) endurance, so equally-worn blocks fail at *different*
-    /// times — the variance real arrays rely on to scrub-repair ahead of
-    /// correlated loss (§5.1).
-    fn retention_limit(&self, ppa: Ppa) -> Nanos {
-        let b = &self.dies[ppa.die].blocks[ppa.block];
-        let wear = b.erase_count.max(1);
-        ((RETENTION_AT_RATING as u128 * b.true_endurance as u128) / (wear as u128 * 2))
-            .min(Nanos::MAX as u128) as Nanos
     }
 }
 

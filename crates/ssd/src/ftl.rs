@@ -18,7 +18,7 @@
 //! behaviour that makes consumer SSDs "behave erratically when exposed to
 //! random writes" \[43\].
 
-use crate::flash::{Flash, FlashError};
+use crate::flash::{Flash, FlashError, PageRead};
 use crate::geometry::{Ppa, SsdGeometry};
 use purity_sim::Nanos;
 
@@ -113,6 +113,11 @@ pub struct Ftl {
     logical_pages: usize,
     /// GC kicks in when free blocks fall to this count.
     gc_low_water: usize,
+    /// Count of blocks in `BlockKind::Free`, maintained on transitions
+    /// so the per-write low-water check is O(1) instead of a scan over
+    /// every block — at FA-450 die counts the scan dominates the write
+    /// path.
+    free_count: usize,
     stats: FtlStats,
 }
 
@@ -143,6 +148,7 @@ impl Ftl {
             next_die: 0,
             logical_pages,
             gc_low_water: geo.dies * 2,
+            free_count: total_blocks,
             stats: FtlStats::default(),
         }
     }
@@ -268,10 +274,15 @@ impl Ftl {
     }
 
     fn free_blocks(&self) -> usize {
-        self.blocks
-            .iter()
-            .filter(|b| b.kind == BlockKind::Free)
-            .count()
+        debug_assert_eq!(
+            self.free_count,
+            self.blocks
+                .iter()
+                .filter(|b| b.kind == BlockKind::Free)
+                .count(),
+            "cached free-block count drifted from block states"
+        );
+        self.free_count
     }
 
     fn invalidate_phys(&mut self, flat_page: usize) {
@@ -287,38 +298,131 @@ impl Ftl {
         data: &[u8],
         now: Nanos,
     ) -> Result<Nanos, FtlError> {
+        let Some((ppa, flat_block)) = self.allocate_slot(now)? else {
+            return Err(FtlError::DeviceFull);
+        };
+        let t = self.flash.program_page(ppa, data, now)?;
+        self.commit_slot(lpn, ppa, flat_block);
+        Ok(t)
+    }
+
+    /// Picks the next program target: round-robin across dies, opening
+    /// fresh blocks wear-aware and retiring bad blocks encountered. The
+    /// allocation decision is fully determined by FTL state, so a batch
+    /// of writes can allocate every slot up front (in batch order) and
+    /// then program the flash per-die in parallel.
+    fn allocate_slot(&mut self, now: Nanos) -> Result<Option<(Ppa, usize)>, FtlError> {
         for _attempt in 0..self.geo.dies * 2 {
             let die = self.next_die;
             self.next_die = (self.next_die + 1) % self.geo.dies;
             let Some((ppa, flat_block)) = self.next_slot(die, now)? else {
                 continue;
             };
-            match self.flash.program_page(ppa, data, now) {
-                Ok(t) => {
-                    let flat_page = ppa.flatten(&self.geo);
-                    self.programmed[flat_page / 64] |= 1 << (flat_page % 64);
-                    let old = self.l2p[lpn];
-                    if old != NO_PAGE {
-                        self.invalidate_phys(old as usize);
-                    }
-                    self.l2p[lpn] = flat_page as u32;
-                    self.p2l[flat_page] = lpn as u32;
-                    self.blocks[flat_block].valid += 1;
-                    // Seal the block when its last page was written.
-                    if ppa.page + 1 == self.geo.pages_per_block {
-                        self.blocks[flat_block].kind = BlockKind::Sealed;
-                        self.active[die] = None;
-                    }
-                    return Ok(t);
+            // A pre-aged or worn-out block can be flash-bad while the
+            // FTL still lists it as usable; retire it here (the program
+            // would have failed with BadBlock anyway).
+            if self.flash.is_bad(ppa.die, ppa.block) {
+                self.retire_block(flat_block, die);
+                continue;
+            }
+            return Ok(Some((ppa, flat_block)));
+        }
+        Ok(None)
+    }
+
+    /// Mapping/bookkeeping for a page programmed (or about to program)
+    /// at an allocated slot: the bitmap, both mapping directions, valid
+    /// counts, and sealing.
+    fn commit_slot(&mut self, lpn: usize, ppa: Ppa, flat_block: usize) {
+        let flat_page = ppa.flatten(&self.geo);
+        self.programmed[flat_page / 64] |= 1 << (flat_page % 64);
+        let old = self.l2p[lpn];
+        if old != NO_PAGE {
+            self.invalidate_phys(old as usize);
+        }
+        self.l2p[lpn] = flat_page as u32;
+        self.p2l[flat_page] = lpn as u32;
+        self.blocks[flat_block].valid += 1;
+        // Seal the block when its last page was written.
+        if ppa.page + 1 == self.geo.pages_per_block {
+            self.blocks[flat_block].kind = BlockKind::Sealed;
+            self.active[ppa.die] = None;
+        }
+    }
+
+    /// Writes a batch of logical pages issued at one instant. Allocation
+    /// and mapping updates run serially in batch order (they are the
+    /// FTL's shared state), then the flash programs run sharded per die
+    /// — byte-identical results to calling [`Ftl::write`] per page, at
+    /// any worker count. An op that trips the GC low-water mark flushes
+    /// the pending batch first and takes the serial path, exactly as the
+    /// one-at-a-time loop would interleave it.
+    pub fn write_many(&mut self, ops: &[(usize, &[u8])], now: Nanos) -> Result<Nanos, FtlError> {
+        let mut done = now;
+        let mut pending: Vec<(Ppa, &[u8])> = Vec::with_capacity(ops.len());
+        for &(lpn, data) in ops {
+            if lpn >= self.logical_pages {
+                self.flush_programs(&mut pending, now, &mut done);
+                return Err(FtlError::OutOfRange);
+            }
+            if self.free_blocks() < self.gc_low_water {
+                // GC interleaves reads/programs with allocation, so it
+                // must observe every already-allocated program: flush.
+                self.flush_programs(&mut pending, now, &mut done);
+                let t = self.write(lpn, data, now)?;
+                done = done.max(t);
+                continue;
+            }
+            match self.allocate_slot(now)? {
+                Some((ppa, flat_block)) => {
+                    self.commit_slot(lpn, ppa, flat_block);
+                    self.stats.host_programs += 1;
+                    pending.push((ppa, data));
                 }
-                Err(FlashError::BadBlock) => {
-                    self.retire_block(flat_block, die);
-                    continue;
+                None => {
+                    self.flush_programs(&mut pending, now, &mut done);
+                    return Err(FtlError::DeviceFull);
                 }
-                Err(e) => return Err(e.into()),
             }
         }
-        Err(FtlError::DeviceFull)
+        self.flush_programs(&mut pending, now, &mut done);
+        Ok(done)
+    }
+
+    fn flush_programs(&mut self, pending: &mut Vec<(Ppa, &[u8])>, now: Nanos, done: &mut Nanos) {
+        if pending.is_empty() {
+            return;
+        }
+        for t in self.flash.program_pages(pending, now) {
+            *done = (*done).max(t);
+        }
+        pending.clear();
+    }
+
+    /// Reads a batch of logical pages issued at one instant, sharded per
+    /// die. Error semantics match a serial loop over [`Ftl::read`]:
+    /// pages before the first failure charge their die timelines, the
+    /// rest are never attempted.
+    pub fn read_many(&mut self, lpns: &[usize], now: Nanos) -> Result<Vec<PageRead>, FtlError> {
+        let mut ppas = Vec::with_capacity(lpns.len());
+        let mut fail = None;
+        for &lpn in lpns {
+            if lpn >= self.logical_pages {
+                fail = Some(FtlError::OutOfRange);
+                break;
+            }
+            let phys = self.l2p[lpn];
+            if phys == NO_PAGE {
+                fail = Some(FtlError::Unmapped);
+                break;
+            }
+            ppas.push(Ppa::unflatten(phys as usize, &self.geo));
+        }
+        let reads = self.flash.read_pages(&ppas, now)?;
+        if let Some(e) = fail {
+            return Err(e);
+        }
+        Ok(reads)
     }
 
     /// Next programmable (die-local) slot, opening a fresh block if needed.
@@ -336,6 +440,7 @@ impl Ftl {
             match candidate {
                 Some(fb) => {
                     self.blocks[fb].kind = BlockKind::Active;
+                    self.free_count -= 1;
                     self.active[die] = Some(fb);
                 }
                 None => return Ok(None),
@@ -423,6 +528,7 @@ impl Ftl {
                     valid: 0,
                     kind: BlockKind::Free,
                 };
+                self.free_count += 1;
                 self.clear_programmed_block(victim);
             }
             Err(FlashError::BadBlock) => {
@@ -436,6 +542,9 @@ impl Ftl {
     }
 
     fn retire_block(&mut self, flat_block: usize, die: usize) {
+        if self.blocks[flat_block].kind == BlockKind::Free {
+            self.free_count -= 1;
+        }
         self.blocks[flat_block].kind = BlockKind::Bad;
         if self.active[die] == Some(flat_block) {
             self.active[die] = None;

@@ -40,6 +40,22 @@ impl SsdGeometry {
         }
     }
 
+    /// An FA-450-class drive: 128 independent dies, the die count that
+    /// matters for the paper's tail-latency claims (erase blocking is
+    /// per-die, so die parallelism sets how often a read lands behind an
+    /// erase). Blocks and pages are scaled down so a 22-drive shelf
+    /// (2816 dies — the full FA-450 geometry) stays simulable: pages are
+    /// lazily allocated, so memory tracks written bytes, not raw
+    /// capacity. 128 dies × 32 blocks × 32 pages × 4 KiB = 512 MiB raw.
+    pub fn fa450_drive() -> Self {
+        Self {
+            dies: 128,
+            blocks_per_die: 32,
+            pages_per_block: 32,
+            page_size: 4096,
+        }
+    }
+
     /// Pages per die.
     pub fn pages_per_die(&self) -> usize {
         self.blocks_per_die * self.pages_per_block

@@ -1,0 +1,181 @@
+//! Serial-vs-parallel differential harness (ISSUE 8): the parallel
+//! engine's whole determinism contract, enforced byte-for-byte.
+//!
+//! Every scenario here runs the same seed at worker-pool widths 1, 2
+//! and 8 and asserts the runs are indistinguishable:
+//!
+//! - exhibit-style workloads compare `export_observability_json()`
+//!   (stripped of the wall-clock `profile` section, the one block
+//!   that is *allowed* to differ) byte-for-byte;
+//! - torture campaigns compare the full `Debug` rendering of the
+//!   outcome — violations, torn-write descriptions, recovery reports,
+//!   virtual downtime, acked sector counts.
+//!
+//! The worker-pool width is process-global (`purity_sim::parallel`),
+//! so every test serializes on one mutex before touching it.
+
+use purity_core::{Ack, ArrayConfig, FlashArray};
+use purity_obs::profiler::strip_profile_section;
+use purity_sim::parallel;
+use purity_torture::{
+    run_campaign, run_cluster_campaign, run_repl_campaign, CampaignSpec, ClusterCampaignSpec,
+    CrashPhase, ReplCampaignSpec,
+};
+use purity_wkld::{AccessPattern, ContentModel, Op, SizeMix, WorkloadGen};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The thread counts the differential contract is stated over.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Serializes tests in this binary: the worker-pool width is a
+/// process-wide knob, and two tests flipping it concurrently would
+/// measure each other instead of the engine.
+fn pool_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `scenario` once per thread count and asserts all renderings
+/// are byte-identical. Restores the default width afterwards.
+fn assert_thread_invariant(what: &str, mut scenario: impl FnMut() -> String) {
+    let _guard = pool_lock();
+    let mut reference: Option<(usize, String)> = None;
+    for &n in &THREAD_COUNTS {
+        parallel::set_threads(n);
+        let doc = scenario();
+        match &reference {
+            None => reference = Some((n, doc)),
+            Some((n0, base)) => {
+                if *base != doc {
+                    let at = base
+                        .bytes()
+                        .zip(doc.bytes())
+                        .position(|(a, b)| a != b)
+                        .unwrap_or(base.len().min(doc.len()));
+                    let lo = at.saturating_sub(60);
+                    panic!(
+                        "{what}: {n0}-thread and {n}-thread runs diverge at byte {at}:\n \
+                         {n0}t: ...{}\n  {n}t: ...{}",
+                        &base[lo..(at + 60).min(base.len())],
+                        &doc[lo..(at + 60).min(doc.len())],
+                    );
+                }
+            }
+        }
+    }
+    parallel::set_threads(1);
+}
+
+/// Drives `n_ops` of a generated workload against a fresh array and
+/// returns the deterministic observability export.
+fn exhibit_export(cfg: ArrayConfig, wkld_seed: u64, n_ops: u64, gc_every: u64) -> String {
+    let mut a = FlashArray::new(cfg).expect("format");
+    let vol_bytes: u64 = 8 << 20;
+    let vol = a.create_volume("diff", vol_bytes).unwrap();
+    let mut gen = WorkloadGen::new(
+        wkld_seed,
+        vol_bytes,
+        AccessPattern::Zipfian(0.99),
+        SizeMix::enterprise(),
+        70,
+        ContentModel::Rdbms,
+        200_000,
+    );
+    for i in 0..n_ops {
+        match gen.next_op() {
+            Op::Read { offset, len } => {
+                a.read(vol, offset, len).expect("read");
+            }
+            Op::Write { offset, data } => {
+                let Ack { .. } = a.write(vol, offset, &data).expect("write");
+            }
+        }
+        a.advance(gen.interarrival);
+        if gc_every > 0 && i % gc_every == gc_every - 1 {
+            a.run_gc().expect("gc");
+        }
+    }
+    strip_profile_section(&a.export_observability_json())
+}
+
+/// The exhibit seeds the bench binaries actually use (tail-latency
+/// preload/mix, host front end, GC storm).
+const EXHIBIT_SEEDS: [u64; 4] = [3, 5, 17, 29];
+
+#[test]
+fn exhibit_exports_are_thread_count_invariant() {
+    for seed in EXHIBIT_SEEDS {
+        assert_thread_invariant(&format!("exhibit seed {seed}"), || {
+            exhibit_export(ArrayConfig::test_small(), seed, 250, 50)
+        });
+    }
+}
+
+/// Overwrite churn on tiny dies forces FTL GC erases mid-run — the
+/// path where per-die reservations interleave with relocations.
+#[test]
+fn gc_churn_export_is_thread_count_invariant() {
+    let mut cfg = ArrayConfig::test_small();
+    cfg.cache_bytes = 0;
+    cfg.read_around_writes = false;
+    assert_thread_invariant("gc churn", move || exhibit_export(cfg.clone(), 29, 300, 25));
+}
+
+/// Pre-aged flash (the paper's worn-drive validation) changes per-die
+/// wear and retention limits; the export must still not depend on the
+/// worker count.
+#[test]
+fn preaged_export_is_thread_count_invariant() {
+    let mut cfg = ArrayConfig::test_small();
+    cfg.preage_cycles = 1500;
+    assert_thread_invariant("preaged array", move || {
+        exhibit_export(cfg.clone(), 5, 200, 40)
+    });
+}
+
+/// Every tier-1 torture seed, re-run per thread count: the campaign
+/// outcome (violations, torn tails, recovery report, virtual
+/// downtime) must not notice the worker pool.
+#[test]
+fn torture_outcomes_are_thread_count_invariant() {
+    let sweeps = [
+        (CrashPhase::NvramTail, 0..6u64),
+        (CrashPhase::SegmentFlush, 10..16),
+        (CrashPhase::Checkpoint, 20..26),
+        (CrashPhase::OpBoundary, 30..36),
+    ];
+    for (phase, seeds) in sweeps {
+        for seed in seeds {
+            let spec = CampaignSpec::new(seed, phase);
+            assert_thread_invariant(&format!("torture seed {seed} {}", phase.name()), || {
+                format!("{:?}", run_campaign(&spec))
+            });
+        }
+    }
+}
+
+/// Crash-during-replication campaigns cross two arrays and a lossy
+/// link; both arrays' parallel batches must stay deterministic.
+#[test]
+fn repl_campaigns_are_thread_count_invariant() {
+    for seed in 0..2u64 {
+        let spec = ReplCampaignSpec::new(seed);
+        assert_thread_invariant(&format!("repl seed {seed}"), || {
+            format!("{:?}", run_repl_campaign(&spec))
+        });
+    }
+}
+
+/// Cluster fault campaigns: SWIM timing, rebuild ordering and ack
+/// audits across three arrays, per thread count.
+#[test]
+fn cluster_campaigns_are_thread_count_invariant() {
+    for seed in 0..2u64 {
+        let spec = ClusterCampaignSpec::new(seed);
+        assert_thread_invariant(&format!("cluster seed {seed}"), || {
+            format!("{:?}", run_cluster_campaign(&spec))
+        });
+    }
+}
