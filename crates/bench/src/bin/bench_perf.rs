@@ -505,6 +505,60 @@ fn check_against_baseline(
     Ok(())
 }
 
+/// ISSUE-9 guard: completion-time blame folding — the causal-tracing
+/// spine's only per-op hot-path cost — must add under 5% wall-clock
+/// overhead. Wall time is machine-dependent, so instead of comparing
+/// against the committed baseline's absolute numbers, this runs the
+/// same deterministic workload with folding off and on (interleaved,
+/// min of three runs per arm, so scheduler noise cancels) on the
+/// current machine and compares the two arms directly.
+fn tracing_overhead_guard(smoke: bool) -> Result<(), String> {
+    let ops = if smoke { 800 } else { 4000 };
+    let run = |fold: bool| -> u64 {
+        let mut a = FlashArray::new(ArrayConfig::bench_medium()).unwrap();
+        let vol_bytes: u64 = 32 << 20;
+        let vol = a.create_volume("db", vol_bytes).unwrap();
+        let mut loader = WorkloadGen::new(
+            3,
+            vol_bytes,
+            AccessPattern::Sequential,
+            SizeMix::fixed(128 * 1024),
+            0,
+            ContentModel::Rdbms,
+            50_000,
+        );
+        drive(&mut a, vol, &mut loader, 200, 0);
+        a.advance(10 * SEC);
+        a.obs().tracer.set_fold_enabled(fold);
+        let mut gen = WorkloadGen::new(
+            5,
+            vol_bytes,
+            AccessPattern::Zipfian(0.99),
+            SizeMix::enterprise(),
+            70,
+            ContentModel::Rdbms,
+            650_000,
+        );
+        let wall = Instant::now();
+        drive(&mut a, vol, &mut gen, ops, 0);
+        wall.elapsed().as_nanos() as u64
+    };
+    let (mut off, mut on) = (u64::MAX, u64::MAX);
+    for _ in 0..3 {
+        off = off.min(run(false));
+        on = on.min(run(true));
+    }
+    let ratio = on as f64 / off.max(1) as f64;
+    println!("\ntracing overhead: fold-on/fold-off wall ratio {ratio:.3} (min of 3 per arm)");
+    if ratio > 1.05 {
+        return Err(format!(
+            "blame folding adds {:.1}% wall overhead (budget 5%)",
+            (ratio - 1.0) * 100.0
+        ));
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -574,6 +628,13 @@ fn main() {
             Ok(()) => println!("\nbaseline check OK against {path}"),
             Err(e) => {
                 eprintln!("\nbaseline check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        match tracing_overhead_guard(smoke) {
+            Ok(()) => println!("tracing-overhead guard OK: blame folding within the 5% budget"),
+            Err(e) => {
+                eprintln!("tracing-overhead guard FAILED: {e}");
                 std::process::exit(1);
             }
         }

@@ -36,8 +36,10 @@ use crate::swim::{SwimConfig, SwimDetector, SwimEvent, SwimStats};
 use purity_core::records::{
     decode_cluster_config, encode_cluster_config, ClusterConfigRecord, ClusterMember, MemberStatus,
 };
-use purity_core::{ArrayConfig, FlashArray, PowerLossSpec, PurityError, Result, VolumeId, SECTOR};
-use purity_obs::{profile_scope, Plane};
+use purity_core::{
+    ArrayConfig, FlashArray, Port, PowerLossSpec, PurityError, Result, VolumeId, SECTOR,
+};
+use purity_obs::{profile_scope, OpTrace, Plane};
 use purity_repl::{ship_snapshot, FabricStats, LinkConfig, LinkMesh, WireOutcome};
 use purity_sim::{Nanos, MS};
 
@@ -373,11 +375,34 @@ impl Cluster {
     }
 
     /// Refreshes a stale client map, counting the redirect round a real
-    /// initiator would pay.
-    fn refresh_client(&mut self, client: &mut ClusterClient) {
+    /// initiator would pay. Returns whether a redirect happened so the
+    /// op's trace can charge the round to `cluster_redirect`.
+    fn refresh_client(&mut self, client: &mut ClusterClient) -> bool {
         if client.cached_version != self.placement.version() {
             self.stats.redirects += 1;
             client.cached_version = self.placement.version();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Modeled cost of one placement-map refresh round: a round trip to
+    /// a peer over the WAN mesh. Charged only to the op's trace — the
+    /// member clocks are untouched, exactly like every other span cost
+    /// here (spans *explain* latency already paid; the redirect round
+    /// is the one cost the serial client model doesn't otherwise see).
+    fn redirect_cost(&self) -> Nanos {
+        (2 * self.spec.link.latency).max(1_000)
+    }
+
+    /// Finishes a cluster op's end-to-end trace into the lowest live
+    /// member's tracer (the node a real client's session would be
+    /// pinned to), so cluster-plane blame shows up in that member's
+    /// observability export.
+    fn finish_trace(&self, trace: OpTrace, completed_at: Nanos) {
+        if let Some(&sink) = self.live_members().first() {
+            self.arrays[sink].obs().tracer.finish(trace, completed_at);
         }
     }
 
@@ -426,7 +451,22 @@ impl Cluster {
         data: &[u8],
     ) -> Result<()> {
         profile_scope!(Plane::Cluster);
-        self.refresh_client(client);
+        // The op's trace lives on a synthetic cluster timeline anchored
+        // at the cluster-wide now; member-array spans are rebased onto
+        // it so one tree explains the whole op.
+        let t0 = self.now();
+        let mut trace = OpTrace::new("cluster_write", t0);
+        let mut cursor = t0;
+        if self.refresh_client(client) {
+            let cost = self.redirect_cost();
+            trace.stage_note(
+                "cluster_redirect",
+                cursor,
+                cursor + cost,
+                "stale placement map; refreshed from cluster".into(),
+            );
+            cursor += cost;
+        }
         let runs = self.shard_runs(v, offset, data.len() as u64)?;
         // Pass 1: every touched shard must have a live in-sync replica,
         // or the op is refused before any replica is mutated.
@@ -445,6 +485,10 @@ impl Cluster {
             let part = &data[consumed..consumed + (n as usize) * SECTOR];
             consumed += part.len();
             let sh = self.volumes[v].shards[shard].clone();
+            // Replica legs are logically parallel: each starts at the
+            // shard's cursor; the shard completes at the slowest leg.
+            let shard_start = cursor;
+            let mut shard_latency: Nanos = 0;
             for (i, &o) in sh.owners.iter().enumerate() {
                 if !sh.in_sync[i] {
                     degraded = true;
@@ -458,13 +502,25 @@ impl Cluster {
                     continue;
                 }
                 let backing = sh.backing[o].expect("owner without backing volume");
-                self.arrays[o].write(backing, within * SECTOR as u64, part)?;
+                let member_now = self.arrays[o].now();
+                let mut leg = OpTrace::new("cluster_write_leg", member_now);
+                let (_, ack) = self.arrays[o].submit_write_traced(
+                    Port::Primary,
+                    backing,
+                    within * SECTOR as u64,
+                    part,
+                    Some(&mut leg),
+                )?;
+                trace.absorb_shifted(leg, shard_start as i64 - member_now as i64);
+                shard_latency = shard_latency.max(ack.latency);
             }
+            cursor = shard_start + shard_latency;
         }
         self.stats.writes += 1;
         if degraded {
             self.stats.degraded_writes += 1;
         }
+        self.finish_trace(trace, cursor);
         Ok(())
     }
 
@@ -478,7 +534,19 @@ impl Cluster {
         len: usize,
     ) -> Result<Vec<u8>> {
         profile_scope!(Plane::Cluster);
-        self.refresh_client(client);
+        let t0 = self.now();
+        let mut trace = OpTrace::new("cluster_read", t0);
+        let mut cursor = t0;
+        if self.refresh_client(client) {
+            let cost = self.redirect_cost();
+            trace.stage_note(
+                "cluster_redirect",
+                cursor,
+                cursor + cost,
+                "stale placement map; refreshed from cluster".into(),
+            );
+            cursor += cost;
+        }
         let runs = self.shard_runs(v, offset, len as u64)?;
         let mut out = Vec::with_capacity(len);
         for (shard, within, n) in runs {
@@ -490,11 +558,32 @@ impl Cluster {
                 )));
             };
             let backing = sh.backing[o].expect("owner without backing volume");
-            let (bytes, _) =
-                self.arrays[o].read(backing, within * SECTOR as u64, (n as usize) * SECTOR)?;
+            let member_now = self.arrays[o].now();
+            let mut leg = OpTrace::new("cluster_read_leg", member_now);
+            let (_, bytes, ack) = self.arrays[o].submit_read_traced(
+                Port::Primary,
+                backing,
+                within * SECTOR as u64,
+                (n as usize) * SECTOR,
+                Some(&mut leg),
+            )?;
+            trace.absorb_shifted(leg, cursor as i64 - member_now as i64);
+            if o != sh.owners[0] {
+                // Degraded service: the preferred replica is dead or
+                // still rebuilding, so this leg's whole cost is blamed
+                // on serving the read around the loss.
+                trace.stage_note(
+                    "reconstruct",
+                    cursor,
+                    cursor + ack.latency,
+                    format!("cv{v}.s{shard} served from fallback replica on node {o}"),
+                );
+            }
+            cursor += ack.latency;
             out.extend_from_slice(&bytes);
         }
         self.stats.reads += 1;
+        self.finish_trace(trace, cursor);
         Ok(out)
     }
 

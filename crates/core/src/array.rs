@@ -242,12 +242,35 @@ impl FlashArray {
         offset: u64,
         data: &[u8],
     ) -> Result<(u64, Ack)> {
+        self.submit_write_traced(port, volume, offset, data, None)
+    }
+
+    /// [`FlashArray::submit_write`] with an optional upstream trace
+    /// context: array-plane spans (and the secondary-port `wan` forward
+    /// hop) are stamped into it instead of being finished here, so the
+    /// initiator owns the end-to-end span tree.
+    pub fn submit_write_traced(
+        &mut self,
+        port: Port,
+        volume: VolumeId,
+        offset: u64,
+        data: &[u8],
+        mut ext: Option<&mut purity_obs::OpTrace>,
+    ) -> Result<(u64, Ack)> {
         self.check_powered()?;
         let now = self.clock.now();
-        let mut ack = self
-            .primary
-            .write(&mut self.shelf, volume, offset, data, now)?;
+        let mut ack = self.primary.write_ext(
+            &mut self.shelf,
+            volume,
+            offset,
+            data,
+            now,
+            ext.as_deref_mut(),
+        )?;
         if port == Port::Secondary {
+            if let Some(tr) = ext {
+                tr.stage("wan", now + ack.latency, now + ack.latency + FORWARD_NS);
+            }
             ack.latency += FORWARD_NS;
         }
         self.writes_since_warm += 1;
@@ -286,12 +309,33 @@ impl FlashArray {
         offset: u64,
         len: usize,
     ) -> Result<(u64, Vec<u8>, Ack)> {
+        self.submit_read_traced(port, volume, offset, len, None)
+    }
+
+    /// [`FlashArray::submit_read`] with an optional upstream trace
+    /// context (see [`FlashArray::submit_write_traced`]).
+    pub fn submit_read_traced(
+        &mut self,
+        port: Port,
+        volume: VolumeId,
+        offset: u64,
+        len: usize,
+        mut ext: Option<&mut purity_obs::OpTrace>,
+    ) -> Result<(u64, Vec<u8>, Ack)> {
         self.check_powered()?;
         let now = self.clock.now();
-        let (data, mut ack) = self
-            .primary
-            .read(&mut self.shelf, volume, offset, len, now)?;
+        let (data, mut ack) = self.primary.read_ext(
+            &mut self.shelf,
+            volume,
+            offset,
+            len,
+            now,
+            ext.as_deref_mut(),
+        )?;
         if port == Port::Secondary {
+            if let Some(tr) = ext {
+                tr.stage("wan", now + ack.latency, now + ack.latency + FORWARD_NS);
+            }
             ack.latency += FORWARD_NS;
         }
         let id = self.note_inflight(port, now, ack.latency);
@@ -749,6 +793,15 @@ impl FlashArray {
             .set(space.allocated_bytes as i64);
         reg.gauge("array_provisioned_bytes", &[])
             .set(space.provisioned_bytes as i64);
+        // Causal-tracing spine: every completed op is folded into the
+        // blame taxonomy (not just slow-op captures).
+        let tracer = &self.primary.obs.tracer;
+        reg.counter("trace_ops_folded", &[])
+            .set(tracer.folded_count());
+        for (cat, ns) in tracer.blame_totals().iter() {
+            reg.counter("trace_blame_ns", &[("category", cat.as_str())])
+                .set(ns);
+        }
     }
 
     /// Whether the flight recorder has an interval boundary to close at

@@ -535,6 +535,23 @@ impl Controller {
         data: &[u8],
         now: Nanos,
     ) -> Result<Ack> {
+        self.write_ext(shelf, volume, offset, data, now, None)
+    }
+
+    /// [`Controller::write`] with an optional upstream trace context.
+    /// When `ext` is given, the array-plane spans are absorbed into it
+    /// and the op is *not* finished here — the initiator (host engine /
+    /// cluster) owns the end-to-end trace and finishes it at ack
+    /// delivery.
+    pub fn write_ext(
+        &mut self,
+        shelf: &mut Shelf,
+        volume: VolumeId,
+        offset: u64,
+        data: &[u8],
+        now: Nanos,
+        ext: Option<&mut OpTrace>,
+    ) -> Result<Ack> {
         purity_obs::profile_scope!(purity_obs::Plane::ArrayWrite);
         let vol = self
             .volumes
@@ -608,7 +625,12 @@ impl Controller {
             ),
         );
         trace.stage("cpu", ack_at, ack_at + CPU_OVERHEAD_NS);
-        self.obs.tracer.finish(trace, now + latency);
+        match ext {
+            Some(t) => t.absorb(trace),
+            None => {
+                self.obs.tracer.finish(trace, now + latency);
+            }
+        }
         self.maybe_background(shelf, now)?;
         Ok(Ack { latency })
     }
@@ -826,6 +848,20 @@ impl Controller {
         len: usize,
         now: Nanos,
     ) -> Result<(Vec<u8>, Ack)> {
+        self.read_ext(shelf, volume, offset, len, now, None)
+    }
+
+    /// [`Controller::read`] with an optional upstream trace context (see
+    /// [`Controller::write_ext`]).
+    pub fn read_ext(
+        &mut self,
+        shelf: &mut Shelf,
+        volume: VolumeId,
+        offset: u64,
+        len: usize,
+        now: Nanos,
+        ext: Option<&mut OpTrace>,
+    ) -> Result<(Vec<u8>, Ack)> {
         purity_obs::profile_scope!(purity_obs::Plane::ArrayRead);
         let vol = self
             .volumes
@@ -853,7 +889,12 @@ impl Controller {
         let latency = done.saturating_sub(now) + CPU_OVERHEAD_NS;
         self.stats.read_latency.record(latency);
         trace.stage("cpu", done, done + CPU_OVERHEAD_NS);
-        self.obs.tracer.finish(trace, now + latency);
+        match ext {
+            Some(t) => t.absorb(trace),
+            None => {
+                self.obs.tracer.finish(trace, now + latency);
+            }
+        }
         Ok((out, Ack { latency }))
     }
 
@@ -1291,6 +1332,66 @@ impl Controller {
     }
 }
 
+/// Stamps the span(s) for one completed direct drive read. Die-stall
+/// queueing becomes its own blame span — `die_stall_program`,
+/// `die_stall_erase`, or `gc_interference` — ahead of the `drive_read`
+/// service span, so the critical-path folder attributes tail time to
+/// its cause rather than to generic drive queueing.
+fn stamp_drive_read(
+    tr: &mut OpTrace,
+    dr: &purity_ssd::DeviceRead,
+    drive: DriveId,
+    now: Nanos,
+    fallback: bool,
+) {
+    use purity_ssd::StallCause;
+    let prefix = if fallback {
+        "fallback (too few columns to rebuild): "
+    } else {
+        ""
+    };
+    let stall_stage = match (dr.stall, dr.stall_gc) {
+        (Some(StallCause::Erase), _) => Some("die_stall_erase"),
+        (Some(StallCause::Program), true) => Some("gc_interference"),
+        (Some(StallCause::Program), false) => Some("die_stall_program"),
+        _ => None,
+    };
+    match stall_stage {
+        Some(stage) => {
+            // The critical-path page's completion is exactly
+            // now + queued + service, so the stall span and the service
+            // span partition [now, done].
+            let split = now + dr.queued;
+            tr.stage_note(
+                stage,
+                now,
+                split,
+                format!(
+                    "{prefix}queued {} behind {} on die {} of drive {}",
+                    format_nanos(dr.queued),
+                    dr.stall.map(|c| c.as_str()).unwrap_or("?"),
+                    dr.die,
+                    drive
+                ),
+            );
+            tr.stage("drive_read", split, dr.done);
+        }
+        None => {
+            let note = match dr.stall {
+                Some(cause) => format!(
+                    "{prefix}queued {} behind {} on die {} of drive {}",
+                    format_nanos(dr.queued),
+                    cause.as_str(),
+                    dr.die,
+                    drive
+                ),
+                None => format!("{prefix}direct from drive {}", drive),
+            };
+            tr.stage_note("drive_read", now, dr.done, note);
+        }
+    }
+}
+
 /// Reads one extent of a segment, taking the §4.4 scheduling decision:
 /// a failed drive — or one the array is currently writing to, when
 /// read-around is enabled — is treated as failed and its data rebuilt
@@ -1322,26 +1423,7 @@ pub(crate) fn read_extent(
                     .direct_read_latency
                     .record(dr.done.saturating_sub(now));
                 if let Some(tr) = trace.as_deref_mut() {
-                    match dr.stall {
-                        Some(cause) => tr.stage_note(
-                            "drive_read",
-                            now,
-                            dr.done,
-                            format!(
-                                "queued {} behind {} on die {} of drive {}",
-                                format_nanos(dr.queued),
-                                cause.as_str(),
-                                dr.die,
-                                au.drive
-                            ),
-                        ),
-                        None => tr.stage_note(
-                            "drive_read",
-                            now,
-                            dr.done,
-                            format!("direct from drive {}", au.drive),
-                        ),
-                    }
+                    stamp_drive_read(tr, &dr, au.drive, now, false);
                 }
                 if std::env::var("PURITY_TRACE").is_ok() && dr.done.saturating_sub(now) > 10_000_000
                 {
@@ -1439,16 +1521,7 @@ pub(crate) fn read_extent(
                     .direct_read_latency
                     .record(dr.done.saturating_sub(now));
                 if let Some(tr) = trace {
-                    tr.stage_note(
-                        "drive_read",
-                        now,
-                        dr.done,
-                        format!(
-                            "fallback: queued {} behind busy drive {} (too few columns to rebuild)",
-                            format_nanos(dr.queued),
-                            au.drive
-                        ),
-                    );
+                    stamp_drive_read(tr, &dr, au.drive, now, true);
                 }
                 return Ok((dr.data, dr.done));
             }

@@ -61,6 +61,15 @@ impl Controller {
     /// Runs one full garbage-collection pass.
     pub fn run_gc(&mut self, shelf: &mut Shelf, now: Nanos) -> Result<GcReport> {
         purity_obs::profile_scope!(purity_obs::Plane::Gc);
+        // Every drive program this pass issues (relocation, map patch
+        // rewrites, checkpoints) is GC traffic for stall attribution.
+        shelf.set_gc_mode(true);
+        let r = self.run_gc_inner(shelf, now);
+        shelf.set_gc_mode(false);
+        r
+    }
+
+    fn run_gc_inner(&mut self, shelf: &mut Shelf, now: Nanos) -> Result<GcReport> {
         let mut report = GcReport::default();
 
         // ---- Liveness scan: *reachability*, not mere fact-existence.

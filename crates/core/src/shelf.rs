@@ -196,6 +196,16 @@ impl Shelf {
         &mut self.nvram
     }
 
+    /// Attributes subsequent drive programs to controller-driven garbage
+    /// collection (or back to host traffic) on every drive, so reads
+    /// queueing behind them report GC interference rather than an
+    /// ordinary program stall.
+    pub fn set_gc_mode(&mut self, on: bool) {
+        for d in &mut self.drives {
+            d.set_gc_mode(on);
+        }
+    }
+
     /// Drives currently failed.
     pub fn failed_drives(&self) -> Vec<DriveId> {
         (0..self.drives.len())
@@ -236,6 +246,11 @@ impl Shelf {
         self.writing_windows[d]
             .iter()
             .any(|&(s, e)| s <= now && now < e)
+    }
+
+    /// The recorded write windows for a drive (diagnostics).
+    pub fn write_windows(&self, d: DriveId) -> Vec<(Nanos, Nanos)> {
+        self.writing_windows[d].iter().copied().collect()
     }
 
     /// Writes page-aligned bytes to a drive, updating the writing window.

@@ -30,6 +30,7 @@ use crate::multipath::{Multipath, PathId};
 use crate::qos::{DispatchQueue, PopOutcome, QosSpec};
 use crate::report::HostReport;
 use purity_core::{FaultOutcome, FaultPlan, FlashArray, VolumeId};
+use purity_obs::OpTrace;
 use purity_sim::Nanos;
 use purity_wkld::{Op, WorkloadGen};
 use std::cmp::Reverse;
@@ -138,6 +139,11 @@ struct Request {
     first_dispatch: Option<Nanos>,
     /// Requests coalesced into this one's current dispatch.
     riders: Vec<u64>,
+    /// End-to-end causal trace, created at first dispatch (host wait
+    /// time is stamped retroactively from the arrival timestamp) and
+    /// finished into the array's tracer when the ack is delivered.
+    /// Permanently failed requests never finish their trace.
+    trace: Option<OpTrace>,
 }
 
 /// Event kinds, processed in (time, sequence) order. The `Ord` derive
@@ -274,6 +280,26 @@ impl HostEngine {
     }
 }
 
+/// Splits the host-side wait interval `[from, to)` into `qos_throttle`
+/// spans (the intersections with the dispatch queue's logged rate-cap
+/// windows) and `host_queue` spans for the remainder.
+fn stamp_wait_spans(trace: &mut OpTrace, queue: &DispatchQueue, from: Nanos, to: Nanos) {
+    if to <= from {
+        return;
+    }
+    let mut cursor = from;
+    for (s, e) in queue.throttled_spans(from, to) {
+        if s > cursor {
+            trace.stage("host_queue", cursor, s);
+        }
+        trace.stage_note("qos_throttle", s, e, "held by volume rate cap".into());
+        cursor = e;
+    }
+    if cursor < to {
+        trace.stage("host_queue", cursor, to);
+    }
+}
+
 impl<'a> Run<'a> {
     fn schedule(&mut self, t: Nanos, e: Event) {
         self.events.push(Reverse((t, self.eseq, e)));
@@ -331,6 +357,7 @@ impl<'a> Run<'a> {
             dispatched_at: 0,
             first_dispatch: None,
             riders: Vec::new(),
+            trace: None,
         });
         self.audit.register(id);
         self.outstanding[initiator] += 1;
@@ -467,7 +494,11 @@ impl<'a> Run<'a> {
             };
             data.extend_from_slice(rider_data);
             offset_end += rider_data.len() as u64;
+            let arrival = self.requests[rider as usize].arrival;
+            let mut rt = OpTrace::new("host_write", arrival);
+            stamp_wait_spans(&mut rt, &self.queue, arrival, now);
             self.requests[rider as usize].state = ReqState::Riding(head);
+            self.requests[rider as usize].trace = Some(rt);
             riders.push(rider);
             self.report.coalesced_writes += 1;
         }
@@ -481,17 +512,52 @@ impl<'a> Run<'a> {
     fn dispatch(&mut self, req: u64, now: Nanos) {
         let path = self.mp.select(now).expect("checked before pop");
         self.array.clock().advance_to(now);
+        // Trace context: the first leg charges [arrival, now) to
+        // host_queue/qos_throttle; each retry leg charges the dead time
+        // since the previous dispatch to multipath_retry.
+        let prior = self.requests[req as usize].trace.take();
+        let mut trace = {
+            let r = &self.requests[req as usize];
+            let mut t = prior.unwrap_or_else(|| {
+                OpTrace::new(
+                    match r.kind {
+                        ReqKind::Read { .. } => "host_read",
+                        ReqKind::Write { .. } => "host_write",
+                    },
+                    r.arrival,
+                )
+            });
+            if r.attempts == 0 {
+                stamp_wait_spans(&mut t, &self.queue, r.arrival, now);
+            } else {
+                t.stage_note(
+                    "multipath_retry",
+                    r.dispatched_at,
+                    now,
+                    format!(
+                        "leg {} gave no ack on path {:?}; retried with backoff",
+                        r.attempts, r.path
+                    ),
+                );
+            }
+            t
+        };
         let submitted = match &self.requests[req as usize].kind {
             ReqKind::Read { offset, len } => {
                 let (offset, len) = (*offset, *len);
                 self.array
-                    .submit_read(path.port(), self.volume, offset, len)
+                    .submit_read_traced(path.port(), self.volume, offset, len, Some(&mut trace))
                     .map(|(id, _, ack)| (id, ack))
             }
             ReqKind::Write { .. } => {
                 let (offset, data) = self.coalesce(req, now).expect("write payload");
-                self.array
-                    .submit_write(path.port(), self.volume, offset, &data)
+                self.array.submit_write_traced(
+                    path.port(),
+                    self.volume,
+                    offset,
+                    &data,
+                    Some(&mut trace),
+                )
             }
         };
         let r = &mut self.requests[req as usize];
@@ -499,6 +565,7 @@ impl<'a> Run<'a> {
         r.aborted = false;
         r.path = path;
         r.dispatched_at = now;
+        r.trace = Some(trace);
         match submitted {
             Ok((op_id, ack)) => {
                 if r.first_dispatch.is_none() {
@@ -522,6 +589,9 @@ impl<'a> Run<'a> {
                 r.state = ReqState::Queued;
                 for rider in riders {
                     self.requests[rider as usize].state = ReqState::Queued;
+                    // Dissolved riders restart their trace cleanly: the
+                    // whole wait is restamped at their next dispatch.
+                    self.requests[rider as usize].trace = None;
                     self.requeue(rider);
                 }
                 self.report.dispatch_errors += 1;
@@ -554,6 +624,20 @@ impl<'a> Run<'a> {
         self.mp.note_success(path);
         let riders = self.requests[req as usize].riders.clone();
         self.requests[req as usize].riders.clear();
+        // A rider's own span tree is its wait plus one span covering the
+        // carrier write it rode: charged to nvram_commit, because riding
+        // a neighbour's NVRAM append is exactly what coalescing buys.
+        let head_dispatch = self.requests[req as usize].dispatched_at;
+        for &rider in &riders {
+            if let Some(rt) = self.requests[rider as usize].trace.as_mut() {
+                rt.stage_note(
+                    "nvram_commit",
+                    head_dispatch,
+                    t,
+                    format!("coalesced into adjacent write (request {req})"),
+                );
+            }
+        }
         // deliver_ack frees each member's initiator slot and, in
         // closed-loop mode, sources the next arrival at the ack time.
         for member in std::iter::once(req).chain(riders) {
@@ -565,6 +649,11 @@ impl<'a> Run<'a> {
     fn deliver_ack(&mut self, req: u64, t: Nanos) {
         if self.audit.ack(req) > 1 {
             self.report.duplicate_acks += 1;
+        }
+        // The ack closes the span tree: host wait + multipath legs +
+        // array-plane spans, finished as one end-to-end trace.
+        if let Some(trace) = self.requests[req as usize].trace.take() {
+            self.array.obs().tracer.finish(trace, t);
         }
         let r = &mut self.requests[req as usize];
         r.state = ReqState::Completed;
@@ -613,6 +702,7 @@ impl<'a> Run<'a> {
         let riders = std::mem::take(&mut self.requests[req as usize].riders);
         for rider in riders {
             self.requests[rider as usize].state = ReqState::Queued;
+            self.requests[rider as usize].trace = None;
             self.requeue(rider);
         }
         if attempts > self.cfg.max_retries {
@@ -631,6 +721,9 @@ impl<'a> Run<'a> {
         self.audit.fail(req);
         let r = &mut self.requests[req as usize];
         r.state = ReqState::Failed;
+        // No ack was ever delivered, so the trace never finishes: blame
+        // accounting covers completed ops only.
+        r.trace = None;
         let initiator = r.initiator;
         self.report.failed_ops += 1;
         self.outstanding[initiator] = self.outstanding[initiator].saturating_sub(1);
@@ -816,6 +909,76 @@ mod tests {
             "sequential QD16 stream should coalesce"
         );
         assert_eq!(report.duplicate_acks, 0);
+    }
+
+    #[test]
+    fn traces_split_host_wait_into_queue_and_throttle_spans() {
+        let mut acfg = ArrayConfig::test_small();
+        acfg.slow_op_capture_ns = 1; // capture every op's span tree
+        let mut a = FlashArray::new(acfg).unwrap();
+        let vol = a.create_volume("host", 8 << 20).unwrap();
+        let engine = HostEngine::new(HostConfig {
+            initiators: 2,
+            queue_depth: 8,
+            coalesce: false,
+            qos: QosSpec {
+                iops_cap: 2,
+                bytes_cap: 0,
+                window: 1_000_000,
+                target_latency: 5_000_000,
+            },
+            ..HostConfig::default()
+        });
+        let mut gen = workload(17, 50);
+        let folded_before = a.obs().tracer.folded_count();
+        let report = engine.run_closed_loop(&mut a, vol, &mut gen, 100, None);
+        assert_eq!(report.ops, 100);
+        assert!(report.qos_throttled > 0, "cap must bite for this test");
+        // Every host op folds into blame accounting...
+        assert!(a.obs().tracer.folded_count() >= folded_before + 100);
+        // ...and the captured span trees carry both halves of the story:
+        // host-plane wait spans and the absorbed array-plane spans.
+        let slow = a.obs().tracer.slow_ops();
+        let stages: std::collections::HashSet<&str> = slow
+            .iter()
+            .flat_map(|o| o.stages.iter().map(|s| s.stage))
+            .collect();
+        assert!(stages.contains("qos_throttle"), "stages seen: {stages:?}");
+        assert!(stages.contains("nvram_commit"), "stages seen: {stages:?}");
+        assert!(
+            slow.iter().any(|o| o.kind.starts_with("host_")),
+            "ring should hold host-initiated end-to-end traces"
+        );
+    }
+
+    #[test]
+    fn qfull_backoff_wait_is_charged_to_host_queue() {
+        let mut acfg = ArrayConfig::test_small();
+        acfg.slow_op_capture_ns = 1;
+        let mut a = FlashArray::new(acfg).unwrap();
+        let vol = a.create_volume("host", 8 << 20).unwrap();
+        // No rate caps: wait accrues only from QFULL re-admission
+        // backoff, which the trace must charge to host_queue (there are
+        // no logged throttle windows to blame).
+        let engine = HostEngine::new(HostConfig {
+            initiators: 2,
+            queue_depth: 8,
+            coalesce: false,
+            admission_limit: 1,
+            ..HostConfig::default()
+        });
+        let mut gen = workload(23, 50);
+        let report = engine.run_closed_loop(&mut a, vol, &mut gen, 100, None);
+        assert_eq!(report.ops, 100);
+        assert!(report.qfull > 0, "admission limit must bite");
+        let stages: std::collections::HashSet<&str> = a
+            .obs()
+            .tracer
+            .slow_ops()
+            .iter()
+            .flat_map(|o| o.stages.iter().map(|s| s.stage))
+            .collect();
+        assert!(stages.contains("host_queue"), "stages seen: {stages:?}");
     }
 
     #[test]

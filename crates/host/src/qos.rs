@@ -15,7 +15,13 @@
 //!   deadline eventually becomes the earliest.
 
 use purity_sim::Nanos;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Bound on the merged throttle-window log. Windows merge when they
+/// touch, so 256 entries cover far more than 256 throttle events; a
+/// request that waited longer than the log remembers simply attributes
+/// the forgotten prefix to `host_queue` instead of `qos_throttle`.
+const THROTTLE_LOG_CAP: usize = 256;
 
 /// Per-volume quality-of-service contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +104,11 @@ pub struct DispatchQueue {
     window_bytes: u64,
     /// Cumulative times the head was deferred by a cap.
     pub throttled: u64,
+    /// Merged `[start, end)` windows during which the head was
+    /// rate-capped, oldest first, bounded at [`THROTTLE_LOG_CAP`]. The
+    /// trace layer intersects a request's wait interval with this log
+    /// to split `host_queue` time from `qos_throttle` time.
+    throttle_log: VecDeque<(Nanos, Nanos)>,
 }
 
 impl DispatchQueue {
@@ -112,6 +123,7 @@ impl DispatchQueue {
             window_ops: 0,
             window_bytes: 0,
             throttled: 0,
+            throttle_log: VecDeque::new(),
         }
     }
 
@@ -184,9 +196,9 @@ impl DispatchQueue {
             || (self.window_bytes == 0 && head.bytes > self.spec.bytes_cap);
         if !(ops_ok && bytes_ok) {
             self.throttled += 1;
-            return PopOutcome::Throttled {
-                until: self.window_start + self.spec.window,
-            };
+            let until = self.window_start + self.spec.window;
+            self.log_throttle(now, until);
+            return PopOutcome::Throttled { until };
         }
         self.queue.remove(&key);
         self.window_ops += 1;
@@ -217,6 +229,44 @@ impl DispatchQueue {
     /// Iterates queued requests in dispatch order.
     pub fn iter(&self) -> impl Iterator<Item = &Pending> {
         self.queue.values()
+    }
+
+    /// Records `[from, until)` as a throttled window, merging with the
+    /// most recent entry when they touch (throttle events inside one
+    /// accounting window all report the same `until`).
+    fn log_throttle(&mut self, from: Nanos, until: Nanos) {
+        if until <= from {
+            return;
+        }
+        if let Some(last) = self.throttle_log.back_mut() {
+            if from <= last.1 {
+                last.1 = last.1.max(until);
+                last.0 = last.0.min(from);
+                return;
+            }
+        }
+        if self.throttle_log.len() >= THROTTLE_LOG_CAP {
+            self.throttle_log.pop_front();
+        }
+        self.throttle_log.push_back((from, until));
+    }
+
+    /// Intersections of `[from, to)` with the logged throttle windows,
+    /// in time order. Time in `[from, to)` *not* covered by the result
+    /// was spent waiting in the queue on its own merits (`host_queue`),
+    /// not held back by a rate cap.
+    pub fn throttled_spans(&self, from: Nanos, to: Nanos) -> Vec<(Nanos, Nanos)> {
+        let mut out = Vec::new();
+        for &(s, e) in &self.throttle_log {
+            if e <= from {
+                continue;
+            }
+            if s >= to {
+                break;
+            }
+            out.push((s.max(from), e.min(to)));
+        }
+        out
     }
 }
 
@@ -272,6 +322,37 @@ mod tests {
         }
         // The window is now over-committed; the next request waits.
         assert!(matches!(q.pop_ready(0), PopOutcome::Throttled { .. }));
+    }
+
+    #[test]
+    fn throttle_log_merges_and_intersects() {
+        let mut q = DispatchQueue::new(QosSpec {
+            iops_cap: 1,
+            bytes_cap: 0,
+            window: 1_000,
+            target_latency: 10,
+        });
+        for r in 0..4 {
+            q.push(r, 0, 100);
+        }
+        assert!(matches!(q.pop_ready(0), PopOutcome::Ready(_)));
+        // Two throttle hits in the same window merge into one entry.
+        assert!(matches!(q.pop_ready(100), PopOutcome::Throttled { .. }));
+        assert!(matches!(q.pop_ready(400), PopOutcome::Throttled { .. }));
+        assert_eq!(q.throttled_spans(0, 2_000), vec![(100, 1_000)]);
+        // A later window produces a second, disjoint entry.
+        assert!(matches!(q.pop_ready(1_000), PopOutcome::Ready(_)));
+        assert!(matches!(q.pop_ready(1_500), PopOutcome::Throttled { .. }));
+        assert_eq!(
+            q.throttled_spans(0, 10_000),
+            vec![(100, 1_000), (1_500, 2_000)]
+        );
+        // Intersection clamps to the queried interval.
+        assert_eq!(
+            q.throttled_spans(500, 1_700),
+            vec![(500, 1_000), (1_500, 1_700)]
+        );
+        assert!(q.throttled_spans(1_000, 1_500).is_empty());
     }
 
     #[test]

@@ -22,18 +22,24 @@
 //! Everything works on the simulation's virtual clock: spans are exact,
 //! not sampled, and runs are deterministic.
 
+pub mod blame;
 pub mod json;
 pub mod profiler;
 pub mod recorder;
 pub mod registry;
 pub mod trace;
 
+pub use blame::{
+    fold_blame, is_registered_stage, stage_category, BlameCategory, BlameVec, BLAME_CATEGORIES,
+    N_BLAME, STAGE_REGISTRY,
+};
 pub use profiler::{Plane, PlaneStat, ProfileSnapshot};
 pub use recorder::{
     EvidenceSection, Incident, IntervalStats, Recorder, RecorderConfig, SloConfig, SloEvent,
+    TailBlame,
 };
 pub use registry::{Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
-pub use trace::{OpTrace, SlowOp, StageRecord, Tracer};
+pub use trace::{FoldedOp, OpTrace, SlowOp, StageRecord, Tracer};
 
 use purity_sim::Nanos;
 use std::sync::Arc;
@@ -104,8 +110,9 @@ impl Obs {
     }
 
     /// One JSON document with the metric snapshot, the slow-op ring,
-    /// and the flight recorder's time-series + incident log — the
-    /// export consumed by the bench binaries. Every section is sorted
+    /// and the flight recorder's time-series + incident log + per-
+    /// interval tail-blame decomposition — the export consumed by the
+    /// bench binaries. Every section is sorted
     /// by series name+labels (or id order for ring/incident entries),
     /// so same-seed runs export byte-identical documents.
     ///
@@ -120,6 +127,7 @@ impl Obs {
         w.raw_field("slow_ops", &self.tracer.slow_ops_json());
         w.raw_field("timeseries", &self.recorder.timeseries_json());
         w.raw_field("incidents", &self.recorder.incidents_json());
+        w.raw_field("tail_blame", &self.recorder.tail_blame_json());
         if profiler::is_enabled() {
             w.raw_field("profile", &profiler::snapshot().to_json(None));
         }
@@ -143,6 +151,7 @@ mod tests {
         assert!(j.contains("\"slow_ops\""), "{j}");
         assert!(j.contains("\"timeseries\""), "{j}");
         assert!(j.contains("\"incidents\""), "{j}");
+        assert!(j.contains("\"tail_blame\""), "{j}");
         assert!(j.contains("drive_read"), "{j}");
     }
 }

@@ -31,9 +31,10 @@
 //! boundary and the tick that closes it is attributed to the closing
 //! interval.
 
+use crate::blame::BlameVec;
 use crate::json::JsonWriter;
 use crate::registry::{MetricId, MetricsRegistry};
-use crate::trace::{SlowOp, Tracer};
+use crate::trace::{FoldedOp, SlowOp, Tracer};
 use parking_lot::Mutex;
 use purity_sim::{LatencyHistogram, Nanos};
 use std::collections::{BTreeMap, VecDeque};
@@ -121,6 +122,87 @@ impl IntervalStats {
             .u64_field("p999_ns", self.p999)
             .u64_field("max_ns", self.max);
         w.finish()
+    }
+}
+
+/// One interval's tail-blame decomposition: what the p99.9 cohort's
+/// latency (and, for context, the whole population's) was *made of*,
+/// folded from every completed op's critical path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TailBlame {
+    /// Folded ops completing in this interval.
+    pub ops: u64,
+    /// Ops in the p99.9 cohort: the top ceil(0.1% · ops) by latency.
+    pub cohort_ops: u64,
+    /// Exact (nearest-rank) p99.9 of the folded population.
+    pub p999_ns: Nanos,
+    /// Summed blame of the p99.9 cohort.
+    pub cohort: BlameVec,
+    /// Summed blame of every folded op in the interval.
+    pub total: BlameVec,
+}
+
+impl TailBlame {
+    /// Folds one interval's completed ops. The cohort is the top
+    /// ceil(0.1% · n) ops by latency — at least one whenever the
+    /// interval saw any. The count is capped (rather than taking every
+    /// op at or above the p99.9 value) because simulated latencies are
+    /// deterministic and tie exactly: a "p99.9 cohort" that swallowed
+    /// every tied op could cover the interval's whole population. Ties
+    /// at the threshold are broken by fold order, which is itself
+    /// deterministic across parallel widths.
+    fn of(folded: &[FoldedOp]) -> Self {
+        let mut tb = TailBlame {
+            ops: folded.len() as u64,
+            ..TailBlame::default()
+        };
+        if folded.is_empty() {
+            return tb;
+        }
+        let mut lats: Vec<Nanos> = folded.iter().map(|f| f.latency).collect();
+        lats.sort_unstable();
+        // Nearest-rank p99.9: rank ceil(0.999 * n), 1-based.
+        let rank = (lats.len() * 999).div_ceil(1000);
+        tb.p999_ns = lats[rank - 1];
+        let mut tie_slots = {
+            let above = lats.iter().filter(|&&l| l > tb.p999_ns).count();
+            lats.len() - (rank - 1) - above
+        };
+        for f in folded {
+            tb.total.merge(&f.blame);
+            if f.latency > tb.p999_ns {
+                tb.cohort_ops += 1;
+                tb.cohort.merge(&f.blame);
+            } else if f.latency == tb.p999_ns && tie_slots > 0 {
+                tie_slots -= 1;
+                tb.cohort_ops += 1;
+                tb.cohort.merge(&f.blame);
+            }
+        }
+        tb
+    }
+
+    fn to_json(self) -> String {
+        let mut w = JsonWriter::object();
+        w.u64_field("ops", self.ops)
+            .u64_field("cohort_ops", self.cohort_ops)
+            .u64_field("p999_ns", self.p999_ns)
+            .raw_field("cohort", &self.cohort.to_json())
+            .raw_field("total", &self.total.to_json());
+        w.finish()
+    }
+
+    /// The frozen evidence entries an opening incident captures.
+    fn evidence_entries(&self) -> Vec<(String, String)> {
+        let mut entries = vec![
+            ("ops".to_string(), self.ops.to_string()),
+            ("cohort_ops".to_string(), self.cohort_ops.to_string()),
+            ("p999_ns".to_string(), self.p999_ns.to_string()),
+        ];
+        for (cat, ns) in self.cohort.iter() {
+            entries.push((format!("cohort.{}", cat.as_str()), ns.to_string()));
+        }
+        entries
     }
 }
 
@@ -214,6 +296,8 @@ struct Inner {
     counters: BTreeMap<MetricId, VecDeque<u64>>,
     gauges: BTreeMap<MetricId, VecDeque<i64>>,
     hists: BTreeMap<MetricId, VecDeque<IntervalStats>>,
+    /// Per-interval tail-blame decomposition (same window as the series).
+    tail: VecDeque<TailBlame>,
     prev_counters: BTreeMap<MetricId, u64>,
     prev_hists: BTreeMap<MetricId, LatencyHistogram>,
     incidents: Vec<Incident>,
@@ -295,8 +379,9 @@ impl Recorder {
         let hists = registry.histogram_snapshots();
 
         // First elapsed interval: the real deltas.
-        let slo_stats = self.close_delta_interval(&mut inner, &snap, &hists);
-        self.judge(&mut inner, boundary, slo_stats, tracer, &mut events);
+        let (slo_stats, tail) =
+            self.close_delta_interval(&mut inner, &snap, &hists, tracer, boundary);
+        self.judge(&mut inner, boundary, slo_stats, tail, tracer, &mut events);
         boundary += self.interval;
 
         // Any further fully elapsed intervals saw no sampling tick:
@@ -309,13 +394,16 @@ impl Recorder {
                 let skip = (pending - self.window) as u64;
                 boundary += skip * self.interval;
                 inner.fast_forward(skip, boundary - self.interval);
+                // Folded ops belonging to the dropped intervals go too.
+                drop(tracer.drain_folded_before(boundary - self.interval));
             }
             while boundary <= now {
-                self.close_empty_interval(&mut inner);
+                let tail = self.close_empty_interval(&mut inner, tracer, boundary);
                 self.judge(
                     &mut inner,
                     boundary,
                     IntervalStats::default(),
+                    tail,
                     tracer,
                     &mut events,
                 );
@@ -327,11 +415,12 @@ impl Recorder {
     }
 
     /// Attaches blame evidence to an incident (normally the one just
-    /// surfaced as [`SloEvent::Opened`]).
+    /// surfaced as [`SloEvent::Opened`]). Appends to whatever the
+    /// recorder froze at open time (the `tail_blame` section).
     pub fn attach_evidence(&self, incident_id: u64, evidence: Vec<EvidenceSection>) {
         let mut inner = self.inner.lock();
         if let Some(inc) = inner.incidents.iter_mut().find(|i| i.id == incident_id) {
-            inc.evidence = evidence;
+            inc.evidence.extend(evidence);
         }
     }
 
@@ -399,7 +488,9 @@ impl Recorder {
         inner: &mut Inner,
         snap: &crate::registry::MetricsSnapshot,
         hists: &[(MetricId, LatencyHistogram)],
-    ) -> IntervalStats {
+        tracer: &Tracer,
+        boundary: Nanos,
+    ) -> (IntervalStats, TailBlame) {
         // Counters: delta vs the previous cumulative sample (a series
         // appearing mid-run has an implicit previous value of 0).
         for (id, v) in &snap.counters {
@@ -436,11 +527,19 @@ impl Recorder {
         for (id, h) in hists {
             inner.prev_hists.insert(id.clone(), h.clone());
         }
+        let folded = tracer.drain_folded_before(boundary);
+        let tail = TailBlame::of(&folded);
+        inner.tail.push_back(tail);
         inner.finish_interval(self.interval, self.window);
-        slo_stats
+        (slo_stats, tail)
     }
 
-    fn close_empty_interval(&self, inner: &mut Inner) {
+    fn close_empty_interval(
+        &self,
+        inner: &mut Inner,
+        tracer: &Tracer,
+        boundary: Nanos,
+    ) -> TailBlame {
         for series in inner.counters.values_mut() {
             series.push_back(0);
         }
@@ -452,7 +551,13 @@ impl Recorder {
         for series in inner.hists.values_mut() {
             series.push_back(IntervalStats::default());
         }
+        // "Empty" means no sampling tick landed — ops may still have
+        // completed on this stretch of the grid.
+        let folded = tracer.drain_folded_before(boundary);
+        let tail = TailBlame::of(&folded);
+        inner.tail.push_back(tail);
         inner.finish_interval(self.interval, self.window);
+        tail
     }
 
     /// SLO judgment for the interval that just closed with end time
@@ -462,6 +567,7 @@ impl Recorder {
         inner: &mut Inner,
         boundary: Nanos,
         stats: IntervalStats,
+        tail: TailBlame,
         tracer: &Tracer,
         events: &mut Vec<SloEvent>,
     ) {
@@ -480,7 +586,13 @@ impl Recorder {
                     violating_intervals: 1,
                     trigger: stats,
                     slow_ops: tracer.slow_ops(),
-                    evidence: Vec::new(),
+                    // The violating interval's tail decomposition is
+                    // frozen immediately; callers extend via
+                    // [`Recorder::attach_evidence`].
+                    evidence: vec![EvidenceSection {
+                        section: "tail_blame".to_string(),
+                        entries: tail.evidence_entries(),
+                    }],
                 });
                 inner.open = Some(inner.incidents.len() - 1);
                 inner.healthy_streak = 0;
@@ -559,6 +671,29 @@ impl Recorder {
         root.finish()
     }
 
+    /// The `tail_blame` export section: per-interval decomposition of
+    /// the p99.9 cohort's (and total population's) latency by blame
+    /// category, on the same bounded window as `timeseries`.
+    pub fn tail_blame_json(&self) -> String {
+        let inner = self.inner.lock();
+        let mut entries = JsonWriter::array();
+        for tb in &inner.tail {
+            entries.raw_element(&tb.to_json());
+        }
+        let mut root = JsonWriter::object();
+        root.u64_field("interval_ns", self.interval)
+            .u64_field("epoch_ns", self.epoch)
+            .u64_field("first_start_ns", inner.first_start)
+            .u64_field("intervals", inner.len as u64)
+            .raw_field("entries", &entries.finish());
+        root.finish()
+    }
+
+    /// Per-interval tail blame (same retained window as the series).
+    pub fn tail_series(&self) -> Vec<TailBlame> {
+        self.inner.lock().tail.iter().copied().collect()
+    }
+
     /// The `incidents` export section, in open order (ids ascend).
     pub fn incidents_json(&self) -> String {
         let inner = self.inner.lock();
@@ -585,6 +720,7 @@ impl Inner {
             for series in self.hists.values_mut() {
                 series.pop_front();
             }
+            self.tail.pop_front();
             self.len -= 1;
             self.first_start += interval;
             self.dropped += 1;
@@ -605,6 +741,7 @@ impl Inner {
         for series in self.hists.values_mut() {
             series.clear();
         }
+        self.tail.clear();
         self.len = 0;
         self.first_start = new_first_start;
     }
@@ -651,6 +788,7 @@ fn lookup_id(name: &str, labels: &[(&str, &str)]) -> MetricId {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::blame::BlameCategory;
     use crate::registry::MetricsRegistry;
     use crate::trace::{OpTrace, Tracer};
 
@@ -900,6 +1038,97 @@ mod tests {
         assert!(!rec.due(5_000_000_000));
         assert!(rec.due(5_100_000_000));
         assert_eq!(rec.first_interval_start(), 5_000_000_000);
+    }
+
+    #[test]
+    fn tail_blame_decomposes_each_interval() {
+        let rec = recorder(100, 16);
+        let reg = MetricsRegistry::new();
+        let tr = Tracer::new(u64::MAX, 4);
+        // Two fast CPU-bound ops and one slow drive-bound op complete
+        // inside interval 1.
+        for (start, end) in [(0u64, 10u64), (5, 15)] {
+            let mut t = OpTrace::new("read", start);
+            t.stage("cpu", start, end);
+            tr.finish(t, end);
+        }
+        let mut t = OpTrace::new("read", 0);
+        t.stage("drive_read", 0, 90);
+        tr.finish(t, 90);
+        rec.sample(100, &reg, &tr);
+        let tail = rec.tail_series();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].ops, 3);
+        assert_eq!(tail[0].cohort_ops, 1, "cohort is the slowest op");
+        assert_eq!(tail[0].p999_ns, 90);
+        assert_eq!(tail[0].cohort.get(BlameCategory::DriveQueue), 90);
+        assert_eq!(tail[0].cohort.get(BlameCategory::ReductionCpu), 0);
+        assert_eq!(tail[0].total.get(BlameCategory::ReductionCpu), 20);
+        assert_eq!(tail[0].total.get(BlameCategory::DriveQueue), 90);
+        // Interval 2 completes nothing.
+        rec.sample(200, &reg, &tr);
+        assert_eq!(rec.tail_series()[1], TailBlame::default());
+        let json = rec.tail_blame_json();
+        assert!(json.contains("\"intervals\":2"), "{json}");
+        assert!(json.contains("\"drive_queue\":90"), "{json}");
+    }
+
+    #[test]
+    fn tail_blame_attributes_ops_to_the_interval_they_complete_in() {
+        let rec = recorder(100, 16);
+        let reg = MetricsRegistry::new();
+        let tr = Tracer::new(u64::MAX, 4);
+        // Finishes with a *future* completion time (as the controller
+        // does: finish at `now` with completed_at = now + latency) must
+        // land in the interval containing completed_at, not the one
+        // containing the finish call.
+        let mut t = OpTrace::new("read", 40);
+        t.stage("drive_read", 40, 150);
+        tr.finish(t, 150);
+        rec.sample(100, &reg, &tr);
+        assert_eq!(rec.tail_series()[0], TailBlame::default());
+        rec.sample(200, &reg, &tr);
+        let tail = rec.tail_series();
+        assert_eq!(tail[1].ops, 1);
+        assert_eq!(tail[1].cohort.get(BlameCategory::DriveQueue), 110);
+    }
+
+    #[test]
+    fn incidents_freeze_tail_blame_evidence_at_open() {
+        let rec = recorder(10_000_000, 64);
+        let reg = MetricsRegistry::new();
+        let tr = Tracer::new(u64::MAX, 4);
+        let hist = reg.histogram("array_read_latency", &[]);
+        let mut h = LatencyHistogram::new();
+        for _ in 0..20 {
+            h.record(4_000_000);
+        }
+        hist.set_from(&h);
+        // The violating interval's sole completed op is erase-stalled.
+        let mut t = OpTrace::new("read", 0);
+        t.stage("die_stall_erase", 0, 3_900_000);
+        t.stage("drive_read", 3_900_000, 4_000_000);
+        tr.finish(t, 4_000_000);
+        let ev = rec.sample(10_000_000, &reg, &tr);
+        let id = match ev[0] {
+            SloEvent::Opened { id, .. } => id,
+            other => panic!("expected open, got {other:?}"),
+        };
+        // attach_evidence extends — the frozen tail_blame section stays.
+        rec.attach_evidence(
+            id,
+            vec![EvidenceSection {
+                section: "drives".into(),
+                entries: vec![("drive0".into(), "erasing".into())],
+            }],
+        );
+        let inc = &rec.incidents()[0];
+        let sections: Vec<&str> = inc.evidence.iter().map(|s| s.section.as_str()).collect();
+        assert!(sections.contains(&"tail_blame"), "{sections:?}");
+        assert!(sections.contains(&"drives"), "{sections:?}");
+        let j = inc.to_json();
+        assert!(j.contains("\"cohort.die_stall_erase\":\"3900000\""), "{j}");
+        assert!(j.contains("\"cohort_ops\":\"1\""), "{j}");
     }
 
     #[test]

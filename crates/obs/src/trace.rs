@@ -10,12 +10,13 @@
 //! `drive_read` span carries the note
 //! `queued 2.1ms behind erase on die 3 of drive 7`.
 
+use crate::blame::{fold_blame, BlameVec};
 use crate::json::JsonWriter;
 use parking_lot::Mutex;
 use purity_sim::units::format_nanos;
 use purity_sim::Nanos;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// One span inside an operation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -65,6 +66,10 @@ impl OpTrace {
     /// Records a span. Zero-duration spans are legal: CPU stages take no
     /// virtual time but still mark ordering and carry notes.
     pub fn stage(&mut self, stage: &'static str, start: Nanos, end: Nanos) {
+        debug_assert!(
+            crate::blame::is_registered_stage(stage),
+            "unregistered stage name {stage:?} (add it to STAGE_REGISTRY)"
+        );
         self.stages.push(StageRecord {
             stage,
             start,
@@ -75,6 +80,10 @@ impl OpTrace {
 
     /// Records a span with an attribution note.
     pub fn stage_note(&mut self, stage: &'static str, start: Nanos, end: Nanos, note: String) {
+        debug_assert!(
+            crate::blame::is_registered_stage(stage),
+            "unregistered stage name {stage:?} (add it to STAGE_REGISTRY)"
+        );
         self.stages.push(StageRecord {
             stage,
             start,
@@ -85,6 +94,24 @@ impl OpTrace {
 
     pub fn stages(&self) -> &[StageRecord] {
         &self.stages
+    }
+
+    /// Grafts another trace's spans into this one (same virtual clock):
+    /// how an upstream initiator's context absorbs the array-side spans
+    /// of one dispatch leg, producing a single end-to-end tree.
+    pub fn absorb(&mut self, other: OpTrace) {
+        self.stages.extend(other.stages);
+    }
+
+    /// Grafts spans recorded on a *different* clock, shifting each by
+    /// `shift` (cluster ops rebase member-array spans into the cluster
+    /// timeline). Saturates at zero.
+    pub fn absorb_shifted(&mut self, other: OpTrace, shift: i64) {
+        for mut s in other.stages {
+            s.start = s.start.saturating_add_signed(shift);
+            s.end = s.end.saturating_add_signed(shift);
+            self.stages.push(s);
+        }
     }
 }
 
@@ -138,7 +165,29 @@ impl SlowOp {
     }
 }
 
-/// Completion sink: counts ops and captures slow ones into a ring.
+/// One op's folded blame, queued for the flight recorder's interval
+/// accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct FoldedOp {
+    pub completed_at: Nanos,
+    pub latency: Nanos,
+    pub blame: BlameVec,
+}
+
+#[derive(Debug, Default)]
+struct BlameState {
+    /// Cumulative all-ops blame since boot (the `trace_blame_ns`
+    /// counters mirror this).
+    totals: BlameVec,
+    /// Folded ops not yet claimed by a recorder interval, in finish
+    /// order. Completion times may run ahead of the virtual now (the
+    /// controller finishes with `now + latency`), so the recorder
+    /// drains by boundary, not wholesale.
+    pending: Vec<FoldedOp>,
+}
+
+/// Completion sink: folds every op's critical path into the blame
+/// taxonomy and captures slow ones in full into a ring.
 #[derive(Debug)]
 pub struct Tracer {
     threshold: AtomicU64,
@@ -146,6 +195,9 @@ pub struct Tracer {
     ring: Mutex<VecDeque<SlowOp>>,
     finished: AtomicU64,
     captured: AtomicU64,
+    folded: AtomicU64,
+    fold_enabled: AtomicBool,
+    blame: Mutex<BlameState>,
 }
 
 impl Tracer {
@@ -156,6 +208,9 @@ impl Tracer {
             ring: Mutex::new(VecDeque::new()),
             finished: AtomicU64::new(0),
             captured: AtomicU64::new(0),
+            folded: AtomicU64::new(0),
+            fold_enabled: AtomicBool::new(true),
+            blame: Mutex::new(BlameState::default()),
         }
     }
 
@@ -188,10 +243,23 @@ impl Tracer {
     }
 
     /// Completes an operation; returns its end-to-end latency and whether
-    /// it was captured as slow.
+    /// it was captured as slow. *Every* op is folded into the blame
+    /// taxonomy first — aggregate blame covers the whole population,
+    /// not just the ring's worst cases.
     pub fn finish(&self, trace: OpTrace, completed_at: Nanos) -> (Nanos, bool) {
         let latency = completed_at.saturating_sub(trace.issued_at);
         self.finished.fetch_add(1, Ordering::Relaxed);
+        if self.fold_enabled.load(Ordering::Relaxed) {
+            let blame = fold_blame(trace.issued_at, completed_at, &trace.stages);
+            self.folded.fetch_add(1, Ordering::Relaxed);
+            let mut st = self.blame.lock();
+            st.totals.merge(&blame);
+            st.pending.push(FoldedOp {
+                completed_at,
+                latency,
+                blame,
+            });
+        }
         if latency < self.threshold() {
             return (latency, false);
         }
@@ -220,6 +288,45 @@ impl Tracer {
     /// the ring since).
     pub fn captured_count(&self) -> u64 {
         self.captured.load(Ordering::Relaxed)
+    }
+
+    /// Total ops folded into the blame taxonomy (`trace_ops_folded`).
+    pub fn folded_count(&self) -> u64 {
+        self.folded.load(Ordering::Relaxed)
+    }
+
+    /// Whether completion-time blame folding is on (default). The perf
+    /// benchmark toggles this to measure tracing's own overhead.
+    pub fn fold_enabled(&self) -> bool {
+        self.fold_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables/disables blame folding for subsequent completions.
+    pub fn set_fold_enabled(&self, on: bool) {
+        self.fold_enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Cumulative all-ops blame since boot.
+    pub fn blame_totals(&self) -> BlameVec {
+        self.blame.lock().totals
+    }
+
+    /// Removes and returns the folded ops completing strictly before
+    /// `boundary`, preserving finish order. Ops completing later stay
+    /// queued for a future interval.
+    pub fn drain_folded_before(&self, boundary: Nanos) -> Vec<FoldedOp> {
+        let mut st = self.blame.lock();
+        let mut taken = Vec::new();
+        let mut kept = Vec::with_capacity(st.pending.len());
+        for op in st.pending.drain(..) {
+            if op.completed_at < boundary {
+                taken.push(op);
+            } else {
+                kept.push(op);
+            }
+        }
+        st.pending = kept;
+        taken
     }
 
     /// Copies out the current ring contents, oldest first.
@@ -265,7 +372,7 @@ mod tests {
     fn slow_ops_capture_stage_breakdown() {
         let tr = Tracer::new(1000, 4);
         let mut t = OpTrace::new("read", 100);
-        t.stage("nvram", 100, 110);
+        t.stage("nvram_commit", 100, 110);
         t.stage_note(
             "drive_read",
             110,
@@ -312,6 +419,40 @@ mod tests {
             tr.finish(op("w", i, i + 100), i + 100);
         }
         assert_eq!(tr.slow_ops().len(), 4);
+    }
+
+    #[test]
+    fn every_op_is_folded_even_below_threshold() {
+        use crate::blame::BlameCategory;
+        let tr = Tracer::new(1000, 4);
+        let (_, slow) = tr.finish(op("read", 0, 500), 500);
+        assert!(!slow, "below threshold");
+        assert_eq!(tr.folded_count(), 1, "fast ops still fold");
+        assert_eq!(tr.blame_totals().get(BlameCategory::DriveQueue), 500);
+        tr.finish(op("read", 0, 2000), 2000);
+        assert_eq!(tr.folded_count(), 2);
+        assert_eq!(tr.blame_totals().total(), 2500);
+        // Drain splits on completion time, preserving order.
+        let first = tr.drain_folded_before(1000);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].latency, 500);
+        let rest = tr.drain_folded_before(u64::MAX);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].latency, 2000);
+        assert!(tr.drain_folded_before(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn fold_can_be_disabled_for_overhead_measurement() {
+        let tr = Tracer::new(0, 4);
+        tr.set_fold_enabled(false);
+        tr.finish(op("read", 0, 500), 500);
+        assert_eq!(tr.folded_count(), 0);
+        assert_eq!(tr.blame_totals().total(), 0);
+        assert_eq!(tr.slow_ops().len(), 1, "ring capture still works");
+        tr.set_fold_enabled(true);
+        tr.finish(op("read", 0, 500), 500);
+        assert_eq!(tr.folded_count(), 1);
     }
 
     #[test]

@@ -57,6 +57,9 @@ pub struct DeviceRead {
     pub die: usize,
     /// What the critical-path page queued behind, if anything.
     pub stall: Option<StallCause>,
+    /// For a program stall: whether the blocking program was GC
+    /// relocation rather than host traffic (noisy-neighbour blame).
+    pub stall_gc: bool,
 }
 
 /// One simulated SSD.
@@ -116,6 +119,13 @@ impl Ssd {
     /// Total flash-level counters (reads/programs/erases/bad blocks).
     pub fn flash_counters(&self) -> crate::flash::FlashCounters {
         self.ftl.flash().counters()
+    }
+
+    /// Attributes subsequent programs to GC (controller-driven segment
+    /// garbage collection) or back to host traffic, for stall blame.
+    /// The FTL's own relocation programs are always GC-attributed.
+    pub fn set_gc_mode(&mut self, on: bool) {
+        self.ftl.flash_mut().set_gc_mode(on);
     }
 
     /// Marks the drive failed (simulates pulling it from the shelf).
@@ -274,6 +284,7 @@ impl Ssd {
                 service: 0,
                 die: 0,
                 stall: None,
+                stall_gc: false,
             });
         }
         let first = offset / self.page_size;
@@ -288,6 +299,7 @@ impl Ssd {
             service: 0,
             die: 0,
             stall: None,
+            stall_gc: false,
         };
         for page in pages {
             buf.extend_from_slice(&page.data);
@@ -297,6 +309,7 @@ impl Ssd {
                 crit.service = page.service;
                 crit.die = page.die;
                 crit.stall = page.stall;
+                crit.stall_gc = page.stall_gc;
             }
         }
         let start = offset - first * self.page_size;

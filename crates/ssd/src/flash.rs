@@ -17,6 +17,7 @@ use purity_sim::parallel::{disjoint_muts, par_run, threads, SafeHorizon};
 use purity_sim::{Clock, Nanos, Timeline};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// One virtual year — the retention horizon a block at exactly its rated
@@ -89,9 +90,25 @@ struct Die {
     /// Completion time of the most recent program on this die, for
     /// attributing read queueing to its cause.
     last_program_end: Nanos,
+    /// Whether the program ending at `last_program_end` was issued on
+    /// behalf of garbage collection (relocation) rather than host I/O —
+    /// splits `die_stall_program` from `gc_interference` blame.
+    last_program_gc: bool,
     /// Completion time of the most recent erase on this die.
     last_erase_end: Nanos,
+    /// Recent program reservation ends `(end, gc)`, oldest first. A
+    /// queued read blames a program only if one of these ends inside
+    /// its wait window — the pacer books flushes into future slots, so
+    /// the *latest* program end alone says nothing about what a read
+    /// issued now actually waited behind.
+    recent_program_ends: VecDeque<(Nanos, bool)>,
+    /// Recent erase reservation ends, oldest first.
+    recent_erase_ends: VecDeque<Nanos>,
 }
+
+/// Entries retained per die for stall attribution; enough to cover
+/// every reservation inside any realistic wait window.
+const RECENT_ENDS_CAP: usize = 128;
 
 /// What a queued read was waiting behind on its die (§2.1: "while an SSD
 /// is erasing a block, it cannot read data from physically-related
@@ -143,6 +160,10 @@ pub struct PageRead {
     pub die: usize,
     /// Why the read queued, when it did.
     pub stall: Option<StallCause>,
+    /// For a [`StallCause::Program`] stall: whether the blocking program
+    /// was garbage-collection relocation (noisy-neighbour interference)
+    /// rather than host traffic.
+    pub stall_gc: bool,
 }
 
 /// Wear / traffic counters (SMART-style).
@@ -195,10 +216,22 @@ fn program_on_die(
     data: &[u8],
     virtual_now: Nanos,
     now: Nanos,
+    gc: bool,
 ) -> Nanos {
     let service = latency.page_program(data.len());
     let res = die.timeline.reserve(now, service);
+    if res.end >= die.last_program_end {
+        die.last_program_gc = gc;
+    }
     die.last_program_end = die.last_program_end.max(res.end);
+    // Cap-prune only: `now` here is the paced (possibly future) issue
+    // slot, so time-pruning against it would discard programs that are
+    // still ahead of present-time reads. Readers prune by their own
+    // clock instead.
+    if die.recent_program_ends.len() >= RECENT_ENDS_CAP {
+        die.recent_program_ends.pop_front();
+    }
+    die.recent_program_ends.push_back((res.end, gc));
     let block = &mut die.blocks[ppa.block];
     block.data[ppa.page] = Some(data.to_vec().into_boxed_slice());
     block.programmed_at[ppa.page] = virtual_now;
@@ -232,21 +265,53 @@ fn read_on_die(
     let res = die.timeline.reserve(now, service);
     delta.reads += 1;
     let queued = res.queueing(now);
+    let mut stall_gc = false;
     let stall = if queued == 0 {
         None
     } else {
-        let prog_pending = die.last_program_end > now;
-        let erase_pending = die.last_erase_end > now;
-        let cause = match (prog_pending, erase_pending) {
-            (_, true) if die.last_erase_end >= die.last_program_end => StallCause::Erase,
-            (true, _) => StallCause::Program,
-            (false, true) => StallCause::Erase,
-            (false, false) => StallCause::Read,
+        // Blame a program/erase only when its reservation actually sits
+        // in this read's wait window [now, start): bookings never
+        // overlap, so an op that blocked us must *end* by our start. A
+        // flush the pacer booked for a future slot (end > start) never
+        // delayed this read — it gap-filled ahead of it — so the stall
+        // falls through to read-vs-read queueing. Fully-past entries
+        // can never block again (read issue times are monotonic), so
+        // drop them here where `now` is the true present.
+        while die
+            .recent_program_ends
+            .front()
+            .is_some_and(|&(e, _)| e <= now)
+        {
+            die.recent_program_ends.pop_front();
+        }
+        while die.recent_erase_ends.front().is_some_and(|&e| e <= now) {
+            die.recent_erase_ends.pop_front();
+        }
+        let blocking_program = die
+            .recent_program_ends
+            .iter()
+            .filter(|&&(e, _)| e > now && e <= res.start)
+            .max_by_key(|&&(e, _)| e)
+            .copied();
+        let blocking_erase = die
+            .recent_erase_ends
+            .iter()
+            .filter(|&&e| e > now && e <= res.start)
+            .max()
+            .copied();
+        let cause = match (blocking_program, blocking_erase) {
+            (Some((pe, _)), Some(ee)) if ee >= pe => StallCause::Erase,
+            (Some(_), _) => StallCause::Program,
+            (None, Some(_)) => StallCause::Erase,
+            (None, None) => StallCause::Read,
         };
         match cause {
             StallCause::Program => delta.read_stalls_program += 1,
             StallCause::Erase => delta.read_stalls_erase += 1,
             StallCause::Read => delta.read_stalls_read += 1,
+        }
+        if let (StallCause::Program, Some((_, gc))) = (cause, blocking_program) {
+            stall_gc = gc;
         }
         delta.read_stall_ns += queued;
         Some(cause)
@@ -267,6 +332,7 @@ fn read_on_die(
         service: res.service(),
         die: ppa.die,
         stall,
+        stall_gc,
     })
 }
 
@@ -293,6 +359,9 @@ pub struct Flash {
     clock: Arc<Clock>,
     dies: Vec<Die>,
     counters: FlashCounters,
+    /// While set, programs are attributed to garbage collection for
+    /// stall-blame purposes (see [`Flash::set_gc_mode`]).
+    gc_mode: bool,
 }
 
 impl Flash {
@@ -318,7 +387,10 @@ impl Flash {
                     })
                     .collect(),
                 last_program_end: 0,
+                last_program_gc: false,
                 last_erase_end: 0,
+                recent_program_ends: VecDeque::new(),
+                recent_erase_ends: VecDeque::new(),
             })
             .collect();
         Self {
@@ -328,7 +400,21 @@ impl Flash {
             clock,
             dies,
             counters: FlashCounters::default(),
+            gc_mode: false,
         }
+    }
+
+    /// Marks subsequent programs as garbage-collection relocation (or
+    /// back to host traffic). Reads queueing behind a GC program report
+    /// it via [`PageRead::stall_gc`], splitting noisy-neighbour
+    /// interference from ordinary program stalls in blame accounting.
+    pub fn set_gc_mode(&mut self, on: bool) {
+        self.gc_mode = on;
+    }
+
+    /// Whether programs are currently attributed to garbage collection.
+    pub fn gc_mode(&self) -> bool {
+        self.gc_mode
     }
 
     /// Device geometry.
@@ -433,6 +519,7 @@ impl Flash {
             "batch issue time must sit inside the lookahead window"
         );
         self.counters.programs += ops.len() as u64;
+        let gc = self.gc_mode;
         let mut out = vec![0 as Nanos; ops.len()];
         if ops.len() <= 1 || threads() == 1 {
             for (i, (ppa, data)) in ops.iter().enumerate() {
@@ -444,6 +531,7 @@ impl Flash {
                     data,
                     virtual_now,
                     now,
+                    gc,
                 );
             }
             return out;
@@ -475,7 +563,7 @@ impl Flash {
                         let (ppa, data) = &ops[i];
                         (
                             i,
-                            program_on_die(die, &latency, *ppa, data, virtual_now, now),
+                            program_on_die(die, &latency, *ppa, data, virtual_now, now, gc),
                         )
                     })
                     .collect::<Vec<(usize, Nanos)>>()
@@ -615,6 +703,7 @@ impl Flash {
             data,
             virtual_now,
             now,
+            self.gc_mode,
         );
         self.counters.programs += 1;
         Ok(end)
@@ -633,7 +722,12 @@ impl Flash {
             return Err(FlashError::BadBlock);
         }
         let res = self.dies[die].timeline.reserve(now, self.latency.erase_ns);
-        self.dies[die].last_erase_end = self.dies[die].last_erase_end.max(res.end);
+        let d = &mut self.dies[die];
+        d.last_erase_end = d.last_erase_end.max(res.end);
+        if d.recent_erase_ends.len() >= RECENT_ENDS_CAP {
+            d.recent_erase_ends.pop_front();
+        }
+        d.recent_erase_ends.push_back(res.end);
         let b = &mut self.dies[die].blocks[block];
         let (prior_erases, true_endurance) = (b.erase_count, b.true_endurance);
         *b = Block::new(pages, true_endurance);
@@ -810,6 +904,33 @@ mod tests {
         let free = f.die_free_at(1);
         assert!(f.die_busy_at(1, 0));
         assert!(!f.die_busy_at(1, free));
+    }
+
+    #[test]
+    fn gc_mode_splits_program_stall_attribution() {
+        let (mut f, _) = mk();
+        let host = Ppa {
+            die: 0,
+            block: 0,
+            page: 0,
+        };
+        // Host-origin program: a queued read blames a plain program stall.
+        f.program_page(host, &page(1, 4096), 0).unwrap();
+        let r = f.read_page_traced(host, 0).unwrap();
+        assert_eq!(r.stall, Some(StallCause::Program));
+        assert!(!r.stall_gc, "host program is not GC interference");
+        // GC-origin program on another die: the stall is GC-attributed.
+        let gc = Ppa {
+            die: 1,
+            block: 0,
+            page: 0,
+        };
+        f.set_gc_mode(true);
+        f.program_page(gc, &page(2, 4096), 0).unwrap();
+        f.set_gc_mode(false);
+        let r = f.read_page_traced(gc, 0).unwrap();
+        assert_eq!(r.stall, Some(StallCause::Program));
+        assert!(r.stall_gc, "relocation program is GC interference");
     }
 
     #[test]

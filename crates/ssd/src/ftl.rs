@@ -487,6 +487,16 @@ impl Ftl {
     /// the pass, or `None` when no sealed block is collectable.
     fn gc_once(&mut self, now: Nanos) -> Result<Option<Nanos>, FtlError> {
         purity_obs::profile_scope!(purity_obs::Plane::Gc);
+        // Relocation programs are GC traffic for stall attribution,
+        // whatever mode the caller left the flash in.
+        let prev_gc = self.flash.gc_mode();
+        self.flash.set_gc_mode(true);
+        let r = self.gc_once_inner(now);
+        self.flash.set_gc_mode(prev_gc);
+        r
+    }
+
+    fn gc_once_inner(&mut self, now: Nanos) -> Result<Option<Nanos>, FtlError> {
         // Greedy: sealed block with fewest valid pages. A fully-valid
         // block yields no space, so it is never a victim (collecting it
         // would spin forever on a truly full device).

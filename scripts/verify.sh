@@ -56,6 +56,14 @@ cargo run -q --release -p purity-bench --bin exp_replication -- --smoke
 step "cluster plane smoke (exp_cluster)"
 cargo run -q --release -p purity-bench --bin exp_cluster -- --smoke
 
+# Tail-blame smoke: the causal-tracing exhibit must show >=80% of
+# p99.9-cohort blame on die-stall categories with read-around off, a
+# >=5x die-stall reduction with it on, cluster redirect + reconstruct
+# blame confined to the kill window, and byte-identical same-seed
+# exports (see OBSERVABILITY.md, "Causal tracing and tail blame").
+step "tail-blame smoke (exp_blame)"
+cargo run -q --release -p purity-bench --bin exp_blame -- --smoke
+
 if [[ $quick -eq 1 ]]; then
   echo "--quick: skipping fmt/clippy"
   exit 0

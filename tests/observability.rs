@@ -46,43 +46,70 @@ fn random_sectors(rng: &mut StdRng, n: usize) -> Vec<u8> {
 
 #[test]
 fn tail_reads_are_attributed_to_die_busy_time() {
-    let cfg = churn_config();
+    // Tighter than [`churn_config`]: 8-page (32 KiB) blocks and a
+    // short frontier let the FTL's free pool cycle within the storm,
+    // so device-level GC erases land inside the same paced flush
+    // slots the probes race.
+    let mut cfg = stall_config();
+    cfg.frontier_aus_per_drive = 4;
+    cfg.ssd_geometry = SsdGeometry {
+        dies: 4,
+        blocks_per_die: 20,
+        pages_per_block: 8,
+        page_size: 4096,
+    };
     let mut a = FlashArray::new(cfg).expect("format");
-    let vol_bytes: u64 = 4 << 20;
+    let vol_bytes: u64 = 2 << 20;
     let vol = a.create_volume("churn", vol_bytes).unwrap();
     let mut rng = StdRng::seed_from_u64(42);
 
     // Fill the volume once so several segments seal and reach the
-    // drives; later reads of this data are real drive reads.
-    let chunk = 128 * 1024usize;
-    for i in 0..(vol_bytes as usize / chunk) as u64 {
+    // drives, then let the write pacer drain its flush backlog.
+    let chunk = 32 * 1024usize;
+    let n_chunks = vol_bytes / chunk as u64;
+    for ci in 0..n_chunks {
         let data = random_sectors(&mut rng, chunk / SECTOR);
-        a.write(vol, i * chunk as u64, &data).unwrap();
+        a.write(vol, ci * chunk as u64, &data).unwrap();
         a.advance(500_000);
     }
-    a.advance(20_000_000);
+    a.advance(300_000_000);
 
-    // Churn: overwrite fresh data (keeping dies busy programming, and —
-    // once the FTL's free pool cycles — erasing), while immediately
-    // reading *old* sealed data at the same virtual instant. With no
-    // cache and no read-around, those reads queue behind the die.
+    // Churn: each iteration overwrites 256 KiB and lasts about as long
+    // as the §4.4 pacer takes to flush it, so the flush backlog stays
+    // bounded — whatever is mid-program at any instant is data written
+    // one to three iterations ago, still reachable through the current
+    // logical mapping. Probes target exactly those chunks: one whose
+    // column is mid-program (or mid-erase, once the cycling free pool
+    // pulls device GC into the flush slots) at issue stalls for the
+    // reservation remainder. Periodic array GC recycles AUs, so drive
+    // LBAs are overwritten and the FTL accumulates the garbage its GC
+    // needs to collect.
     let mut saw_program = false;
     let mut saw_erase = false;
-    let vol_sectors = vol_bytes / SECTOR as u64;
-    'churn: for round in 0..64u64 {
-        for i in 0..8u64 {
-            let w_off =
-                (((round * 8 + i) * (chunk as u64)) % vol_bytes).min(vol_bytes - chunk as u64);
+    let col_sectors: u64 = chunk as u64 / SECTOR as u64;
+    let bulk: u64 = 8;
+    'churn: for iter in 0..160u64 {
+        for i in 0..bulk {
+            let ci = (iter * bulk + i) % n_chunks;
             let data = random_sectors(&mut rng, chunk / SECTOR);
-            a.write(vol, w_off, &data).unwrap();
-            for probe in 0..8u64 {
-                let r_sector = (round * 131 + i * 17 + probe * 41) % vol_sectors;
-                a.read(vol, r_sector * SECTOR as u64, SECTOR).unwrap();
-            }
-            a.advance(400_000);
+            a.write(vol, ci * chunk as u64, &data).unwrap();
+            a.advance(50_000);
         }
-        a.run_gc().unwrap();
-        a.advance(5_000_000);
+        for burst in 0..2u64 {
+            a.advance(2_000_000);
+            for p in 0..8u64 {
+                let back = 1 + p % 3;
+                let ci = ((iter.saturating_sub(back)) * bulk + p) % n_chunks;
+                let r_sector = ci * col_sectors + (iter * 13 + burst * 29 + p * 7) % col_sectors;
+                a.read(vol, r_sector * SECTOR as u64, SECTOR).unwrap();
+                a.advance(250_000);
+            }
+        }
+        a.advance(2_400_000);
+        if iter % 4 == 3 {
+            a.run_gc().unwrap();
+            a.advance(3_000_000);
+        }
         for op in a.obs().tracer.slow_ops() {
             for stage in &op.stages {
                 if let Some(note) = &stage.note {
@@ -126,7 +153,14 @@ fn tail_reads_are_attributed_to_die_busy_time() {
     assert!(slow.latency >= a.config().slow_op_capture_ns);
     let dominant = slow.dominant_stage().expect("stages recorded");
     assert!(
-        dominant.stage == "drive_read" || dominant.stage == "reconstruct",
+        matches!(
+            dominant.stage,
+            "drive_read"
+                | "reconstruct"
+                | "die_stall_program"
+                | "die_stall_erase"
+                | "gc_interference"
+        ),
         "tail op dominated by {}: {}",
         dominant.stage,
         slow.describe()
@@ -252,12 +286,13 @@ fn export_is_idempotent_across_repeated_publishes() {
     a.publish_metrics();
     let second = a.export_observability_json();
     assert_eq!(first, second);
-    // All four export sections are present.
+    // All five export sections are present.
     for section in [
         "\"metrics\"",
         "\"slow_ops\"",
         "\"timeseries\"",
         "\"incidents\"",
+        "\"tail_blame\"",
     ] {
         assert!(first.contains(section), "missing {section}");
     }
@@ -363,4 +398,27 @@ fn observability_survives_failover() {
         data.len() as u64
     );
     assert_eq!(snap.counter("array_failovers", &[]), 1);
+}
+
+/// Every stage name a real run emits must come from the closed
+/// [`purity_obs::STAGE_REGISTRY`] — the audit that keeps the blame
+/// taxonomy total: an unregistered stage would silently fold into
+/// `reduction_cpu` and corrupt tail attribution.
+#[test]
+fn emitted_stage_names_are_registered() {
+    let a = telemetry_run(11);
+    let mut seen: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    for op in a.obs().tracer.slow_ops() {
+        for st in &op.stages {
+            seen.insert(st.stage);
+        }
+    }
+    assert!(!seen.is_empty(), "run captured no slow ops to audit");
+    for s in &seen {
+        assert!(
+            purity_obs::is_registered_stage(s),
+            "run emitted unregistered stage {s:?}; registry: {:?}",
+            purity_obs::STAGE_REGISTRY
+        );
+    }
 }

@@ -179,3 +179,73 @@ fn cluster_campaigns_are_thread_count_invariant() {
         });
     }
 }
+
+/// The causal-tracing spine (ISSUE 9) under parallel execution: a
+/// compact GC-storm with single-sector probes racing the §4.4 write
+/// pacer produces die-stall blame, slow-op captures with stall notes,
+/// and a populated `tail_blame` export section. The comparison string
+/// carries the stripped observability export (tail blame and stage
+/// audit included), every slow-op `describe()`, and the tracer's
+/// cumulative per-category blame totals — so trace assembly, the
+/// critical-path fold, and the p99.9 cohort are all byte-equal at
+/// widths 1, 2 and 8.
+#[test]
+fn blame_traces_and_tail_blame_are_thread_count_invariant() {
+    use purity_core::SECTOR;
+    assert_thread_invariant("blame trace", || {
+        let mut cfg = ArrayConfig::test_small();
+        cfg.cache_bytes = 0;
+        cfg.read_around_writes = false;
+        cfg.dedup_enabled = false;
+        cfg.compression_enabled = false;
+        cfg.telemetry_interval_ns = 5_000_000;
+        let mut a = FlashArray::new(cfg).expect("format");
+        let vol_bytes: u64 = 1 << 20;
+        let vol = a.create_volume("blame", vol_bytes).unwrap();
+        let mut gen = WorkloadGen::new(
+            23,
+            vol_bytes,
+            AccessPattern::Sequential,
+            SizeMix::fixed(32 * 1024),
+            0,
+            ContentModel::Random,
+            20_000,
+        );
+        for _ in 0..(vol_bytes / (32 * 1024)) {
+            if let Op::Write { offset, data } = gen.next_op() {
+                a.write(vol, offset, &data).unwrap();
+            }
+            a.advance(200_000);
+        }
+        a.advance(50_000_000);
+        let vol_sectors = vol_bytes / SECTOR as u64;
+        for round in 0..6u64 {
+            for _ in 0..4 {
+                if let Op::Write { offset, data } = gen.next_op() {
+                    a.write(vol, offset % vol_bytes, &data).unwrap();
+                }
+                a.advance(100_000);
+            }
+            for p in 0..12u64 {
+                let s = (round * 37 + p * 11) % vol_sectors;
+                a.read(vol, s * SECTOR as u64, SECTOR).unwrap();
+                a.advance(300_000);
+            }
+            if round % 3 == 2 {
+                a.run_gc().unwrap();
+                a.advance(5_000_000);
+            }
+        }
+        let mut doc = strip_profile_section(&a.export_observability_json()).to_string();
+        assert!(doc.contains("\"tail_blame\""), "export carries tail blame");
+        let totals = a.obs().tracer.blame_totals();
+        assert!(totals.total() > 0, "every completed op folds into blame");
+        doc.push('\n');
+        for op in a.obs().tracer.slow_ops() {
+            doc.push_str(&op.describe());
+            doc.push('\n');
+        }
+        doc.push_str(&totals.to_json());
+        doc
+    });
+}
