@@ -280,6 +280,57 @@ fn wl_cluster(smoke: bool) -> WorkloadResult {
     })
 }
 
+/// W6: the five-minute-rule tiering engine — read-heavy Zipfian
+/// traffic on a tiered array with a mid-run working-set shift, so the
+/// RAM 2Q cache, the heat watcher and the migrator (demotions, cold
+/// reads, promotions) all run inside the measured window.
+fn wl_tier(smoke: bool) -> WorkloadResult {
+    let mut a = FlashArray::new(ArrayConfig::tiered()).unwrap();
+    let vol_bytes: u64 = 4 << 20;
+    let hot = a.create_volume("hot", vol_bytes).unwrap();
+    let alt = a.create_volume("alt", vol_bytes).unwrap();
+    for vol in [hot, alt] {
+        let mut loader = WorkloadGen::new(
+            41,
+            vol_bytes,
+            AccessPattern::Sequential,
+            SizeMix::fixed(64 * 1024),
+            0,
+            ContentModel::Rdbms,
+            50_000,
+        );
+        drive(&mut a, vol, &mut loader, vol_bytes / (64 * 1024), 0);
+    }
+    a.advance(100 * MS);
+    let gen = |seed| {
+        WorkloadGen::new(
+            seed,
+            vol_bytes,
+            AccessPattern::Zipfian(0.99),
+            SizeMix::enterprise(),
+            90,
+            ContentModel::Rdbms,
+            400_000,
+        )
+    };
+    let (mut g_hot, mut g_alt, mut g_back) = (gen(43), gen(47), gen(53));
+    let ops = if smoke { 300 } else { 1500 };
+    measure("tier_cache", || {
+        let start = a.now();
+        // Day: the hot volume's working set warms the RAM cache.
+        drive(&mut a, hot, &mut g_hot, ops, 0);
+        // Night: the working set shifts; `hot` idles past the demote
+        // threshold and the migrator copies it to the cold class.
+        for _ in 0..12 {
+            a.advance(50 * MS);
+        }
+        drive(&mut a, alt, &mut g_alt, ops, 0);
+        // Morning: the shift reverses — cold reads, then promotions.
+        drive(&mut a, hot, &mut g_back, ops, 0);
+        a.now() - start
+    })
+}
+
 /// Repo root (two levels up from the bench crate).
 fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
@@ -586,6 +637,7 @@ fn main() {
         wl_gc_storm(smoke),
         wl_repl(smoke),
         wl_cluster(smoke),
+        wl_tier(smoke),
     ];
 
     let mut rows = Vec::new();

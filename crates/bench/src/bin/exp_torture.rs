@@ -3,8 +3,9 @@
 //! durability oracle on every run.
 //!
 //! Each seed runs one campaign; the crash phase rotates through
-//! NVRAM-tail / segment-flush / checkpoint / op-boundary so a sweep of
-//! N seeds covers all four. Any violation is shrunk to a minimal spec
+//! NVRAM-tail / segment-flush / checkpoint / op-boundary / tier-demote
+//! so a sweep of N seeds covers all five. Any violation is shrunk to a
+//! minimal spec
 //! and written to `results/exp_torture_repro.txt` as a one-line repro;
 //! replay it with `exp_torture --repro <line>`.
 //!
@@ -58,8 +59,9 @@ fn main() {
     println!("=== crash-recovery torture sweep ({seeds} seeds) ===");
     let (crash_op, post_ops) = if smoke { (60, 30) } else { (120, 60) };
 
-    let mut phase_hits = [0u64; 4];
-    let mut phase_runs = [0u64; 4];
+    let n_phases = CrashPhase::ALL.len();
+    let mut phase_hits = vec![0u64; n_phases];
+    let mut phase_runs = vec![0u64; n_phases];
     let mut torn_writes = 0u64;
     let mut total_downtime = 0u64;
     let mut intents_replayed = 0u64;
@@ -67,7 +69,7 @@ fn main() {
     let mut failures: Vec<CampaignSpec> = Vec::new();
 
     for seed in 0..seeds {
-        let phase = CrashPhase::ALL[(seed % 4) as usize];
+        let phase = CrashPhase::ALL[(seed % n_phases as u64) as usize];
         let spec = CampaignSpec {
             crash_op,
             post_ops,
@@ -76,7 +78,7 @@ fn main() {
             ..CampaignSpec::new(seed, phase)
         };
         let out = run_campaign(&spec);
-        let pi = (seed % 4) as usize;
+        let pi = (seed % n_phases as u64) as usize;
         phase_runs[pi] += 1;
         if out.phase_hit {
             phase_hits[pi] += 1;
@@ -189,13 +191,16 @@ fn main() {
         })
         .count();
     assert!(
-        phases_hit >= 3,
-        "sweep must hit >= 3 distinct crash phases, got {phases_hit}"
+        phases_hit >= 4,
+        "sweep must hit >= 4 distinct crash phases, got {phases_hit}"
     );
     assert_eq!(
         get("failures"),
         0,
         "durability contract violated — see repro file"
     );
-    println!("\nself-check OK: {phases_hit}/4 phases hit, zero violations across {seeds} seeds.");
+    println!(
+        "\nself-check OK: {phases_hit}/{} phases hit, zero violations across {seeds} seeds.",
+        CrashPhase::ALL.len()
+    );
 }

@@ -164,6 +164,13 @@ impl FlashArray {
     pub fn advance(&mut self, delta: Nanos) -> Nanos {
         let t = self.clock.advance(delta);
         self.sample_telemetry();
+        // Migrator tick (no-op unless the config enables the cold tier
+        // and the interval elapsed). Power-loss errors are deliberately
+        // swallowed: the shelf is dark, the caller discovers it on the
+        // next I/O, and the torture harness recovers via power_loss().
+        if self.cfg.tiering_enabled() && self.shelf.powered() {
+            let _ = self.primary.tier_maintenance(&mut self.shelf, t);
+        }
         t
     }
 
@@ -714,6 +721,37 @@ impl FlashArray {
                 ));
             }
         }
+        // Cold-tier invariants: no cold pseudo-segment leaks into the
+        // real segment table, and every live cold reference addresses an
+        // in-bounds slot the allocator also considers used.
+        let slot_bytes = self.cfg.cold_slot_bytes() as u64;
+        let slots_per_drive = if self.cfg.tiering_enabled() {
+            self.cfg.cold_slots_per_drive() as u64
+        } else {
+            0
+        };
+        for id in ctrl.segments.keys() {
+            if *id >= crate::tier::COLD_SEG_BASE {
+                violations.push(format!(
+                    "cold pseudo-segment {id} leaked into the segment table"
+                ));
+            }
+        }
+        for (_key, val) in ctrl.reachable_live() {
+            let Some(d) = crate::tier::cold_drive_of(&val.loc.pba) else {
+                continue;
+            };
+            let slot = val.loc.pba.offset / slot_bytes;
+            if d >= self.cfg.cold_drives || slot >= slots_per_drive {
+                violations.push(format!(
+                    "live cold reference out of bounds: drive {d} slot {slot}"
+                ));
+            } else if !ctrl.tier.slot_used(d, slot) {
+                violations.push(format!(
+                    "live cold reference to slot {d}:{slot} the allocator considers free"
+                ));
+            }
+        }
         violations
     }
 
@@ -760,6 +798,33 @@ impl FlashArray {
         }
         reg.counter("array_reconstruction_extra_reads", &[])
             .set(s.reconstruction_extra_reads);
+        // Tiering engine: RAM cache economics + migrator traffic.
+        let (ram_hits, ram_misses, ram_evictions, ram_used, ram_cap) =
+            self.primary.ram_cache_stats();
+        reg.counter("cache_ram_hits", &[]).set(ram_hits);
+        reg.counter("cache_ram_misses", &[]).set(ram_misses);
+        reg.counter("cache_ram_evictions", &[]).set(ram_evictions);
+        reg.gauge("cache_ram_used_bytes", &[]).set(ram_used as i64);
+        reg.gauge("cache_ram_capacity_bytes", &[])
+            .set(ram_cap as i64);
+        reg.counter("tier_cold_reads", &[]).set(s.cold_reads);
+        reg.counter("tier_demotions", &[]).set(s.tier_demotions);
+        reg.counter("tier_promotions", &[]).set(s.tier_promotions);
+        reg.counter("tier_bytes_demoted", &[])
+            .set(s.tier_bytes_demoted);
+        reg.counter("tier_bytes_promoted", &[])
+            .set(s.tier_bytes_promoted);
+        let (cold_free, cold_used, cold_pending) = self.primary.cold_slot_counts();
+        reg.gauge("tier_cold_slots_free", &[]).set(cold_free as i64);
+        reg.gauge("tier_cold_slots_used", &[]).set(cold_used as i64);
+        reg.gauge("tier_cold_slots_pending_free", &[])
+            .set(cold_pending as i64);
+        // Per-volume read series — the heat watcher's evidence stream.
+        for &vol in self.primary.volumes.keys() {
+            let reads = self.primary.tier.vol_reads.get(&vol).copied().unwrap_or(0);
+            reg.counter("volume_reads", &[("volume", &vol.to_string())])
+                .set(reads);
+        }
         reg.counter("array_gc_passes", &[]).set(s.gc_passes);
         reg.counter("array_gc_segments_freed", &[])
             .set(s.gc_segments_freed);

@@ -75,6 +75,30 @@ pub struct ArrayConfig {
     pub slo_min_interval_reads: u64,
     /// Consecutive healthy intervals that close an open incident.
     pub slo_cooldown_intervals: u32,
+    /// Cold-tier drive slots behind the shelf (0 disables the tiering
+    /// engine's cold class entirely — the default for every legacy
+    /// preset, which keeps their behaviour byte-identical).
+    pub cold_drives: usize,
+    /// Cold-tier drive geometry (ignored when `cold_drives == 0`).
+    pub cold_geometry: SsdGeometry,
+    /// Cold-tier timing (QLC-like; ignored when `cold_drives == 0`).
+    pub cold_latency: LatencyModel,
+    /// Cold-tier endurance rating (ignored when `cold_drives == 0`).
+    pub cold_endurance: EnduranceModel,
+    /// Controller-RAM read-cache capacity in bytes (0 disables it).
+    /// Sized by exhibits from the five-minute-rule crossover interval:
+    /// capacity = arrival byte rate × crossover time.
+    pub ram_cache_bytes: usize,
+    /// Migrator tick cadence in virtual ns (0 disables the migrator;
+    /// the watcher → reconciler → migrator loop runs at most this often
+    /// from the background path).
+    pub tier_interval_ns: u64,
+    /// A volume whose EWMA re-access interval exceeds this is cold and
+    /// eligible for demotion (virtual ns).
+    pub tier_demote_after_ns: u64,
+    /// Cap on extents migrated per migrator tick (bounds the per-tick
+    /// foreground interference).
+    pub tier_migration_budget: usize,
 }
 
 impl ArrayConfig {
@@ -112,6 +136,30 @@ impl ArrayConfig {
             slo_read_p999_budget_ns: 1_000_000,
             slo_min_interval_reads: 16,
             slo_cooldown_intervals: 2,
+            cold_drives: 0,
+            cold_geometry: SsdGeometry::test_small(),
+            cold_latency: LatencyModel::qlc_cold(),
+            cold_endurance: EnduranceModel::qlc(),
+            ram_cache_bytes: 0,
+            tier_interval_ns: 0,
+            tier_demote_after_ns: 0,
+            tier_migration_budget: 0,
+        }
+    }
+
+    /// [`ArrayConfig::test_small`] plus the tiering engine: two QLC-like
+    /// cold drives, a controller-RAM read cache, and the migrator loop.
+    pub fn tiered() -> Self {
+        Self {
+            cold_drives: 2,
+            cold_geometry: SsdGeometry::test_small(),
+            cold_latency: LatencyModel::qlc_cold(),
+            cold_endurance: EnduranceModel::qlc(),
+            ram_cache_bytes: 2 * 1024 * 1024,
+            tier_interval_ns: 50_000_000,
+            tier_demote_after_ns: 400_000_000,
+            tier_migration_budget: 16,
+            ..Self::test_small()
         }
     }
 
@@ -208,6 +256,28 @@ impl ArrayConfig {
         self.au_bytes
     }
 
+    /// Whether the tiering engine's cold class is configured in.
+    pub fn tiering_enabled(&self) -> bool {
+        self.cold_drives > 0
+    }
+
+    /// Cold-tier slot size: every demoted cblock lands in one fixed-size
+    /// slot, so the cold allocator is a free-slot set rather than a
+    /// second log-structured layout. Encoded cblocks are bounded by
+    /// `max_cblock_bytes` plus a small framing header (compression bails
+    /// out to raw when it would expand), so one page of slack suffices.
+    pub fn cold_slot_bytes(&self) -> usize {
+        let page = self.cold_geometry.page_size;
+        (self.max_cblock_bytes + 16).div_ceil(page) * page
+    }
+
+    /// Slots per cold drive.
+    pub fn cold_slots_per_drive(&self) -> usize {
+        let raw = self.cold_geometry.raw_bytes();
+        let usable = ((raw as f64) * (1.0 - self.ssd_over_provision)) as usize;
+        usable / self.cold_slot_bytes()
+    }
+
     /// Validates internal consistency; call once at array construction.
     pub fn validate(&self) -> Result<(), String> {
         if self.write_group > self.n_drives {
@@ -242,6 +312,14 @@ impl ArrayConfig {
         if self.aus_per_drive() < self.frontier_aus_per_drive * 2 {
             return Err("too few AUs per drive for frontier management".into());
         }
+        if self.cold_drives > 0 {
+            if self.cold_slots_per_drive() == 0 {
+                return Err("cold drives too small for even one cold slot".into());
+            }
+            if self.tier_interval_ns > 0 && self.tier_demote_after_ns == 0 {
+                return Err("migrator enabled without a demote-after threshold".into());
+            }
+        }
         Ok(())
     }
 }
@@ -255,6 +333,21 @@ mod tests {
         ArrayConfig::test_small().validate().unwrap();
         ArrayConfig::bench_medium().validate().unwrap();
         ArrayConfig::fa450().validate().unwrap();
+        ArrayConfig::tiered().validate().unwrap();
+    }
+
+    #[test]
+    fn legacy_presets_keep_tiering_off() {
+        assert!(!ArrayConfig::test_small().tiering_enabled());
+        assert!(!ArrayConfig::bench_medium().tiering_enabled());
+        assert!(!ArrayConfig::fa450().tiering_enabled());
+        let t = ArrayConfig::tiered();
+        assert!(t.tiering_enabled());
+        assert!(t.cold_slots_per_drive() > 0);
+        assert!(t.cold_slot_bytes() >= t.max_cblock_bytes + 16);
+        assert!(t
+            .cold_slot_bytes()
+            .is_multiple_of(t.cold_geometry.page_size));
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::records::{
 use crate::segment::{Append, Extent, SegmentInfo, SegmentLayout, SegmentWriter};
 use crate::shelf::Shelf;
 use crate::stats::ArrayStats;
+use crate::tier::TierState;
 use crate::types::{BlockLoc, DriveId, MediumId, Pba, SegmentId, SnapshotId, VolumeId, SECTOR};
 use parking_lot::RwLock;
 use purity_dedup::engine::{BlockFetcher, DedupEngine, Outcome};
@@ -157,6 +158,9 @@ pub struct Controller {
     pub(crate) map_patches: Vec<PatchLoc>,
     /// Index of the last NVRAM record appended (for trims).
     pub(crate) last_nvram_index: Option<u64>,
+    /// Tiering engine state: RAM read cache, heat watcher, cold-slot
+    /// allocator. Volatile — rebuilt from the map on every cold start.
+    pub(crate) tier: TierState,
     /// Telemetry.
     pub stats: ArrayStats,
     /// Observability: metrics registry + slow-op tracer. Shared with the
@@ -172,7 +176,7 @@ pub struct Ack {
     pub latency: Nanos,
 }
 
-fn encode_cblock(payload: &[u8], compression: bool) -> Vec<u8> {
+pub(crate) fn encode_cblock(payload: &[u8], compression: bool) -> Vec<u8> {
     if compression {
         purity_compress::compress(payload)
     } else {
@@ -225,6 +229,7 @@ impl Controller {
             checkpoint_version: 0,
             map_patches: Vec::new(),
             last_nvram_index: None,
+            tier: TierState::new(&cfg),
             stats: ArrayStats::default(),
             obs: Obs::with_config(cfg.obs_config(), now),
             cfg,
@@ -652,6 +657,7 @@ impl Controller {
             let Self {
                 dedup,
                 cache,
+                tier,
                 segments,
                 writer,
                 layout,
@@ -663,6 +669,7 @@ impl Controller {
             let mut fetcher = CtrlFetcher {
                 shelf,
                 cache,
+                ram: &mut tier.ram,
                 segments,
                 writer,
                 layout,
@@ -886,6 +893,9 @@ impl Controller {
             Some(&mut trace),
         )?;
         self.stats.logical_bytes_read += len as u64;
+        // Heat evidence: the recorder publishes this per-volume counter
+        // each interval; the watcher folds the series into temperature.
+        *self.tier.vol_reads.entry(volume.0).or_insert(0) += 1;
         let latency = done.saturating_sub(now) + CPU_OVERHEAD_NS;
         self.stats.read_latency.record(latency);
         trace.stage("cpu", done, done + CPU_OVERHEAD_NS);
@@ -1125,6 +1135,7 @@ impl Controller {
     ) -> Result<(Arc<Vec<u8>>, Nanos)> {
         let Self {
             cache,
+            tier,
             segments,
             writer,
             layout,
@@ -1136,6 +1147,7 @@ impl Controller {
         fetch_cblock_raw(
             shelf,
             cache,
+            &mut tier.ram,
             segments,
             writer,
             layout,
@@ -1254,6 +1266,9 @@ impl Controller {
         if let Some(idx) = trim_to {
             shelf.nvram_trim(idx)?;
         }
+        // The boot record is durable: cold slots whose last reference was
+        // superseded by now-durable facts may re-enter the allocator.
+        self.release_pending_cold(shelf);
         self.stats.checkpoints += 1;
         Ok(t)
     }
@@ -1551,6 +1566,7 @@ pub(crate) fn read_extent(
 pub(crate) fn fetch_cblock_raw(
     shelf: &mut Shelf,
     cache: &mut CblockCache,
+    ram: &mut purity_tier::RamCache<Pba>,
     segments: &BTreeMap<u64, SegmentInfo>,
     writer: &SegmentWriter,
     layout: &SegmentLayout,
@@ -1561,12 +1577,37 @@ pub(crate) fn fetch_cblock_raw(
     now: Nanos,
     mut trace: Option<&mut OpTrace>,
 ) -> Result<(Arc<Vec<u8>>, Nanos)> {
+    // Tier 0: the five-minute-rule RAM cache — a hit short-circuits the
+    // whole drive path (and the legacy cblock cache below it).
+    if let Some(payload) = ram.get(pba) {
+        stats.ram_cache_hits += 1;
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.stage("ram_cache_hit", now, now);
+        }
+        return Ok((payload, now));
+    }
     if let Some(payload) = cache.get(pba) {
         stats.cache_reads += 1;
         if let Some(tr) = trace.as_deref_mut() {
             tr.stage("cache_hit", now, now);
         }
         return Ok((payload, now));
+    }
+    // Cold-resident cblock: one contiguous slot read off the QLC pool,
+    // no striping, no parity — the read pays the full device penalty.
+    if crate::tier::cold_drive_of(pba).is_some() {
+        let (raw, t) = Controller::read_cold_cblock(shelf, pba, now)?;
+        stats.cold_reads += 1;
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.stage("cold_read", now, t);
+        }
+        let payload = Arc::new(
+            purity_compress::decompress(&raw)
+                .map_err(|e| PurityError::DataLoss(format!("cold cblock at {:?}: {}", pba, e)))?,
+        );
+        cache.put(*pba, payload.clone());
+        crate::tier::admit_payload(ram, pba, &payload);
+        return Ok((payload, t));
     }
     // A cblock in the open segment may straddle the flush boundary:
     // head bytes already on flash, tail still in the pending DRAM buffer.
@@ -1617,6 +1658,7 @@ pub(crate) fn fetch_cblock_raw(
             .map_err(|e| PurityError::DataLoss(format!("cblock decode at {:?}: {}", pba, e)))?,
     );
     cache.put(*pba, payload.clone());
+    crate::tier::admit_payload(ram, pba, &payload);
     Ok((payload, raw.1))
 }
 
@@ -1624,6 +1666,7 @@ pub(crate) fn fetch_cblock_raw(
 pub(crate) struct CtrlFetcher<'a> {
     pub shelf: &'a mut Shelf,
     pub cache: &'a mut CblockCache,
+    pub ram: &'a mut purity_tier::RamCache<Pba>,
     pub segments: &'a BTreeMap<u64, SegmentInfo>,
     pub writer: &'a SegmentWriter,
     pub layout: &'a SegmentLayout,
@@ -1642,6 +1685,7 @@ impl BlockFetcher<BlockLoc> for CtrlFetcher<'_> {
         let (payload, _t) = fetch_cblock_raw(
             self.shelf,
             self.cache,
+            self.ram,
             self.segments,
             self.writer,
             self.layout,
@@ -1675,6 +1719,7 @@ impl BlockFetcher<BlockLoc> for CtrlFetcher<'_> {
         let (payload, _t) = fetch_cblock_raw(
             self.shelf,
             self.cache,
+            self.ram,
             self.segments,
             self.writer,
             self.layout,

@@ -169,6 +169,7 @@ impl Controller {
                 None => continue,
             };
             self.cache.invalidate_segment(info.id);
+            self.tier.ram.retain(|p| p.segment != info.id);
             for au in &info.columns {
                 let off = self.layout.au_byte_offset(au.index);
                 // Trim is advisory; a failed drive's AU is released anyway.
@@ -313,6 +314,7 @@ impl Controller {
             let Self {
                 dedup,
                 cache,
+                tier,
                 segments,
                 writer,
                 layout,
@@ -324,6 +326,7 @@ impl Controller {
             let mut fetcher = CtrlFetcher {
                 shelf,
                 cache,
+                ram: &mut tier.ram,
                 segments,
                 writer,
                 layout,

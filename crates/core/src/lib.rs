@@ -38,6 +38,7 @@ pub mod scrub;
 pub mod segment;
 pub mod shelf;
 pub mod stats;
+pub mod tier;
 pub mod types;
 
 pub use array::{FailoverReport, FlashArray, InflightOp, Port, PowerLossReport, PowerLossSpec};
@@ -47,4 +48,5 @@ pub use error::{PurityError, Result};
 pub use fault::{AppliedFault, FaultEvent, FaultOutcome, FaultPlan};
 pub use recovery::{RecoveryOptions, RecoveryReport, ScanMode};
 pub use shelf::CrashTarget;
+pub use tier::{ExecutedMove, TierTickReport};
 pub use types::{MediumId, SnapshotId, VolumeId, SECTOR};

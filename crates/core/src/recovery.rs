@@ -367,6 +367,7 @@ impl Controller {
             checkpoint_version: cp.version,
             map_patches: cp.map_patches.clone(),
             last_nvram_index: None,
+            tier: crate::tier::TierState::new(&cfg),
             stats,
             obs: purity_obs::Obs::with_config(cfg.obs_config(), now),
             cfg,
@@ -464,6 +465,10 @@ impl Controller {
         ctrl.last_nvram_index = Some(seal_idx);
         done = done.max(t);
         ctrl.seq = SeqAllocator::resume_after(max_seq_seen.max(ctrl.map.max_seq()));
+        // Cold-tier allocator: the map is final, so every slot a live
+        // fact references is used; slots orphaned by a crash mid-demotion
+        // fall back into the free set.
+        ctrl.rebuild_cold_state();
         report.total_time = done.max(now).saturating_sub(now);
         Ok((ctrl, report))
     }

@@ -26,6 +26,8 @@ pub enum CrashTarget {
     BootWrite,
     /// Main-region drive writes only (torn segment flush / AU header).
     SegmentWrite,
+    /// Cold-tier drive writes only (torn mid-demotion slot).
+    ColdWrite,
 }
 
 /// A pending whole-array power loss, armed on the shelf: the `after`-th
@@ -43,6 +45,10 @@ pub struct Shelf {
     /// The virtual clock every component shares.
     pub clock: Arc<Clock>,
     drives: Vec<Ssd>,
+    /// Cold-tier drives (QLC-like): a flat slot space the tiering engine
+    /// demotes into. Not part of the RAID write group — no AU/segment
+    /// structure, no read-around participation.
+    cold: Vec<Ssd>,
     nvram: Nvram,
     /// Per-drive intervals during which array-issued bulk writes occupy
     /// the drive. Windows start at the paced device-issue time, not the
@@ -84,9 +90,25 @@ impl Shelf {
                 ssd
             })
             .collect();
+        let cold = (0..config.cold_drives)
+            .map(|i| {
+                Ssd::new(
+                    config.cold_geometry,
+                    config.cold_latency,
+                    config.cold_endurance,
+                    clock.clone(),
+                    config
+                        .seed
+                        .wrapping_add(0xC01D)
+                        .wrapping_add(i as u64 * 0x9E37),
+                    config.ssd_over_provision,
+                )
+            })
+            .collect();
         Self {
             clock,
             drives,
+            cold,
             nvram: Nvram::new(config.nvram_bytes),
             writing_windows: vec![std::collections::VecDeque::new(); config.n_drives],
             write_pacer_until: 0,
@@ -158,8 +180,24 @@ impl Shelf {
             CrashTarget::NvramAppend => false,
             CrashTarget::BootWrite => is_boot,
             CrashTarget::SegmentWrite => !is_boot,
+            CrashTarget::ColdWrite => false,
         };
         if !matches {
+            return None;
+        }
+        if t.after > 0 {
+            t.after -= 1;
+            return None;
+        }
+        let keep = t.keep_bytes;
+        self.trigger = None;
+        Some(keep)
+    }
+
+    /// Classifies a cold-drive write against the armed trigger.
+    fn check_cold_trigger(&mut self) -> Option<usize> {
+        let t = self.trigger.as_mut()?;
+        if !matches!(t.target, CrashTarget::AnyWrite | CrashTarget::ColdWrite) {
             return None;
         }
         if t.after > 0 {
@@ -174,6 +212,16 @@ impl Shelf {
     /// Number of drive slots.
     pub fn n_drives(&self) -> usize {
         self.drives.len()
+    }
+
+    /// Number of cold-tier drive slots.
+    pub fn n_cold_drives(&self) -> usize {
+        self.cold.len()
+    }
+
+    /// Immutable cold-drive access.
+    pub fn cold_drive(&self, d: usize) -> &Ssd {
+        &self.cold[d]
     }
 
     /// Immutable drive access.
@@ -376,6 +424,65 @@ impl Shelf {
             .map_err(|e| PurityError::Device(format!("drive {}: {}", d, e)))
     }
 
+    /// Writes page-aligned bytes to a cold-tier drive through the power
+    /// gate. An armed `ColdWrite`/`AnyWrite` trigger fires here, tearing
+    /// the slot write mid-demotion (the torture personality for the
+    /// tiering engine).
+    pub fn write_cold(
+        &mut self,
+        d: usize,
+        offset: usize,
+        data: &[u8],
+        now: Nanos,
+    ) -> Result<Nanos> {
+        if !self.powered {
+            return Err(PurityError::Device("shelf power lost".to_string()));
+        }
+        if let Some(keep) = self.check_cold_trigger() {
+            let keep = keep.min(data.len().saturating_sub(1));
+            let _ = self.cold[d].write_torn(offset, data, keep, now);
+            self.powered = false;
+            self.torn_note = Some(format!(
+                "power lost mid-cold write: cold drive {d} offset {offset} torn at {keep}/{} bytes",
+                data.len()
+            ));
+            return Err(PurityError::Device(format!(
+                "cold drive {}: power lost mid-write",
+                d
+            )));
+        }
+        self.cold[d]
+            .write(offset, data, now)
+            .map_err(|e| PurityError::Device(format!("cold drive {}: {}", d, e)))
+    }
+
+    /// Reads from a cold-tier drive through the power gate.
+    pub fn read_cold(
+        &mut self,
+        d: usize,
+        offset: usize,
+        len: usize,
+        now: Nanos,
+    ) -> Result<(Vec<u8>, Nanos)> {
+        if !self.powered {
+            return Err(PurityError::Device("shelf power lost".to_string()));
+        }
+        self.cold[d]
+            .read(offset, len, now)
+            .map_err(|e| PurityError::Device(format!("cold drive {}: {}", d, e)))
+    }
+
+    /// TRIMs a cold slot through the power gate (slot reclamation after
+    /// the redirect facts are checkpoint-durable).
+    pub fn trim_cold(&mut self, d: usize, offset: usize, len: usize) -> Result<()> {
+        if !self.powered {
+            return Err(PurityError::Device("shelf power lost".to_string()));
+        }
+        self.cold[d]
+            .trim(offset, len)
+            .map_err(|e| PurityError::Device(format!("cold drive {}: {}", d, e)))
+    }
+
     /// Reads from a drive with the latency decomposition of the
     /// critical-path page (queueing vs service, and what it queued
     /// behind) — the per-drive attribution the read path stamps into
@@ -500,6 +607,40 @@ mod tests {
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].payload, vec![7u8; 64]);
         assert_eq!(records[1].payload, vec![9u8; 10]);
+    }
+
+    #[test]
+    fn cold_pool_round_trips_and_cold_trigger_tears_the_slot() {
+        let cfg = ArrayConfig::tiered();
+        let mut s = Shelf::new(&cfg, Clock::new());
+        assert_eq!(s.n_cold_drives(), 2);
+        let page = cfg.cold_geometry.page_size;
+        let data = vec![0x3c; 2 * page];
+        let done = s.write_cold(0, 0, &data, 0).unwrap();
+        let (back, _) = s.read_cold(0, 0, data.len(), done).unwrap();
+        assert_eq!(back, data);
+        // Cold reads are slower than main-pool reads (QLC class).
+        let main_done = s.write_drive(0, cfg.boot_region_bytes(), &data, 0).unwrap();
+        let (_, t_main) = s
+            .read_drive(0, cfg.boot_region_bytes(), data.len(), main_done)
+            .unwrap();
+        let (_, t_cold) = s.read_cold(0, 0, data.len(), main_done).unwrap();
+        assert!(t_cold - main_done > t_main - main_done);
+        // A ColdWrite trigger ignores main-pool writes and fires on the
+        // next cold write, tearing the slot and killing power.
+        s.arm_power_loss(CrashTarget::ColdWrite, 0, page);
+        s.write_drive(1, cfg.boot_region_bytes(), &data, 0).unwrap();
+        assert!(s.power_loss_armed());
+        assert!(s.write_cold(1, 0, &data, 0).is_err());
+        assert!(!s.powered());
+        assert!(s.torn_note().unwrap().contains("cold write"));
+        s.power_restore();
+        let (p0, _) = s.read_cold(1, 0, page, 0).unwrap();
+        assert_eq!(p0, vec![0x3c; page]);
+        assert!(
+            s.read_cold(1, page, page, 0).is_err(),
+            "torn tail unreadable"
+        );
     }
 
     #[test]

@@ -38,6 +38,18 @@ pub struct ArrayStats {
     pub reconstruction_extra_reads: u64,
     /// Reads served from DRAM cache.
     pub cache_reads: u64,
+    /// Reads served from the five-minute-rule RAM read cache (2Q).
+    pub ram_cache_hits: u64,
+    /// cblock fetches that paid the cold-device (QLC) penalty.
+    pub cold_reads: u64,
+    /// cblocks demoted flash → cold by the migrator.
+    pub tier_demotions: u64,
+    /// cblocks promoted cold → flash by the migrator.
+    pub tier_promotions: u64,
+    /// Encoded bytes copied to the cold pool.
+    pub tier_bytes_demoted: u64,
+    /// Encoded bytes copied back to the flash log.
+    pub tier_bytes_promoted: u64,
     /// Reads of unwritten space (served as zeros).
     pub zero_reads: u64,
     /// GC passes completed.
@@ -72,6 +84,12 @@ impl Default for ArrayStats {
             reconstructed_reads: 0,
             reconstruction_extra_reads: 0,
             cache_reads: 0,
+            ram_cache_hits: 0,
+            cold_reads: 0,
+            tier_demotions: 0,
+            tier_promotions: 0,
+            tier_bytes_demoted: 0,
+            tier_bytes_promoted: 0,
             zero_reads: 0,
             gc_passes: 0,
             gc_segments_freed: 0,
@@ -115,6 +133,12 @@ impl ArrayStats {
         self.reconstructed_reads += other.reconstructed_reads;
         self.reconstruction_extra_reads += other.reconstruction_extra_reads;
         self.cache_reads += other.cache_reads;
+        self.ram_cache_hits += other.ram_cache_hits;
+        self.cold_reads += other.cold_reads;
+        self.tier_demotions += other.tier_demotions;
+        self.tier_promotions += other.tier_promotions;
+        self.tier_bytes_demoted += other.tier_bytes_demoted;
+        self.tier_bytes_promoted += other.tier_bytes_promoted;
         self.zero_reads += other.zero_reads;
         self.gc_passes += other.gc_passes;
         self.gc_segments_freed += other.gc_segments_freed;
@@ -151,7 +175,8 @@ impl ArrayStats {
             "logical written {} | physical stored {} | reduction {:.2}x \
              (dedup saved {}, compression saved {})\n\
              writes: {}\nreads:  {}\n\
-             read paths: direct {} reconstructed {} cached {} zero {} (amplification {:.3}x)\n\
+             read paths: direct {} reconstructed {} cached {} ram {} cold {} zero {} (amplification {:.3}x)\n\
+             tier: {} demotions ({}) {} promotions ({})\n\
              gc: {} passes, {} segments freed, {} relocated | scrub: {} passes, {} repairs | checkpoints {}",
             format_bytes(self.logical_bytes_written),
             format_bytes(self.physical_bytes_stored),
@@ -163,8 +188,14 @@ impl ArrayStats {
             self.direct_reads,
             self.reconstructed_reads,
             self.cache_reads,
+            self.ram_cache_hits,
+            self.cold_reads,
             self.zero_reads,
             self.read_amplification(),
+            self.tier_demotions,
+            format_bytes(self.tier_bytes_demoted),
+            self.tier_promotions,
+            format_bytes(self.tier_bytes_promoted),
             self.gc_passes,
             self.gc_segments_freed,
             format_bytes(self.gc_bytes_relocated),

@@ -58,10 +58,13 @@ pub enum BlameCategory {
     /// WAN / interconnect hops: non-optimized-port forwarding,
     /// replication shipping.
     Wan,
+    /// Tiering engine: the cold-device read penalty (a QLC-class fetch
+    /// on the read path) and migrator demotion/promotion work.
+    TierCold,
 }
 
 /// Number of blame categories (the `BlameVec` arity).
-pub const N_BLAME: usize = 12;
+pub const N_BLAME: usize = 13;
 
 /// All categories in canonical order.
 pub const BLAME_CATEGORIES: [BlameCategory; N_BLAME] = [
@@ -77,6 +80,7 @@ pub const BLAME_CATEGORIES: [BlameCategory; N_BLAME] = [
     BlameCategory::GcInterference,
     BlameCategory::Reconstruct,
     BlameCategory::Wan,
+    BlameCategory::TierCold,
 ];
 
 impl BlameCategory {
@@ -95,6 +99,7 @@ impl BlameCategory {
             BlameCategory::GcInterference => "gc_interference",
             BlameCategory::Reconstruct => "reconstruct",
             BlameCategory::Wan => "wan",
+            BlameCategory::TierCold => "tier_cold",
         }
     }
 }
@@ -102,7 +107,7 @@ impl BlameCategory {
 /// Every stage name any layer may stamp into an [`crate::OpTrace`],
 /// with the blame category its time folds into. OBSERVABILITY.md
 /// documents the table; a test enumerates emitted stages against it.
-pub const STAGE_REGISTRY: [(&str, BlameCategory); 18] = [
+pub const STAGE_REGISTRY: [(&str, BlameCategory); 21] = [
     // Host front end.
     ("host_queue", BlameCategory::HostQueue),
     ("qos_throttle", BlameCategory::QosThrottle),
@@ -116,6 +121,7 @@ pub const STAGE_REGISTRY: [(&str, BlameCategory); 18] = [
     ("segment_fill", BlameCategory::ReductionCpu),
     ("cpu", BlameCategory::ReductionCpu),
     ("cache_hit", BlameCategory::ReductionCpu),
+    ("ram_cache_hit", BlameCategory::ReductionCpu),
     ("pending_buffer", BlameCategory::ReductionCpu),
     ("zero_fill", BlameCategory::ReductionCpu),
     ("drive_read", BlameCategory::DriveQueue),
@@ -124,6 +130,9 @@ pub const STAGE_REGISTRY: [(&str, BlameCategory); 18] = [
     ("die_stall_program", BlameCategory::DieStallProgram),
     ("die_stall_erase", BlameCategory::DieStallErase),
     ("gc_interference", BlameCategory::GcInterference),
+    // Tiering engine (cold device class + migrator).
+    ("cold_read", BlameCategory::TierCold),
+    ("tier_demote", BlameCategory::TierCold),
     // WAN / interconnect.
     ("wan", BlameCategory::Wan),
 ];

@@ -43,6 +43,20 @@ impl LatencyModel {
         }
     }
 
+    /// QLC-like cold-tier NAND: the cheap-slow device class the tiering
+    /// engine demotes cold extents to. Reads are ~1.5× MLC, programs and
+    /// erases several times slower, and the link is a shared low-cost
+    /// SATA lane — the latency asymmetry the five-minute-rule economics
+    /// (Figure 7) trade against $/GB.
+    pub fn qlc_cold() -> Self {
+        Self {
+            read_ns: 140_000,       // 140 us
+            program_ns: 3_500_000,  // 3.5 ms
+            erase_ns: 15_000_000,   // 15 ms
+            xfer_ns_per_kib: 3_800, // ~250 MB/s shared lane
+        }
+    }
+
     /// Transfer time for `bytes` over the interface.
     pub fn xfer(&self, bytes: usize) -> Nanos {
         // Round up to the KiB the link actually moves.
@@ -81,6 +95,14 @@ impl EnduranceModel {
             rated_pe_cycles: 100_000,
         }
     }
+
+    /// QLC rating: the cold tier's tiny P/E budget (~500–1000 cycles).
+    /// Demotion traffic must stay rare enough to live within it.
+    pub fn qlc() -> Self {
+        Self {
+            rated_pe_cycles: 800,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +137,20 @@ mod tests {
         assert!(
             EnduranceModel::slc().rated_pe_cycles
                 > EnduranceModel::consumer_mlc().rated_pe_cycles * 10
+        );
+    }
+
+    #[test]
+    fn qlc_is_slower_and_frailer_than_mlc() {
+        let qlc = LatencyModel::qlc_cold();
+        let mlc = LatencyModel::consumer_mlc();
+        assert!(qlc.read_ns > mlc.read_ns);
+        assert!(qlc.program_ns >= 2 * mlc.program_ns);
+        assert!(qlc.erase_ns > mlc.erase_ns);
+        assert!(qlc.xfer_ns_per_kib > mlc.xfer_ns_per_kib);
+        assert!(
+            EnduranceModel::qlc().rated_pe_cycles * 3
+                < EnduranceModel::consumer_mlc().rated_pe_cycles
         );
     }
 }

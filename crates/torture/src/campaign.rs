@@ -45,14 +45,18 @@ pub enum CrashPhase {
     Checkpoint,
     /// Clean cut between ops — no torn bytes at all.
     OpBoundary,
+    /// Mid-tier-demotion: a cold-class slot write is torn while the
+    /// migrator copies an idle volume down (runs on a tiered array).
+    TierDemote,
 }
 
 impl CrashPhase {
-    pub const ALL: [CrashPhase; 4] = [
+    pub const ALL: [CrashPhase; 5] = [
         CrashPhase::NvramTail,
         CrashPhase::SegmentFlush,
         CrashPhase::Checkpoint,
         CrashPhase::OpBoundary,
+        CrashPhase::TierDemote,
     ];
 
     pub fn name(self) -> &'static str {
@@ -61,6 +65,7 @@ impl CrashPhase {
             CrashPhase::SegmentFlush => "segment-flush",
             CrashPhase::Checkpoint => "checkpoint",
             CrashPhase::OpBoundary => "op-boundary",
+            CrashPhase::TierDemote => "tier-demote",
         }
     }
 
@@ -288,7 +293,14 @@ impl Run {
 /// Runs one campaign to completion. Pure in `spec`.
 pub fn run_campaign(spec: &CampaignSpec) -> CampaignOutcome {
     let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let cfg = ArrayConfig::test_small();
+    // The tier-demote phase needs the tiering engine (cold drives, RAM
+    // cache, migrator) configured in; every other phase keeps the seed
+    // config so existing repro lines stay stable.
+    let cfg = if spec.phase == CrashPhase::TierDemote {
+        ArrayConfig::tiered()
+    } else {
+        ArrayConfig::test_small()
+    };
     // The checkpointed persist set is the frontier plus the speculative
     // set — 2x the frontier size per drive (see `AuAllocator::
     // build_persist_set`). A frontier-bounded scan may touch at most
@@ -467,6 +479,22 @@ fn stage_crash(spec: &CampaignSpec, run: &mut Run, rng: &mut StdRng) -> bool {
             let _ = run.a.checkpoint();
             run.dark = !run.a.powered();
             finish_stage(run, "boot-region write")
+        }
+        CrashPhase::TierDemote => {
+            // Tear a cold-slot write mid-demotion: idle the volumes
+            // past `tier_demote_after_ns` so the migrator starts
+            // copying them down, straight into the armed trigger.
+            let after = rng.gen_range(0..3);
+            let keep = rng.gen_range(1..4096);
+            run.a.arm_power_loss(CrashTarget::ColdWrite, after, keep);
+            for _ in 0..40 {
+                run.a.advance(50 * MS);
+                if !run.a.powered() {
+                    break;
+                }
+            }
+            run.dark = !run.a.powered();
+            finish_stage(run, "cold write")
         }
     }
 }

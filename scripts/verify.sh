@@ -28,11 +28,12 @@ step "host exhibit smoke (exp_host_qd, exp_host_failover)"
 cargo run -q --release -p purity-bench --bin exp_host_qd -- --smoke
 cargo run -q --release -p purity-bench --bin exp_host_failover -- --smoke
 
-# Crash-recovery torture smoke: a short power-loss sweep across all four
-# crash phases, plus the oracle's sabotage self-check. A failure leaves
-# a one-line repro in results/exp_torture_repro.txt (see TESTING.md).
+# Crash-recovery torture smoke: a short power-loss sweep across all five
+# crash phases (including tier-demote on a tiered array), plus the
+# oracle's sabotage self-check. A failure leaves a one-line repro in
+# results/exp_torture_repro.txt (see TESTING.md).
 step "crash-recovery torture smoke (exp_torture)"
-cargo run -q --release -p purity-bench --bin exp_torture -- --seeds 8 --smoke
+cargo run -q --release -p purity-bench --bin exp_torture -- --seeds 10 --smoke
 
 # Flight-recorder smoke: a forced GC-storm + drive-pull interference
 # window must open and close exactly one SLO incident, with violations
@@ -63,6 +64,14 @@ cargo run -q --release -p purity-bench --bin exp_cluster -- --smoke
 # exports (see OBSERVABILITY.md, "Causal tracing and tail blame").
 step "tail-blame smoke (exp_blame)"
 cargo run -q --release -p purity-bench --bin exp_blame -- --smoke
+
+# Tiering-engine smoke: the running 2Q cache must reproduce Figure 7's
+# 31/22/21-minute crossovers as measured retention, and the VDI
+# working-set shift must demote overnight, pay tier_cold blame on the
+# morning's first wave, promote back, and recover hit-rate — with
+# byte-identical exports at worker widths 1/2/8 (see EXPERIMENTS.md E18).
+step "tiering engine smoke (exp_fiveminute_live)"
+cargo run -q --release -p purity-bench --bin exp_fiveminute_live -- --smoke
 
 if [[ $quick -eq 1 ]]; then
   echo "--quick: skipping fmt/clippy"

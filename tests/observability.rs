@@ -422,3 +422,60 @@ fn emitted_stage_names_are_registered() {
         );
     }
 }
+
+/// The tiering engine's stages (ISSUE 10) are part of the same closed
+/// registry: a run that hits the RAM cache, demotes to the cold class
+/// and pays a cold read must emit exactly the registered names — and
+/// the new metrics families must show up in the snapshot.
+#[test]
+fn tier_stages_are_emitted_and_registered() {
+    let mut cfg = ArrayConfig::tiered();
+    cfg.slow_op_capture_ns = 1; // capture every op, fast or slow
+    let mut a = FlashArray::new(cfg).expect("format");
+    let vol = a.create_volume("t", 512 * 1024).unwrap();
+    let mut rng = StdRng::seed_from_u64(13);
+    let data = random_sectors(&mut rng, 512 * 1024 / SECTOR);
+    a.write(vol, 0, &data).unwrap();
+    // One read warms the heat series; the idle advance crosses the
+    // demote threshold so the migrator copies the volume down; the
+    // re-read pays the cold penalty and admits into the RAM cache; the
+    // final read hits RAM.
+    a.read(vol, 0, 64 * SECTOR).unwrap();
+    for _ in 0..12 {
+        a.advance(100_000_000);
+    }
+    a.read(vol, 0, 64 * SECTOR).unwrap();
+    a.read(vol, 0, 64 * SECTOR).unwrap();
+
+    let mut seen: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    for op in a.obs().tracer.slow_ops() {
+        for st in &op.stages {
+            seen.insert(st.stage);
+        }
+    }
+    for want in ["ram_cache_hit", "cold_read", "tier_demote"] {
+        assert!(
+            seen.contains(want),
+            "tiered run never emitted {want:?}; saw {seen:?}"
+        );
+    }
+    for s in &seen {
+        assert!(
+            purity_obs::is_registered_stage(s),
+            "run emitted unregistered stage {s:?}; registry: {:?}",
+            purity_obs::STAGE_REGISTRY
+        );
+    }
+
+    let s = a.stats();
+    assert!(s.tier_demotions > 0 && s.cold_reads > 0 && s.ram_cache_hits > 0);
+    let snap = a.metrics_snapshot();
+    assert_eq!(snap.counter("tier_demotions", &[]), s.tier_demotions);
+    assert_eq!(snap.counter("tier_cold_reads", &[]), s.cold_reads);
+    assert_eq!(snap.counter("cache_ram_hits", &[]), s.ram_cache_hits);
+    let vol_label = vol.0.to_string();
+    assert!(
+        snap.counter("volume_reads", &[("volume", vol_label.as_str())]) > 0,
+        "per-volume heat series must be published"
+    );
+}

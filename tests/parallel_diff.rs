@@ -135,6 +135,61 @@ fn preaged_export_is_thread_count_invariant() {
     });
 }
 
+/// The tiering engine's exhibit arc (ISSUE 10, `exp_fiveminute_live`
+/// seed): a working-set shift that demotes an idle volume to the cold
+/// class, pays cold reads on its return, and promotes it back. RAM-cache
+/// admissions, migrator ticks, cold-slot allocation and the tier blame
+/// category must all be invisible to the worker-pool width.
+#[test]
+fn tiered_workset_shift_export_is_thread_count_invariant() {
+    assert_thread_invariant("tiered workset shift seed 0x5F1E", || {
+        let mut a = FlashArray::new(ArrayConfig::tiered()).expect("format");
+        let vol_bytes: u64 = 512 * 1024;
+        let chunks = vol_bytes / (32 * 1024);
+        let vdi = a.create_volume("vdi", vol_bytes).unwrap();
+        let batch = a.create_volume("batch", vol_bytes).unwrap();
+        let mut gen = WorkloadGen::new(
+            0x5F1E,
+            vol_bytes,
+            AccessPattern::Sequential,
+            SizeMix::fixed(32 * 1024),
+            0,
+            ContentModel::Random,
+            1_000_000,
+        );
+        for vol in [vdi, batch] {
+            for _ in 0..chunks {
+                if let Op::Write { offset, data } = gen.next_op() {
+                    a.write(vol, offset, &data).unwrap();
+                }
+                a.advance(1_000_000);
+            }
+        }
+        // Boot storm on vdi, quiet night on batch (vdi idles past the
+        // demote threshold), morning storm back on vdi.
+        let phases: [(_, u64); 3] = [(vdi, 2), (batch, 10), (vdi, 3)];
+        for (vol, waves) in phases {
+            for _ in 0..waves {
+                for c in 0..chunks {
+                    a.read(vol, c * 32 * 1024, 32 * 1024).unwrap();
+                    a.advance(2_000_000);
+                }
+                a.advance(20_000_000);
+            }
+        }
+        let s = a.stats();
+        assert!(s.tier_demotions > 0, "night must demote the idle volume");
+        assert!(s.cold_reads > 0, "morning must pay cold reads");
+        assert!(s.tier_promotions > 0, "migrator must promote the return");
+        let mut doc = strip_profile_section(&a.export_observability_json()).to_string();
+        doc.push_str(&format!(
+            "\ndemotions={} promotions={} cold_reads={} ram_hits={}",
+            s.tier_demotions, s.tier_promotions, s.cold_reads, s.ram_cache_hits
+        ));
+        doc
+    });
+}
+
 /// Every tier-1 torture seed, re-run per thread count: the campaign
 /// outcome (violations, torn tails, recovery report, virtual
 /// downtime) must not notice the worker pool.
@@ -145,6 +200,7 @@ fn torture_outcomes_are_thread_count_invariant() {
         (CrashPhase::SegmentFlush, 10..16),
         (CrashPhase::Checkpoint, 20..26),
         (CrashPhase::OpBoundary, 30..36),
+        (CrashPhase::TierDemote, 60..63),
     ];
     for (phase, seeds) in sweeps {
         for seed in seeds {

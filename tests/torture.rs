@@ -61,6 +61,15 @@ fn torture_op_boundary() {
     assert_eq!(hits, 6, "clean cuts always count as hits");
 }
 
+/// ISSUE 10: power loss mid-demotion. The migrator's cold-slot copy is
+/// torn on a tiered array; recovery must keep every acked write and
+/// never serve a stale or torn cold slot.
+#[test]
+fn torture_tier_demote() {
+    let hits = sweep(CrashPhase::TierDemote, 60..66);
+    assert!(hits >= 4, "tier-demote trigger rarely fired: {hits}/6");
+}
+
 /// Full-device scan recovery must satisfy the same contract as the
 /// frontier scan.
 #[test]
